@@ -1,0 +1,98 @@
+// Ablation sweeps over AIDA's design choices (hyper-parameter study of
+// Section 3.6.1): the prior-test threshold rho, the coherence-test
+// threshold lambda, the mention-entity vs entity-entity edge mass split,
+// and the pre-pruning budget of the graph algorithm. The paper reports
+// that quality is insensitive to moderate variations ("when varying
+// lambda within [0.5, 1.3], the changes in accuracy are within 1%").
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/aida.h"
+#include "eval/metrics.h"
+#include "synth/corpus_generator.h"
+#include "synth/world_generator.h"
+
+using namespace aida;
+
+namespace {
+
+double Evaluate(const core::CandidateModelStore& models,
+                const core::RelatednessMeasure& relatedness,
+                const core::AidaOptions& options, const corpus::Corpus& docs,
+                size_t first, size_t count) {
+  core::Aida aida(&models, &relatedness, options);
+  eval::NedEvaluator evaluator;
+  for (size_t d = first; d < docs.size() && d < first + count; ++d) {
+    core::DisambiguationProblem problem = bench::ToProblem(docs[d]);
+    evaluator.AddDocument(docs[d], aida.Disambiguate(problem));
+  }
+  return 100.0 * evaluator.MicroAccuracy();
+}
+
+}  // namespace
+
+int main() {
+  synth::CorpusPreset preset = synth::ConllPreset();
+  synth::World world = synth::WorldGenerator(preset.world).Generate();
+  corpus::Corpus docs =
+      synth::CorpusGenerator(&world, preset.corpus).Generate();
+  core::CandidateModelStore models(world.knowledge_base.get());
+  core::MilneWittenRelatedness mw(world.knowledge_base.get());
+  const size_t first = 1162;
+  const size_t count = 150;
+
+  bench::PrintHeader("Ablations — AIDA design choices (micro accuracy %)");
+
+  std::printf("prior-test threshold rho:\n  ");
+  for (double rho : {0.5, 0.7, 0.8, 0.9, 0.95, 0.99}) {
+    core::AidaOptions options;
+    options.prior_threshold = rho;
+    std::printf("rho=%.2f: %.2f  ", rho,
+                Evaluate(models, mw, options, docs, first, count));
+  }
+
+  std::printf("\n\ncoherence-test threshold lambda:\n  ");
+  for (double lambda : {0.3, 0.5, 0.7, 0.9, 1.1, 1.3}) {
+    core::AidaOptions options;
+    options.coherence_threshold = lambda;
+    std::printf("l=%.1f: %.2f  ", lambda,
+                Evaluate(models, mw, options, docs, first, count));
+  }
+
+  std::printf("\n\nedge-mass split (me/ee):\n  ");
+  for (double me : {0.8, 0.7, 0.6, 0.5, 0.4, 0.3}) {
+    core::AidaOptions options;
+    options.me_scale = me;
+    options.ee_scale = 1.0 - me;
+    std::printf("%.1f/%.1f: %.2f  ", me, 1.0 - me,
+                Evaluate(models, mw, options, docs, first, count));
+  }
+
+  std::printf("\n\npre-pruning budget (entities per mention):\n  ");
+  for (size_t budget : {2ul, 3ul, 5ul, 8ul, 16ul}) {
+    core::AidaOptions options;
+    options.graph.entities_per_mention_budget = budget;
+    std::printf("%zux: %.2f  ", budget,
+                Evaluate(models, mw, options, docs, first, count));
+  }
+
+  std::printf("\n\nkeyword weight source for the cover score:\n  ");
+  for (auto mode : {core::ContextSimilarity::WordWeight::kNpmi,
+                    core::ContextSimilarity::WordWeight::kIdf}) {
+    core::AidaOptions options;
+    options.word_weight = mode;
+    std::printf("%s: %.2f  ",
+                mode == core::ContextSimilarity::WordWeight::kNpmi ? "NPMI"
+                                                                   : "IDF",
+                Evaluate(models, mw, options, docs, first, count));
+  }
+  std::printf("\n");
+  bench::PrintRule();
+  std::printf(
+      "Expected: a broad plateau around the defaults (rho 0.9, lambda 0.9,\n"
+      "split near balanced, budget 5x) — the robustness the paper claims —\n"
+      "with degradation at the extremes (tiny budgets, lambda >> 1).\n");
+  return 0;
+}

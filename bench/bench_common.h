@@ -1,0 +1,45 @@
+#ifndef AIDA_BENCH_BENCH_COMMON_H_
+#define AIDA_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/ned_system.h"
+#include "corpus/document.h"
+#include "synth/presets.h"
+
+namespace aida::bench {
+
+/// Builds a disambiguation problem from a gold document (gold mention
+/// spans, candidates resolved by the system — the evaluation setting of
+/// Section 3.6.1, "we assume all mentions to be present as input").
+inline core::DisambiguationProblem ToProblem(const corpus::Document& doc) {
+  core::DisambiguationProblem problem;
+  problem.tokens = &doc.tokens;
+  for (const corpus::GoldMention& gm : doc.mentions) {
+    core::ProblemMention pm;
+    pm.surface = gm.surface;
+    pm.begin_token = gm.begin_token;
+    pm.end_token = gm.end_token;
+    problem.mentions.push_back(std::move(pm));
+  }
+  return problem;
+}
+
+/// Prints a horizontal rule sized to `width`.
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// Prints a table header line.
+inline void PrintHeader(const std::string& title) {
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  PrintRule();
+}
+
+}  // namespace aida::bench
+
+#endif  // AIDA_BENCH_BENCH_COMMON_H_

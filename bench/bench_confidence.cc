@@ -1,0 +1,122 @@
+// Reproduces Table 5.1 and Figure 5.3: quality of disambiguation
+// confidence assessors. Mentions are ranked by confidence; we report
+// precision at the 95% and 80% confidence cutoffs (with the number of
+// qualifying mentions), MAP, and sampled precision-recall curves for
+//   prior   — the mention-entity prior as confidence,
+//   AIDAcoh — AIDA's normalized weighted-degree score,
+//   IW      — a linker-score style baseline (Kulkarni sp score),
+//   CONF    — 0.5 * normalized score + 0.5 * entity-perturbation stability.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/aida.h"
+#include "core/baselines.h"
+#include "ee/confidence.h"
+#include "eval/pr_curve.h"
+#include "synth/corpus_generator.h"
+#include "synth/world_generator.h"
+
+using namespace aida;
+
+int main() {
+  synth::CorpusPreset preset = synth::ConllPreset();
+  synth::World world = synth::WorldGenerator(preset.world).Generate();
+  corpus::Corpus docs =
+      synth::CorpusGenerator(&world, preset.corpus).Generate();
+  // Test split; perturbation-based confidence is costly, so evaluate a
+  // representative slice of it.
+  const size_t test_first = 1162;
+  const size_t test_count = 100;
+
+  core::CandidateModelStore models(world.knowledge_base.get());
+  core::MilneWittenRelatedness mw(world.knowledge_base.get());
+  core::Aida aida(&models, &mw, core::AidaOptions());
+  core::PriorBaseline prior(&models);
+  core::KulkarniBaseline iw(&models, nullptr,
+                            core::KulkarniBaseline::Mode::kSimilarityPrior);
+
+  ee::ConfidenceOptions conf_options;
+  conf_options.rounds = 24;
+  ee::ConfidenceEstimator estimator(&models, &aida, conf_options);
+
+  std::map<std::string, std::vector<eval::ScoredPrediction>> ranked;
+  for (size_t d = test_first;
+       d < docs.size() && d < test_first + test_count; ++d) {
+    const corpus::Document& doc = docs[d];
+    core::DisambiguationProblem problem = bench::ToProblem(doc);
+
+    core::DisambiguationResult aida_result = aida.Disambiguate(problem);
+    core::DisambiguationResult prior_result = prior.Disambiguate(problem);
+    core::DisambiguationResult iw_result = iw.Disambiguate(problem);
+
+    std::vector<double> conf = estimator.Conf(problem, aida_result);
+
+    for (size_t m = 0; m < doc.mentions.size(); ++m) {
+      const corpus::GoldMention& gm = doc.mentions[m];
+      if (gm.out_of_kb()) continue;  // Section 5.7.1 evaluates in-KB gold
+      ranked["prior"].push_back(
+          {prior_result.mentions[m].score,
+           prior_result.mentions[m].entity == gm.gold_entity});
+      // AIDAcoh ranks by the RAW disambiguation score (as the original
+      // system did); raw scores are not comparable across mentions, which
+      // is exactly what the normalization of Section 5.4.1 fixes.
+      ranked["aida-coh"].push_back(
+          {aida_result.mentions[m].score,
+           aida_result.mentions[m].entity == gm.gold_entity});
+      // IW ranks by the raw linker score, as the original system did.
+      ranked["iw"].push_back(
+          {iw_result.mentions[m].score,
+           iw_result.mentions[m].entity == gm.gold_entity});
+      ranked["conf"].push_back(
+          {conf[m], aida_result.mentions[m].entity == gm.gold_entity});
+    }
+  }
+
+  bench::PrintHeader(
+      "Table 5.1 — confidence assessors (CoNLL-like test slice)");
+  std::printf("%-10s %10s %10s %10s %10s %8s\n", "method", "P@95%",
+              "#men@95%", "P@80%", "#men@80%", "MAP");
+  bench::PrintRule();
+  for (const char* name : {"prior", "aida-coh", "iw", "conf"}) {
+    const auto& preds = ranked[name];
+    double map = eval::MeanAveragePrecision(preds);
+    // Only probability-like scores admit fixed confidence cutoffs (the
+    // paper reports "-" for the raw-score rankings).
+    bool interpretable =
+        std::string(name) == "prior" || std::string(name) == "conf";
+    if (interpretable) {
+      size_t n95 = 0;
+      size_t n80 = 0;
+      double p95 = eval::PrecisionAtConfidence(preds, 0.95, &n95);
+      double p80 = eval::PrecisionAtConfidence(preds, 0.80, &n80);
+      std::printf("%-10s %9.2f%% %10zu %9.2f%% %10zu %7.2f%%\n", name,
+                  100 * p95, n95, 100 * p80, n80, 100 * map);
+    } else {
+      std::printf("%-10s %10s %10s %10s %10s %7.2f%%\n", name, "-", "-",
+                  "-", "-", 100 * map);
+    }
+  }
+  bench::PrintRule();
+
+  std::printf("\nFigure 5.3 — precision at recall levels:\nrecall    ");
+  for (int r = 1; r <= 10; ++r) std::printf(" %6.1f", r / 10.0);
+  std::printf("\n");
+  for (const char* name : {"prior", "aida-coh", "conf"}) {
+    std::printf("%-10s", name);
+    for (const eval::PrPoint& point :
+         eval::PrecisionRecallCurve(ranked[name], 10)) {
+      std::printf(" %6.3f", point.precision);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper shape: CONF dominates — higher MAP (93.7 vs 87.9 prior /\n"
+      "86.8 AIDAcoh / 67.1 IW), ~98%% precision at the 95%% confidence\n"
+      "cutoff with a substantial fraction of mentions qualifying, and a\n"
+      "flatter precision-recall curve than the prior.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces Figure 5.4: emerging-entity precision and recall as a
+// function of the number of stream days harvested into the placeholder
+// model, with and without keyphrase harvesting for EXISTING entities.
+// More harvested days enrich the placeholder until it starts dominating
+// in-KB entities; extending the existing entities' models stabilizes
+// precision over time.
+
+#include <cstdio>
+#include <vector>
+
+#include "ee_common.h"
+
+using namespace aida;
+
+int main() {
+  bench::EeExperiment exp = bench::EeExperiment::Make();
+  std::vector<const corpus::Document*> test = exp.Slice(25, 30);
+  if (test.size() > 80) test.resize(80);
+
+  bench::PrintHeader(
+      "Figure 5.4 — EE precision/recall vs harvested days (GigaWord-EE)");
+  std::printf("%-6s %12s %12s %14s %14s\n", "days", "EE P", "EE R",
+              "EE P (exist)", "EE R (exist)");
+  bench::PrintRule(64);
+
+  for (int64_t days : {1, 2, 4, 7, 10, 14}) {
+    double p_plain = 0;
+    double r_plain = 0;
+    double p_exist = 0;
+    double r_exist = 0;
+    for (bool harvest_existing : {false, true}) {
+      ee::EeDiscoveryOptions options;
+      options.gamma = 0.2;
+      options.harvest_days = days;
+      options.harvest_existing = harvest_existing;
+      ee::EmergingEntityDiscoverer discoverer(exp.models.get(),
+                                              exp.aida_sim.get(),
+                                              &exp.stream, options);
+      if (harvest_existing) discoverer.HarvestExistingEntities(14, 24);
+      eval::NedEvaluator evaluator;
+      for (const corpus::Document* doc : test) {
+        evaluator.AddDocument(*doc, discoverer.Discover(*doc));
+      }
+      if (harvest_existing) {
+        p_exist = evaluator.EePrecision();
+        r_exist = evaluator.EeRecall();
+      } else {
+        p_plain = evaluator.EePrecision();
+        r_plain = evaluator.EeRecall();
+      }
+    }
+    std::printf("%-6lld %12.3f %12.3f %14.3f %14.3f\n",
+                static_cast<long long>(days), p_plain, r_plain, p_exist,
+                r_exist);
+  }
+  bench::PrintRule(64);
+  std::printf(
+      "Paper shape: recall grows with more harvested days while precision\n"
+      "degrades; adding harvested keyphrases for existing entities lifts\n"
+      "precision and keeps it stable as the window grows.\n");
+  return 0;
+}

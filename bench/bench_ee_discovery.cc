@@ -1,0 +1,156 @@
+// Reproduces Table 5.3: emerging entity identification quality on the
+// GigaWord-EE-like news stream. Threshold baselines (AIDAsim, AIDAcoh,
+// IW-style) against the explicit-placeholder methods (EEsim, EEcoh).
+// Thresholds and the EE gamma are tuned on a train slice of earlier days,
+// mirroring the paper's protocol; metrics are reported on the test days.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/baselines.h"
+#include "util/string_util.h"
+#include "ee_common.h"
+
+using namespace aida;
+
+namespace {
+
+struct Row {
+  std::string name;
+  double micro = 0;
+  double macro = 0;
+  double ee_p = 0;
+  double ee_r = 0;
+  double ee_f1 = 0;
+};
+
+Row ToRow(const std::string& name, const eval::NedEvaluator& evaluator) {
+  return {name,
+          100 * evaluator.MicroAccuracyWithEe(),
+          100 * evaluator.MacroAccuracyWithEe(),
+          100 * evaluator.EePrecision(),
+          100 * evaluator.EeRecall(),
+          100 * evaluator.EeF1()};
+}
+
+// Tunes gamma for a placeholder-based discoverer on the train docs.
+double TuneGamma(bench::EeExperiment& exp, const core::NedSystem& ned,
+                 const std::vector<const corpus::Document*>& train) {
+  double best_gamma = 0.2;
+  double best_f1 = -1;
+  for (double gamma : {0.1, 0.2, 0.3, 0.45}) {
+    ee::EeDiscoveryOptions options;
+    options.gamma = gamma;
+    options.harvest_days = 7;
+    options.harvest_existing = false;  // enabled only for the final runs
+    ee::EmergingEntityDiscoverer discoverer(exp.models.get(), &ned,
+                                            &exp.stream, options);
+    eval::NedEvaluator evaluator;
+    for (const corpus::Document* doc : train) {
+      evaluator.AddDocument(*doc, discoverer.Discover(*doc));
+    }
+    if (evaluator.EeF1() > best_f1) {
+      best_f1 = evaluator.EeF1();
+      best_gamma = gamma;
+    }
+  }
+  return best_gamma;
+}
+
+}  // namespace
+
+int main() {
+  bench::EeExperiment exp = bench::EeExperiment::Make();
+  // Train on days 20-23, test on days 25-30 (the last chunk of the
+  // month-long stream); earlier days serve as harvesting history.
+  std::vector<const corpus::Document*> train = exp.Slice(20, 23);
+  if (train.size() > 60) train.resize(60);
+  std::vector<const corpus::Document*> test = exp.Slice(25, 30);
+  if (test.size() > 150) test.resize(150);
+  std::printf("train docs: %zu, test docs: %zu\n", train.size(),
+              test.size());
+
+  core::KulkarniBaseline iw(exp.models.get(), nullptr,
+                            core::KulkarniBaseline::Mode::kSimilarityPrior);
+
+  std::vector<Row> rows;
+
+  // ---- Threshold baselines --------------------------------------------------
+  {
+    double t = bench::TuneThreshold(*exp.aida_sim, train, false,
+                                    exp.models.get());
+    eval::NedEvaluator evaluator;
+    bench::EvaluateThresholdBaseline(*exp.aida_sim, test, t, false,
+                                     exp.models.get(), evaluator);
+    rows.push_back(ToRow(util::StrFormat("AIDAsim (t=%.2f)", t), evaluator));
+  }
+  {
+    double t = bench::TuneThreshold(*exp.aida_coh, train, true,
+                                    exp.models.get());
+    eval::NedEvaluator evaluator;
+    bench::EvaluateThresholdBaseline(*exp.aida_coh, test, t, true,
+                                     exp.models.get(), evaluator);
+    rows.push_back(ToRow(util::StrFormat("AIDAcoh (t=%.2f)", t), evaluator));
+  }
+  {
+    double t = bench::TuneThreshold(iw, train, false, exp.models.get());
+    eval::NedEvaluator evaluator;
+    bench::EvaluateThresholdBaseline(iw, test, t, false, exp.models.get(),
+                                     evaluator);
+    rows.push_back(ToRow(util::StrFormat("IW (t=%.2f)", t), evaluator));
+  }
+
+  // ---- Placeholder methods ----------------------------------------------------
+  {
+    double gamma = TuneGamma(exp, *exp.aida_sim, train);
+    ee::EeDiscoveryOptions options;
+    options.gamma = gamma;
+    options.harvest_days = 7;
+    options.harvest_existing = true;
+    ee::EmergingEntityDiscoverer discoverer(exp.models.get(),
+                                            exp.aida_sim.get(),
+                                            &exp.stream, options);
+    discoverer.HarvestExistingEntities(14, 24);
+    eval::NedEvaluator evaluator;
+    for (const corpus::Document* doc : test) {
+      evaluator.AddDocument(*doc, discoverer.Discover(*doc));
+    }
+    rows.push_back(
+        ToRow(util::StrFormat("EEsim (g=%.2f)", gamma), evaluator));
+  }
+  {
+    double gamma = TuneGamma(exp, *exp.aida_kore, train);
+    ee::EeDiscoveryOptions options;
+    options.gamma = gamma;
+    options.harvest_days = 7;
+    options.harvest_existing = true;
+    ee::EmergingEntityDiscoverer discoverer(exp.models.get(),
+                                            exp.aida_kore.get(),
+                                            &exp.stream, options);
+    discoverer.HarvestExistingEntities(14, 24);
+    eval::NedEvaluator evaluator;
+    for (const corpus::Document* doc : test) {
+      evaluator.AddDocument(*doc, discoverer.Discover(*doc));
+    }
+    rows.push_back(
+        ToRow(util::StrFormat("EEcoh (g=%.2f)", gamma), evaluator));
+  }
+
+  bench::PrintHeader(
+      "Table 5.3 — emerging entity identification (GigaWord-EE-like test "
+      "days)");
+  std::printf("%-18s %9s %9s %8s %8s %8s\n", "method", "MicA %", "MacA %",
+              "EE P %", "EE R %", "EE F1 %");
+  bench::PrintRule();
+  for (const Row& row : rows) {
+    std::printf("%-18s %9.2f %9.2f %8.2f %8.2f %8.2f\n", row.name.c_str(),
+                row.micro, row.macro, row.ee_p, row.ee_r, row.ee_f1);
+  }
+  bench::PrintRule();
+  std::printf(
+      "Paper shape: the explicit placeholder methods (EEsim/EEcoh) achieve\n"
+      "far higher EE precision than the threshold baselines (98/94 vs\n"
+      "73/53/67) at somewhat lower recall, winning on EE F1; EEsim is the\n"
+      "most precise.\n");
+  return 0;
+}

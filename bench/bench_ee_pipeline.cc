@@ -1,0 +1,100 @@
+// Reproduces Table 5.4: using emerging-entity identification as a
+// PREPROCESSING step for regular NED. Mentions the EE stage labels as
+// emerging are fixed; the remaining mentions are re-disambiguated with the
+// full coherence-based AIDA. Compared against running the plain systems
+// with their thresholds.
+
+#include <cstdio>
+#include <vector>
+
+#include "ee_common.h"
+#include "util/string_util.h"
+
+using namespace aida;
+
+namespace {
+
+struct Row {
+  std::string name;
+  double micro = 0;
+  double macro = 0;
+  double ee_p = 0;
+};
+
+}  // namespace
+
+int main() {
+  bench::EeExperiment exp = bench::EeExperiment::Make();
+  std::vector<const corpus::Document*> test = exp.Slice(25, 30);
+  if (test.size() > 150) test.resize(150);
+
+  std::vector<Row> rows;
+
+  // ---- Plain systems (no EE preprocessing) -----------------------------------
+  auto run_plain = [&](const std::string& name,
+                       const core::NedSystem& system, double threshold,
+                       bool use_conf) {
+    eval::NedEvaluator evaluator;
+    bench::EvaluateThresholdBaseline(system, test, threshold, use_conf,
+                                     exp.models.get(), evaluator);
+    rows.push_back({name, 100 * evaluator.MicroAccuracyWithEe(),
+                    100 * evaluator.MacroAccuracyWithEe(),
+                    100 * evaluator.EePrecision()});
+  };
+  run_plain("AIDAsim (t=0.15)", *exp.aida_sim, 0.15, false);
+  run_plain("AIDAcoh (t=0.05)", *exp.aida_coh, 0.05, true);
+
+  // ---- EE preprocessing + full NED on the rest --------------------------------
+  auto run_pipeline = [&](const std::string& name,
+                          const core::NedSystem& ee_stage) {
+    ee::EeDiscoveryOptions options;
+    options.gamma = 0.2;
+    options.harvest_days = 7;
+    options.harvest_existing = true;
+    ee::EmergingEntityDiscoverer discoverer(exp.models.get(), &ee_stage,
+                                            &exp.stream, options);
+    discoverer.HarvestExistingEntities(14, 24);
+
+    eval::NedEvaluator evaluator;
+    for (const corpus::Document* doc : test) {
+      core::DisambiguationResult ee_result = discoverer.Discover(*doc);
+
+      // Second pass: plain full AIDA over the mentions NOT labeled EE.
+      core::DisambiguationProblem problem = bench::ToProblem(*doc);
+      std::vector<size_t> kept;
+      core::DisambiguationProblem sub;
+      sub.tokens = problem.tokens;
+      for (size_t m = 0; m < problem.mentions.size(); ++m) {
+        if (ee_result.mentions[m].chose_placeholder) continue;
+        kept.push_back(m);
+        sub.mentions.push_back(problem.mentions[m]);
+      }
+      core::DisambiguationResult ned = exp.aida_coh->Disambiguate(sub);
+      core::DisambiguationResult merged = ee_result;
+      for (size_t i = 0; i < kept.size(); ++i) {
+        merged.mentions[kept[i]] = ned.mentions[i];
+      }
+      evaluator.AddDocument(*doc, merged);
+    }
+    rows.push_back({name, 100 * evaluator.MicroAccuracyWithEe(),
+                    100 * evaluator.MacroAccuracyWithEe(),
+                    100 * evaluator.EePrecision()});
+  };
+  run_pipeline("AIDA-EEsim", *exp.aida_sim);
+  run_pipeline("AIDA-EEcoh", *exp.aida_kore);
+
+  bench::PrintHeader(
+      "Table 5.4 — NED quality with EE identification as preprocessing");
+  std::printf("%-18s %9s %9s %9s\n", "method", "MicA %", "MacA %", "EE P %");
+  bench::PrintRule();
+  for (const Row& row : rows) {
+    std::printf("%-18s %9.2f %9.2f %9.2f\n", row.name.c_str(), row.micro,
+                row.macro, row.ee_p);
+  }
+  bench::PrintRule();
+  std::printf(
+      "Paper shape: pre-identifying emerging entities and re-running the\n"
+      "full NED on the remaining mentions gives the best overall accuracy\n"
+      "(AIDA-EEsim), at far higher EE precision than thresholding.\n");
+  return 0;
+}

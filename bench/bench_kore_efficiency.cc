@@ -1,0 +1,146 @@
+// Reproduces Table 4.4 and Figures 4.4/4.5: per-document relatedness
+// comparison counts and disambiguation running time for MW, exact KORE,
+// KORE-LSH-G and KORE-LSH-F over the CoNLL-like collection, reported as
+// mean / stddev / 0.9-quantile plus curve samples over documents ordered
+// by candidate-entity count.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/aida.h"
+#include "kore/kore_lsh.h"
+#include "kore/kore_relatedness.h"
+#include "synth/corpus_generator.h"
+#include "synth/world_generator.h"
+#include "util/stopwatch.h"
+
+using namespace aida;
+
+namespace {
+
+struct Stats {
+  double mean = 0;
+  double stddev = 0;
+  double q90 = 0;
+};
+
+Stats Summarize(std::vector<double> values) {
+  Stats stats;
+  if (values.empty()) return stats;
+  double sum = std::accumulate(values.begin(), values.end(), 0.0);
+  stats.mean = sum / values.size();
+  double var = 0;
+  for (double v : values) var += (v - stats.mean) * (v - stats.mean);
+  stats.stddev = std::sqrt(var / values.size());
+  std::sort(values.begin(), values.end());
+  stats.q90 = values[static_cast<size_t>(0.9 * (values.size() - 1))];
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  synth::CorpusPreset preset = synth::ConllPreset();
+  // A representative slice keeps the bench quick; the distribution over
+  // documents is what matters.
+  preset.corpus.num_documents = 400;
+  synth::World world = synth::WorldGenerator(preset.world).Generate();
+  corpus::Corpus docs =
+      synth::CorpusGenerator(&world, preset.corpus).Generate();
+  core::CandidateModelStore models(world.knowledge_base.get());
+  const kb::KeyphraseStore& store = world.knowledge_base->keyphrases();
+
+  core::MilneWittenRelatedness mw(world.knowledge_base.get());
+  kore::KoreRelatedness kore;
+  kore::KoreLshRelatedness lsh_g = kore::KoreLshRelatedness::Good(&store);
+  kore::KoreLshRelatedness lsh_f = kore::KoreLshRelatedness::Fast(&store);
+  std::vector<std::pair<std::string, const core::RelatednessMeasure*>>
+      measures = {{"MW", &mw},
+                  {"KORE", &kore},
+                  {"KORE-LSH-G", &lsh_g},
+                  {"KORE-LSH-F", &lsh_f}};
+
+  // Candidate-entity count per document, for the x-axis of Figs 4.4/4.5.
+  std::vector<size_t> doc_candidates(docs.size(), 0);
+  for (size_t d = 0; d < docs.size(); ++d) {
+    for (const corpus::GoldMention& gm : docs[d].mentions) {
+      doc_candidates[d] +=
+          world.knowledge_base->dictionary().Lookup(gm.surface).size();
+    }
+  }
+  std::vector<size_t> order(docs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return doc_candidates[a] < doc_candidates[b];
+  });
+
+  struct MeasureRun {
+    std::vector<double> comparisons;
+    std::vector<double> millis;
+  };
+  std::vector<MeasureRun> runs(measures.size());
+
+  for (size_t mi = 0; mi < measures.size(); ++mi) {
+    core::AidaOptions options;
+    core::Aida aida(&models, measures[mi].second, options);
+    runs[mi].comparisons.resize(docs.size());
+    runs[mi].millis.resize(docs.size());
+    for (size_t d = 0; d < docs.size(); ++d) {
+      core::DisambiguationProblem problem = bench::ToProblem(docs[d]);
+      util::Stopwatch watch;
+      core::DisambiguationResult result = aida.Disambiguate(problem);
+      runs[mi].millis[d] = watch.ElapsedMillis();
+      runs[mi].comparisons[d] =
+          static_cast<double>(aida.last_relatedness_computations());
+      (void)result;
+    }
+  }
+
+  bench::PrintHeader(
+      "Table 4.4 — relatedness comparisons and runtime per document "
+      "(CoNLL-like, 400 docs)");
+  std::printf("%-12s %12s %12s %12s %10s %10s %10s\n", "measure",
+              "cmp mean", "cmp stddev", "cmp q90", "ms mean", "ms stddev",
+              "ms q90");
+  bench::PrintRule(86);
+  for (size_t mi = 0; mi < measures.size(); ++mi) {
+    Stats cmp = Summarize(runs[mi].comparisons);
+    Stats ms = Summarize(runs[mi].millis);
+    std::printf("%-12s %12.0f %12.0f %12.0f %10.2f %10.2f %10.2f\n",
+                measures[mi].first.c_str(), cmp.mean, cmp.stddev, cmp.q90,
+                ms.mean, ms.stddev, ms.q90);
+  }
+  bench::PrintRule(86);
+
+  // Figures 4.4/4.5: sampled curves over documents sorted by candidate
+  // count (10 sample points).
+  std::printf(
+      "\nFigure 4.4/4.5 samples (documents sorted by candidate count):\n");
+  std::printf("%-12s %10s", "doc rank", "cands");
+  for (const auto& [name, measure] : measures) {
+    std::printf(" %12s", (name + " cmp").c_str());
+  }
+  std::printf("\n");
+  for (int p = 1; p <= 10; ++p) {
+    size_t idx = order[std::min(docs.size() - 1,
+                                docs.size() * p / 10 - 1)];
+    std::printf("%-12d %10zu", p * 10, doc_candidates[idx]);
+    for (size_t mi = 0; mi < measures.size(); ++mi) {
+      std::printf(" %12.0f", runs[mi].comparisons[idx]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nPaper shape: KORE-LSH-G prunes roughly two thirds of the pairwise\n"
+      "comparisons, KORE-LSH-F an order of magnitude (q90 nearly 20x), and\n"
+      "runtimes follow the comparison counts. (Our MW is cheap per pair —\n"
+      "sorted-list intersection on modest link lists — unlike the paper's\n"
+      "large-bitvector MW, so MW wall-time is not slower than KORE here;\n"
+      "the LSH speedups over exact KORE are the reproduced effect.)\n");
+  return 0;
+}

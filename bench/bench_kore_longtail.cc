@@ -1,0 +1,114 @@
+// Reproduces Figure 4.3: cumulative disambiguation accuracy over mentions
+// whose gold entity has at most X in-links, on the KORE50-like corpus —
+// the regime where keyphrase-based relatedness must carry what the link
+// graph cannot.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/aida.h"
+#include "eval/metrics.h"
+#include "kore/kore_lsh.h"
+#include "kore/kore_relatedness.h"
+#include "synth/corpus_generator.h"
+#include "synth/world_generator.h"
+
+using namespace aida;
+
+int main() {
+  synth::CorpusPreset preset = synth::Kore50Preset();
+  // More documents than the 50-sentence original so the per-bucket curves
+  // are statistically meaningful.
+  preset.corpus.num_documents = 400;
+  synth::World world = synth::WorldGenerator(preset.world).Generate();
+  corpus::Corpus docs =
+      synth::CorpusGenerator(&world, preset.corpus).Generate();
+  core::CandidateModelStore models(world.knowledge_base.get());
+  const kb::KeyphraseStore& store = world.knowledge_base->keyphrases();
+
+  core::MilneWittenRelatedness mw(world.knowledge_base.get());
+  kore::KoreRelatedness kore;
+  kore::KoreLshRelatedness lsh_g = kore::KoreLshRelatedness::Good(&store);
+  kore::KoreLshRelatedness lsh_f = kore::KoreLshRelatedness::Fast(&store);
+  std::vector<std::pair<std::string, const core::RelatednessMeasure*>>
+      measures = {{"MW", &mw},
+                  {"KORE", &kore},
+                  {"KORE-LSH-G", &lsh_g},
+                  {"KORE-LSH-F", &lsh_f}};
+
+  // Entity in-link histogram (printed alongside, as in Figure 4.3's upper
+  // panel: the long tail dominates the entity population).
+  std::map<size_t, size_t> inlink_histogram;
+  for (kb::EntityId e = 0; e < world.knowledge_base->entity_count(); ++e) {
+    ++inlink_histogram[world.knowledge_base->links().InLinkCount(e)];
+  }
+
+  // Per measure: per-mention (gold inlinks, correct) pairs.
+  std::map<std::string, std::vector<std::pair<size_t, bool>>> outcomes;
+  for (const auto& [name, measure] : measures) {
+    core::AidaOptions options;
+    core::Aida aida(&models, measure, options);
+    for (const corpus::Document& doc : docs) {
+      core::DisambiguationProblem problem = bench::ToProblem(doc);
+      core::DisambiguationResult result = aida.Disambiguate(problem);
+      for (size_t m = 0; m < doc.mentions.size(); ++m) {
+        const corpus::GoldMention& gm = doc.mentions[m];
+        if (gm.out_of_kb()) continue;
+        size_t links =
+            world.knowledge_base->links().InLinkCount(gm.gold_entity);
+        outcomes[name].emplace_back(
+            links, result.mentions[m].entity == gm.gold_entity);
+      }
+    }
+  }
+
+  bench::PrintHeader(
+      "Figure 4.3 — cumulative accuracy over mentions with gold-entity "
+      "in-links <= X (KORE50-like)");
+  const std::vector<size_t> cutoffs = {0, 1, 2, 3, 5, 8, 12, 20, 40, 100000};
+  std::printf("%-12s", "<= inlinks");
+  for (const auto& [name, measure] : measures) {
+    std::printf(" %11s", name.c_str());
+  }
+  std::printf(" %10s\n", "#mentions");
+  bench::PrintRule(72);
+  for (size_t cutoff : cutoffs) {
+    std::printf("%-12zu", cutoff);
+    size_t population = 0;
+    for (const auto& [name, measure] : measures) {
+      size_t total = 0;
+      size_t correct = 0;
+      for (const auto& [links, ok] : outcomes[name]) {
+        if (links > cutoff) continue;
+        ++total;
+        if (ok) ++correct;
+      }
+      population = total;
+      std::printf(" %11.3f",
+                  total ? static_cast<double>(correct) / total : 0.0);
+    }
+    std::printf(" %10zu\n", population);
+  }
+  bench::PrintRule(72);
+
+  // Entity population by in-link count (cumulative share).
+  size_t total_entities = world.knowledge_base->entity_count();
+  size_t cumulative = 0;
+  std::printf("entity population: ");
+  for (size_t cutoff : {0ul, 2ul, 5ul, 10ul, 50ul}) {
+    cumulative = 0;
+    for (const auto& [links, count] : inlink_histogram) {
+      if (links <= cutoff) cumulative += count;
+    }
+    std::printf("<=%zu links: %.1f%%  ", cutoff,
+                100.0 * cumulative / total_entities);
+  }
+  std::printf(
+      "\nPaper shape: KORE (and KORE-LSH-G) clearly above MW for link-poor\n"
+      "entities; the gap narrows as in-link counts grow. Entities with few\n"
+      "in-links dominate the population (>80%% at <=50 links in Wikipedia).\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Reproduces Figure 4.2 / Table 4.3: disambiguation accuracy of AIDA with
+// different coherence measures (KWCS, KPCS, MW, KORE, KORE-LSH-G/F) on the
+// three corpora: CoNLL-like, WP-like (family names only, prior disabled as
+// in the paper), and KORE50-like (short, dense, long-tail).
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/aida.h"
+#include "eval/metrics.h"
+#include "kore/keyterm_cosine.h"
+#include "kore/kore_lsh.h"
+#include "kore/kore_relatedness.h"
+#include "synth/corpus_generator.h"
+#include "synth/world_generator.h"
+
+using namespace aida;
+
+namespace {
+
+struct DatasetRun {
+  std::string dataset;
+  std::string measure;
+  double micro = 0;
+  double macro = 0;
+  double link_avg = 0;
+};
+
+// Macro average of per-inlink-count-group accuracies (the "Link Avg"
+// rows of Table 4.3).
+double LinkAveragedAccuracy(
+    const std::map<size_t, std::pair<size_t, size_t>>& by_links) {
+  if (by_links.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& [links, counts] : by_links) {
+    sum += static_cast<double>(counts.second) /
+           static_cast<double>(counts.first);
+  }
+  return sum / static_cast<double>(by_links.size());
+}
+
+}  // namespace
+
+int main() {
+  struct Dataset {
+    synth::CorpusPreset preset;
+    size_t max_docs;
+    bool use_prior;
+  };
+  std::vector<Dataset> datasets = {
+      {synth::ConllPreset(), 231, true},
+      {synth::WpPreset(), 400, false},  // prior disabled (Section 4.6.1)
+      {synth::Kore50Preset(), 400, true},
+  };
+  // The original KORE50 has only 50 sentences; we evaluate 400 generated
+  // ones so per-measure differences are not dominated by sampling noise.
+  datasets[2].preset.corpus.num_documents = 400;
+
+  std::vector<DatasetRun> rows;
+  for (Dataset& dataset : datasets) {
+    synth::World world =
+        synth::WorldGenerator(dataset.preset.world).Generate();
+    corpus::Corpus docs =
+        synth::CorpusGenerator(&world, dataset.preset.corpus).Generate();
+    // CoNLL-like: evaluate the test split (last 231 docs).
+    size_t first = docs.size() > dataset.max_docs
+                       ? docs.size() - dataset.max_docs
+                       : 0;
+
+    core::CandidateModelStore models(world.knowledge_base.get());
+    const kb::KeyphraseStore& store = world.knowledge_base->keyphrases();
+    kore::KeytermCosineRelatedness kwcs(
+        kore::KeytermCosineRelatedness::Mode::kKeyword);
+    kore::KeytermCosineRelatedness kpcs(
+        kore::KeytermCosineRelatedness::Mode::kKeyphrase);
+    core::MilneWittenRelatedness mw(world.knowledge_base.get());
+    kore::KoreRelatedness kore;
+    kore::KoreLshRelatedness lsh_g = kore::KoreLshRelatedness::Good(&store);
+    kore::KoreLshRelatedness lsh_f = kore::KoreLshRelatedness::Fast(&store);
+    std::vector<std::pair<std::string, const core::RelatednessMeasure*>>
+        measures = {{"KWCS", &kwcs},  {"KPCS", &kpcs}, {"MW", &mw},
+                    {"KORE", &kore},  {"KORE-LSH-G", &lsh_g},
+                    {"KORE-LSH-F", &lsh_f}};
+
+    for (const auto& [name, measure] : measures) {
+      core::AidaOptions options;
+      options.use_prior = dataset.use_prior;
+      core::Aida aida(&models, measure, options);
+
+      eval::NedEvaluator evaluator;
+      std::map<size_t, std::pair<size_t, size_t>> by_links;  // total,correct
+      for (size_t d = first; d < docs.size(); ++d) {
+        core::DisambiguationProblem problem = bench::ToProblem(docs[d]);
+        core::DisambiguationResult result = aida.Disambiguate(problem);
+        evaluator.AddDocument(docs[d], result);
+        for (size_t m = 0; m < docs[d].mentions.size(); ++m) {
+          const corpus::GoldMention& gm = docs[d].mentions[m];
+          if (gm.out_of_kb()) continue;
+          size_t links =
+              world.knowledge_base->links().InLinkCount(gm.gold_entity);
+          auto& counts = by_links[links];
+          ++counts.first;
+          if (result.mentions[m].entity == gm.gold_entity) ++counts.second;
+        }
+      }
+      rows.push_back({dataset.preset.name, name,
+                      100.0 * evaluator.MicroAccuracy(),
+                      100.0 * evaluator.MacroAccuracy(),
+                      100.0 * LinkAveragedAccuracy(by_links)});
+    }
+  }
+
+  bench::PrintHeader(
+      "Table 4.3 / Figure 4.2 — NED accuracy per relatedness measure");
+  std::printf("%-14s %-12s %9s %9s %9s\n", "dataset", "measure", "MicA %",
+              "MacA %", "LinkAvg %");
+  bench::PrintRule();
+  for (const DatasetRun& row : rows) {
+    std::printf("%-14s %-12s %9.2f %9.2f %9.2f\n", row.dataset.c_str(),
+                row.measure.c_str(), row.micro, row.macro, row.link_avg);
+  }
+  bench::PrintRule();
+  std::printf(
+      "Paper shape: MW and KORE comparable on the CoNLL-like corpus; KORE\n"
+      "ahead on the WP-like and clearly ahead on the KORE50-like corpus\n"
+      "(long-tail mentions), with KORE-LSH-G close to exact KORE and\n"
+      "KORE-LSH-F trading some quality for speed.\n");
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Google-benchmark microbenchmarks for the performance-critical
+// primitives: min-hash sketching, two-stage LSH grouping, KORE and
+// Milne-Witten pair computation, keyphrase-cover context scoring, and the
+// constrained dense-subgraph solver.
+
+#include <benchmark/benchmark.h>
+
+#include "core/aida.h"
+#include "core/candidates.h"
+#include "core/context_similarity.h"
+#include "core/relatedness.h"
+#include "graph/dense_subgraph.h"
+#include "hashing/minhash.h"
+#include "hashing/two_stage_hasher.h"
+#include "kore/kore_relatedness.h"
+#include "synth/corpus_generator.h"
+#include "synth/presets.h"
+#include "synth/world_generator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace aida;
+
+// A mid-sized shared world for all micro benchmarks.
+struct Fixture {
+  synth::World world;
+  corpus::Corpus docs;
+  std::unique_ptr<core::CandidateModelStore> models;
+
+  static const Fixture& Get() {
+    static const Fixture& fixture = *new Fixture();
+    return fixture;
+  }
+
+ private:
+  Fixture() {
+    synth::WorldConfig config;
+    config.seed = 31337;
+    config.num_topics = 20;
+    config.num_entities = 2000;
+    config.num_shared_names = 500;
+    world = synth::WorldGenerator(config).Generate();
+    synth::CorpusConfig corpus_config;
+    corpus_config.num_documents = 10;
+    corpus_config.doc_tokens = 216;
+    corpus_config.entities_per_doc = 12;
+    docs = synth::CorpusGenerator(&world, corpus_config).Generate();
+    models = std::make_unique<core::CandidateModelStore>(
+        world.knowledge_base.get());
+  }
+};
+
+void BM_MinHashSketch(benchmark::State& state) {
+  hashing::MinHasher hasher(static_cast<size_t>(state.range(0)), 7);
+  std::vector<uint32_t> items;
+  util::Rng rng(1);
+  for (int i = 0; i < 60; ++i) {
+    items.push_back(static_cast<uint32_t>(rng.UniformInt(1 << 20)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.Sketch(items));
+  }
+}
+BENCHMARK(BM_MinHashSketch)->Arg(4)->Arg(200)->Arg(2000);
+
+void BM_TwoStageGrouping(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  hashing::TwoStageHasher hasher(fixture.world.knowledge_base->keyphrases(),
+                                 hashing::LshGoodConfig());
+  std::vector<kb::EntityId> entities;
+  for (kb::EntityId e = 0; e < static_cast<kb::EntityId>(state.range(0));
+       ++e) {
+    entities.push_back(e);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.GroupEntities(entities));
+  }
+}
+BENCHMARK(BM_TwoStageGrouping)->Arg(50)->Arg(200);
+
+void BM_KorePair(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  kore::KoreRelatedness kore;
+  core::Candidate a;
+  a.entity = 0;
+  a.model = fixture.models->ModelFor(0);
+  core::Candidate b;
+  b.entity = 1;
+  b.model = fixture.models->ModelFor(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kore.Relatedness(a, b));
+  }
+}
+BENCHMARK(BM_KorePair);
+
+void BM_MilneWittenPair(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  core::MilneWittenRelatedness mw(fixture.world.knowledge_base.get());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mw.RelatednessById(0, 1));
+  }
+}
+BENCHMARK(BM_MilneWittenPair);
+
+void BM_ContextSimilarity(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  const corpus::Document& doc = fixture.docs.front();
+  core::ExtendedVocabulary vocab(
+      &fixture.world.knowledge_base->keyphrases());
+  core::DocumentContext context(doc.tokens, vocab);
+  core::ContextSimilarity similarity;
+  auto model = fixture.models->ModelFor(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity.Score(context, 0, 0, *model));
+  }
+}
+BENCHMARK(BM_ContextSimilarity);
+
+void BM_DenseSubgraph(benchmark::State& state) {
+  // Random bipartite-ish instance: m mentions, 5m entities.
+  const size_t mentions = static_cast<size_t>(state.range(0));
+  const size_t entities = mentions * 5;
+  util::Rng rng(11);
+  graph::WeightedGraph g(mentions + entities);
+  std::vector<bool> removable(mentions + entities, false);
+  std::vector<std::vector<graph::NodeId>> groups(mentions);
+  for (size_t m = 0; m < mentions; ++m) {
+    for (int c = 0; c < 5; ++c) {
+      graph::NodeId node =
+          static_cast<graph::NodeId>(mentions + rng.UniformInt(entities));
+      removable[node] = true;
+      groups[m].push_back(node);
+      g.AddEdge(static_cast<graph::NodeId>(m), node, rng.UniformDouble());
+    }
+  }
+  for (size_t e = 0; e < entities; ++e) {
+    graph::NodeId u = static_cast<graph::NodeId>(mentions + e);
+    graph::NodeId v = static_cast<graph::NodeId>(
+        mentions + rng.UniformInt(entities));
+    if (u != v && removable[u] && removable[v]) {
+      g.AddEdge(u, v, rng.UniformDouble() * 0.4);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::ConstrainedDenseSubgraph(g, removable, groups));
+  }
+}
+BENCHMARK(BM_DenseSubgraph)->Arg(10)->Arg(25)->Arg(50);
+
+void BM_AidaDocument(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  core::MilneWittenRelatedness mw(fixture.world.knowledge_base.get());
+  core::Aida aida(fixture.models.get(), &mw, core::AidaOptions());
+  const corpus::Document& doc = fixture.docs.front();
+  core::DisambiguationProblem problem;
+  problem.tokens = &doc.tokens;
+  for (const corpus::GoldMention& gm : doc.mentions) {
+    core::ProblemMention pm;
+    pm.surface = gm.surface;
+    pm.begin_token = gm.begin_token;
+    pm.end_token = gm.end_token;
+    problem.mentions.push_back(std::move(pm));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aida.Disambiguate(problem));
+  }
+}
+BENCHMARK(BM_AidaDocument);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+#ifndef AIDA_BENCH_EE_COMMON_H_
+#define AIDA_BENCH_EE_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/aida.h"
+#include "ee/confidence.h"
+#include "ee/ee_discovery.h"
+#include "eval/metrics.h"
+#include "kore/kore_relatedness.h"
+#include "synth/corpus_generator.h"
+#include "synth/world_generator.h"
+
+namespace aida::bench {
+
+/// Shared setup for the chapter-5 experiments: the GigaWord-EE-like
+/// stream, the train/test day split, and the baseline systems.
+struct EeExperiment {
+  synth::World world;
+  corpus::Corpus stream;
+  std::unique_ptr<core::CandidateModelStore> models;
+  std::unique_ptr<core::MilneWittenRelatedness> mw;
+  std::unique_ptr<kore::KoreRelatedness> kore;
+  std::unique_ptr<core::Aida> aida_sim;   // keyphrase similarity only
+  std::unique_ptr<core::Aida> aida_coh;   // full AIDA with MW coherence
+  std::unique_ptr<core::Aida> aida_kore;  // full AIDA with KORE coherence
+
+  /// Documents of the stream whose day falls in [first, last] and that
+  /// contain at least `min_mentions` mentions.
+  std::vector<const corpus::Document*> Slice(int64_t first, int64_t last,
+                                             size_t min_mentions = 1) const {
+    std::vector<const corpus::Document*> docs;
+    for (const corpus::Document& doc : stream) {
+      if (doc.day < first || doc.day > last) continue;
+      if (doc.mentions.size() < min_mentions) continue;
+      docs.push_back(&doc);
+    }
+    return docs;
+  }
+
+  static EeExperiment Make() {
+    EeExperiment exp;
+    synth::CorpusPreset preset = synth::GigawordEePreset();
+    exp.world = synth::WorldGenerator(preset.world).Generate();
+    exp.stream =
+        synth::CorpusGenerator(&exp.world, preset.corpus).Generate();
+    exp.models = std::make_unique<core::CandidateModelStore>(
+        exp.world.knowledge_base.get());
+    exp.mw = std::make_unique<core::MilneWittenRelatedness>(
+        exp.world.knowledge_base.get());
+    exp.kore = std::make_unique<kore::KoreRelatedness>();
+
+    core::AidaOptions sim_options;
+    sim_options.use_coherence = false;
+    exp.aida_sim = std::make_unique<core::Aida>(exp.models.get(),
+                                                exp.kore.get(), sim_options);
+    exp.aida_coh = std::make_unique<core::Aida>(
+        exp.models.get(), exp.mw.get(), core::AidaOptions());
+    exp.aida_kore = std::make_unique<core::Aida>(
+        exp.models.get(), exp.kore.get(), core::AidaOptions());
+    return exp;
+  }
+};
+
+/// Evaluates threshold-based EE labeling (the baselines of Table 5.3):
+/// run `system`, compute per-mention confidences, mark low-confidence
+/// mentions as EE.
+inline void EvaluateThresholdBaseline(
+    const core::NedSystem& system,
+    const std::vector<const corpus::Document*>& docs, double threshold,
+    bool use_conf, const core::CandidateModelStore* models,
+    eval::NedEvaluator& evaluator) {
+  std::unique_ptr<ee::ConfidenceEstimator> estimator;
+  if (use_conf) {
+    ee::ConfidenceOptions conf_options;
+    conf_options.rounds = 12;
+    estimator = std::make_unique<ee::ConfidenceEstimator>(models, &system,
+                                                          conf_options);
+  }
+  for (const corpus::Document* doc : docs) {
+    core::DisambiguationProblem problem = ToProblem(*doc);
+    core::DisambiguationResult result = system.Disambiguate(problem);
+    std::vector<double> confidences =
+        use_conf ? estimator->Conf(problem, result)
+                 : ee::ConfidenceEstimator::NormalizedScores(result);
+    evaluator.AddDocument(
+        *doc, ee::ApplyEeThreshold(result, confidences, threshold));
+  }
+}
+
+/// Sweeps thresholds on `train` docs and returns the one maximizing EE F1.
+inline double TuneThreshold(const core::NedSystem& system,
+                            const std::vector<const corpus::Document*>& train,
+                            bool use_conf,
+                            const core::CandidateModelStore* models) {
+  double best_threshold = 0.1;
+  double best_f1 = -1.0;
+  for (double threshold :
+       {0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6}) {
+    eval::NedEvaluator evaluator;
+    EvaluateThresholdBaseline(system, train, threshold, use_conf, models,
+                              evaluator);
+    if (evaluator.EeF1() > best_f1) {
+      best_f1 = evaluator.EeF1();
+      best_threshold = threshold;
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace aida::bench
+
+#endif  // AIDA_BENCH_EE_COMMON_H_

@@ -1,0 +1,166 @@
+// Emerging-entity discovery on a miniature news stream: the paper's
+// running example. "Prism" and "Snowden" exist in the knowledge base only
+// as a band and a small town; a burst of news articles about a
+// surveillance program and a whistleblower should surface TWO emerging
+// entities rather than being forced onto the wrong in-KB candidates.
+
+#include <cstdio>
+
+#include "core/aida.h"
+#include "ee/ee_discovery.h"
+#include "kb/kb_builder.h"
+#include "kore/kore_relatedness.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+using namespace aida;
+
+namespace {
+
+// Builds a document from raw text, treating the listed surface names as
+// the (gold-recognized) mentions.
+corpus::Document MakeDoc(const std::string& text,
+                         const std::vector<std::string>& mention_names,
+                         int64_t day) {
+  corpus::Document doc;
+  text::Tokenizer tokenizer;
+  for (const text::Token& token : tokenizer.Tokenize(text)) {
+    doc.tokens.push_back(token.text);
+  }
+  doc.day = day;
+  for (size_t i = 0; i < doc.tokens.size(); ++i) {
+    for (const std::string& name : mention_names) {
+      std::vector<std::string> parts = util::Split(name, ' ');
+      if (i + parts.size() > doc.tokens.size()) continue;
+      bool match = true;
+      for (size_t k = 0; k < parts.size(); ++k) {
+        if (doc.tokens[i + k] != parts[k]) match = false;
+      }
+      if (match) {
+        corpus::GoldMention m;
+        m.surface = name;
+        m.begin_token = i;
+        m.end_token = i + parts.size();
+        doc.mentions.push_back(m);
+      }
+    }
+  }
+  return doc;
+}
+
+}  // namespace
+
+int main() {
+  // ---- Knowledge base: the OLD senses of the ambiguous names ----------------
+  kb::KbBuilder builder;
+  kb::EntityId prism_band = builder.AddEntity("Prism_(band)");
+  kb::EntityId snowden_town = builder.AddEntity("Snowden_WA");
+  kb::EntityId washington_state = builder.AddEntity("Washington_(state)");
+  kb::EntityId us_government = builder.AddEntity("US_Government");
+
+  builder.AddName("Prism", prism_band, 40);
+  builder.AddName("Snowden", snowden_town, 30);
+  builder.AddName("Washington", washington_state, 60);
+  builder.AddName("Washington", us_government, 40);
+
+  builder.AddKeyphrase(prism_band, "canadian rock band");
+  builder.AddKeyphrase(prism_band, "studio album");
+  builder.AddKeyphrase(snowden_town, "small town");
+  builder.AddKeyphrase(snowden_town, "yakima county");
+  builder.AddKeyphrase(snowden_town, "washington state");
+  builder.AddKeyphrase(washington_state, "pacific northwest");
+  builder.AddKeyphrase(washington_state, "evergreen state");
+  builder.AddKeyphrase(us_government, "federal agencies");
+  builder.AddKeyphrase(us_government, "intelligence services");
+  builder.AddLink(snowden_town, washington_state);
+  builder.AddLink(washington_state, snowden_town);
+  std::unique_ptr<kb::KnowledgeBase> kb = std::move(builder).Build();
+
+  // ---- A few days of news about the NEW entities ----------------------------
+  corpus::Corpus stream;
+  stream.push_back(MakeDoc(
+      "Reports describe Prism as a secret surveillance program collecting "
+      "internet communications . The surveillance program Prism was run by "
+      "intelligence services .",
+      {"Prism"}, 1));
+  stream.push_back(MakeDoc(
+      "The whistleblower Snowden leaked classified documents about the "
+      "surveillance program . Snowden was a contractor for intelligence "
+      "services before becoming a whistleblower .",
+      {"Snowden", "Prism"}, 1));
+  stream.push_back(MakeDoc(
+      "Snowden the whistleblower revealed that Prism , a surveillance "
+      "program , collected internet communications . The leaked classified "
+      "documents shocked the public .",
+      {"Snowden", "Prism"}, 2));
+
+  // ---- The test sentence -----------------------------------------------------
+  corpus::Document test = MakeDoc(
+      "Washington 's program Prism was revealed by the whistleblower "
+      "Snowden , according to leaked classified documents .",
+      {"Washington", "Prism", "Snowden"}, 2);
+
+  core::CandidateModelStore models(kb.get());
+  kore::KoreRelatedness kore;
+  core::Aida aida(&models, &kore, core::AidaOptions());
+
+  // Without EE modeling: the mentions are forced onto the wrong in-KB
+  // senses.
+  {
+    core::DisambiguationProblem problem;
+    problem.tokens = &test.tokens;
+    for (const corpus::GoldMention& gm : test.mentions) {
+      core::ProblemMention pm;
+      pm.surface = gm.surface;
+      pm.begin_token = gm.begin_token;
+      pm.end_token = gm.end_token;
+      problem.mentions.push_back(std::move(pm));
+    }
+    core::DisambiguationResult result = aida.Disambiguate(problem);
+    std::printf("plain NED (no emerging-entity model):\n");
+    for (size_t m = 0; m < test.mentions.size(); ++m) {
+      std::printf("  %-12s -> %s\n", test.mentions[m].surface.c_str(),
+                  result.mentions[m].entity == kb::kNoEntity
+                      ? "<no candidate>"
+                      : kb->entities()
+                            .Get(result.mentions[m].entity)
+                            .canonical_name.c_str());
+    }
+  }
+
+  // With NED-EE: placeholders built from the news chunk win for the new
+  // senses, while "Washington" stays with an in-KB entity.
+  ee::EeDiscoveryOptions options;
+  options.harvest_days = 3;
+  options.gamma = 0.4;
+  options.harvest_existing = false;
+  ee::EmergingEntityDiscoverer discoverer(&models, &aida, &stream, options);
+  core::DisambiguationResult result = discoverer.Discover(test);
+  std::printf("\nNED-EE (placeholder candidates from the news stream):\n");
+  for (size_t m = 0; m < test.mentions.size(); ++m) {
+    std::printf("  %-12s -> %s\n", test.mentions[m].surface.c_str(),
+                result.mentions[m].chose_placeholder
+                    ? "<EMERGING ENTITY>"
+                    : (result.mentions[m].entity == kb::kNoEntity
+                           ? "<no candidate>"
+                           : kb->entities()
+                                 .Get(result.mentions[m].entity)
+                                 .canonical_name.c_str()));
+  }
+
+  // Show the strongest harvested phrases of the "Prism" placeholder.
+  auto model = discoverer.PlaceholderModel("Prism", 2);
+  std::printf("\nstrongest harvested keyphrases for the 'Prism' placeholder:\n");
+  size_t shown = 0;
+  for (const core::CandidatePhrase& phrase : model->phrases) {
+    if (shown++ >= 5) break;
+    std::printf("  (%.3f)", phrase.phrase_weight);
+    for (kb::WordId w : phrase.words) {
+      // Extension words live past the KB vocabulary; the discoverer's
+      // vocabulary resolves both.
+      std::printf(" %s", discoverer.vocab().Text(w).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Entity relatedness with KORE vs Milne-Witten (chapter 4): the paper's
+// "Cash performed Jackson" scenario. The song has NO Wikipedia-style
+// links (a long-tail entity), so the link-based MW measure is blind to
+// its tight connection with the singer — while the keyphrase-overlap
+// measure sees it.
+
+#include <cstdio>
+
+#include "core/candidates.h"
+#include "core/relatedness.h"
+#include "kb/kb_builder.h"
+#include "kore/keyterm_cosine.h"
+#include "kore/kore_relatedness.h"
+
+using namespace aida;
+
+int main() {
+  kb::KbBuilder builder;
+  kb::EntityId cash = builder.AddEntity("Johnny_Cash");
+  kb::EntityId jackson_song = builder.AddEntity("Jackson_(song)");
+  kb::EntityId jackson_city = builder.AddEntity("Jackson_Mississippi");
+  kb::EntityId nashville = builder.AddEntity("Nashville");
+
+  builder.AddName("Cash", cash, 50);
+  builder.AddName("Jackson", jackson_song, 5);
+  builder.AddName("Jackson", jackson_city, 60);
+  builder.AddName("Nashville", nashville, 40);
+
+  builder.AddKeyphrase(cash, "country singer");
+  builder.AddKeyphrase(cash, "man in black");
+  builder.AddKeyphrase(cash, "june carter duet");
+  builder.AddKeyphrase(cash, "folsom prison");
+  builder.AddKeyphrase(cash, "nashville sound");
+
+  // The long-tail song: keyphrases from a music portal, NO links.
+  builder.AddKeyphrase(jackson_song, "june carter duet");
+  builder.AddKeyphrase(jackson_song, "country singer classic");
+  builder.AddKeyphrase(jackson_song, "grammy winning duet");
+
+  builder.AddKeyphrase(jackson_city, "state capital");
+  builder.AddKeyphrase(jackson_city, "mississippi river");
+  builder.AddKeyphrase(nashville, "country music capital");
+  builder.AddKeyphrase(nashville, "tennessee city");
+
+  // Links exist only among the popular entities; the song has none.
+  builder.AddLink(cash, nashville);
+  builder.AddLink(nashville, cash);
+  builder.AddLink(jackson_city, nashville);
+  builder.AddLink(jackson_city, cash);
+  builder.AddLink(nashville, jackson_city);
+
+  std::unique_ptr<kb::KnowledgeBase> kb = std::move(builder).Build();
+  core::CandidateModelStore models(kb.get());
+
+  core::MilneWittenRelatedness mw(kb.get());
+  kore::KoreRelatedness kore;
+  kore::KeytermCosineRelatedness kwcs(
+      kore::KeytermCosineRelatedness::Mode::kKeyword);
+  kore::KeytermCosineRelatedness kpcs(
+      kore::KeytermCosineRelatedness::Mode::kKeyphrase);
+
+  auto candidate = [&](kb::EntityId e) {
+    core::Candidate c;
+    c.entity = e;
+    c.model = models.ModelFor(e);
+    return c;
+  };
+  auto report = [&](const char* label, kb::EntityId a, kb::EntityId b) {
+    std::printf("%-36s  MW %.4f  KORE %.4f  KWCS %.4f  KPCS %.4f\n", label,
+                mw.Relatedness(candidate(a), candidate(b)),
+                kore.Relatedness(candidate(a), candidate(b)),
+                kwcs.Relatedness(candidate(a), candidate(b)),
+                kpcs.Relatedness(candidate(a), candidate(b)));
+  };
+
+  std::printf("pair%34s  link-based   keyphrase-based measures\n", "");
+  report("Johnny_Cash ~ Jackson_(song)", cash, jackson_song);
+  report("Johnny_Cash ~ Jackson_Mississippi", cash, jackson_city);
+  report("Johnny_Cash ~ Nashville", cash, nashville);
+
+  std::printf(
+      "\nThe song is link-poor, so MW scores it zero against the singer —\n"
+      "the keyphrase measures capture the connection (shared 'june carter\n"
+      "duet' and 'country singer' phrases), which is what lets KORE-based\n"
+      "disambiguation resolve 'The audience got wild when Cash performed\n"
+      "Jackson.' to the song instead of the more popular city.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+#include "apps/entity_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/stopwords.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace aida::apps {
+
+EntitySearch::EntitySearch(const kb::KnowledgeBase* kb) : kb_(kb) {
+  AIDA_CHECK(kb_ != nullptr);
+}
+
+void EntitySearch::AddPosting(PostingList& list, uint32_t doc) {
+  if (!list.empty() && list.back().doc == doc) {
+    ++list.back().count;
+  } else {
+    list.push_back({doc, 1});
+  }
+}
+
+size_t EntitySearch::IndexDocument(const corpus::Document& doc,
+                                   const std::vector<kb::EntityId>& entities) {
+  AIDA_CHECK(entities.size() == doc.mentions.size());
+  uint32_t doc_id = static_cast<uint32_t>(days_.size());
+  days_.push_back(doc.day);
+
+  const text::StopwordList& stopwords = text::DefaultStopwords();
+  for (const std::string& token : doc.tokens) {
+    if (token.size() <= 1 || stopwords.Contains(token)) continue;
+    AddPosting(words_[util::ToLower(token)], doc_id);
+  }
+  for (kb::EntityId e : entities) {
+    if (e == kb::kNoEntity) continue;
+    AddPosting(entities_[e], doc_id);
+    for (kb::TypeId t : kb_->entities().Get(e).types) {
+      for (kb::TypeId ancestor : kb_->taxonomy().AncestorsInclusive(t)) {
+        AddPosting(categories_[ancestor], doc_id);
+      }
+    }
+  }
+  return doc_id;
+}
+
+void EntitySearch::Accumulate(const PostingList& list, double idf_boost,
+                              size_t total_docs,
+                              std::unordered_map<uint32_t, double>& scores) {
+  if (list.empty()) return;
+  double idf = std::log2(static_cast<double>(total_docs + 1) /
+                         static_cast<double>(list.size()));
+  for (const Posting& p : list) {
+    scores[p.doc] +=
+        idf_boost * idf * (1.0 + std::log2(1.0 + p.count));
+  }
+}
+
+std::vector<EntitySearch::Suggestion> EntitySearch::Suggest(
+    std::string_view prefix, size_t top_k) const {
+  if (!name_index_built_) {
+    for (const std::string& name : kb_->dictionary().AllNames()) {
+      auto candidates = kb_->dictionary().Lookup(name);
+      if (candidates.empty()) continue;
+      Suggestion suggestion;
+      suggestion.name = name;
+      suggestion.entity = candidates.front().entity;
+      suggestion.anchor_count = candidates.front().anchor_count;
+      name_index_.emplace_back(util::ToLower(name), std::move(suggestion));
+    }
+    std::sort(name_index_.begin(), name_index_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    name_index_built_ = true;
+  }
+
+  std::string key = util::ToLower(prefix);
+  auto begin = std::lower_bound(
+      name_index_.begin(), name_index_.end(), key,
+      [](const auto& entry, const std::string& k) { return entry.first < k; });
+  std::vector<Suggestion> matches;
+  for (auto it = begin; it != name_index_.end(); ++it) {
+    if (it->first.compare(0, key.size(), key) != 0) break;
+    matches.push_back(it->second);
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const Suggestion& a, const Suggestion& b) {
+              if (a.anchor_count != b.anchor_count) {
+                return a.anchor_count > b.anchor_count;
+              }
+              return a.name < b.name;
+            });
+  if (matches.size() > top_k) matches.resize(top_k);
+  return matches;
+}
+
+std::vector<EntitySearch::Hit> EntitySearch::Search(const Query& query,
+                                                    size_t top_k) const {
+  std::unordered_map<uint32_t, double> scores;
+  const size_t n = days_.size();
+  for (const std::string& term : query.terms) {
+    auto it = words_.find(util::ToLower(term));
+    if (it != words_.end()) Accumulate(it->second, 1.0, n, scores);
+  }
+  for (kb::EntityId e : query.entities) {
+    auto it = entities_.find(e);
+    // Entity matches are the core signal; boost them over plain words.
+    if (it != entities_.end()) Accumulate(it->second, 2.0, n, scores);
+  }
+  for (kb::TypeId t : query.categories) {
+    auto it = categories_.find(t);
+    if (it != categories_.end()) Accumulate(it->second, 1.5, n, scores);
+  }
+
+  std::vector<Hit> hits;
+  hits.reserve(scores.size());
+  for (const auto& [doc, score] : scores) {
+    if (days_[doc] < query.first_day || days_[doc] > query.last_day) continue;
+    hits.push_back({doc, score});
+  }
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_index < b.doc_index;
+  });
+  if (hits.size() > top_k) hits.resize(top_k);
+  return hits;
+}
+
+}  // namespace aida::apps

@@ -1,0 +1,92 @@
+#ifndef AIDA_APPS_ENTITY_SEARCH_H_
+#define AIDA_APPS_ENTITY_SEARCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/document.h"
+#include "kb/knowledge_base.h"
+
+namespace aida::apps {
+
+/// STICS-style semantic search over an entity-annotated document stream
+/// (Section 6.1: "searching for strings, things, and cats"). Documents are
+/// indexed on three levels:
+///
+///  * strings — plain words;
+///  * things  — canonical entities produced by NED, so a query for one
+///    entity finds documents regardless of which surface name they used;
+///  * cats    — taxonomy types, expanded through the type hierarchy, so a
+///    query for "person" matches documents mentioning any person entity.
+///
+/// Queries combine all three plus a publication-day range.
+class EntitySearch {
+ public:
+  struct Query {
+    std::vector<std::string> terms;
+    std::vector<kb::EntityId> entities;
+    std::vector<kb::TypeId> categories;
+    int64_t first_day = INT64_MIN;
+    int64_t last_day = INT64_MAX;
+  };
+
+  struct Hit {
+    size_t doc_index = 0;
+    double score = 0.0;
+  };
+
+  /// `kb` is not owned and must outlive the index.
+  explicit EntitySearch(const kb::KnowledgeBase* kb);
+
+  /// Indexes a document under its (disambiguated) entity annotations;
+  /// `entities[i]` is the entity of mention i (kb::kNoEntity entries are
+  /// skipped). Returns the document's index.
+  size_t IndexDocument(const corpus::Document& doc,
+                       const std::vector<kb::EntityId>& entities);
+
+  /// Top-k documents matching the query, scored by a tf-idf style sum over
+  /// term/entity/category matches.
+  std::vector<Hit> Search(const Query& query, size_t top_k) const;
+
+  /// Entity-name auto-completion (the STICS query suggestion box): all
+  /// dictionary names starting with `prefix` (case-insensitive), each
+  /// with its most popular entity, ranked by anchor count. The name index
+  /// is built lazily on first use.
+  struct Suggestion {
+    std::string name;
+    kb::EntityId entity = kb::kNoEntity;
+    uint64_t anchor_count = 0;
+  };
+  std::vector<Suggestion> Suggest(std::string_view prefix,
+                                  size_t top_k) const;
+
+  size_t document_count() const { return days_.size(); }
+
+ private:
+  struct Posting {
+    uint32_t doc = 0;
+    uint32_t count = 0;
+  };
+  using PostingList = std::vector<Posting>;
+
+  void AddPosting(PostingList& list, uint32_t doc);
+  static void Accumulate(const PostingList& list, double idf_boost,
+                         size_t total_docs,
+                         std::unordered_map<uint32_t, double>& scores);
+
+  const kb::KnowledgeBase* kb_;
+  std::unordered_map<std::string, PostingList> words_;
+  std::unordered_map<kb::EntityId, PostingList> entities_;
+  std::unordered_map<kb::TypeId, PostingList> categories_;
+  std::vector<int64_t> days_;
+  // Lazily built, sorted (lowercased name, suggestion) index.
+  mutable std::vector<std::pair<std::string, Suggestion>> name_index_;
+  mutable bool name_index_built_ = false;
+};
+
+}  // namespace aida::apps
+
+#endif  // AIDA_APPS_ENTITY_SEARCH_H_

@@ -1,0 +1,122 @@
+#include "apps/news_analytics.h"
+
+#include <algorithm>
+
+namespace aida::apps {
+
+namespace {
+
+uint64_t PairKey(kb::EntityId a, kb::EntityId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+void NewsAnalytics::AddDocument(int64_t day,
+                                const std::vector<kb::EntityId>& entities) {
+  // Distinct entities only.
+  std::vector<kb::EntityId> distinct;
+  for (kb::EntityId e : entities) {
+    if (e == kb::kNoEntity) continue;
+    if (std::find(distinct.begin(), distinct.end(), e) == distinct.end()) {
+      distinct.push_back(e);
+    }
+  }
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    ++daily_[distinct[i]][day];
+    for (size_t j = i + 1; j < distinct.size(); ++j) {
+      uint64_t key = PairKey(distinct[i], distinct[j]);
+      ++cooccurrence_[key];
+      ++daily_pairs_[key][day];
+    }
+  }
+  if (!any_documents_ || day < first_seen_day_) first_seen_day_ = day;
+  any_documents_ = true;
+  ++total_documents_;
+}
+
+std::vector<uint32_t> NewsAnalytics::FrequencyTimeline(
+    kb::EntityId entity, int64_t first_day, int64_t last_day) const {
+  std::vector<uint32_t> timeline;
+  if (last_day < first_day) return timeline;
+  timeline.assign(static_cast<size_t>(last_day - first_day + 1), 0);
+  auto it = daily_.find(entity);
+  if (it == daily_.end()) return timeline;
+  for (const auto& [day, count] : it->second) {
+    if (day < first_day || day > last_day) continue;
+    timeline[static_cast<size_t>(day - first_day)] = count;
+  }
+  return timeline;
+}
+
+std::vector<std::pair<kb::EntityId, uint32_t>> NewsAnalytics::TopCooccurring(
+    kb::EntityId entity, size_t top_k) const {
+  std::vector<std::pair<kb::EntityId, uint32_t>> pairs;
+  for (const auto& [key, count] : cooccurrence_) {
+    kb::EntityId a = static_cast<kb::EntityId>(key >> 32);
+    kb::EntityId b = static_cast<kb::EntityId>(key & 0xFFFFFFFFu);
+    if (a == entity) {
+      pairs.emplace_back(b, count);
+    } else if (b == entity) {
+      pairs.emplace_back(a, count);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const auto& x, const auto& y) {
+    if (x.second != y.second) return x.second > y.second;
+    return x.first < y.first;
+  });
+  if (pairs.size() > top_k) pairs.resize(top_k);
+  return pairs;
+}
+
+std::vector<uint32_t> NewsAnalytics::CooccurrenceTimeline(
+    kb::EntityId a, kb::EntityId b, int64_t first_day,
+    int64_t last_day) const {
+  std::vector<uint32_t> timeline;
+  if (last_day < first_day) return timeline;
+  timeline.assign(static_cast<size_t>(last_day - first_day + 1), 0);
+  auto it = daily_pairs_.find(PairKey(a, b));
+  if (it == daily_pairs_.end()) return timeline;
+  for (const auto& [day, count] : it->second) {
+    if (day < first_day || day > last_day) continue;
+    timeline[static_cast<size_t>(day - first_day)] = count;
+  }
+  return timeline;
+}
+
+std::vector<std::pair<kb::EntityId, double>> NewsAnalytics::TrendingEntities(
+    int64_t day, int64_t window, size_t top_k, uint32_t min_count) const {
+  std::vector<std::pair<kb::EntityId, double>> trending;
+  if (!any_documents_ || window <= 0) return trending;
+  for (const auto& [entity, counts] : daily_) {
+    uint32_t current = 0;
+    uint32_t baseline = 0;
+    for (const auto& [d, count] : counts) {
+      if (d > day) continue;
+      if (d > day - window) {
+        current += count;
+      } else {
+        baseline += count;
+      }
+    }
+    if (current < min_count) continue;
+    int64_t baseline_days =
+        std::max<int64_t>(1, day - window + 1 - first_seen_day_);
+    double baseline_rate =
+        static_cast<double>(baseline) / static_cast<double>(baseline_days);
+    double current_rate =
+        static_cast<double>(current) / static_cast<double>(window);
+    trending.emplace_back(entity,
+                          (current_rate + 1.0) / (baseline_rate + 1.0));
+  }
+  std::sort(trending.begin(), trending.end(),
+            [](const auto& x, const auto& y) {
+              if (x.second != y.second) return x.second > y.second;
+              return x.first < y.first;
+            });
+  if (trending.size() > top_k) trending.resize(top_k);
+  return trending;
+}
+
+}  // namespace aida::apps

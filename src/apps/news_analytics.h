@@ -1,0 +1,63 @@
+#ifndef AIDA_APPS_NEWS_ANALYTICS_H_
+#define AIDA_APPS_NEWS_ANALYTICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/entity.h"
+
+namespace aida::apps {
+
+/// Entity-level analytics over a disambiguated news stream (Section 6.2):
+/// per-day entity frequencies, co-occurrence statistics, and trending
+/// detection (entities whose current frequency spikes over their baseline).
+class NewsAnalytics {
+ public:
+  /// Records one document: its publication day and the distinct entities
+  /// it mentions (already disambiguated).
+  void AddDocument(int64_t day, const std::vector<kb::EntityId>& entities);
+
+  /// Documents mentioning `entity` per day over [first_day, last_day].
+  std::vector<uint32_t> FrequencyTimeline(kb::EntityId entity,
+                                          int64_t first_day,
+                                          int64_t last_day) const;
+
+  /// Entities most frequently co-mentioned with `entity`.
+  std::vector<std::pair<kb::EntityId, uint32_t>> TopCooccurring(
+      kb::EntityId entity, size_t top_k) const;
+
+  /// Documents co-mentioning `a` and `b` per day over
+  /// [first_day, last_day] — the relationship-over-time view of the
+  /// news-analytics use cases (Section 6.2.3).
+  std::vector<uint32_t> CooccurrenceTimeline(kb::EntityId a, kb::EntityId b,
+                                             int64_t first_day,
+                                             int64_t last_day) const;
+
+  /// Entities whose frequency in [day - window + 1, day] most exceeds
+  /// their average frequency before that window (ratio with add-one
+  /// smoothing), with at least `min_count` current mentions.
+  std::vector<std::pair<kb::EntityId, double>> TrendingEntities(
+      int64_t day, int64_t window, size_t top_k,
+      uint32_t min_count = 3) const;
+
+  size_t document_count() const { return total_documents_; }
+
+ private:
+  // entity -> day -> document count.
+  std::unordered_map<kb::EntityId, std::unordered_map<int64_t, uint32_t>>
+      daily_;
+  // unordered entity pair key -> co-mention count.
+  std::unordered_map<uint64_t, uint32_t> cooccurrence_;
+  // unordered entity pair key -> day -> co-mention count.
+  std::unordered_map<uint64_t, std::unordered_map<int64_t, uint32_t>>
+      daily_pairs_;
+  int64_t first_seen_day_ = 0;
+  bool any_documents_ = false;
+  size_t total_documents_ = 0;
+};
+
+}  // namespace aida::apps
+
+#endif  // AIDA_APPS_NEWS_ANALYTICS_H_

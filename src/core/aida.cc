@@ -1,0 +1,201 @@
+#include "core/aida.h"
+
+#include <algorithm>
+
+#include "core/robustness.h"
+#include "util/status.h"
+
+namespace aida::core {
+
+Aida::Aida(const CandidateModelStore* models,
+           const RelatednessMeasure* relatedness, AidaOptions options)
+    : models_(models),
+      relatedness_(relatedness),
+      options_(options),
+      similarity_(options.word_weight) {
+  AIDA_CHECK(models_ != nullptr);
+  AIDA_CHECK(!options_.use_coherence || relatedness_ != nullptr);
+}
+
+std::string Aida::name() const {
+  std::string n = "aida";
+  if (options_.use_prior) {
+    n += options_.use_prior_test ? "+r-prior" : "+prior";
+  }
+  n += "+sim-k";
+  if (options_.use_coherence) {
+    n += options_.use_coherence_test ? "+r-coh" : "+coh";
+    if (relatedness_ != nullptr) n += "(" + relatedness_->name() + ")";
+  }
+  return n;
+}
+
+DisambiguationResult Aida::Disambiguate(
+    const DisambiguationProblem& problem) const {
+  AIDA_CHECK(problem.tokens != nullptr);
+  const kb::KnowledgeBase& kb = models_->knowledge_base();
+
+  ExtendedVocabulary plain_vocab(&kb.keyphrases());
+  const ExtendedVocabulary& vocab =
+      problem.vocab != nullptr ? *problem.vocab : plain_vocab;
+  DocumentContext context(*problem.tokens, vocab);
+
+  const size_t num_mentions = problem.mentions.size();
+  DisambiguationResult result;
+  result.mentions.resize(num_mentions);
+
+  // ---- Candidate resolution and local features ------------------------------
+  std::vector<std::vector<Candidate>> owned(num_mentions);
+  std::vector<const std::vector<Candidate>*> candidates(num_mentions);
+  std::vector<std::vector<double>> priors(num_mentions);
+  std::vector<std::vector<double>> sims(num_mentions);
+  std::vector<std::vector<double>> combined(num_mentions);
+  std::vector<bool> fixed(num_mentions, false);
+  std::vector<size_t> fixed_choice(num_mentions, 0);
+
+  for (size_t m = 0; m < num_mentions; ++m) {
+    const ProblemMention& mention = problem.mentions[m];
+    if (mention.candidates_resolved) {
+      candidates[m] = &mention.candidates;
+    } else {
+      owned[m] = LookupCandidates(*models_, mention.surface);
+      candidates[m] = &owned[m];
+    }
+    const std::vector<Candidate>& cands = *candidates[m];
+    priors[m].reserve(cands.size());
+    sims[m].reserve(cands.size());
+    for (const Candidate& cand : cands) {
+      AIDA_CHECK(cand.model != nullptr);
+      priors[m].push_back(cand.prior);
+      sims[m].push_back(cand.weight_scale *
+                        similarity_.Score(context, mention.begin_token,
+                                          mention.end_token, *cand.model));
+    }
+    if (cands.empty()) continue;
+
+    std::vector<double> sim_dist = robustness::ToDistribution(sims[m]);
+    bool prior_ok =
+        options_.use_prior &&
+        (!options_.use_prior_test ||
+         robustness::PriorTestPasses(priors[m], options_.prior_threshold));
+    combined[m].resize(cands.size());
+    for (size_t c = 0; c < cands.size(); ++c) {
+      combined[m][c] = prior_ok ? options_.prior_weight * priors[m][c] +
+                                      options_.sim_weight * sim_dist[c]
+                                : sim_dist[c];
+    }
+
+    // Coherence robustness test: when prior and similarity agree, fix the
+    // mention locally and keep it out of the joint optimization. A mention
+    // without any similarity signal is never fixed — its uniform sim
+    // distribution "agrees" with everything, but carries no evidence.
+    if (options_.use_coherence && options_.use_coherence_test && prior_ok) {
+      double sim_mass = 0.0;
+      for (double s : sims[m]) sim_mass += s;
+      std::vector<double> prior_dist = robustness::ToDistribution(priors[m]);
+      double l1 = robustness::PriorSimilarityL1(prior_dist, sim_dist);
+      // Fix when similarity evidence agrees with the dominant prior, or
+      // when there is no similarity evidence to contradict it.
+      if (sim_mass == 0.0 || l1 <= options_.coherence_threshold) {
+        fixed[m] = true;
+        fixed_choice[m] = robustness::ArgMax(combined[m]);
+      }
+    }
+  }
+
+  // ---- Local-only path -------------------------------------------------------
+  auto fill_result = [&](size_t m, int32_t chosen,
+                         const std::vector<double>& scores) {
+    MentionResult& out = result.mentions[m];
+    const std::vector<Candidate>& cands = *candidates[m];
+    out.candidate_entities.reserve(cands.size());
+    out.candidate_scores = scores;
+    for (const Candidate& cand : cands) {
+      out.candidate_entities.push_back(cand.entity);
+      out.candidate_is_placeholder.push_back(cand.is_placeholder);
+    }
+    if (chosen >= 0) {
+      const Candidate& cand = cands[static_cast<size_t>(chosen)];
+      out.entity = cand.is_placeholder ? kb::kNoEntity : cand.entity;
+      out.chose_placeholder = cand.is_placeholder;
+      out.score = scores[static_cast<size_t>(chosen)];
+    }
+  };
+
+  if (!options_.use_coherence) {
+    for (size_t m = 0; m < num_mentions; ++m) {
+      if (candidates[m]->empty()) {
+        fill_result(m, -1, {});
+        continue;
+      }
+      fill_result(m, static_cast<int32_t>(robustness::ArgMax(combined[m])),
+                  combined[m]);
+    }
+    last_relatedness_computations_ = 0;
+    return result;
+  }
+
+  // ---- Graph construction ----------------------------------------------------
+  GraphBuildInput input;
+  input.me_scale = options_.me_scale;
+  input.ee_scale = options_.ee_scale;
+  input.mentions.resize(num_mentions);
+  std::vector<std::vector<Candidate>> graph_cands(num_mentions);
+  std::vector<std::vector<uint32_t>> original_index(num_mentions);
+  for (size_t m = 0; m < num_mentions; ++m) {
+    const std::vector<Candidate>& cands = *candidates[m];
+    if (fixed[m]) {
+      graph_cands[m].push_back(cands[fixed_choice[m]]);
+      original_index[m].push_back(static_cast<uint32_t>(fixed_choice[m]));
+      input.mentions[m].me_weights.push_back(combined[m][fixed_choice[m]]);
+    } else {
+      for (uint32_t c = 0; c < cands.size(); ++c) {
+        graph_cands[m].push_back(cands[c]);
+        original_index[m].push_back(c);
+        input.mentions[m].me_weights.push_back(combined[m][c]);
+      }
+    }
+    input.mentions[m].candidates = &graph_cands[m];
+  }
+
+  MentionEntityGraph meg = BuildMentionEntityGraph(input, *relatedness_);
+  last_relatedness_computations_ = meg.relatedness_computations;
+  GraphSolution sol = SolveMentionEntityGraph(meg, options_.graph);
+
+  // ---- Map back and score all original candidates -----------------------------
+  std::vector<const Candidate*> chosen(num_mentions, nullptr);
+  std::vector<int32_t> chosen_original(num_mentions, -1);
+  for (size_t m = 0; m < num_mentions; ++m) {
+    if (sol.chosen_candidate[m] < 0) continue;
+    uint32_t gi = static_cast<uint32_t>(sol.chosen_candidate[m]);
+    chosen_original[m] = static_cast<int32_t>(original_index[m][gi]);
+    chosen[m] = &graph_cands[m][gi];
+  }
+
+  // Weighted-degree style candidate scores: local weight plus coherence to
+  // the entities chosen for the other mentions (used by the confidence
+  // machinery of Section 5.4).
+  for (size_t m = 0; m < num_mentions; ++m) {
+    const std::vector<Candidate>& cands = *candidates[m];
+    if (cands.empty()) {
+      fill_result(m, -1, {});
+      continue;
+    }
+    std::vector<double> scores(cands.size(), 0.0);
+    for (size_t c = 0; c < cands.size(); ++c) {
+      double coherence = 0.0;
+      for (size_t other = 0; other < num_mentions; ++other) {
+        if (other == m || chosen[other] == nullptr) continue;
+        coherence += cands[c].weight_scale * chosen[other]->weight_scale *
+                     relatedness_->Relatedness(cands[c], *chosen[other]);
+      }
+      scores[c] = options_.me_scale * combined[m][c] +
+                  options_.ee_scale * coherence /
+                      std::max<double>(1.0, static_cast<double>(num_mentions));
+    }
+    fill_result(m, chosen_original[m], scores);
+  }
+  return result;
+}
+
+}  // namespace aida::core

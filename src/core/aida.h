@@ -1,0 +1,79 @@
+#ifndef AIDA_CORE_AIDA_H_
+#define AIDA_CORE_AIDA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/context_similarity.h"
+#include "core/graph_disambiguator.h"
+#include "core/ned_system.h"
+#include "core/relatedness.h"
+
+namespace aida::core {
+
+/// Configuration of the AIDA disambiguator. The defaults are the values
+/// tuned in Section 3.6.1 (rho = 0.9, lambda = 0.9, prior/sim mix
+/// 0.566/0.434, gamma split 0.6/0.4, graph budget 5x mentions). Feature
+/// switches reproduce the ablation rows of Table 3.2:
+///
+///   sim-k               : use_prior=false, use_coherence=false
+///   prior sim-k         : use_prior=true, use_prior_test=false, no coherence
+///   r-prior sim-k       : use_prior=true, use_prior_test=true, no coherence
+///   r-prior sim-k coh   : + use_coherence=true, use_coherence_test=false
+///   r-prior sim-k r-coh : + use_coherence_test=true  (full AIDA)
+struct AidaOptions {
+  bool use_prior = true;
+  bool use_prior_test = true;
+  /// rho: minimum best-candidate prior for the prior to be trusted.
+  double prior_threshold = 0.9;
+  bool use_coherence = true;
+  bool use_coherence_test = true;
+  /// lambda: when the prior/similarity L1 distance does not exceed this,
+  /// the mention is fixed to its local best before the graph runs.
+  double coherence_threshold = 0.9;
+  /// Mixing weights inside mention-entity edges when the prior test passes.
+  double prior_weight = 0.566;
+  double sim_weight = 0.434;
+  /// Edge-mass split between mention-entity and entity-entity edges.
+  double me_scale = 0.5;
+  double ee_scale = 0.5;
+  ContextSimilarity::WordWeight word_weight =
+      ContextSimilarity::WordWeight::kNpmi;
+  GraphDisambiguatorOptions graph;
+};
+
+/// The AIDA joint disambiguator (chapter 3): popularity prior, keyphrase
+/// cover similarity, and graph coherence with robustness tests, solved by
+/// the greedy dense-subgraph algorithm.
+class Aida : public NedSystem {
+ public:
+  /// `models` and `relatedness` are not owned and must outlive the system.
+  Aida(const CandidateModelStore* models,
+       const RelatednessMeasure* relatedness, AidaOptions options);
+
+  DisambiguationResult Disambiguate(
+      const DisambiguationProblem& problem) const override;
+
+  std::string name() const override;
+
+  const AidaOptions& options() const { return options_; }
+
+  /// Relatedness computations performed by the most recent Disambiguate
+  /// call (for the efficiency experiments).
+  uint64_t last_relatedness_computations() const {
+    return last_relatedness_computations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const CandidateModelStore* models_;
+  const RelatednessMeasure* relatedness_;
+  AidaOptions options_;
+  ContextSimilarity similarity_;
+  mutable std::atomic<uint64_t> last_relatedness_computations_{0};
+};
+
+}  // namespace aida::core
+
+#endif  // AIDA_CORE_AIDA_H_

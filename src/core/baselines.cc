@@ -1,0 +1,329 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/context_similarity.h"
+#include "core/robustness.h"
+#include "util/status.h"
+
+namespace aida::core {
+
+namespace {
+
+// Resolves candidates for all mentions (dictionary lookup unless supplied).
+void ResolveCandidates(const CandidateModelStore& models,
+                       const DisambiguationProblem& problem,
+                       std::vector<std::vector<Candidate>>& owned,
+                       std::vector<const std::vector<Candidate>*>& out) {
+  const size_t n = problem.mentions.size();
+  owned.resize(n);
+  out.resize(n);
+  for (size_t m = 0; m < n; ++m) {
+    if (problem.mentions[m].candidates_resolved) {
+      out[m] = &problem.mentions[m].candidates;
+    } else {
+      owned[m] = LookupCandidates(models, problem.mentions[m].surface);
+      out[m] = &owned[m];
+    }
+  }
+}
+
+void FillMentionResult(const std::vector<Candidate>& cands, int32_t chosen,
+                       const std::vector<double>& scores,
+                       MentionResult& out) {
+  out.candidate_scores = scores;
+  for (const Candidate& cand : cands) {
+    out.candidate_entities.push_back(cand.entity);
+    out.candidate_is_placeholder.push_back(cand.is_placeholder);
+  }
+  if (chosen >= 0) {
+    const Candidate& cand = cands[static_cast<size_t>(chosen)];
+    out.entity = cand.is_placeholder ? kb::kNoEntity : cand.entity;
+    out.chose_placeholder = cand.is_placeholder;
+    out.score = scores[static_cast<size_t>(chosen)];
+  }
+}
+
+// Token-cosine local similarity used by the Kulkarni baseline: dot product
+// of the document's word multiset with the entity's IDF-weighted keywords,
+// normalized by the entity's keyword mass.
+double TokenCosine(const DocumentContext& context, size_t mention_begin,
+                   size_t mention_end, const CandidateModel& model) {
+  double dot = 0.0;
+  double entity_mass = 1e-9;
+  std::unordered_set<kb::WordId> seen;
+  for (const CandidatePhrase& phrase : model.phrases) {
+    for (size_t i = 0; i < phrase.words.size(); ++i) {
+      if (!seen.insert(phrase.words[i]).second) continue;
+      double idf = phrase.word_idf[i];
+      entity_mass += idf * idf;
+      size_t occurrences = 0;
+      for (size_t pos : context.Positions(phrase.words[i])) {
+        if (pos >= mention_begin && pos < mention_end) continue;
+        ++occurrences;
+      }
+      dot += static_cast<double>(occurrences) * idf;
+    }
+  }
+  return dot / std::sqrt(entity_mass);
+}
+
+}  // namespace
+
+// ---- PriorBaseline ----------------------------------------------------------
+
+PriorBaseline::PriorBaseline(const CandidateModelStore* models)
+    : models_(models) {
+  AIDA_CHECK(models_ != nullptr);
+}
+
+DisambiguationResult PriorBaseline::Disambiguate(
+    const DisambiguationProblem& problem) const {
+  std::vector<std::vector<Candidate>> owned;
+  std::vector<const std::vector<Candidate>*> candidates;
+  ResolveCandidates(*models_, problem, owned, candidates);
+
+  DisambiguationResult result;
+  result.mentions.resize(problem.mentions.size());
+  for (size_t m = 0; m < problem.mentions.size(); ++m) {
+    const std::vector<Candidate>& cands = *candidates[m];
+    if (cands.empty()) continue;
+    std::vector<double> scores;
+    scores.reserve(cands.size());
+    for (const Candidate& cand : cands) scores.push_back(cand.prior);
+    FillMentionResult(cands,
+                      static_cast<int32_t>(robustness::ArgMax(scores)),
+                      scores, result.mentions[m]);
+  }
+  return result;
+}
+
+// ---- CucerzanBaseline --------------------------------------------------------
+
+CucerzanBaseline::CucerzanBaseline(const CandidateModelStore* models)
+    : models_(models) {
+  AIDA_CHECK(models_ != nullptr);
+}
+
+DisambiguationResult CucerzanBaseline::Disambiguate(
+    const DisambiguationProblem& problem) const {
+  AIDA_CHECK(problem.tokens != nullptr);
+  const kb::KnowledgeBase& kb = models_->knowledge_base();
+  std::vector<std::vector<Candidate>> owned;
+  std::vector<const std::vector<Candidate>*> candidates;
+  ResolveCandidates(*models_, problem, owned, candidates);
+
+  ExtendedVocabulary plain_vocab(&kb.keyphrases());
+  const ExtendedVocabulary& vocab =
+      problem.vocab != nullptr ? *problem.vocab : plain_vocab;
+  DocumentContext context(*problem.tokens, vocab);
+  ContextSimilarity similarity(ContextSimilarity::WordWeight::kIdf);
+
+  // Document-level category vector: counts of each type over all
+  // candidates of all mentions (the "context expansion" idea).
+  std::unordered_map<kb::TypeId, double> doc_types;
+  for (const auto* cands : candidates) {
+    for (const Candidate& cand : *cands) {
+      if (cand.is_placeholder || cand.entity == kb::kNoEntity) continue;
+      for (kb::TypeId t : kb.entities().Get(cand.entity).types) {
+        doc_types[t] += 1.0;
+      }
+    }
+  }
+
+  DisambiguationResult result;
+  result.mentions.resize(problem.mentions.size());
+  for (size_t m = 0; m < problem.mentions.size(); ++m) {
+    const ProblemMention& mention = problem.mentions[m];
+    const std::vector<Candidate>& cands = *candidates[m];
+    if (cands.empty()) continue;
+    std::vector<double> scores(cands.size(), 0.0);
+    double max_sim = 1e-9;
+    std::vector<double> sims(cands.size(), 0.0);
+    std::vector<double> types(cands.size(), 0.0);
+    double max_type = 1e-9;
+    for (size_t c = 0; c < cands.size(); ++c) {
+      sims[c] = similarity.Score(context, mention.begin_token,
+                                 mention.end_token, *cands[c].model);
+      max_sim = std::max(max_sim, sims[c]);
+      if (!cands[c].is_placeholder && cands[c].entity != kb::kNoEntity) {
+        for (kb::TypeId t : kb.entities().Get(cands[c].entity).types) {
+          auto it = doc_types.find(t);
+          if (it == doc_types.end()) continue;
+          // Subtract the candidate's own contribution.
+          types[c] += it->second - 1.0;
+        }
+      }
+      max_type = std::max(max_type, types[c]);
+    }
+    for (size_t c = 0; c < cands.size(); ++c) {
+      scores[c] = sims[c] / max_sim + types[c] / max_type;
+    }
+    FillMentionResult(cands,
+                      static_cast<int32_t>(robustness::ArgMax(scores)),
+                      scores, result.mentions[m]);
+  }
+  return result;
+}
+
+// ---- KulkarniBaseline --------------------------------------------------------
+
+KulkarniBaseline::KulkarniBaseline(const CandidateModelStore* models,
+                                   const RelatednessMeasure* relatedness,
+                                   Mode mode)
+    : models_(models), relatedness_(relatedness), mode_(mode) {
+  AIDA_CHECK(models_ != nullptr);
+  AIDA_CHECK(mode_ != Mode::kCollective || relatedness_ != nullptr);
+}
+
+std::string KulkarniBaseline::name() const {
+  switch (mode_) {
+    case Mode::kSimilarity:
+      return "kul-s";
+    case Mode::kSimilarityPrior:
+      return "kul-sp";
+    case Mode::kCollective:
+      return "kul-ci";
+  }
+  return "kul";
+}
+
+DisambiguationResult KulkarniBaseline::Disambiguate(
+    const DisambiguationProblem& problem) const {
+  AIDA_CHECK(problem.tokens != nullptr);
+  const kb::KnowledgeBase& kb = models_->knowledge_base();
+  std::vector<std::vector<Candidate>> owned;
+  std::vector<const std::vector<Candidate>*> candidates;
+  ResolveCandidates(*models_, problem, owned, candidates);
+
+  ExtendedVocabulary plain_vocab(&kb.keyphrases());
+  const ExtendedVocabulary& vocab =
+      problem.vocab != nullptr ? *problem.vocab : plain_vocab;
+  DocumentContext context(*problem.tokens, vocab);
+
+  const size_t num_mentions = problem.mentions.size();
+  std::vector<std::vector<double>> local(num_mentions);
+  for (size_t m = 0; m < num_mentions; ++m) {
+    const ProblemMention& mention = problem.mentions[m];
+    const std::vector<Candidate>& cands = *candidates[m];
+    std::vector<double> sims(cands.size(), 0.0);
+    double max_sim = 1e-9;
+    for (size_t c = 0; c < cands.size(); ++c) {
+      sims[c] = TokenCosine(context, mention.begin_token, mention.end_token,
+                            *cands[c].model);
+      max_sim = std::max(max_sim, sims[c]);
+    }
+    local[m].resize(cands.size());
+    for (size_t c = 0; c < cands.size(); ++c) {
+      double sim = sims[c] / max_sim;
+      local[m][c] = mode_ == Mode::kSimilarity
+                        ? sim
+                        : 0.5 * sim + 0.5 * cands[c].prior;
+    }
+  }
+
+  // Initial (and for non-collective modes, final) assignment.
+  std::vector<int32_t> chosen(num_mentions, -1);
+  for (size_t m = 0; m < num_mentions; ++m) {
+    if (!candidates[m]->empty()) {
+      chosen[m] = static_cast<int32_t>(robustness::ArgMax(local[m]));
+    }
+  }
+
+  if (mode_ == Mode::kCollective) {
+    // Hill climbing on sum(local) + sum(pairwise coherence), the practical
+    // surrogate of Kulkarni et al.'s relaxed ILP / hill-climbing variants.
+    const double coherence_weight = 0.5;
+    bool improved = true;
+    int rounds = 0;
+    while (improved && rounds++ < 10) {
+      improved = false;
+      for (size_t m = 0; m < num_mentions; ++m) {
+        const std::vector<Candidate>& cands = *candidates[m];
+        if (cands.size() < 2) continue;
+        double best_score = -1e18;
+        int32_t best_c = chosen[m];
+        for (size_t c = 0; c < cands.size(); ++c) {
+          double score = local[m][c];
+          for (size_t other = 0; other < num_mentions; ++other) {
+            if (other == m || chosen[other] < 0) continue;
+            const Candidate& oc =
+                (*candidates[other])[static_cast<size_t>(chosen[other])];
+            score += coherence_weight *
+                     relatedness_->Relatedness(cands[c], oc);
+          }
+          if (score > best_score) {
+            best_score = score;
+            best_c = static_cast<int32_t>(c);
+          }
+        }
+        if (best_c != chosen[m]) {
+          chosen[m] = best_c;
+          improved = true;
+        }
+      }
+    }
+  }
+
+  DisambiguationResult result;
+  result.mentions.resize(num_mentions);
+  for (size_t m = 0; m < num_mentions; ++m) {
+    const std::vector<Candidate>& cands = *candidates[m];
+    if (cands.empty()) continue;
+    FillMentionResult(cands, chosen[m], local[m], result.mentions[m]);
+  }
+  return result;
+}
+
+// ---- TagMeBaseline -------------------------------------------------------------
+
+TagMeBaseline::TagMeBaseline(const CandidateModelStore* models,
+                             const RelatednessMeasure* relatedness)
+    : models_(models), relatedness_(relatedness) {
+  AIDA_CHECK(models_ != nullptr && relatedness_ != nullptr);
+}
+
+DisambiguationResult TagMeBaseline::Disambiguate(
+    const DisambiguationProblem& problem) const {
+  std::vector<std::vector<Candidate>> owned;
+  std::vector<const std::vector<Candidate>*> candidates;
+  ResolveCandidates(*models_, problem, owned, candidates);
+  const size_t num_mentions = problem.mentions.size();
+
+  DisambiguationResult result;
+  result.mentions.resize(num_mentions);
+  for (size_t m = 0; m < num_mentions; ++m) {
+    const std::vector<Candidate>& cands = *candidates[m];
+    if (cands.empty()) continue;
+    std::vector<double> scores(cands.size(), 0.0);
+    for (size_t c = 0; c < cands.size(); ++c) {
+      // Vote mass from all other mentions' candidates, each weighted by
+      // the voter's own prior and averaged per mention.
+      double votes = 0.0;
+      size_t voters = 0;
+      for (size_t other = 0; other < num_mentions; ++other) {
+        if (other == m || candidates[other]->empty()) continue;
+        double mention_vote = 0.0;
+        for (const Candidate& voter : *candidates[other]) {
+          mention_vote += voter.prior *
+                          relatedness_->Relatedness(cands[c], voter);
+        }
+        votes += mention_vote /
+                 static_cast<double>(candidates[other]->size());
+        ++voters;
+      }
+      double vote_avg =
+          voters > 0 ? votes / static_cast<double>(voters) : 0.0;
+      scores[c] = 0.5 * vote_avg + 0.5 * cands[c].prior;
+    }
+    FillMentionResult(cands,
+                      static_cast<int32_t>(robustness::ArgMax(scores)),
+                      scores, result.mentions[m]);
+  }
+  return result;
+}
+
+}  // namespace aida::core

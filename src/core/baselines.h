@@ -1,0 +1,90 @@
+#ifndef AIDA_CORE_BASELINES_H_
+#define AIDA_CORE_BASELINES_H_
+
+#include <string>
+
+#include "core/ned_system.h"
+#include "core/relatedness.h"
+
+namespace aida::core {
+
+/// Most-frequent-sense baseline: every mention gets its highest-prior
+/// candidate (the "prior" row of Table 3.2).
+class PriorBaseline : public NedSystem {
+ public:
+  explicit PriorBaseline(const CandidateModelStore* models);
+
+  DisambiguationResult Disambiguate(
+      const DisambiguationProblem& problem) const override;
+  std::string name() const override { return "prior"; }
+
+ private:
+  const CandidateModelStore* models_;
+};
+
+/// Re-implementation of Cucerzan (2007): mentions are disambiguated one by
+/// one against a document-level context vector that aggregates the keyword
+/// and category features of ALL candidates of all mentions — simulated
+/// joint disambiguation without knowing the correct entities yet.
+class CucerzanBaseline : public NedSystem {
+ public:
+  explicit CucerzanBaseline(const CandidateModelStore* models);
+
+  DisambiguationResult Disambiguate(
+      const DisambiguationProblem& problem) const override;
+  std::string name() const override { return "cucerzan"; }
+
+ private:
+  const CandidateModelStore* models_;
+};
+
+/// Re-implementation of Kulkarni et al. (2009): a token-cosine local
+/// similarity, optionally mixed with the prior, optionally optimized
+/// jointly with Milne-Witten pairwise coherence. The collective mode uses
+/// hill climbing, the paper's practical stand-in for the relaxed ILP.
+class KulkarniBaseline : public NedSystem {
+ public:
+  enum class Mode {
+    kSimilarity,       // "Kul s"
+    kSimilarityPrior,  // "Kul sp"
+    kCollective,       // "Kul CI"
+  };
+
+  /// `relatedness` is only used in collective mode (may be null otherwise).
+  KulkarniBaseline(const CandidateModelStore* models,
+                   const RelatednessMeasure* relatedness, Mode mode);
+
+  DisambiguationResult Disambiguate(
+      const DisambiguationProblem& problem) const override;
+  std::string name() const override;
+
+ private:
+  const CandidateModelStore* models_;
+  const RelatednessMeasure* relatedness_;
+  Mode mode_;
+};
+
+/// Re-implementation of TagMe (Ferragina & Scaiella 2012): a lightweight
+/// voting scheme for short, mention-dense texts. Every candidate of every
+/// OTHER mention votes for a candidate with its relatedness weighted by
+/// its own prior; the final score mixes the vote mass with the
+/// candidate's prior. No context similarity at all — the configuration
+/// the paper describes as fast but restricted to short inputs.
+class TagMeBaseline : public NedSystem {
+ public:
+  /// `relatedness` is not owned and must outlive the system.
+  TagMeBaseline(const CandidateModelStore* models,
+                const RelatednessMeasure* relatedness);
+
+  DisambiguationResult Disambiguate(
+      const DisambiguationProblem& problem) const override;
+  std::string name() const override { return "tagme"; }
+
+ private:
+  const CandidateModelStore* models_;
+  const RelatednessMeasure* relatedness_;
+};
+
+}  // namespace aida::core
+
+#endif  // AIDA_CORE_BASELINES_H_

@@ -1,0 +1,45 @@
+#include "core/batch.h"
+
+#include <atomic>
+#include <thread>
+
+#include "util/status.h"
+
+namespace aida::core {
+
+BatchDisambiguator::BatchDisambiguator(const NedSystem* system,
+                                       BatchOptions options)
+    : system_(system), num_threads_(options.num_threads) {
+  AIDA_CHECK(system_ != nullptr);
+  if (num_threads_ == 0) {
+    num_threads_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+std::vector<DisambiguationResult> BatchDisambiguator::Run(
+    const std::vector<DisambiguationProblem>& problems) const {
+  std::vector<DisambiguationResult> results(problems.size());
+  if (problems.empty()) return results;
+
+  const size_t workers = std::min(num_threads_, problems.size());
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= problems.size()) return;
+      results[index] = system_->Disambiguate(problems[index]);
+    }
+  };
+
+  if (workers <= 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t t = 0; t < workers; ++t) threads.emplace_back(worker);
+  for (std::thread& thread : threads) thread.join();
+  return results;
+}
+
+}  // namespace aida::core

@@ -1,0 +1,42 @@
+#ifndef AIDA_CORE_BATCH_H_
+#define AIDA_CORE_BATCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/ned_system.h"
+
+namespace aida::core {
+
+/// Options for parallel batch disambiguation.
+struct BatchOptions {
+  /// Worker threads; 0 selects the hardware concurrency.
+  size_t num_threads = 0;
+};
+
+/// Runs a NED system over many documents in parallel — the
+/// high-throughput mode the paper motivates for corpus-scale annotation
+/// ("NED on an entire corpus, e.g. one day's social-media postings",
+/// Section 4.4.1). Requires the underlying system's const Disambiguate
+/// to be thread-safe (Aida and all shipped baselines are).
+class BatchDisambiguator {
+ public:
+  /// `system` is not owned and must outlive the batch runner.
+  BatchDisambiguator(const NedSystem* system, BatchOptions options = {});
+
+  /// Disambiguates every problem; results are parallel to the input.
+  /// Problems are dispatched dynamically, so skewed document sizes
+  /// balance across workers.
+  std::vector<DisambiguationResult> Run(
+      const std::vector<DisambiguationProblem>& problems) const;
+
+  size_t num_threads() const { return num_threads_; }
+
+ private:
+  const NedSystem* system_;
+  size_t num_threads_;
+};
+
+}  // namespace aida::core
+
+#endif  // AIDA_CORE_BATCH_H_

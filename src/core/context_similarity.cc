@@ -1,0 +1,125 @@
+#include "core/context_similarity.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "text/stopwords.h"
+#include "util/string_util.h"
+
+namespace aida::core {
+
+DocumentContext::DocumentContext(const std::vector<std::string>& tokens,
+                                 const ExtendedVocabulary& vocab)
+    : token_count_(tokens.size()) {
+  const text::StopwordList& stopwords = text::DefaultStopwords();
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token.size() <= 1 || stopwords.Contains(token)) continue;
+    kb::WordId w = vocab.Find(util::ToLower(token));
+    if (w == kb::kNoWord) continue;
+    positions_[w].push_back(i);
+  }
+}
+
+std::vector<std::pair<kb::WordId, size_t>> DocumentContext::WordCounts()
+    const {
+  std::vector<std::pair<kb::WordId, size_t>> counts;
+  counts.reserve(positions_.size());
+  for (const auto& [word, positions] : positions_) {
+    counts.emplace_back(word, positions.size());
+  }
+  return counts;
+}
+
+const std::vector<size_t>& DocumentContext::Positions(kb::WordId word) const {
+  static const std::vector<size_t>& empty = *new std::vector<size_t>();
+  auto it = positions_.find(word);
+  return it == positions_.end() ? empty : it->second;
+}
+
+ContextSimilarity::ContextSimilarity(WordWeight weight_mode)
+    : weight_mode_(weight_mode) {}
+
+double ContextSimilarity::Score(const DocumentContext& context,
+                                size_t mention_begin, size_t mention_end,
+                                const CandidateModel& model) const {
+  double total = 0.0;
+  // Scratch buffers hoisted out of the phrase loop.
+  std::vector<std::pair<size_t, uint32_t>> occurrences;  // (pos, word slot)
+  std::vector<uint32_t> window_counts;
+
+  for (const CandidatePhrase& phrase : model.phrases) {
+    const size_t len = phrase.words.size();
+    if (len == 0) continue;
+
+    // Word weights and total phrase weight mass.
+    double phrase_word_mass = 0.0;
+    for (size_t i = 0; i < len; ++i) {
+      phrase_word_mass += weight_mode_ == WordWeight::kNpmi
+                              ? phrase.word_npmi[i]
+                              : phrase.word_idf[i];
+    }
+    if (phrase_word_mass <= 0.0) continue;
+
+    // Occurrences of the phrase's words in the document, outside the
+    // mention span. Duplicate words in a phrase share one slot.
+    occurrences.clear();
+    uint32_t present_slots = 0;
+    double matched_mass = 0.0;
+    for (size_t i = 0; i < len; ++i) {
+      // Skip duplicate words (count each distinct word once).
+      bool duplicate = false;
+      for (size_t j = 0; j < i; ++j) {
+        if (phrase.words[j] == phrase.words[i]) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      bool found = false;
+      for (size_t pos : context.Positions(phrase.words[i])) {
+        if (pos >= mention_begin && pos < mention_end) continue;
+        occurrences.emplace_back(pos, present_slots);
+        found = true;
+      }
+      if (found) {
+        ++present_slots;
+        matched_mass += weight_mode_ == WordWeight::kNpmi
+                            ? phrase.word_npmi[i]
+                            : phrase.word_idf[i];
+      }
+    }
+    if (present_slots == 0) continue;
+
+    // Shortest window containing all `present_slots` distinct words
+    // (the maximal number of phrase words co-locatable in the text).
+    std::sort(occurrences.begin(), occurrences.end());
+    window_counts.assign(present_slots, 0);
+    uint32_t distinct_in_window = 0;
+    size_t best_window = std::numeric_limits<size_t>::max();
+    size_t left = 0;
+    for (size_t right = 0; right < occurrences.size(); ++right) {
+      if (window_counts[occurrences[right].second]++ == 0) {
+        ++distinct_in_window;
+      }
+      while (distinct_in_window == present_slots) {
+        size_t window =
+            occurrences[right].first - occurrences[left].first + 1;
+        best_window = std::min(best_window, window);
+        if (--window_counts[occurrences[left].second] == 0) {
+          --distinct_in_window;
+        }
+        ++left;
+      }
+    }
+    if (best_window == std::numeric_limits<size_t>::max()) continue;
+
+    double z = static_cast<double>(present_slots) /
+               static_cast<double>(best_window);
+    double fraction = matched_mass / phrase_word_mass;
+    total += z * fraction * fraction;
+  }
+  return total;
+}
+
+}  // namespace aida::core

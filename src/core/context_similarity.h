@@ -1,0 +1,69 @@
+#ifndef AIDA_CORE_CONTEXT_SIMILARITY_H_
+#define AIDA_CORE_CONTEXT_SIMILARITY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/candidates.h"
+
+namespace aida::core {
+
+/// Word-position index of one document, used to score candidate keyphrases
+/// against the text. Tokens are lowercased, stopwords dropped, and words
+/// unknown to the vocabulary ignored.
+class DocumentContext {
+ public:
+  /// Builds the index over `tokens` using `vocab` for word ids.
+  DocumentContext(const std::vector<std::string>& tokens,
+                  const ExtendedVocabulary& vocab);
+
+  /// Sorted positions of `word` in the document (empty if absent).
+  const std::vector<size_t>& Positions(kb::WordId word) const;
+
+  /// All distinct indexed words with their occurrence counts (order
+  /// unspecified). Used by consumers that iterate the context rather than
+  /// probing it (e.g. the type classifier).
+  std::vector<std::pair<kb::WordId, size_t>> WordCounts() const;
+
+  size_t token_count() const { return token_count_; }
+
+ private:
+  size_t token_count_ = 0;
+  std::unordered_map<kb::WordId, std::vector<size_t>> positions_;
+};
+
+/// Keyphrase-cover mention-entity similarity (Section 3.3.4). For each
+/// candidate keyphrase, finds the shortest document window covering the
+/// maximal number of the phrase's words (the phrase "cover"), and scores
+/// partial matches superlinearly down-weighted:
+///
+///   score(q) = z * (sum_{w in cover} weight(w) / sum_{w in q} weight(w))^2
+///   with z = (#matching words) / (cover length)                  (Eq. 3.4)
+///
+/// simscore(m, e) = sum over all keyphrases q of e (Eq. 3.6). Words inside
+/// the mention span are excluded from matching ("all tokens ... except the
+/// mention itself").
+class ContextSimilarity {
+ public:
+  enum class WordWeight {
+    /// Entity-specific NPMI weights (AIDA's choice for disambiguation).
+    kNpmi,
+    /// Collection-wide IDF weights.
+    kIdf,
+  };
+
+  explicit ContextSimilarity(WordWeight weight_mode = WordWeight::kNpmi);
+
+  /// Scores `model` against the document, ignoring token positions in
+  /// [mention_begin, mention_end).
+  double Score(const DocumentContext& context, size_t mention_begin,
+               size_t mention_end, const CandidateModel& model) const;
+
+ private:
+  WordWeight weight_mode_;
+};
+
+}  // namespace aida::core
+
+#endif  // AIDA_CORE_CONTEXT_SIMILARITY_H_

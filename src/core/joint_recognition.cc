@@ -1,0 +1,129 @@
+#include "core/joint_recognition.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "text/stopwords.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace aida::core {
+
+namespace {
+
+bool IsNameToken(const std::string& token) {
+  if (token.empty()) return false;
+  if (std::isupper(static_cast<unsigned char>(token.front())) &&
+      !text::DefaultStopwords().Contains(token)) {
+    return true;
+  }
+  return util::IsAllUpper(token) && token.size() >= 2;
+}
+
+std::string JoinSpan(const std::vector<std::string>& tokens, size_t begin,
+                     size_t end) {
+  std::string text;
+  for (size_t i = begin; i < end; ++i) {
+    if (!text.empty()) text += ' ';
+    text += tokens[i];
+  }
+  return text;
+}
+
+}  // namespace
+
+JointRecognizer::JointRecognizer(const CandidateModelStore* models,
+                                 const NedSystem* ned)
+    : JointRecognizer(models, ned, Options()) {}
+
+JointRecognizer::JointRecognizer(const CandidateModelStore* models,
+                                 const NedSystem* ned, Options options)
+    : models_(models), ned_(ned), options_(options) {
+  AIDA_CHECK(models_ != nullptr && ned_ != nullptr);
+}
+
+std::vector<RecognizedMention> JointRecognizer::CandidateSpans(
+    const std::vector<std::string>& tokens) const {
+  const kb::Dictionary& dictionary =
+      models_->knowledge_base().dictionary();
+  std::vector<RecognizedMention> spans;
+  for (size_t begin = 0; begin < tokens.size(); ++begin) {
+    if (!IsNameToken(tokens[begin])) continue;
+    for (size_t end = begin + 1;
+         end <= std::min(tokens.size(), begin + options_.max_span_tokens);
+         ++end) {
+      if (!IsNameToken(tokens[end - 1])) break;
+      std::string surface = JoinSpan(tokens, begin, end);
+      if (!dictionary.Contains(surface)) continue;
+      RecognizedMention span;
+      span.surface = std::move(surface);
+      span.begin_token = begin;
+      span.end_token = end;
+      spans.push_back(std::move(span));
+    }
+  }
+  return spans;
+}
+
+std::vector<RecognizedMention> JointRecognizer::Annotate(
+    const std::vector<std::string>& tokens) const {
+  std::vector<RecognizedMention> spans = CandidateSpans(tokens);
+  if (spans.empty()) return spans;
+
+  // Disambiguate ALL candidate spans together: overlapping alternatives
+  // compete through their disambiguation evidence.
+  DisambiguationProblem problem;
+  problem.tokens = &tokens;
+  for (const RecognizedMention& span : spans) {
+    ProblemMention pm;
+    pm.surface = span.surface;
+    pm.begin_token = span.begin_token;
+    pm.end_token = span.end_token;
+    problem.mentions.push_back(std::move(pm));
+  }
+  DisambiguationResult result = ned_->Disambiguate(problem);
+  for (size_t s = 0; s < spans.size(); ++s) {
+    spans[s].entity = result.mentions[s].entity;
+    spans[s].score = result.mentions[s].score;
+  }
+
+  // Greedy selection of non-overlapping spans: strongest disambiguation
+  // evidence first, longer spans breaking ties ("Jimmy Page" beats the
+  // embedded "Page" unless the short reading scores clearly higher).
+  std::vector<size_t> order(spans.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (spans[a].score != spans[b].score) {
+      return spans[a].score > spans[b].score;
+    }
+    size_t len_a = spans[a].end_token - spans[a].begin_token;
+    size_t len_b = spans[b].end_token - spans[b].begin_token;
+    if (len_a != len_b) return len_a > len_b;
+    return spans[a].begin_token < spans[b].begin_token;
+  });
+
+  std::vector<bool> taken(tokens.size(), false);
+  std::vector<RecognizedMention> selected;
+  for (size_t index : order) {
+    const RecognizedMention& span = spans[index];
+    if (span.entity == kb::kNoEntity || span.score < options_.min_score) {
+      continue;
+    }
+    bool overlaps = false;
+    for (size_t t = span.begin_token; t < span.end_token; ++t) {
+      overlaps |= taken[t];
+    }
+    if (overlaps) continue;
+    for (size_t t = span.begin_token; t < span.end_token; ++t) {
+      taken[t] = true;
+    }
+    selected.push_back(span);
+  }
+  std::sort(selected.begin(), selected.end(),
+            [](const RecognizedMention& a, const RecognizedMention& b) {
+              return a.begin_token < b.begin_token;
+            });
+  return selected;
+}
+
+}  // namespace aida::core

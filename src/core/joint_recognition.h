@@ -1,0 +1,61 @@
+#ifndef AIDA_CORE_JOINT_RECOGNITION_H_
+#define AIDA_CORE_JOINT_RECOGNITION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/ned_system.h"
+
+namespace aida::core {
+
+/// A recognized and disambiguated mention produced by joint inference.
+struct RecognizedMention {
+  std::string surface;
+  size_t begin_token = 0;
+  size_t end_token = 0;  // exclusive
+  kb::EntityId entity = kb::kNoEntity;
+  double score = 0.0;
+};
+
+/// Joint entity recognition and disambiguation — the outlook of
+/// Section 7.2.1 ("recognition would provide multiple possible mention
+/// boundaries, and the disambiguation chooses the spans"). Candidate
+/// spans are generated liberally (every dictionary-known run of name-like
+/// tokens, including overlapping alternatives like "Page" inside
+/// "Jimmy Page"); all spans are disambiguated TOGETHER by the underlying
+/// NED system, and a non-overlapping subset is selected by disambiguation
+/// evidence — so the entity decision informs the boundary decision,
+/// instead of recognize-then-disambiguate.
+class JointRecognizer {
+ public:
+  struct Options {
+    /// Longest candidate span in tokens.
+    size_t max_span_tokens = 4;
+    /// Spans whose winning candidate scores below this are dropped
+    /// (recognition rejects the span).
+    double min_score = 1e-6;
+  };
+
+  JointRecognizer(const CandidateModelStore* models, const NedSystem* ned);
+  JointRecognizer(const CandidateModelStore* models, const NedSystem* ned,
+                  Options options);
+
+  /// Recognizes and disambiguates mentions of `tokens` jointly; the
+  /// returned mentions are non-overlapping and ordered by position.
+  std::vector<RecognizedMention> Annotate(
+      const std::vector<std::string>& tokens) const;
+
+ private:
+  /// All dictionary-known candidate spans, including overlaps.
+  std::vector<RecognizedMention> CandidateSpans(
+      const std::vector<std::string>& tokens) const;
+
+  const CandidateModelStore* models_;
+  const NedSystem* ned_;
+  Options options_;
+};
+
+}  // namespace aida::core
+
+#endif  // AIDA_CORE_JOINT_RECOGNITION_H_

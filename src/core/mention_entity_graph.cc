@@ -1,0 +1,138 @@
+#include "core/mention_entity_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace aida::core {
+
+namespace {
+
+struct PendingEdge {
+  graph::NodeId u = 0;
+  graph::NodeId v = 0;
+  double weight = 0.0;
+};
+
+}  // namespace
+
+MentionEntityGraph BuildMentionEntityGraph(
+    const GraphBuildInput& input, const RelatednessMeasure& relatedness) {
+  MentionEntityGraph meg;
+  meg.num_mentions = input.mentions.size();
+
+  // ---- Assign entity nodes (deduplicating in-KB entities) -----------------
+  std::unordered_map<kb::EntityId, size_t> entity_index;
+  meg.mention_candidate_nodes.resize(meg.num_mentions);
+  for (uint32_t m = 0; m < input.mentions.size(); ++m) {
+    const auto& entry = input.mentions[m];
+    AIDA_CHECK(entry.candidates != nullptr);
+    AIDA_CHECK(entry.me_weights.size() == entry.candidates->size());
+    for (uint32_t c = 0; c < entry.candidates->size(); ++c) {
+      const Candidate& cand = (*entry.candidates)[c];
+      size_t index;
+      if (!cand.is_placeholder) {
+        auto [it, inserted] =
+            entity_index.emplace(cand.entity, meg.entity_candidates.size());
+        index = it->second;
+        if (inserted) {
+          meg.entity_candidates.push_back(&cand);
+          meg.entity_sources.emplace_back();
+        }
+      } else {
+        // Placeholders are mention-private nodes.
+        index = meg.entity_candidates.size();
+        meg.entity_candidates.push_back(&cand);
+        meg.entity_sources.emplace_back();
+      }
+      meg.entity_sources[index].emplace_back(m, c);
+      meg.mention_candidate_nodes[m].push_back(meg.EntityNodeId(index));
+    }
+  }
+
+  const size_t total_nodes = meg.num_mentions + meg.entity_candidates.size();
+
+  // ---- Collect mention-entity edges ---------------------------------------
+  std::vector<PendingEdge> me_edges;
+  double me_max = 0.0;
+  for (uint32_t m = 0; m < input.mentions.size(); ++m) {
+    const auto& entry = input.mentions[m];
+    for (uint32_t c = 0; c < entry.candidates->size(); ++c) {
+      double w = std::max(0.0, entry.me_weights[c]);
+      me_edges.push_back({m, meg.mention_candidate_nodes[m][c], w});
+      me_max = std::max(me_max, w);
+    }
+  }
+
+  // ---- Collect entity-entity edges ----------------------------------------
+  // Only pairs serving at least two distinct mentions matter: entities that
+  // are exclusively candidates of the same single mention are mutually
+  // exclusive anyway (Section 4.6.4).
+  auto serves_two_mentions = [&](size_t i, size_t j) {
+    const auto& si = meg.entity_sources[i];
+    const auto& sj = meg.entity_sources[j];
+    for (const auto& [mi, ci] : si) {
+      for (const auto& [mj, cj] : sj) {
+        if (mi != mj) return true;
+      }
+    }
+    return false;
+  };
+
+  std::vector<PendingEdge> ee_edges;
+  double ee_max = 0.0;
+  const size_t ec = meg.entity_candidates.size();
+  auto add_ee = [&](size_t i, size_t j) {
+    if (!serves_two_mentions(i, j)) return;
+    double rel = relatedness.Relatedness(*meg.entity_candidates[i],
+                                         *meg.entity_candidates[j]);
+    rel *= meg.entity_candidates[i]->weight_scale *
+           meg.entity_candidates[j]->weight_scale;
+    ++meg.relatedness_computations;
+    if (rel <= 0.0) return;
+    ee_edges.push_back(
+        {meg.EntityNodeId(i), meg.EntityNodeId(j), rel});
+    ee_max = std::max(ee_max, rel);
+  };
+
+  if (relatedness.has_pair_filter()) {
+    std::vector<const Candidate*> all(meg.entity_candidates.begin(),
+                                      meg.entity_candidates.end());
+    for (const auto& [i, j] : relatedness.FilterPairs(all)) {
+      add_ee(i, j);
+    }
+  } else {
+    for (size_t i = 0; i < ec; ++i) {
+      for (size_t j = i + 1; j < ec; ++j) {
+        add_ee(i, j);
+      }
+    }
+  }
+
+  // ---- Normalize, balance averages, apply the gamma split -----------------
+  if (me_max > 0.0) {
+    for (PendingEdge& e : me_edges) e.weight /= me_max;
+  }
+  if (ee_max > 0.0) {
+    for (PendingEdge& e : ee_edges) e.weight /= ee_max;
+  }
+  double me_avg = 0.0;
+  for (const PendingEdge& e : me_edges) me_avg += e.weight;
+  if (!me_edges.empty()) me_avg /= static_cast<double>(me_edges.size());
+  double ee_avg = 0.0;
+  for (const PendingEdge& e : ee_edges) ee_avg += e.weight;
+  if (!ee_edges.empty()) ee_avg /= static_cast<double>(ee_edges.size());
+  double balance = (ee_avg > 0.0 && me_avg > 0.0) ? me_avg / ee_avg : 1.0;
+
+  meg.graph = std::make_unique<graph::WeightedGraph>(total_nodes);
+  for (const PendingEdge& e : me_edges) {
+    meg.graph->AddEdge(e.u, e.v, e.weight * input.me_scale);
+  }
+  for (const PendingEdge& e : ee_edges) {
+    meg.graph->AddEdge(e.u, e.v, e.weight * balance * input.ee_scale);
+  }
+  return meg;
+}
+
+}  // namespace aida::core

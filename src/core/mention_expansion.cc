@@ -1,0 +1,77 @@
+#include "core/mention_expansion.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace aida::core {
+
+namespace {
+
+// True if `shorter` is a token-level prefix or suffix of `longer`.
+bool IsTokenAffix(const std::vector<std::string>& shorter,
+                  const std::vector<std::string>& longer) {
+  if (shorter.size() >= longer.size()) return false;
+  bool prefix = true;
+  for (size_t i = 0; i < shorter.size(); ++i) {
+    prefix &= (shorter[i] == longer[i]);
+  }
+  if (prefix) return true;
+  size_t offset = longer.size() - shorter.size();
+  for (size_t i = 0; i < shorter.size(); ++i) {
+    if (shorter[i] != longer[offset + i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MentionExpander::MentionExpander(const CandidateModelStore* models)
+    : models_(models) {
+  AIDA_CHECK(models_ != nullptr);
+}
+
+std::string MentionExpander::FindExpansion(
+    const std::string& mention,
+    const std::vector<std::string>& surfaces) const {
+  const kb::Dictionary& dictionary = models_->knowledge_base().dictionary();
+  std::vector<std::string> mention_tokens = util::Split(mention, ' ');
+  std::string best;
+  size_t best_tokens = mention_tokens.size();
+  for (const std::string& surface : surfaces) {
+    if (surface == mention) continue;
+    std::vector<std::string> tokens = util::Split(surface, ' ');
+    if (tokens.size() <= best_tokens) continue;
+    if (!IsTokenAffix(mention_tokens, tokens)) continue;
+    if (!dictionary.Contains(surface)) continue;
+    best = surface;
+    best_tokens = tokens.size();
+  }
+  return best;
+}
+
+DisambiguationProblem MentionExpander::Expand(
+    const DisambiguationProblem& problem) const {
+  std::vector<std::string> surfaces;
+  surfaces.reserve(problem.mentions.size());
+  for (const ProblemMention& mention : problem.mentions) {
+    surfaces.push_back(mention.surface);
+  }
+
+  DisambiguationProblem expanded = problem;
+  for (ProblemMention& mention : expanded.mentions) {
+    if (mention.candidates_resolved) continue;
+    std::string expansion = FindExpansion(mention.surface, surfaces);
+    if (expansion.empty()) continue;
+    // Resolve through the longer surface; the span in the text stays the
+    // short form's.
+    mention.candidates = LookupCandidates(*models_, expansion);
+    if (!mention.candidates.empty()) {
+      mention.candidates_resolved = true;
+    }
+  }
+  return expanded;
+}
+
+}  // namespace aida::core

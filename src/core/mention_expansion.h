@@ -1,0 +1,39 @@
+#ifndef AIDA_CORE_MENTION_EXPANSION_H_
+#define AIDA_CORE_MENTION_EXPANSION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/ned_system.h"
+
+namespace aida::core {
+
+/// Within-document name coreference for named mentions (the slice of
+/// coreference resolution that NED subsumes, Section 2.4.3): a short
+/// mention whose tokens are a prefix or suffix of a longer mention in the
+/// same document almost always co-refers with it — "Page" after
+/// "Jimmy Page", "Zeppelin" after "Led Zeppelin". The expander resolves
+/// such short mentions through the longer (far less ambiguous) surface
+/// form, which shrinks their candidate space before disambiguation.
+class MentionExpander {
+ public:
+  /// `models` is not owned and must outlive the expander.
+  explicit MentionExpander(const CandidateModelStore* models);
+
+  /// Returns a copy of `problem` in which expandable mentions carry the
+  /// candidates of their longest expansion (surface spans unchanged).
+  /// Mentions with pre-resolved candidates are left untouched.
+  DisambiguationProblem Expand(const DisambiguationProblem& problem) const;
+
+  /// The longest surface among `surfaces` that expands `mention` (token
+  /// prefix or suffix, and known to the dictionary); empty if none.
+  std::string FindExpansion(const std::string& mention,
+                            const std::vector<std::string>& surfaces) const;
+
+ private:
+  const CandidateModelStore* models_;
+};
+
+}  // namespace aida::core
+
+#endif  // AIDA_CORE_MENTION_EXPANSION_H_

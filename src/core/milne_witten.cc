@@ -1,0 +1,38 @@
+#include <algorithm>
+#include <cmath>
+
+#include "core/relatedness.h"
+#include "util/status.h"
+
+namespace aida::core {
+
+MilneWittenRelatedness::MilneWittenRelatedness(const kb::KnowledgeBase* kb)
+    : kb_(kb) {
+  AIDA_CHECK(kb_ != nullptr);
+}
+
+double MilneWittenRelatedness::Relatedness(const Candidate& a,
+                                           const Candidate& b) const {
+  CountComparison();
+  if (a.is_placeholder || b.is_placeholder) return 0.0;
+  return RelatednessById(a.entity, b.entity);
+}
+
+double MilneWittenRelatedness::RelatednessById(kb::EntityId a,
+                                               kb::EntityId b) const {
+  if (a == kb::kNoEntity || b == kb::kNoEntity) return 0.0;
+  if (a == b) return 1.0;
+  const kb::LinkGraph& links = kb_->links();
+  const double size_a = static_cast<double>(links.InLinkCount(a));
+  const double size_b = static_cast<double>(links.InLinkCount(b));
+  if (size_a == 0.0 || size_b == 0.0) return 0.0;
+  const double shared = static_cast<double>(links.SharedInLinkCount(a, b));
+  if (shared == 0.0) return 0.0;
+  const double n = static_cast<double>(kb_->entity_count());
+  double value =
+      1.0 - (std::log(std::max(size_a, size_b)) - std::log(shared)) /
+                (std::log(n) - std::log(std::min(size_a, size_b)));
+  return std::max(0.0, value);
+}
+
+}  // namespace aida::core

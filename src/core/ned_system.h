@@ -1,0 +1,74 @@
+#ifndef AIDA_CORE_NED_SYSTEM_H_
+#define AIDA_CORE_NED_SYSTEM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/candidates.h"
+
+namespace aida::core {
+
+/// One mention to disambiguate. When `candidates` is empty and
+/// `candidates_resolved` is false, the NED system performs the dictionary
+/// lookup itself; callers (the emerging-entity pipeline, the perturbation
+/// confidence estimators) may instead pre-resolve and edit the candidate
+/// space, e.g. to inject placeholder candidates or force-fix an entity.
+struct ProblemMention {
+  std::string surface;
+  size_t begin_token = 0;
+  size_t end_token = 0;  // exclusive
+  std::vector<Candidate> candidates;
+  bool candidates_resolved = false;
+};
+
+/// A disambiguation task: a tokenized document plus its mentions.
+struct DisambiguationProblem {
+  /// Not owned; must outlive the call.
+  const std::vector<std::string>* tokens = nullptr;
+  std::vector<ProblemMention> mentions;
+  /// Optional extended vocabulary (KB words plus harvested out-of-KB
+  /// words). When null, systems fall back to the plain KB vocabulary.
+  /// Needed whenever candidate models reference extension word ids.
+  const ExtendedVocabulary* vocab = nullptr;
+};
+
+/// Per-mention output.
+struct MentionResult {
+  /// Chosen entity; kb::kNoEntity when the mention has no candidates or a
+  /// placeholder was chosen.
+  kb::EntityId entity = kb::kNoEntity;
+  /// True when an emerging-entity placeholder won.
+  bool chose_placeholder = false;
+  /// Final score of the chosen candidate (weighted-degree scale).
+  double score = 0.0;
+  /// Full per-candidate scoring on the same scale, for confidence
+  /// normalization (Section 5.4.1). Parallel arrays.
+  std::vector<kb::EntityId> candidate_entities;
+  std::vector<double> candidate_scores;
+  std::vector<bool> candidate_is_placeholder;
+};
+
+/// Output of one NED run, parallel to the problem's mentions.
+struct DisambiguationResult {
+  std::vector<MentionResult> mentions;
+};
+
+/// Abstract joint named-entity disambiguation system. AIDA and all
+/// baselines implement this; the NED-EE machinery of chapter 5 treats any
+/// implementation as a black box.
+class NedSystem {
+ public:
+  virtual ~NedSystem() = default;
+
+  /// Disambiguates all mentions of `problem` jointly.
+  virtual DisambiguationResult Disambiguate(
+      const DisambiguationProblem& problem) const = 0;
+
+  /// Human-readable system name for reports.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace aida::core
+
+#endif  // AIDA_CORE_NED_SYSTEM_H_

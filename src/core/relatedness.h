@@ -1,0 +1,91 @@
+#ifndef AIDA_CORE_RELATEDNESS_H_
+#define AIDA_CORE_RELATEDNESS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/candidates.h"
+
+namespace aida::core {
+
+/// Pair-wise semantic relatedness between candidate entities — the
+/// coherence signal of joint disambiguation (Section 3.3.5). Implementations
+/// include the link-based Milne-Witten measure (core), and the keyphrase-
+/// based KWCS / KPCS / KORE family (kore module), which also works for
+/// out-of-KB placeholder candidates.
+class RelatednessMeasure {
+ public:
+  RelatednessMeasure() = default;
+  // Copyable despite the atomic comparison counter (the counter value is
+  // carried over); needed so concrete measures remain value types.
+  RelatednessMeasure(const RelatednessMeasure& other)
+      : comparisons_(other.comparisons()) {}
+  RelatednessMeasure& operator=(const RelatednessMeasure& other) {
+    comparisons_.store(other.comparisons(), std::memory_order_relaxed);
+    return *this;
+  }
+  virtual ~RelatednessMeasure() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Relatedness in [0, 1]; must be symmetric.
+  virtual double Relatedness(const Candidate& a, const Candidate& b) const = 0;
+
+  /// True if the measure pre-filters candidate pairs (LSH variants).
+  virtual bool has_pair_filter() const { return false; }
+
+  /// Returns index pairs (into `candidates`) worth computing; pairs not
+  /// returned are assumed unrelated. Only called when has_pair_filter().
+  virtual std::vector<std::pair<uint32_t, uint32_t>> FilterPairs(
+      const std::vector<const Candidate*>& candidates) const {
+    (void)candidates;
+    return {};
+  }
+
+  /// Number of Relatedness() evaluations since construction or the last
+  /// reset; the efficiency experiments (Table 4.4) report this.
+  uint64_t comparisons() const {
+    return comparisons_.load(std::memory_order_relaxed);
+  }
+  void ResetComparisons() const {
+    comparisons_.store(0, std::memory_order_relaxed);
+  }
+
+ protected:
+  /// Implementations call this once per Relatedness() evaluation.
+  void CountComparison() const {
+    comparisons_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<uint64_t> comparisons_{0};
+};
+
+/// Wikipedia-link based relatedness of Milne & Witten (Eq. 3.7):
+///
+///   MW(e,f) = 1 - (log max(|Ie|,|If|) - log |Ie ∩ If|)
+///                 / (log N - log min(|Ie|,|If|))
+///
+/// clipped at 0; placeholders and link-less entities score 0 against
+/// everything — the limitation KORE removes.
+class MilneWittenRelatedness : public RelatednessMeasure {
+ public:
+  /// `kb` must outlive the measure.
+  explicit MilneWittenRelatedness(const kb::KnowledgeBase* kb);
+
+  std::string name() const override { return "mw"; }
+  double Relatedness(const Candidate& a, const Candidate& b) const override;
+
+  /// Id-based form used by tests and by callers without Candidate wrappers.
+  double RelatednessById(kb::EntityId a, kb::EntityId b) const;
+
+ private:
+  const kb::KnowledgeBase* kb_;
+};
+
+}  // namespace aida::core
+
+#endif  // AIDA_CORE_RELATEDNESS_H_

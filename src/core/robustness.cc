@@ -1,0 +1,49 @@
+#include "core/robustness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace aida::core::robustness {
+
+std::vector<double> ToDistribution(const std::vector<double>& scores) {
+  std::vector<double> dist(scores.size(), 0.0);
+  if (scores.empty()) return dist;
+  double total = 0.0;
+  for (double s : scores) total += std::max(0.0, s);
+  if (total <= 0.0) {
+    double uniform = 1.0 / static_cast<double>(scores.size());
+    std::fill(dist.begin(), dist.end(), uniform);
+    return dist;
+  }
+  for (size_t i = 0; i < scores.size(); ++i) {
+    dist[i] = std::max(0.0, scores[i]) / total;
+  }
+  return dist;
+}
+
+bool PriorTestPasses(const std::vector<double>& priors, double rho) {
+  for (double p : priors) {
+    if (p >= rho) return true;
+  }
+  return false;
+}
+
+double PriorSimilarityL1(const std::vector<double>& priors,
+                         const std::vector<double>& sim_distribution) {
+  AIDA_CHECK(priors.size() == sim_distribution.size());
+  double l1 = 0.0;
+  for (size_t i = 0; i < priors.size(); ++i) {
+    l1 += std::abs(priors[i] - sim_distribution[i]);
+  }
+  return l1;
+}
+
+size_t ArgMax(const std::vector<double>& values) {
+  AIDA_CHECK(!values.empty());
+  return static_cast<size_t>(
+      std::max_element(values.begin(), values.end()) - values.begin());
+}
+
+}  // namespace aida::core::robustness

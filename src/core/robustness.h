@@ -1,0 +1,36 @@
+#ifndef AIDA_CORE_ROBUSTNESS_H_
+#define AIDA_CORE_ROBUSTNESS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace aida::core {
+
+/// The self-adapting robustness tests of Section 3.5, applied per mention
+/// before the graph algorithm runs.
+namespace robustness {
+
+/// Normalizes `scores` into a distribution (sums to 1); an all-zero input
+/// yields the uniform distribution.
+std::vector<double> ToDistribution(const std::vector<double>& scores);
+
+/// Prior robustness test (Section 3.5.1): the popularity prior is only
+/// combined into the mention-entity weight when the best candidate's prior
+/// is at least `rho` — "we never rely solely on the prior".
+bool PriorTestPasses(const std::vector<double>& priors, double rho);
+
+/// Coherence robustness test (Section 3.5.2): L1 distance between the
+/// prior distribution and the similarity distribution over the mention's
+/// candidates, in [0, 2]. When it does NOT exceed `lambda`, prior and
+/// similarity agree, coherence is risky, and the mention is fixed to its
+/// locally best candidate before the graph algorithm.
+double PriorSimilarityL1(const std::vector<double>& priors,
+                         const std::vector<double>& sim_distribution);
+
+/// Index of the maximum element (first on ties); requires non-empty input.
+size_t ArgMax(const std::vector<double>& values);
+
+}  // namespace robustness
+}  // namespace aida::core
+
+#endif  // AIDA_CORE_ROBUSTNESS_H_

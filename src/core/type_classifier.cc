@@ -1,0 +1,82 @@
+#include "core/type_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace aida::core {
+
+TypeClassifier::TypeClassifier(const kb::KnowledgeBase* kb,
+                               const std::vector<kb::TypeId>& types)
+    : kb_(kb) {
+  AIDA_CHECK(kb_ != nullptr);
+  const kb::KeyphraseStore& store = kb_->keyphrases();
+
+  for (kb::TypeId type : types) {
+    Centroid centroid;
+    centroid.type = type;
+    // Aggregate IDF-weighted keyword mass over entities of the type
+    // (including subtypes).
+    for (kb::EntityId e = 0; e < kb_->entity_count(); ++e) {
+      bool has_type = false;
+      for (kb::TypeId t : kb_->entities().Get(e).types) {
+        if (kb_->taxonomy().IsSubtypeOf(t, type)) {
+          has_type = true;
+          break;
+        }
+      }
+      if (!has_type) continue;
+      for (kb::WordId w : store.EntityWords(e)) {
+        centroid.weights[w] += store.WordIdf(w);
+      }
+    }
+    // L1-normalize so types with many member entities don't dominate.
+    double total = 0.0;
+    for (const auto& [word, weight] : centroid.weights) total += weight;
+    if (total > 0.0) {
+      for (auto& [word, weight] : centroid.weights) weight /= total;
+    }
+    centroids_.push_back(std::move(centroid));
+  }
+}
+
+std::vector<TypeClassifier::Prediction> TypeClassifier::Classify(
+    const DocumentContext& context, size_t mention_begin,
+    size_t mention_end) const {
+  // Context words weighted by proximity to the mention.
+  std::vector<std::pair<kb::WordId, double>> weighted_context;
+  double mention_center =
+      (static_cast<double>(mention_begin) +
+       static_cast<double>(mention_end)) /
+      2.0;
+  for (const auto& [word, count] : context.WordCounts()) {
+    double weight = 0.0;
+    for (size_t pos : context.Positions(word)) {
+      if (pos >= mention_begin && pos < mention_end) continue;
+      double distance =
+          std::abs(static_cast<double>(pos) - mention_center);
+      weight += 1.0 / (1.0 + distance / 10.0);
+    }
+    if (weight > 0.0) weighted_context.emplace_back(word, weight);
+    (void)count;
+  }
+
+  std::vector<Prediction> predictions;
+  for (const Centroid& centroid : centroids_) {
+    double score = 0.0;
+    for (const auto& [word, weight] : weighted_context) {
+      auto it = centroid.weights.find(word);
+      if (it != centroid.weights.end()) score += weight * it->second;
+    }
+    if (score > 0.0) predictions.push_back({centroid.type, score});
+  }
+  std::sort(predictions.begin(), predictions.end(),
+            [](const Prediction& a, const Prediction& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.type < b.type;
+            });
+  return predictions;
+}
+
+}  // namespace aida::core

@@ -1,0 +1,57 @@
+#ifndef AIDA_CORE_TYPE_CLASSIFIER_H_
+#define AIDA_CORE_TYPE_CLASSIFIER_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/context_similarity.h"
+
+namespace aida::core {
+
+/// Named entity classification (Section 2.4.4): predicts the semantic
+/// type of a mention from its context, without committing to a concrete
+/// entity. Useful to type emerging entities whose name is new to the
+/// knowledge base ("Edward Snowden" -> person) before they can be linked.
+///
+/// The classifier is a centroid model: for every type, the IDF-weighted
+/// keyword distribution aggregated over the KB entities carrying the type;
+/// a mention's context is scored against each centroid by weighted
+/// overlap.
+class TypeClassifier {
+ public:
+  struct Prediction {
+    kb::TypeId type = kb::kNoType;
+    double score = 0.0;
+  };
+
+  /// Builds centroids over the given `types` (e.g. the coarse domain
+  /// types). `kb` is not owned and must outlive the classifier.
+  TypeClassifier(const kb::KnowledgeBase* kb,
+                 const std::vector<kb::TypeId>& types);
+
+  /// Ranks the candidate types for the mention at
+  /// [mention_begin, mention_end) in `context`, best first. Types with no
+  /// overlap at all are omitted.
+  std::vector<Prediction> Classify(const DocumentContext& context,
+                                   size_t mention_begin,
+                                   size_t mention_end) const;
+
+  size_t type_count() const { return centroids_.size(); }
+
+ private:
+  struct Centroid {
+    kb::TypeId type = kb::kNoType;
+    // word -> normalized weight.
+    std::unordered_map<kb::WordId, double> weights;
+  };
+
+  const kb::KnowledgeBase* kb_;
+  std::vector<Centroid> centroids_;
+};
+
+}  // namespace aida::core
+
+#endif  // AIDA_CORE_TYPE_CLASSIFIER_H_

@@ -1,0 +1,129 @@
+#include "corpus/corpus_io.h"
+
+#include <cinttypes>
+#include <cstdlib>
+
+#include "util/serialize.h"
+#include "util/string_util.h"
+
+namespace aida::corpus {
+
+namespace {
+
+constexpr const char* kNone = "-";
+
+std::string FormatId(uint32_t id) {
+  return id == 0xFFFFFFFFu ? std::string(kNone) : std::to_string(id);
+}
+
+util::StatusOr<uint32_t> ParseId(const std::string& field,
+                                 uint32_t sentinel) {
+  if (field == kNone) return sentinel;
+  char* end = nullptr;
+  unsigned long value = std::strtoul(field.c_str(), &end, 10);
+  if (end == field.c_str() || *end != '\0') {
+    return util::Status::InvalidArgument("bad id field: " + field);
+  }
+  return static_cast<uint32_t>(value);
+}
+
+}  // namespace
+
+std::string SerializeCorpus(const Corpus& corpus) {
+  std::string out;
+  for (const Document& doc : corpus) {
+    out += util::StrFormat("#DOC %s %lld %u\n", doc.id.c_str(),
+                           static_cast<long long>(doc.day), doc.topic);
+    out += "#TOKENS\n";
+    out += util::Join(doc.tokens, " ");
+    out += "\n#MENTIONS\n";
+    for (const GoldMention& m : doc.mentions) {
+      out += util::StrFormat(
+          "%zu %zu %s %s %s\n", m.begin_token, m.end_token,
+          FormatId(m.gold_entity).c_str(), FormatId(m.gold_emerging).c_str(),
+          m.surface.c_str());
+    }
+    out += "#END\n";
+  }
+  return out;
+}
+
+util::StatusOr<Corpus> DeserializeCorpus(std::string_view data) {
+  Corpus corpus;
+  std::vector<std::string> lines = util::Split(std::string(data), '\n');
+  size_t i = 0;
+  while (i < lines.size()) {
+    const std::string& header = lines[i];
+    if (header.rfind("#DOC ", 0) != 0) {
+      return util::Status::InvalidArgument("expected #DOC at line " +
+                                           std::to_string(i + 1));
+    }
+    std::vector<std::string> fields = util::Split(header.substr(5), ' ');
+    if (fields.size() != 3) {
+      return util::Status::InvalidArgument("bad #DOC header: " + header);
+    }
+    Document doc;
+    doc.id = fields[0];
+    doc.day = std::strtoll(fields[1].c_str(), nullptr, 10);
+    doc.topic = static_cast<uint32_t>(
+        std::strtoul(fields[2].c_str(), nullptr, 10));
+    ++i;
+
+    if (i >= lines.size() || lines[i] != "#TOKENS") {
+      return util::Status::InvalidArgument("expected #TOKENS");
+    }
+    ++i;
+    if (i >= lines.size()) {
+      return util::Status::InvalidArgument("missing token line");
+    }
+    doc.tokens = util::Split(lines[i], ' ');
+    ++i;
+
+    if (i >= lines.size() || lines[i] != "#MENTIONS") {
+      return util::Status::InvalidArgument("expected #MENTIONS");
+    }
+    ++i;
+    while (i < lines.size() && lines[i] != "#END") {
+      std::vector<std::string> parts = util::Split(lines[i], ' ');
+      if (parts.size() < 5) {
+        return util::Status::InvalidArgument("bad mention line: " +
+                                             lines[i]);
+      }
+      GoldMention mention;
+      mention.begin_token = std::strtoul(parts[0].c_str(), nullptr, 10);
+      mention.end_token = std::strtoul(parts[1].c_str(), nullptr, 10);
+      util::StatusOr<uint32_t> entity = ParseId(parts[2], kb::kNoEntity);
+      if (!entity.ok()) return entity.status();
+      mention.gold_entity = *entity;
+      util::StatusOr<uint32_t> emerging = ParseId(parts[3], kNoEmerging);
+      if (!emerging.ok()) return emerging.status();
+      mention.gold_emerging = *emerging;
+      std::vector<std::string> surface(parts.begin() + 4, parts.end());
+      mention.surface = util::Join(surface, " ");
+      if (mention.begin_token >= mention.end_token ||
+          mention.end_token > doc.tokens.size()) {
+        return util::Status::InvalidArgument("mention span out of range");
+      }
+      doc.mentions.push_back(std::move(mention));
+      ++i;
+    }
+    if (i >= lines.size()) {
+      return util::Status::InvalidArgument("missing #END");
+    }
+    ++i;  // consume #END
+    corpus.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+util::Status SaveCorpus(const Corpus& corpus, const std::string& path) {
+  return util::WriteFile(path, SerializeCorpus(corpus));
+}
+
+util::StatusOr<Corpus> LoadCorpus(const std::string& path) {
+  util::StatusOr<std::string> data = util::ReadFile(path);
+  if (!data.ok()) return data.status();
+  return DeserializeCorpus(*data);
+}
+
+}  // namespace aida::corpus

@@ -1,0 +1,35 @@
+#ifndef AIDA_CORPUS_CORPUS_IO_H_
+#define AIDA_CORPUS_CORPUS_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "corpus/document.h"
+#include "util/status.h"
+
+namespace aida::corpus {
+
+/// Serializes a gold-annotated corpus into a line-based text format —
+/// publishing annotated corpora was one of the paper's contributions
+/// (the CoNLL-YAGO and AIDA-EE datasets), and this is the equivalent
+/// artifact for the synthetic corpora. Format, one record per document:
+///
+///   #DOC doc_17 4 12          (id, day, topic)
+///   #TOKENS
+///   The Page concert was ...  (space-joined; tokens contain no spaces)
+///   #MENTIONS
+///   1 2 314 - Page            (begin, end, entity|-, emerging|-, surface)
+///   #END
+std::string SerializeCorpus(const Corpus& corpus);
+
+/// Parses the format produced by SerializeCorpus. Fails cleanly on
+/// malformed records (wrong field counts, spans out of range).
+util::StatusOr<Corpus> DeserializeCorpus(std::string_view data);
+
+/// Convenience file wrappers.
+util::Status SaveCorpus(const Corpus& corpus, const std::string& path);
+util::StatusOr<Corpus> LoadCorpus(const std::string& path);
+
+}  // namespace aida::corpus
+
+#endif  // AIDA_CORPUS_CORPUS_IO_H_

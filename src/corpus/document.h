@@ -1,0 +1,49 @@
+#ifndef AIDA_CORPUS_DOCUMENT_H_
+#define AIDA_CORPUS_DOCUMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kb/entity.h"
+
+namespace aida::corpus {
+
+/// Identifier of an emerging (out-of-KB) entity in the generator's hidden
+/// world; used only by ground truth and evaluation, never by NED methods.
+using EmergingId = uint32_t;
+inline constexpr EmergingId kNoEmerging = 0xFFFFFFFFu;
+
+/// A gold-annotated mention: a token span plus the correct entity. When
+/// the correct entity is not in the knowledge base, `gold_entity` is
+/// kb::kNoEntity and `gold_emerging` identifies the hidden emerging entity
+/// (so EE experiments can check that co-referring EE mentions cluster).
+struct GoldMention {
+  std::string surface;
+  size_t begin_token = 0;
+  size_t end_token = 0;  // exclusive
+  kb::EntityId gold_entity = kb::kNoEntity;
+  EmergingId gold_emerging = kNoEmerging;
+
+  bool out_of_kb() const { return gold_entity == kb::kNoEntity; }
+};
+
+/// A tokenized document with gold annotations. Documents carry a day
+/// number so the emerging-entity experiments can select news chunks by
+/// recency (Section 5.5.2).
+struct Document {
+  std::string id;
+  std::vector<std::string> tokens;
+  std::vector<GoldMention> mentions;
+  /// Publication day (days since an arbitrary epoch).
+  int64_t day = 0;
+  /// Generative primary topic; diagnostics only.
+  uint32_t topic = 0;
+};
+
+using Corpus = std::vector<Document>;
+
+}  // namespace aida::corpus
+
+#endif  // AIDA_CORPUS_DOCUMENT_H_

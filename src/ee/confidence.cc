@@ -1,0 +1,171 @@
+#include "ee/confidence.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace aida::ee {
+
+ConfidenceEstimator::ConfidenceEstimator(
+    const core::CandidateModelStore* models, const core::NedSystem* ned,
+    ConfidenceOptions options)
+    : models_(models), ned_(ned), options_(options) {
+  AIDA_CHECK(models_ != nullptr && ned_ != nullptr);
+}
+
+std::vector<double> ConfidenceEstimator::NormalizedScores(
+    const core::DisambiguationResult& result) {
+  std::vector<double> confidence;
+  confidence.reserve(result.mentions.size());
+  for (const core::MentionResult& m : result.mentions) {
+    double total = 0.0;
+    double chosen = 0.0;
+    for (size_t c = 0; c < m.candidate_scores.size(); ++c) {
+      double s = std::max(0.0, m.candidate_scores[c]);
+      total += s;
+      bool is_chosen = m.chose_placeholder
+                           ? m.candidate_is_placeholder[c]
+                           : (!m.candidate_is_placeholder[c] &&
+                              m.candidate_entities[c] == m.entity);
+      if (is_chosen) chosen = s;
+    }
+    confidence.push_back(total > 0.0 ? chosen / total : 0.0);
+  }
+  return confidence;
+}
+
+core::DisambiguationProblem ConfidenceEstimator::ResolveProblem(
+    const core::DisambiguationProblem& problem) const {
+  core::DisambiguationProblem resolved = problem;
+  for (core::ProblemMention& mention : resolved.mentions) {
+    if (mention.candidates_resolved) continue;
+    mention.candidates = core::LookupCandidates(*models_, mention.surface);
+    mention.candidates_resolved = true;
+  }
+  return resolved;
+}
+
+std::vector<double> ConfidenceEstimator::MentionPerturbation(
+    const core::DisambiguationProblem& problem,
+    const core::DisambiguationResult& base) const {
+  const size_t n = problem.mentions.size();
+  std::vector<double> stable(n, 0.0);
+  std::vector<double> present(n, 0.0);
+  core::DisambiguationProblem resolved = ResolveProblem(problem);
+  util::Rng rng(options_.seed);
+
+  for (size_t round = 0; round < options_.rounds; ++round) {
+    // Random subset R of mentions is kept this round.
+    core::DisambiguationProblem sub;
+    sub.tokens = resolved.tokens;
+    sub.vocab = resolved.vocab;
+    std::vector<size_t> kept;
+    for (size_t m = 0; m < n; ++m) {
+      if (rng.Bernoulli(options_.perturb_fraction)) continue;  // dropped
+      kept.push_back(m);
+      sub.mentions.push_back(resolved.mentions[m]);
+    }
+    if (kept.empty()) continue;
+    core::DisambiguationResult result = ned_->Disambiguate(sub);
+    for (size_t i = 0; i < kept.size(); ++i) {
+      size_t m = kept[i];
+      present[m] += 1.0;
+      if (result.mentions[i].entity == base.mentions[m].entity &&
+          result.mentions[i].chose_placeholder ==
+              base.mentions[m].chose_placeholder) {
+        stable[m] += 1.0;
+      }
+    }
+  }
+
+  std::vector<double> confidence(n, 0.0);
+  for (size_t m = 0; m < n; ++m) {
+    confidence[m] = present[m] > 0.0 ? stable[m] / present[m] : 0.0;
+  }
+  return confidence;
+}
+
+std::vector<double> ConfidenceEstimator::EntityPerturbation(
+    const core::DisambiguationProblem& problem,
+    const core::DisambiguationResult& base) const {
+  const size_t n = problem.mentions.size();
+  std::vector<double> stable(n, 0.0);
+  std::vector<double> present(n, 0.0);
+  core::DisambiguationProblem resolved = ResolveProblem(problem);
+  util::Rng rng(options_.seed ^ 0xE17171);
+
+  for (size_t round = 0; round < options_.rounds; ++round) {
+    core::DisambiguationProblem sub;
+    sub.tokens = resolved.tokens;
+    sub.vocab = resolved.vocab;
+    sub.mentions = resolved.mentions;
+    std::vector<bool> perturbed(n, false);
+    for (size_t m = 0; m < n; ++m) {
+      const auto& cands = resolved.mentions[m].candidates;
+      if (cands.size() < 2) continue;
+      if (!rng.Bernoulli(options_.perturb_fraction)) continue;
+      // Force-map to an alternate candidate, chosen in proportion to the
+      // base scores of the alternatives.
+      size_t chosen_index = cands.size();
+      const core::MentionResult& bm = base.mentions[m];
+      std::vector<double> weights(cands.size(), 0.0);
+      for (size_t c = 0; c < cands.size(); ++c) {
+        bool is_chosen = bm.chose_placeholder
+                             ? cands[c].is_placeholder
+                             : (!cands[c].is_placeholder &&
+                                cands[c].entity == bm.entity);
+        if (is_chosen) {
+          chosen_index = c;
+          continue;
+        }
+        double s = c < bm.candidate_scores.size()
+                       ? std::max(0.0, bm.candidate_scores[c])
+                       : 0.0;
+        weights[c] = s + 1e-6;
+      }
+      if (chosen_index < cands.size()) weights[chosen_index] = 0.0;
+      double total = 0.0;
+      for (double w : weights) total += w;
+      if (total <= 0.0) continue;
+      size_t alt = rng.Categorical(weights);
+      core::ProblemMention& pm = sub.mentions[m];
+      core::Candidate forced = cands[alt];
+      pm.candidates.assign(1, forced);
+      pm.candidates_resolved = true;
+      perturbed[m] = true;
+    }
+    core::DisambiguationResult result = ned_->Disambiguate(sub);
+    for (size_t m = 0; m < n; ++m) {
+      if (perturbed[m]) continue;
+      present[m] += 1.0;
+      if (result.mentions[m].entity == base.mentions[m].entity &&
+          result.mentions[m].chose_placeholder ==
+              base.mentions[m].chose_placeholder) {
+        stable[m] += 1.0;
+      }
+    }
+  }
+
+  std::vector<double> confidence(n, 0.0);
+  for (size_t m = 0; m < n; ++m) {
+    confidence[m] = present[m] > 0.0 ? stable[m] / present[m] : 0.0;
+  }
+  return confidence;
+}
+
+std::vector<double> ConfidenceEstimator::Conf(
+    const core::DisambiguationProblem& problem,
+    const core::DisambiguationResult& base) const {
+  std::vector<double> norm = NormalizedScores(base);
+  std::vector<double> perturb = EntityPerturbation(problem, base);
+  AIDA_CHECK(norm.size() == perturb.size());
+  std::vector<double> conf(norm.size(), 0.0);
+  for (size_t m = 0; m < norm.size(); ++m) {
+    conf[m] =
+        options_.norm_weight * norm[m] + options_.perturb_weight * perturb[m];
+  }
+  return conf;
+}
+
+}  // namespace aida::ee

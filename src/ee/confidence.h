@@ -1,0 +1,72 @@
+#ifndef AIDA_EE_CONFIDENCE_H_
+#define AIDA_EE_CONFIDENCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/ned_system.h"
+
+namespace aida::ee {
+
+/// Tuning of the confidence estimators (Section 5.4).
+struct ConfidenceOptions {
+  /// Perturbation rounds (the paper uses 500; fewer already stabilize on
+  /// our corpora and keep experiments fast).
+  size_t rounds = 60;
+  /// Fraction of mentions dropped (mention perturbation) or force-mapped
+  /// to an alternate entity (entity perturbation) per round.
+  double perturb_fraction = 0.25;
+  /// CONF combination weights (Section 5.7.1: 0.5 / 0.5 of normalized
+  /// weighted-degree score and entity-perturbation stability).
+  double norm_weight = 0.5;
+  double perturb_weight = 0.5;
+  uint64_t seed = 0xC0FFEE;
+};
+
+/// Estimates per-mention disambiguation confidence for a black-box NED
+/// system, via score normalization and input perturbation.
+class ConfidenceEstimator {
+ public:
+  /// Neither pointer is owned; both must outlive the estimator.
+  ConfidenceEstimator(const core::CandidateModelStore* models,
+                      const core::NedSystem* ned, ConfidenceOptions options);
+
+  /// Normalized-score confidence (Section 5.4.1): the chosen candidate's
+  /// share of the total per-mention score mass.
+  static std::vector<double> NormalizedScores(
+      const core::DisambiguationResult& result);
+
+  /// Mention-perturbation confidence (Section 5.4.2): stability of each
+  /// mention's entity when random subsets of the other mentions are
+  /// removed from the input.
+  std::vector<double> MentionPerturbation(
+      const core::DisambiguationProblem& problem,
+      const core::DisambiguationResult& base) const;
+
+  /// Entity-perturbation confidence (Section 5.4.3): stability of each
+  /// unperturbed mention when random other mentions are force-mapped to
+  /// alternate (likely wrong) candidates.
+  std::vector<double> EntityPerturbation(
+      const core::DisambiguationProblem& problem,
+      const core::DisambiguationResult& base) const;
+
+  /// The combined CONF estimator: norm_weight * NormalizedScores +
+  /// perturb_weight * EntityPerturbation.
+  std::vector<double> Conf(const core::DisambiguationProblem& problem,
+                           const core::DisambiguationResult& base) const;
+
+ private:
+  /// Returns `problem` with every mention's candidates resolved (so that
+  /// perturbed reruns share one candidate space).
+  core::DisambiguationProblem ResolveProblem(
+      const core::DisambiguationProblem& problem) const;
+
+  const core::CandidateModelStore* models_;
+  const core::NedSystem* ned_;
+  ConfidenceOptions options_;
+};
+
+}  // namespace aida::ee
+
+#endif  // AIDA_EE_CONFIDENCE_H_

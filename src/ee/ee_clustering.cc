@@ -1,0 +1,87 @@
+#include "ee/ee_clustering.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "ee/keyphrase_harvester.h"
+#include "kore/kore_relatedness.h"
+
+namespace aida::ee {
+
+EeClusterer::EeClusterer() : EeClusterer(Options()) {}
+
+EeClusterer::EeClusterer(Options options) : options_(options) {}
+
+std::vector<std::vector<size_t>> EeClusterer::Cluster(
+    const std::vector<EeMention>& mentions) const {
+  std::vector<std::vector<size_t>> clusters;
+  // Per cluster: running centroid model.
+  std::vector<std::shared_ptr<core::CandidateModel>> centroids;
+
+  for (size_t i = 0; i < mentions.size(); ++i) {
+    const EeMention& mention = mentions[i];
+    int best_cluster = -1;
+    double best_rel = options_.min_relatedness;
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      // Names must match under the dictionary rules.
+      const EeMention& representative = mentions[clusters[c].front()];
+      if (!SurfaceMatchesName(mention.surface, representative.surface)) {
+        continue;
+      }
+      if (mention.model->phrases.empty() ||
+          centroids[c]->phrases.empty()) {
+        continue;
+      }
+      double rel = kore::KoreRelatedness::RelatednessOfModels(
+          *mention.model, *centroids[c]);
+      if (rel >= best_rel) {
+        best_rel = rel;
+        best_cluster = static_cast<int>(c);
+      }
+    }
+    if (best_cluster >= 0) {
+      clusters[static_cast<size_t>(best_cluster)].push_back(i);
+      // Update the centroid with the new member's phrases.
+      std::vector<size_t> merged_members =
+          clusters[static_cast<size_t>(best_cluster)];
+      centroids[static_cast<size_t>(best_cluster)] =
+          MergeModels(mentions, merged_members);
+    } else {
+      clusters.push_back({i});
+      centroids.push_back(
+          std::make_shared<core::CandidateModel>(*mention.model));
+    }
+  }
+  return clusters;
+}
+
+std::shared_ptr<core::CandidateModel> EeClusterer::MergeModels(
+    const std::vector<EeMention>& mentions,
+    const std::vector<size_t>& cluster) {
+  auto merged = std::make_shared<core::CandidateModel>();
+  merged->entity = kb::kNoEntity;
+  // Key phrases by their word-id sequence; weights accumulate.
+  std::unordered_map<std::string, size_t> index;
+  for (size_t member : cluster) {
+    for (const core::CandidatePhrase& phrase :
+         mentions[member].model->phrases) {
+      std::string key;
+      key.reserve(phrase.words.size() * 4);
+      for (kb::WordId w : phrase.words) {
+        key.append(reinterpret_cast<const char*>(&w), sizeof(w));
+      }
+      auto [it, inserted] = index.emplace(key, merged->phrases.size());
+      if (inserted) {
+        merged->phrases.push_back(phrase);
+      } else {
+        merged->phrases[it->second].phrase_weight += phrase.phrase_weight;
+      }
+    }
+  }
+  for (const core::CandidatePhrase& phrase : merged->phrases) {
+    merged->total_phrase_weight += phrase.phrase_weight;
+  }
+  return merged;
+}
+
+}  // namespace aida::ee

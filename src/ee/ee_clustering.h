@@ -1,0 +1,61 @@
+#ifndef AIDA_EE_EE_CLUSTERING_H_
+#define AIDA_EE_EE_CLUSTERING_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/candidates.h"
+
+namespace aida::ee {
+
+/// One emerging-entity mention occurrence, with the contextual keyphrase
+/// model harvested around it.
+struct EeMention {
+  /// Document and mention indices in the caller's corpus (opaque here).
+  size_t doc_index = 0;
+  size_t mention_index = 0;
+  std::string surface;
+  /// Local keyphrase model of the occurrence (never null).
+  std::shared_ptr<const core::CandidateModel> model;
+};
+
+/// Groups emerging-entity mentions that refer to the same (still
+/// unregistered) entity — the KB-maintenance step of Section 5.6: "the
+/// mentions that are mapped to the same EE can be grouped together, and
+/// this group is added — together with its keyphrase representation — to
+/// the KB". Two mentions join a cluster when their names match (under the
+/// dictionary rules) and their keyphrase models overlap; different
+/// entities sharing a name (Prism the program vs "Prism" the album) stay
+/// apart through their disjoint keyphrases.
+class EeClusterer {
+ public:
+  struct Options {
+    /// Minimum KORE relatedness between a mention's model and a cluster's
+    /// centroid model for the mention to join.
+    double min_relatedness = 0.005;
+  };
+
+  EeClusterer();
+  explicit EeClusterer(Options options);
+
+  /// Greedy single-pass clustering; returns per-cluster lists of indices
+  /// into `mentions`. Mentions with empty models form singleton clusters.
+  std::vector<std::vector<size_t>> Cluster(
+      const std::vector<EeMention>& mentions) const;
+
+  /// Merges the models of a cluster into one (phrase union, weights
+  /// summed) — the representation under which the group would be added to
+  /// the knowledge base.
+  static std::shared_ptr<core::CandidateModel> MergeModels(
+      const std::vector<EeMention>& mentions,
+      const std::vector<size_t>& cluster);
+
+ private:
+  Options options_;
+};
+
+}  // namespace aida::ee
+
+#endif  // AIDA_EE_EE_CLUSTERING_H_

@@ -1,0 +1,194 @@
+#include "ee/ee_discovery.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace aida::ee {
+
+EmergingEntityDiscoverer::EmergingEntityDiscoverer(
+    const core::CandidateModelStore* models, const core::NedSystem* ned,
+    const corpus::Corpus* stream, EeDiscoveryOptions options)
+    : models_(models),
+      ned_(ned),
+      stream_(stream),
+      options_(options),
+      harvester_(KeyphraseHarvester::Options{
+          options.harvest_sentence_window}) {
+  AIDA_CHECK(models_ != nullptr && ned_ != nullptr && stream_ != nullptr);
+  vocab_ = std::make_unique<core::ExtendedVocabulary>(
+      &models_->knowledge_base().keyphrases());
+  builder_ = std::make_unique<EmergingEntityModelBuilder>(
+      models_, vocab_.get(), options_.model);
+}
+
+std::vector<const corpus::Document*> EmergingEntityDiscoverer::Chunk(
+    int64_t first, int64_t last, const corpus::Document* exclude) const {
+  std::vector<const corpus::Document*> docs;
+  for (const corpus::Document& doc : *stream_) {
+    if (&doc == exclude) continue;
+    if (doc.day >= first && doc.day <= last) docs.push_back(&doc);
+  }
+  return docs;
+}
+
+std::shared_ptr<const core::CandidateModel>
+EmergingEntityDiscoverer::ModelFor(kb::EntityId entity) const {
+  auto it = extended_models_.find(entity);
+  if (it != extended_models_.end()) return it->second;
+  return models_->ModelFor(entity);
+}
+
+void EmergingEntityDiscoverer::HarvestExistingEntities(int64_t first_day,
+                                                       int64_t last_day) {
+  std::vector<const corpus::Document*> docs =
+      Chunk(first_day, last_day, nullptr);
+  if (docs.empty()) return;
+
+  // Disambiguate each harvest document with the base NED and keep only
+  // assignments whose normalized-score confidence clears the bar; at 95%
+  // confidence nearly all of them are correct (Table 5.1), so little noise
+  // enters the entity models.
+  std::vector<std::vector<std::pair<size_t, kb::EntityId>>> assignments(
+      docs.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    const corpus::Document& doc = *docs[d];
+    core::DisambiguationProblem problem;
+    problem.tokens = &doc.tokens;
+    for (const corpus::GoldMention& gm : doc.mentions) {
+      core::ProblemMention pm;
+      pm.surface = gm.surface;
+      pm.begin_token = gm.begin_token;
+      pm.end_token = gm.end_token;
+      problem.mentions.push_back(std::move(pm));
+    }
+    core::DisambiguationResult result = ned_->Disambiguate(problem);
+    std::vector<double> confidence =
+        ConfidenceEstimator::NormalizedScores(result);
+    for (size_t m = 0; m < result.mentions.size(); ++m) {
+      if (result.mentions[m].entity == kb::kNoEntity) continue;
+      if (confidence[m] < options_.existing_confidence) continue;
+      assignments[d].emplace_back(m, result.mentions[m].entity);
+    }
+  }
+
+  KeyphraseHarvester narrow_harvester(
+      KeyphraseHarvester::Options{options_.existing_sentence_window});
+  for (auto& [entity, counts] :
+       narrow_harvester.HarvestForEntities(docs, assignments)) {
+    std::shared_ptr<const core::CandidateModel> base = ModelFor(entity);
+    extended_models_[entity] =
+        builder_->ExtendModel(*base, counts, docs.size());
+  }
+  // Extended models change candidate features; cached placeholders built
+  // against the old models stay valid (the difference is taken per call).
+}
+
+std::shared_ptr<const core::CandidateModel>
+EmergingEntityDiscoverer::PlaceholderModel(const std::string& name,
+                                           int64_t day) {
+  std::string key = util::StrFormat("%s@%lld", name.c_str(),
+                                    static_cast<long long>(day));
+  auto it = placeholder_cache_.find(key);
+  if (it != placeholder_cache_.end()) return it->second;
+
+  std::vector<const corpus::Document*> chunk =
+      Chunk(day - options_.harvest_days, day, nullptr);
+  HarvestedCounts harvested = harvester_.HarvestForName(chunk, name);
+
+  std::vector<core::Candidate> kb_candidates =
+      core::LookupCandidates(*models_, name);
+  std::shared_ptr<const core::CandidateModel> model =
+      builder_->BuildPlaceholder(name, harvested, kb_candidates,
+                                 chunk.size());
+  placeholder_cache_.emplace(std::move(key), model);
+  return model;
+}
+
+core::DisambiguationResult EmergingEntityDiscoverer::Discover(
+    const corpus::Document& doc) {
+  // Resolve candidates with (possibly harvest-extended) models.
+  core::DisambiguationProblem problem;
+  problem.tokens = &doc.tokens;
+  problem.vocab = vocab_.get();
+  for (const corpus::GoldMention& gm : doc.mentions) {
+    core::ProblemMention pm;
+    pm.surface = gm.surface;
+    pm.begin_token = gm.begin_token;
+    pm.end_token = gm.end_token;
+    pm.candidates_resolved = true;
+    for (const kb::NameCandidate& nc :
+         models_->knowledge_base().dictionary().Lookup(gm.surface)) {
+      core::Candidate c;
+      c.entity = nc.entity;
+      c.prior = nc.prior;
+      c.model = ModelFor(nc.entity);
+      pm.candidates.push_back(std::move(c));
+    }
+    problem.mentions.push_back(std::move(pm));
+  }
+
+  // ---- Optional first stage: confidence thresholding ----------------------
+  std::vector<int> fixed_state(problem.mentions.size(), 0);  // 0 free,
+                                                             // 1 EE, 2 pinned
+  if (options_.lower_threshold > 0.0 || options_.upper_threshold < 1.0) {
+    core::DisambiguationResult initial = ned_->Disambiguate(problem);
+    ConfidenceEstimator estimator(models_, ned_, options_.confidence);
+    std::vector<double> conf = estimator.Conf(problem, initial);
+    for (size_t m = 0; m < problem.mentions.size(); ++m) {
+      if (problem.mentions[m].candidates.empty()) continue;
+      if (conf[m] <= options_.lower_threshold) {
+        fixed_state[m] = 1;
+      } else if (conf[m] >= options_.upper_threshold &&
+                 initial.mentions[m].entity != kb::kNoEntity) {
+        fixed_state[m] = 2;
+        // Pin: reduce the candidate list to the initial entity.
+        auto& cands = problem.mentions[m].candidates;
+        for (const core::Candidate& c : cands) {
+          if (c.entity == initial.mentions[m].entity) {
+            core::Candidate pinned = c;
+            cands.assign(1, pinned);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Placeholder injection -----------------------------------------------
+  for (size_t m = 0; m < problem.mentions.size(); ++m) {
+    if (fixed_state[m] == 2) continue;
+    core::ProblemMention& pm = problem.mentions[m];
+    core::Candidate placeholder;
+    placeholder.entity = kb::kNoEntity;
+    placeholder.is_placeholder = true;
+    placeholder.prior = 0.0;
+    placeholder.weight_scale = options_.gamma;
+    placeholder.model = PlaceholderModel(pm.surface, doc.day);
+    if (fixed_state[m] == 1) {
+      // Thresholded EE: only the placeholder remains.
+      pm.candidates.assign(1, placeholder);
+    } else {
+      pm.candidates.push_back(std::move(placeholder));
+    }
+  }
+
+  return ned_->Disambiguate(problem);
+}
+
+core::DisambiguationResult ApplyEeThreshold(
+    const core::DisambiguationResult& result,
+    const std::vector<double>& confidences, double threshold) {
+  AIDA_CHECK(result.mentions.size() == confidences.size());
+  core::DisambiguationResult out = result;
+  for (size_t m = 0; m < out.mentions.size(); ++m) {
+    if (confidences[m] < threshold) {
+      out.mentions[m].entity = kb::kNoEntity;
+      out.mentions[m].chose_placeholder = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace aida::ee

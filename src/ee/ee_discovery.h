@@ -1,0 +1,117 @@
+#ifndef AIDA_EE_EE_DISCOVERY_H_
+#define AIDA_EE_EE_DISCOVERY_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ned_system.h"
+#include "corpus/document.h"
+#include "ee/confidence.h"
+#include "ee/emerging_entity_model.h"
+#include "ee/keyphrase_harvester.h"
+
+namespace aida::ee {
+
+/// Tuning of Algorithm 3 and the news-stream machinery of Section 5.6.
+struct EeDiscoveryOptions {
+  /// First-stage thresholds t_l / t_u: confidence <= t_l labels a mention
+  /// EE outright, >= t_u pins the initial entity. The defaults (0, 1)
+  /// disable the first stage, so only the placeholder competes.
+  double lower_threshold = 0.0;
+  double upper_threshold = 1.0;
+  /// Days of the stream harvested for placeholder keyphrases
+  /// (Figure 5.4 sweeps this).
+  int64_t harvest_days = 2;
+  /// Sentences harvested around each occurrence. Short news sentences make
+  /// tight windows preferable: wide windows absorb the context of
+  /// co-mentioned names into the placeholder model.
+  size_t harvest_sentence_window = 1;
+  /// Gamma: weight of placeholder evidence against in-KB entity evidence.
+  double gamma = 0.05;
+  /// Whether to enrich in-KB entity models from confident disambiguations
+  /// of earlier stream days (Section 5.5.1).
+  bool harvest_existing = true;
+  double existing_confidence = 0.95;
+  int64_t existing_harvest_days = 30;
+  /// Window for existing-entity harvesting. 0 = the mention's own
+  /// sentence only: wider windows let phrases of co-mentioned (possibly
+  /// emerging) entities leak into in-KB models, suppressing EE recall.
+  size_t existing_sentence_window = 0;
+  EeModelOptions model;
+  ConfidenceOptions confidence;
+};
+
+/// Discovers emerging entities over a dated news stream by making the
+/// out-of-KB entity an explicit candidate (chapter 5): for each ambiguous
+/// mention, a placeholder candidate is injected whose keyphrase model is
+/// the model difference between the name's global news model and the
+/// in-KB candidates' models; the black-box NED then decides.
+class EmergingEntityDiscoverer {
+ public:
+  /// None of the pointers are owned; `ned` must accept pre-resolved
+  /// candidates and placeholder models (AIDA does). `stream` supplies the
+  /// dated documents used for harvesting.
+  EmergingEntityDiscoverer(const core::CandidateModelStore* models,
+                           const core::NedSystem* ned,
+                           const corpus::Corpus* stream,
+                           EeDiscoveryOptions options);
+
+  /// Enriches in-KB entity models from confident disambiguations in the
+  /// stream days [first_day, last_day]. Optional; call before Discover.
+  void HarvestExistingEntities(int64_t first_day, int64_t last_day);
+
+  /// Runs NED-EE on one document (Algorithm 3): first-stage thresholding
+  /// (when enabled), placeholder injection, second NED pass. The returned
+  /// result marks EE decisions via MentionResult::chose_placeholder /
+  /// entity == kb::kNoEntity.
+  core::DisambiguationResult Discover(const corpus::Document& doc);
+
+  /// The extended vocabulary accumulated by harvesting (exposed so
+  /// callers can reuse it for custom problems).
+  const core::ExtendedVocabulary& vocab() const { return *vocab_; }
+
+  /// Placeholder model for `name` as of day `day` (cached); exposed for
+  /// tests and analysis tooling.
+  std::shared_ptr<const core::CandidateModel> PlaceholderModel(
+      const std::string& name, int64_t day);
+
+ private:
+  /// Stream documents with day in [first, last], excluding `exclude`.
+  std::vector<const corpus::Document*> Chunk(int64_t first, int64_t last,
+                                             const corpus::Document* exclude)
+      const;
+
+  /// Model for an in-KB entity, harvest-extended when available.
+  std::shared_ptr<const core::CandidateModel> ModelFor(
+      kb::EntityId entity) const;
+
+  const core::CandidateModelStore* models_;
+  const core::NedSystem* ned_;
+  const corpus::Corpus* stream_;
+  EeDiscoveryOptions options_;
+  KeyphraseHarvester harvester_;
+  std::unique_ptr<core::ExtendedVocabulary> vocab_;
+  std::unique_ptr<EmergingEntityModelBuilder> builder_;
+  // (name, day) -> cached placeholder model.
+  std::unordered_map<std::string,
+                     std::shared_ptr<const core::CandidateModel>>
+      placeholder_cache_;
+  // Harvest-extended models for in-KB entities.
+  std::unordered_map<kb::EntityId,
+                     std::shared_ptr<const core::CandidateModel>>
+      extended_models_;
+};
+
+/// Threshold-based EE labeling used by the baselines of Table 5.3: any
+/// mention whose confidence falls below `threshold` is relabeled EE
+/// (entity cleared). Returns the modified copy.
+core::DisambiguationResult ApplyEeThreshold(
+    const core::DisambiguationResult& result,
+    const std::vector<double>& confidences, double threshold);
+
+}  // namespace aida::ee
+
+#endif  // AIDA_EE_EE_DISCOVERY_H_

@@ -1,0 +1,166 @@
+#include "ee/emerging_entity_model.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace aida::ee {
+
+EmergingEntityModelBuilder::EmergingEntityModelBuilder(
+    const core::CandidateModelStore* models, core::ExtendedVocabulary* vocab,
+    EeModelOptions options)
+    : models_(models), vocab_(vocab), options_(options) {
+  AIDA_CHECK(models_ != nullptr && vocab_ != nullptr);
+}
+
+std::vector<core::CandidatePhrase> EmergingEntityModelBuilder::ToPhrases(
+    const std::vector<std::pair<std::string, double>>& weighted) const {
+  std::vector<core::CandidatePhrase> phrases;
+  phrases.reserve(weighted.size());
+  for (const auto& [text, weight] : weighted) {
+    core::CandidatePhrase phrase;
+    for (const std::string& token : util::Split(text, ' ')) {
+      kb::WordId w = vocab_->GetOrIntern(token, options_.new_word_idf);
+      phrase.words.push_back(w);
+      double idf = vocab_->Idf(w);
+      phrase.word_idf.push_back(idf);
+      // Placeholders have no in-KB NPMI statistics; IDF stands in (the
+      // cover score of Eq. 3.4 only uses relative in-phrase weights).
+      phrase.word_npmi.push_back(idf);
+    }
+    phrase.phrase_weight = weight;
+    phrases.push_back(std::move(phrase));
+  }
+  return phrases;
+}
+
+std::shared_ptr<const core::CandidateModel>
+EmergingEntityModelBuilder::BuildPlaceholder(
+    std::string_view name, const HarvestedCounts& harvested,
+    const std::vector<core::Candidate>& kb_candidates,
+    size_t chunk_docs) const {
+  const kb::KnowledgeBase& kb = models_->knowledge_base();
+  const kb::KeyphraseStore& store = kb.keyphrases();
+
+  // Balance alpha between the KB "collection" (entities) and the news
+  // chunk (documents).
+  double alpha = options_.collection_balance;
+  if (alpha <= 0.0) {
+    alpha = static_cast<double>(kb.entity_count()) /
+            static_cast<double>(std::max<size_t>(1, chunk_docs));
+  }
+
+  // Aggregate the in-KB candidates' keyphrase counts by phrase text, and
+  // their keyword vocabulary, once.
+  std::unordered_map<std::string, double> kb_counts;
+  std::unordered_set<kb::WordId> kb_words;
+  for (const core::Candidate& cand : kb_candidates) {
+    if (cand.is_placeholder || cand.entity == kb::kNoEntity) continue;
+    for (kb::PhraseId p : store.EntityPhrases(cand.entity)) {
+      kb_counts[store.PhraseText(p)] +=
+          static_cast<double>(store.EntityPhraseCount(cand.entity, p));
+    }
+    for (kb::WordId w : store.EntityWords(cand.entity)) {
+      kb_words.insert(w);
+    }
+  }
+
+  // Model difference: global name counts minus in-KB candidate counts,
+  // balanced by alpha for the differing collection sizes. Harvested
+  // phrases rarely match KB phrase text verbatim (news paraphrases), so
+  // in addition to the exact-count subtraction, each phrase is discounted
+  // by how much of its IDF mass the candidates' keyword vocabulary
+  // already covers — a soft, word-level model difference.
+  std::vector<std::pair<std::string, double>> weighted;
+  double max_weight = 0.0;
+  for (const auto& [text, count] : harvested.phrase_counts) {
+    auto it = kb_counts.find(text);
+    double in_kb = it == kb_counts.end() ? 0.0 : it->second;
+
+    double covered_mass = 0.0;
+    double total_mass = 0.0;
+    for (const std::string& token : util::Split(text, ' ')) {
+      kb::WordId w = store.FindWord(token);
+      double idf = w == kb::kNoWord ? options_.new_word_idf
+                                    : std::max(0.5, store.WordIdf(w));
+      total_mass += idf;
+      if (w != kb::kNoWord && kb_words.count(w) > 0) covered_mass += idf;
+    }
+    double novelty =
+        total_mass > 0.0 ? 1.0 - covered_mass / total_mass : 0.0;
+
+    double adjusted =
+        novelty * (alpha * static_cast<double>(count)) - in_kb;
+    if (adjusted <= 0.0) continue;
+    weighted.emplace_back(text, adjusted);
+    max_weight = std::max(max_weight, adjusted);
+  }
+
+  // Normalize into the mu weight range and keep the strongest phrases.
+  std::sort(weighted.begin(), weighted.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (weighted.size() > options_.max_phrases) {
+    weighted.resize(options_.max_phrases);
+  }
+  if (max_weight > 0.0) {
+    for (auto& [text, weight] : weighted) {
+      weight = options_.phrase_weight_scale * weight / max_weight;
+    }
+  }
+
+  auto model = std::make_shared<core::CandidateModel>();
+  model->entity = kb::kNoEntity;
+  model->phrases = ToPhrases(weighted);
+  for (const core::CandidatePhrase& p : model->phrases) {
+    model->total_phrase_weight += p.phrase_weight;
+  }
+  (void)name;
+  return model;
+}
+
+std::shared_ptr<const core::CandidateModel>
+EmergingEntityModelBuilder::ExtendModel(const core::CandidateModel& base,
+                                        const HarvestedCounts& harvested,
+                                        size_t chunk_docs) const {
+  (void)chunk_docs;
+  auto model = std::make_shared<core::CandidateModel>(base);
+
+  // Convert harvested counts into phrases on the mu weight scale; phrases
+  // already present in the base model are skipped (their KB statistics are
+  // more reliable than chunk counts).
+  std::vector<std::pair<std::string, double>> weighted;
+  double max_count = 0.0;
+  for (const auto& [text, count] : harvested.phrase_counts) {
+    max_count = std::max(max_count, static_cast<double>(count));
+  }
+  if (max_count <= 0.0) return model;
+
+  const kb::KeyphraseStore& store = models_->knowledge_base().keyphrases();
+  std::unordered_set<std::string> base_texts;
+  if (base.entity != kb::kNoEntity) {
+    for (kb::PhraseId p : store.EntityPhrases(base.entity)) {
+      base_texts.insert(store.PhraseText(p));
+    }
+  }
+  for (const auto& [text, count] : harvested.phrase_counts) {
+    if (base_texts.count(text) > 0) continue;
+    weighted.emplace_back(text, options_.phrase_weight_scale *
+                                    static_cast<double>(count) / max_count);
+  }
+  std::sort(weighted.begin(), weighted.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  size_t budget = options_.max_phrases > model->phrases.size()
+                      ? options_.max_phrases - model->phrases.size()
+                      : 0;
+  if (weighted.size() > budget) weighted.resize(budget);
+
+  for (core::CandidatePhrase& phrase : ToPhrases(weighted)) {
+    model->total_phrase_weight += phrase.phrase_weight;
+    model->phrases.push_back(std::move(phrase));
+  }
+  return model;
+}
+
+}  // namespace aida::ee

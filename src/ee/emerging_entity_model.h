@@ -1,0 +1,69 @@
+#ifndef AIDA_EE_EMERGING_ENTITY_MODEL_H_
+#define AIDA_EE_EMERGING_ENTITY_MODEL_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/candidates.h"
+#include "ee/keyphrase_harvester.h"
+
+namespace aida::ee {
+
+/// Tuning of emerging-entity model construction (Sections 5.5.2, 5.6).
+struct EeModelOptions {
+  /// Collection-size balance alpha between KB counts and news counts;
+  /// 0 selects the automatic ratio (KB entities / chunk documents).
+  double collection_balance = 0.0;
+  /// Cap on phrases kept per model, best-weighted first (the paper caps
+  /// at 3000 to balance popular against long-tail entities).
+  size_t max_phrases = 3000;
+  /// Scale of EE phrase MI weights relative to typical KB mu weights, so
+  /// KORE treats placeholder phrases on a comparable footing.
+  double phrase_weight_scale = 0.05;
+  /// IDF assigned to harvested words unknown to the KB vocabulary.
+  double new_word_idf = 10.0;
+};
+
+/// Builds keyphrase models for emerging-entity placeholders (Algorithm 2)
+/// and keyphrase extensions for existing entities (Section 5.5.1).
+class EmergingEntityModelBuilder {
+ public:
+  /// `models` and `vocab` are not owned; `vocab` is extended in place with
+  /// harvested out-of-KB words.
+  EmergingEntityModelBuilder(const core::CandidateModelStore* models,
+                             core::ExtendedVocabulary* vocab,
+                             EeModelOptions options);
+
+  /// Algorithm 2: constructs the placeholder model of `name` by
+  /// subtracting the (balance-adjusted) keyphrase counts of the in-KB
+  /// candidates from the global name model harvested from the news chunk.
+  /// `chunk_docs` is the size of the chunk the counts came from.
+  std::shared_ptr<const core::CandidateModel> BuildPlaceholder(
+      std::string_view name, const HarvestedCounts& harvested,
+      const std::vector<core::Candidate>& kb_candidates,
+      size_t chunk_docs) const;
+
+  /// Extends an existing entity's model with harvested phrases (keyphrase
+  /// enrichment from high-confidence disambiguations). The base model is
+  /// not modified; a combined copy is returned.
+  std::shared_ptr<const core::CandidateModel> ExtendModel(
+      const core::CandidateModel& base, const HarvestedCounts& harvested,
+      size_t chunk_docs) const;
+
+ private:
+  /// Converts harvested (phrase text, weight) pairs into CandidatePhrases,
+  /// interning words into the extended vocabulary.
+  std::vector<core::CandidatePhrase> ToPhrases(
+      const std::vector<std::pair<std::string, double>>& weighted) const;
+
+  const core::CandidateModelStore* models_;
+  core::ExtendedVocabulary* vocab_;
+  EeModelOptions options_;
+};
+
+}  // namespace aida::ee
+
+#endif  // AIDA_EE_EMERGING_ENTITY_MODEL_H_

@@ -1,0 +1,119 @@
+#include "ee/keyphrase_harvester.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+#include "text/sentence_splitter.h"
+#include "util/string_util.h"
+
+namespace aida::ee {
+
+namespace {
+
+// Converts the corpus's pre-tokenized word list into a TokenSequence for
+// the POS tagger (synthetic offsets; only text/case/punct flags matter).
+text::TokenSequence ToTokens(const std::vector<std::string>& words) {
+  text::TokenSequence tokens;
+  tokens.reserve(words.size());
+  size_t offset = 0;
+  for (const std::string& w : words) {
+    text::Token t;
+    t.text = w;
+    t.begin = offset;
+    t.end = offset + w.size();
+    offset = t.end + 1;
+    t.capitalized =
+        !w.empty() && std::isupper(static_cast<unsigned char>(w[0])) != 0;
+    t.sentence_final_punct =
+        w.size() == 1 && (w[0] == '.' || w[0] == '!' || w[0] == '?');
+    tokens.push_back(std::move(t));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+bool SurfaceMatchesName(std::string_view surface, std::string_view name) {
+  if (name.size() <= 3) return surface == name;
+  return util::ToUpper(surface) == util::ToUpper(name);
+}
+
+KeyphraseHarvester::KeyphraseHarvester() : KeyphraseHarvester(Options()) {}
+
+KeyphraseHarvester::KeyphraseHarvester(Options options) : options_(options) {}
+
+std::vector<std::string> KeyphraseHarvester::WindowPhrases(
+    const corpus::Document& doc, size_t mention_index) const {
+  const corpus::GoldMention& mention = doc.mentions[mention_index];
+  text::TokenSequence tokens = ToTokens(doc.tokens);
+  text::SentenceSplitter splitter;
+  std::vector<text::SentenceSpan> sentences = splitter.Split(tokens);
+  if (sentences.empty()) return {};
+
+  size_t sentence = text::SentenceSplitter::SentenceOf(
+      sentences, mention.begin_token);
+  size_t first = sentence >= options_.sentence_window
+                     ? sentence - options_.sentence_window
+                     : 0;
+  size_t last = std::min(sentences.size() - 1,
+                         sentence + options_.sentence_window);
+  size_t window_begin = sentences[first].begin;
+  size_t window_end = sentences[last].end;
+
+  text::TokenSequence window(tokens.begin() + window_begin,
+                             tokens.begin() + window_end);
+  std::vector<nlp::PosTag> tags = tagger_.Tag(window);
+  std::vector<std::string> phrases;
+  std::string mention_lower = util::ToLower(mention.surface);
+  for (const nlp::ExtractedPhrase& p : extractor_.Extract(window, tags)) {
+    // The name itself is not a descriptive phrase.
+    if (p.text == mention_lower) continue;
+    phrases.push_back(p.text);
+  }
+  return phrases;
+}
+
+HarvestedCounts KeyphraseHarvester::HarvestForName(
+    const std::vector<const corpus::Document*>& docs,
+    std::string_view name) const {
+  HarvestedCounts counts;
+  for (const corpus::Document* doc : docs) {
+    bool contributed = false;
+    for (size_t i = 0; i < doc->mentions.size(); ++i) {
+      if (!SurfaceMatchesName(doc->mentions[i].surface, name)) continue;
+      ++counts.occurrences;
+      contributed = true;
+      // Count each distinct phrase once per occurrence window.
+      std::unordered_set<std::string> seen;
+      for (std::string& phrase : WindowPhrases(*doc, i)) {
+        if (seen.insert(phrase).second) ++counts.phrase_counts[phrase];
+      }
+    }
+    if (contributed) ++counts.documents;
+  }
+  return counts;
+}
+
+std::unordered_map<kb::EntityId, HarvestedCounts>
+KeyphraseHarvester::HarvestForEntities(
+    const std::vector<const corpus::Document*>& docs,
+    const std::vector<std::vector<std::pair<size_t, kb::EntityId>>>&
+        assignments) const {
+  std::unordered_map<kb::EntityId, HarvestedCounts> result;
+  for (size_t d = 0; d < docs.size(); ++d) {
+    std::unordered_set<kb::EntityId> in_doc;
+    for (const auto& [mention_index, entity] : assignments[d]) {
+      HarvestedCounts& counts = result[entity];
+      ++counts.occurrences;
+      if (in_doc.insert(entity).second) ++counts.documents;
+      std::unordered_set<std::string> seen;
+      for (std::string& phrase : WindowPhrases(*docs[d], mention_index)) {
+        if (seen.insert(phrase).second) ++counts.phrase_counts[phrase];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace aida::ee

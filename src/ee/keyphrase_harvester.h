@@ -1,0 +1,70 @@
+#ifndef AIDA_EE_KEYPHRASE_HARVESTER_H_
+#define AIDA_EE_KEYPHRASE_HARVESTER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/document.h"
+#include "nlp/keyphrase_extractor.h"
+#include "nlp/pos_tagger.h"
+
+namespace aida::ee {
+
+/// Phrase co-occurrence statistics harvested for one name or entity.
+struct HarvestedCounts {
+  /// phrase text -> number of occurrences it co-occurred with.
+  std::unordered_map<std::string, uint32_t> phrase_counts;
+  /// Number of name/entity occurrences observed.
+  uint32_t occurrences = 0;
+  /// Documents contributing at least one occurrence.
+  size_t documents = 0;
+};
+
+/// Harvests descriptive keyphrases from sentence windows around mention
+/// occurrences in a document stream (Section 5.5.1): part-of-speech
+/// tagging, then the noun-group patterns of Appendix A.
+class KeyphraseHarvester {
+ public:
+  struct Options {
+    /// Sentences taken before and after the mention's sentence.
+    size_t sentence_window = 5;
+  };
+
+  KeyphraseHarvester();
+  explicit KeyphraseHarvester(Options options);
+
+  /// Phrases co-occurring with any mention of `name` across `docs`
+  /// (matching is case-insensitive for names longer than 3 characters,
+  /// mirroring the dictionary rules).
+  HarvestedCounts HarvestForName(
+      const std::vector<const corpus::Document*>& docs,
+      std::string_view name) const;
+
+  /// Phrases co-occurring with specific mentions, grouped by the entity
+  /// each mention was (confidently) disambiguated to. `assignments[d]`
+  /// lists (mention index, entity) pairs for docs[d].
+  std::unordered_map<kb::EntityId, HarvestedCounts> HarvestForEntities(
+      const std::vector<const corpus::Document*>& docs,
+      const std::vector<std::vector<std::pair<size_t, kb::EntityId>>>&
+          assignments) const;
+
+  /// Phrases found in one window around mention `mention_index` of `doc`.
+  std::vector<std::string> WindowPhrases(const corpus::Document& doc,
+                                         size_t mention_index) const;
+
+ private:
+  Options options_;
+  nlp::PosTagger tagger_;
+  nlp::KeyphraseExtractor extractor_;
+};
+
+/// True if mention surface `surface` matches `name` under the dictionary
+/// matching rules (exact for <= 3 chars, case-insensitive otherwise).
+bool SurfaceMatchesName(std::string_view surface, std::string_view name);
+
+}  // namespace aida::ee
+
+#endif  // AIDA_EE_KEYPHRASE_HARVESTER_H_

@@ -1,0 +1,128 @@
+#include "eval/metrics.h"
+
+#include "util/status.h"
+
+namespace aida::eval {
+
+void NedEvaluator::AddDocument(const corpus::Document& gold,
+                               const core::DisambiguationResult& prediction) {
+  AIDA_CHECK(gold.mentions.size() == prediction.mentions.size());
+  DocCounts counts;
+  for (size_t i = 0; i < gold.mentions.size(); ++i) {
+    const corpus::GoldMention& gm = gold.mentions[i];
+    const core::MentionResult& pm = prediction.mentions[i];
+    bool predicted_ee = pm.entity == kb::kNoEntity;
+    if (gm.out_of_kb()) {
+      ++counts.gold_ee;
+      if (predicted_ee) ++counts.correct_ee;
+    } else {
+      ++counts.gold_in_kb;
+      if (!predicted_ee && pm.entity == gm.gold_entity) {
+        ++counts.correct_in_kb;
+      }
+    }
+    if (predicted_ee) ++counts.predicted_ee;
+  }
+  docs_.push_back(counts);
+}
+
+double NedEvaluator::MicroAccuracy() const {
+  size_t gold = 0;
+  size_t correct = 0;
+  for (const DocCounts& d : docs_) {
+    gold += d.gold_in_kb;
+    correct += d.correct_in_kb;
+  }
+  return gold == 0 ? 0.0
+                   : static_cast<double>(correct) / static_cast<double>(gold);
+}
+
+double NedEvaluator::MacroAccuracy() const {
+  double sum = 0.0;
+  size_t considered = 0;
+  for (const DocCounts& d : docs_) {
+    if (d.gold_in_kb == 0) continue;
+    sum += static_cast<double>(d.correct_in_kb) /
+           static_cast<double>(d.gold_in_kb);
+    ++considered;
+  }
+  return considered == 0 ? 0.0 : sum / static_cast<double>(considered);
+}
+
+double NedEvaluator::MicroAccuracyWithEe() const {
+  size_t gold = 0;
+  size_t correct = 0;
+  for (const DocCounts& d : docs_) {
+    gold += d.gold_in_kb + d.gold_ee;
+    correct += d.correct_in_kb + d.correct_ee;
+  }
+  return gold == 0 ? 0.0
+                   : static_cast<double>(correct) / static_cast<double>(gold);
+}
+
+double NedEvaluator::MacroAccuracyWithEe() const {
+  double sum = 0.0;
+  size_t considered = 0;
+  for (const DocCounts& d : docs_) {
+    size_t gold = d.gold_in_kb + d.gold_ee;
+    if (gold == 0) continue;
+    sum += static_cast<double>(d.correct_in_kb + d.correct_ee) /
+           static_cast<double>(gold);
+    ++considered;
+  }
+  return considered == 0 ? 0.0 : sum / static_cast<double>(considered);
+}
+
+double NedEvaluator::EePrecision() const {
+  double sum = 0.0;
+  size_t considered = 0;
+  for (const DocCounts& d : docs_) {
+    if (d.predicted_ee == 0) continue;
+    sum += static_cast<double>(d.correct_ee) /
+           static_cast<double>(d.predicted_ee);
+    ++considered;
+  }
+  return considered == 0 ? 0.0 : sum / static_cast<double>(considered);
+}
+
+double NedEvaluator::EeRecall() const {
+  double sum = 0.0;
+  size_t considered = 0;
+  for (const DocCounts& d : docs_) {
+    if (d.gold_ee == 0) continue;
+    sum += static_cast<double>(d.correct_ee) / static_cast<double>(d.gold_ee);
+    ++considered;
+  }
+  return considered == 0 ? 0.0 : sum / static_cast<double>(considered);
+}
+
+double NedEvaluator::EeF1() const {
+  double sum = 0.0;
+  size_t considered = 0;
+  for (const DocCounts& d : docs_) {
+    if (d.gold_ee == 0 && d.predicted_ee == 0) continue;
+    double p = d.predicted_ee == 0 ? 0.0
+                                   : static_cast<double>(d.correct_ee) /
+                                         static_cast<double>(d.predicted_ee);
+    double r = d.gold_ee == 0 ? 0.0
+                              : static_cast<double>(d.correct_ee) /
+                                    static_cast<double>(d.gold_ee);
+    sum += (p + r) <= 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+    ++considered;
+  }
+  return considered == 0 ? 0.0 : sum / static_cast<double>(considered);
+}
+
+size_t NedEvaluator::gold_in_kb_mentions() const {
+  size_t total = 0;
+  for (const DocCounts& d : docs_) total += d.gold_in_kb;
+  return total;
+}
+
+size_t NedEvaluator::gold_ee_mentions() const {
+  size_t total = 0;
+  for (const DocCounts& d : docs_) total += d.gold_ee;
+  return total;
+}
+
+}  // namespace aida::eval

@@ -1,0 +1,66 @@
+#ifndef AIDA_EVAL_METRICS_H_
+#define AIDA_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/ned_system.h"
+#include "corpus/document.h"
+
+namespace aida::eval {
+
+/// Accumulates NED quality over a corpus. Two evaluation regimes coexist
+/// in the paper:
+///
+///  * chapters 3/4 ignore mentions whose gold entity is out of the KB and
+///    report Micro / Macro Average Accuracy over the rest (Section 3.6.1);
+///  * chapter 5 treats "EE" as a first-class label and additionally
+///    reports EE precision / recall / F1 (Section 5.7.2).
+///
+/// A prediction counts as EE when the system chose a placeholder or left
+/// the mention unassigned (entity == kb::kNoEntity).
+class NedEvaluator {
+ public:
+  /// Records one document's predictions; `prediction.mentions` must be
+  /// parallel to `gold.mentions`.
+  void AddDocument(const corpus::Document& gold,
+                   const core::DisambiguationResult& prediction);
+
+  /// Fraction of correctly disambiguated in-KB gold mentions, micro
+  /// averaged over the collection.
+  double MicroAccuracy() const;
+
+  /// Document-averaged accuracy over in-KB gold mentions.
+  double MacroAccuracy() const;
+
+  /// Micro accuracy treating EE as a label: an out-of-KB gold mention is
+  /// correct iff the system predicted EE.
+  double MicroAccuracyWithEe() const;
+
+  /// Document-averaged variant of MicroAccuracyWithEe.
+  double MacroAccuracyWithEe() const;
+
+  /// Macro-averaged EE precision / recall / F1 over documents that
+  /// contain (for recall) or predict (for precision) EE mentions.
+  double EePrecision() const;
+  double EeRecall() const;
+  double EeF1() const;
+
+  size_t document_count() const { return docs_.size(); }
+  size_t gold_in_kb_mentions() const;
+  size_t gold_ee_mentions() const;
+
+ private:
+  struct DocCounts {
+    size_t gold_in_kb = 0;
+    size_t correct_in_kb = 0;
+    size_t gold_ee = 0;
+    size_t predicted_ee = 0;
+    size_t correct_ee = 0;
+  };
+  std::vector<DocCounts> docs_;
+};
+
+}  // namespace aida::eval
+
+#endif  // AIDA_EVAL_METRICS_H_

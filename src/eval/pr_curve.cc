@@ -1,0 +1,64 @@
+#include "eval/pr_curve.h"
+
+#include <algorithm>
+
+namespace aida::eval {
+
+namespace {
+
+void SortByConfidence(std::vector<ScoredPrediction>& predictions) {
+  std::stable_sort(predictions.begin(), predictions.end(),
+                   [](const ScoredPrediction& a, const ScoredPrediction& b) {
+                     return a.confidence > b.confidence;
+                   });
+}
+
+}  // namespace
+
+std::vector<PrPoint> PrecisionRecallCurve(
+    std::vector<ScoredPrediction> predictions, size_t num_points) {
+  std::vector<PrPoint> curve;
+  if (predictions.empty() || num_points == 0) return curve;
+  SortByConfidence(predictions);
+  const size_t n = predictions.size();
+  for (size_t p = 1; p <= num_points; ++p) {
+    size_t take = std::max<size_t>(1, n * p / num_points);
+    size_t correct = 0;
+    for (size_t i = 0; i < take; ++i) {
+      if (predictions[i].correct) ++correct;
+    }
+    curve.push_back({static_cast<double>(p) / static_cast<double>(num_points),
+                     static_cast<double>(correct) /
+                         static_cast<double>(take)});
+  }
+  return curve;
+}
+
+double MeanAveragePrecision(std::vector<ScoredPrediction> predictions) {
+  if (predictions.empty()) return 0.0;
+  // Precision at every recall level i/m, averaged (Eq. 5.1) — with one
+  // level per prediction this is exactly the area under the PR curve.
+  std::vector<PrPoint> curve =
+      PrecisionRecallCurve(std::move(predictions), 100);
+  double sum = 0.0;
+  for (const PrPoint& point : curve) sum += point.precision;
+  return sum / static_cast<double>(curve.size());
+}
+
+double PrecisionAtConfidence(const std::vector<ScoredPrediction>& predictions,
+                             double threshold, size_t* count) {
+  size_t qualifying = 0;
+  size_t correct = 0;
+  for (const ScoredPrediction& p : predictions) {
+    if (p.confidence >= threshold) {
+      ++qualifying;
+      if (p.correct) ++correct;
+    }
+  }
+  if (count != nullptr) *count = qualifying;
+  return qualifying == 0 ? 0.0
+                         : static_cast<double>(correct) /
+                               static_cast<double>(qualifying);
+}
+
+}  // namespace aida::eval

@@ -1,0 +1,39 @@
+#ifndef AIDA_EVAL_PR_CURVE_H_
+#define AIDA_EVAL_PR_CURVE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace aida::eval {
+
+/// One scored prediction: a confidence value and whether it was correct.
+struct ScoredPrediction {
+  double confidence = 0.0;
+  bool correct = false;
+};
+
+/// A precision point at a given recall level.
+struct PrPoint {
+  double recall = 0.0;
+  double precision = 0.0;
+};
+
+/// Precision-recall curve over predictions ranked by descending
+/// confidence: at x% recall, the precision among the top-x% most confident
+/// predictions (Figure 5.3's construction).
+std::vector<PrPoint> PrecisionRecallCurve(
+    std::vector<ScoredPrediction> predictions, size_t num_points = 20);
+
+/// Interpolated mean average precision (Eq. 5.1): the mean of precision at
+/// the m recall levels i/m — the area under the precision-recall curve.
+double MeanAveragePrecision(std::vector<ScoredPrediction> predictions);
+
+/// Precision among predictions with confidence >= threshold; also returns
+/// how many predictions qualify via `count` (Table 5.1's
+/// Prec@conf / #Men@conf).
+double PrecisionAtConfidence(const std::vector<ScoredPrediction>& predictions,
+                             double threshold, size_t* count);
+
+}  // namespace aida::eval
+
+#endif  // AIDA_EVAL_PR_CURVE_H_

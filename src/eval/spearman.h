@@ -1,0 +1,21 @@
+#ifndef AIDA_EVAL_SPEARMAN_H_
+#define AIDA_EVAL_SPEARMAN_H_
+
+#include <vector>
+
+namespace aida::eval {
+
+/// Average ranks of `values` in descending order (rank 1 = largest), with
+/// ties receiving the mean of their rank range.
+std::vector<double> DescendingRanks(const std::vector<double>& values);
+
+/// Spearman rank correlation between two score vectors of equal length
+/// (computed as the Pearson correlation of their rank vectors, which
+/// handles ties). Returns 0 for degenerate inputs (length < 2 or constant
+/// vectors).
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+}  // namespace aida::eval
+
+#endif  // AIDA_EVAL_SPEARMAN_H_

@@ -1,0 +1,99 @@
+#include "graph/dense_subgraph.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/status.h"
+
+namespace aida::graph {
+
+namespace {
+
+// Objective of the current subgraph: minimum weighted degree among alive
+// removable nodes divided by their count (paper: "A graph with fewer nodes
+// is preferred, so the minimum weighted degree is divided by the number of
+// nodes in the graph").
+double Objective(const std::vector<double>& degree,
+                 const std::vector<bool>& alive,
+                 const std::vector<bool>& removable, size_t alive_removable) {
+  if (alive_removable == 0) return 0.0;
+  double min_degree = std::numeric_limits<double>::infinity();
+  for (NodeId u = 0; u < degree.size(); ++u) {
+    if (alive[u] && removable[u]) min_degree = std::min(min_degree, degree[u]);
+  }
+  return min_degree / static_cast<double>(alive_removable);
+}
+
+}  // namespace
+
+DenseSubgraphResult ConstrainedDenseSubgraph(
+    const WeightedGraph& graph, const std::vector<bool>& removable,
+    const std::vector<std::vector<NodeId>>& groups) {
+  const size_t n = graph.node_count();
+  AIDA_CHECK(removable.size() == n);
+
+  std::vector<bool> alive(n, true);
+  std::vector<double> degree(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) degree[u] = graph.WeightedDegree(u);
+
+  // Group bookkeeping: how many alive members each group has, and which
+  // groups each node belongs to.
+  std::vector<size_t> group_alive(groups.size(), 0);
+  std::vector<std::vector<uint32_t>> node_groups(n);
+  for (uint32_t g = 0; g < groups.size(); ++g) {
+    for (NodeId u : groups[g]) {
+      AIDA_CHECK(u < n && removable[u]);
+      ++group_alive[g];
+      node_groups[u].push_back(g);
+    }
+  }
+
+  size_t alive_removable = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (removable[u]) ++alive_removable;
+  }
+
+  DenseSubgraphResult result;
+  result.alive = alive;
+  result.objective =
+      Objective(degree, alive, removable, alive_removable);
+
+  auto is_taboo = [&](NodeId u) {
+    for (uint32_t g : node_groups[u]) {
+      if (group_alive[g] <= 1) return true;
+    }
+    return false;
+  };
+
+  for (;;) {
+    // Find the non-taboo alive removable node of minimum weighted degree.
+    NodeId victim = static_cast<NodeId>(n);
+    double min_degree = std::numeric_limits<double>::infinity();
+    for (NodeId u = 0; u < n; ++u) {
+      if (!alive[u] || !removable[u] || is_taboo(u)) continue;
+      if (degree[u] < min_degree) {
+        min_degree = degree[u];
+        victim = u;
+      }
+    }
+    if (victim == static_cast<NodeId>(n)) break;  // all remaining are taboo
+
+    alive[victim] = false;
+    --alive_removable;
+    for (uint32_t g : node_groups[victim]) --group_alive[g];
+    for (const Edge& e : graph.Neighbors(victim)) {
+      if (alive[e.to]) degree[e.to] -= e.weight;
+    }
+    ++result.iterations;
+
+    double objective =
+        Objective(degree, alive, removable, alive_removable);
+    if (objective > result.objective) {
+      result.objective = objective;
+      result.alive = alive;
+    }
+  }
+  return result;
+}
+
+}  // namespace aida::graph

@@ -1,0 +1,39 @@
+#ifndef AIDA_GRAPH_DENSE_SUBGRAPH_H_
+#define AIDA_GRAPH_DENSE_SUBGRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/weighted_graph.h"
+
+namespace aida::graph {
+
+/// Result of the constrained greedy densest-subgraph reduction.
+struct DenseSubgraphResult {
+  /// Per node: whether it survives in the best subgraph found.
+  std::vector<bool> alive;
+  /// The objective value (minimum weighted degree over removable alive
+  /// nodes, divided by their count) of the returned subgraph.
+  double objective = 0.0;
+  /// Number of removal iterations executed.
+  size_t iterations = 0;
+};
+
+/// Greedy approximation for the constrained densest-subgraph problem of
+/// Section 3.4.2, extending Sozio & Gionis: iteratively remove the
+/// removable node of minimum weighted degree, subject to the constraint
+/// that every group (the candidate set of one mention) keeps at least one
+/// alive member; among all intermediate subgraphs, return the one that
+/// maximizes (min weighted degree of removable nodes) / (#removable nodes).
+///
+/// `removable[u]` marks entity nodes (mention nodes are never removed).
+/// `groups[g]` lists the removable nodes that are candidates of group g.
+/// A node that belongs to several groups is taboo as soon as it is the last
+/// alive member of any of them.
+DenseSubgraphResult ConstrainedDenseSubgraph(
+    const WeightedGraph& graph, const std::vector<bool>& removable,
+    const std::vector<std::vector<NodeId>>& groups);
+
+}  // namespace aida::graph
+
+#endif  // AIDA_GRAPH_DENSE_SUBGRAPH_H_

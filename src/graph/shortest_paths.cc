@@ -1,0 +1,35 @@
+#include "graph/shortest_paths.h"
+
+#include <queue>
+
+namespace aida::graph {
+
+double InverseSimilarityCost(double edge_weight) {
+  constexpr double kEpsilon = 1e-4;
+  return 1.0 / (edge_weight + kEpsilon);
+}
+
+std::vector<double> ShortestPathDistances(const WeightedGraph& graph,
+                                          NodeId source,
+                                          const EdgeCostFn& cost_fn) {
+  std::vector<double> dist(graph.node_count(), kUnreachable);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue;
+  dist[source] = 0.0;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    for (const Edge& e : graph.Neighbors(u)) {
+      double nd = d + cost_fn(e.weight);
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        queue.push({nd, e.to});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace aida::graph

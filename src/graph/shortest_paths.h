@@ -1,0 +1,31 @@
+#ifndef AIDA_GRAPH_SHORTEST_PATHS_H_
+#define AIDA_GRAPH_SHORTEST_PATHS_H_
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/weighted_graph.h"
+
+namespace aida::graph {
+
+/// Distance assigned to unreachable nodes.
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+/// Converts an edge similarity weight into a traversal cost. AIDA's
+/// pre-pruning phase treats strongly similar edges as short.
+using EdgeCostFn = std::function<double(double edge_weight)>;
+
+/// Similarity-to-cost transform used by the disambiguation pre-pruning:
+/// cost = 1 / (weight + epsilon), so high-similarity edges are cheap.
+double InverseSimilarityCost(double edge_weight);
+
+/// Single-source Dijkstra over `graph` with per-edge costs derived from
+/// edge weights by `cost_fn`. Returns a distance per node.
+std::vector<double> ShortestPathDistances(const WeightedGraph& graph,
+                                          NodeId source,
+                                          const EdgeCostFn& cost_fn);
+
+}  // namespace aida::graph
+
+#endif  // AIDA_GRAPH_SHORTEST_PATHS_H_

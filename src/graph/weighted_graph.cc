@@ -1,0 +1,34 @@
+#include "graph/weighted_graph.h"
+
+#include "util/status.h"
+
+namespace aida::graph {
+
+WeightedGraph::WeightedGraph(size_t node_count) : adjacency_(node_count) {}
+
+void WeightedGraph::AddEdge(NodeId u, NodeId v, double weight) {
+  AIDA_DCHECK(u < adjacency_.size() && v < adjacency_.size());
+  AIDA_DCHECK(u != v);
+  adjacency_[u].push_back({v, weight});
+  adjacency_[v].push_back({u, weight});
+  ++edge_count_;
+}
+
+const std::vector<Edge>& WeightedGraph::Neighbors(NodeId u) const {
+  AIDA_DCHECK(u < adjacency_.size());
+  return adjacency_[u];
+}
+
+double WeightedGraph::WeightedDegree(NodeId u) const {
+  double total = 0.0;
+  for (const Edge& e : Neighbors(u)) total += e.weight;
+  return total;
+}
+
+void WeightedGraph::ScaleAllEdges(double factor) {
+  for (auto& edges : adjacency_) {
+    for (Edge& e : edges) e.weight *= factor;
+  }
+}
+
+}  // namespace aida::graph

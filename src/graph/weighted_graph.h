@@ -1,0 +1,49 @@
+#ifndef AIDA_GRAPH_WEIGHTED_GRAPH_H_
+#define AIDA_GRAPH_WEIGHTED_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aida::graph {
+
+using NodeId = uint32_t;
+
+/// One directed half of an undirected weighted edge.
+struct Edge {
+  NodeId to = 0;
+  double weight = 0.0;
+};
+
+/// Undirected weighted graph over a fixed node set, stored as adjacency
+/// lists. Nodes are dense indices [0, node_count).
+class WeightedGraph {
+ public:
+  /// Creates a graph with `node_count` isolated nodes.
+  explicit WeightedGraph(size_t node_count);
+
+  /// Adds an undirected edge {u, v} with `weight`. Parallel edges are
+  /// allowed but the library never creates them.
+  void AddEdge(NodeId u, NodeId v, double weight);
+
+  const std::vector<Edge>& Neighbors(NodeId u) const;
+
+  /// Sum of incident edge weights of `u`.
+  double WeightedDegree(NodeId u) const;
+
+  size_t node_count() const { return adjacency_.size(); }
+  size_t edge_count() const { return edge_count_; }
+
+  /// Multiplies every edge weight incident to nodes selected by `scale`
+  /// with the given factor; used for weight rescaling during graph
+  /// construction. Applies per undirected edge exactly once.
+  void ScaleAllEdges(double factor);
+
+ private:
+  std::vector<std::vector<Edge>> adjacency_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace aida::graph
+
+#endif  // AIDA_GRAPH_WEIGHTED_GRAPH_H_

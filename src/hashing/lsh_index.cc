@@ -1,0 +1,56 @@
+#include "hashing/lsh_index.h"
+
+#include <algorithm>
+
+#include "hashing/minhash.h"
+#include "util/status.h"
+
+namespace aida::hashing {
+
+LshIndex::LshIndex(size_t bands, size_t rows_per_band)
+    : bands_(bands), rows_per_band_(rows_per_band) {
+  AIDA_CHECK(bands > 0 && rows_per_band > 0);
+}
+
+std::vector<uint64_t> LshIndex::BucketKeys(
+    const std::vector<uint64_t>& sketch) const {
+  AIDA_CHECK(sketch.size() >= bands_ * rows_per_band_);
+  std::vector<uint64_t> keys;
+  keys.reserve(bands_);
+  for (size_t b = 0; b < bands_; ++b) {
+    // Order-insensitive combination by summation, then mixed with the band
+    // index so equal sums in different bands do not collide.
+    uint64_t sum = 0;
+    for (size_t r = 0; r < rows_per_band_; ++r) {
+      sum += sketch[b * rows_per_band_ + r];
+    }
+    keys.push_back(MixHash(sum, 0xC2B2AE3D27D4EB4FULL + b));
+  }
+  return keys;
+}
+
+void LshIndex::Insert(uint32_t item, const std::vector<uint64_t>& sketch) {
+  for (uint64_t key : BucketKeys(sketch)) {
+    buckets_[key].push_back(item);
+  }
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> LshIndex::CandidatePairs() const {
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (const auto& [key, items] : buckets_) {
+    for (size_t i = 0; i < items.size(); ++i) {
+      for (size_t j = i + 1; j < items.size(); ++j) {
+        uint32_t a = items[i];
+        uint32_t b = items[j];
+        if (a == b) continue;
+        if (a > b) std::swap(a, b);
+        pairs.emplace_back(a, b);
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+}  // namespace aida::hashing

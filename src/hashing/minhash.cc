@@ -1,0 +1,49 @@
+#include "hashing/minhash.h"
+
+#include <limits>
+
+#include "util/status.h"
+
+namespace aida::hashing {
+
+uint64_t MixHash(uint64_t x, uint64_t seed) {
+  uint64_t z = x + seed + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+MinHasher::MinHasher(size_t num_hashes, uint64_t seed) {
+  AIDA_CHECK(num_hashes > 0);
+  seeds_.reserve(num_hashes);
+  uint64_t s = seed;
+  for (size_t i = 0; i < num_hashes; ++i) {
+    s = MixHash(s, 0xD1B54A32D192ED03ULL + i);
+    seeds_.push_back(s);
+  }
+}
+
+std::vector<uint64_t> MinHasher::Sketch(
+    const std::vector<uint32_t>& items) const {
+  std::vector<uint64_t> sketch(seeds_.size(),
+                               std::numeric_limits<uint64_t>::max());
+  for (uint32_t item : items) {
+    for (size_t i = 0; i < seeds_.size(); ++i) {
+      uint64_t h = MixHash(item, seeds_[i]);
+      if (h < sketch[i]) sketch[i] = h;
+    }
+  }
+  return sketch;
+}
+
+double EstimateJaccard(const std::vector<uint64_t>& a,
+                       const std::vector<uint64_t>& b) {
+  AIDA_CHECK(a.size() == b.size() && !a.empty());
+  size_t agree = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+}  // namespace aida::hashing

@@ -1,0 +1,40 @@
+#ifndef AIDA_HASHING_MINHASH_H_
+#define AIDA_HASHING_MINHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aida::hashing {
+
+/// Stateless 64-bit mixing hash of `x` under `seed` (SplitMix64 finalizer).
+uint64_t MixHash(uint64_t x, uint64_t seed);
+
+/// Computes min-hash sketches: for each of `num_hashes` seeded hash
+/// functions, the minimum hash value over the item set. Equal Jaccard
+/// similarity between sets equals the probability of per-position sketch
+/// agreement (Broder 1998), which stage one of the KORE hashing scheme
+/// exploits (Section 4.4.2).
+class MinHasher {
+ public:
+  /// Creates `num_hashes` hash functions derived from `seed`.
+  MinHasher(size_t num_hashes, uint64_t seed);
+
+  /// Sketches a set of 32-bit item ids. Empty input yields a sketch of
+  /// sentinel values (all-max), which never collides with real sketches.
+  std::vector<uint64_t> Sketch(const std::vector<uint32_t>& items) const;
+
+  size_t num_hashes() const { return seeds_.size(); }
+
+ private:
+  std::vector<uint64_t> seeds_;
+};
+
+/// Estimates Jaccard similarity from two sketches of equal length as the
+/// fraction of agreeing positions.
+double EstimateJaccard(const std::vector<uint64_t>& a,
+                       const std::vector<uint64_t>& b);
+
+}  // namespace aida::hashing
+
+#endif  // AIDA_HASHING_MINHASH_H_

@@ -1,0 +1,78 @@
+#include "hashing/two_stage_hasher.h"
+
+#include <algorithm>
+
+#include "hashing/lsh_index.h"
+#include "hashing/minhash.h"
+#include "util/status.h"
+
+namespace aida::hashing {
+
+TwoStageConfig LshGoodConfig() {
+  TwoStageConfig config;
+  config.entity_bands = 200;
+  config.entity_rows = 1;
+  return config;
+}
+
+TwoStageConfig LshFastConfig() {
+  TwoStageConfig config;
+  config.entity_bands = 1000;
+  config.entity_rows = 2;
+  return config;
+}
+
+TwoStageHasher::TwoStageHasher(const kb::KeyphraseStore& store,
+                               TwoStageConfig config)
+    : config_(config) {
+  AIDA_CHECK(store.finalized());
+  // Stage one: sketch and band every phrase once.
+  MinHasher phrase_hasher(config_.phrase_hashes, config_.seed);
+  LshIndex phrase_bander(config_.phrase_bands, config_.phrase_rows);
+  std::vector<std::vector<uint32_t>> phrase_buckets(store.phrase_count());
+  std::vector<uint32_t> word_items;
+  for (kb::PhraseId p = 0; p < store.phrase_count(); ++p) {
+    word_items.assign(store.PhraseWords(p).begin(),
+                      store.PhraseWords(p).end());
+    std::vector<uint64_t> sketch = phrase_hasher.Sketch(word_items);
+    for (uint64_t key : phrase_bander.BucketKeys(sketch)) {
+      phrase_buckets[p].push_back(static_cast<uint32_t>(key));
+    }
+  }
+
+  // Entity representation: the union of its phrases' bucket ids.
+  entity_buckets_.resize(store.collection_size());
+  for (kb::EntityId e = 0; e < store.collection_size(); ++e) {
+    std::vector<uint32_t>& buckets = entity_buckets_[e];
+    for (kb::PhraseId p : store.EntityPhrases(e)) {
+      buckets.insert(buckets.end(), phrase_buckets[p].begin(),
+                     phrase_buckets[p].end());
+    }
+    std::sort(buckets.begin(), buckets.end());
+    buckets.erase(std::unique(buckets.begin(), buckets.end()), buckets.end());
+  }
+}
+
+const std::vector<uint32_t>& TwoStageHasher::EntityBuckets(
+    kb::EntityId entity) const {
+  static const std::vector<uint32_t>& empty = *new std::vector<uint32_t>();
+  if (entity >= entity_buckets_.size()) return empty;
+  return entity_buckets_[entity];
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> TwoStageHasher::GroupEntities(
+    const std::vector<kb::EntityId>& entities) const {
+  // Stage two: sketch the phrase-bucket sets of the query entities and
+  // band them; built per query because the entity set is query-specific.
+  MinHasher entity_hasher(config_.entity_bands * config_.entity_rows,
+                          config_.seed ^ 0xABCDEF1234567890ULL);
+  LshIndex entity_bander(config_.entity_bands, config_.entity_rows);
+  for (uint32_t i = 0; i < entities.size(); ++i) {
+    const std::vector<uint32_t>& buckets = EntityBuckets(entities[i]);
+    if (buckets.empty()) continue;  // no phrases -> unrelated to everything
+    entity_bander.Insert(i, entity_hasher.Sketch(buckets));
+  }
+  return entity_bander.CandidatePairs();
+}
+
+}  // namespace aida::hashing

@@ -1,0 +1,66 @@
+#ifndef AIDA_HASHING_TWO_STAGE_HASHER_H_
+#define AIDA_HASHING_TWO_STAGE_HASHER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "kb/keyphrase_store.h"
+
+namespace aida::hashing {
+
+/// Configuration of the two-stage hashing scheme (Section 4.4.2).
+struct TwoStageConfig {
+  /// Stage one: min-hash samples per keyphrase and LSH banding that groups
+  /// near-duplicate phrases. Paper: 4 samples, 2 bands of 2.
+  size_t phrase_hashes = 4;
+  size_t phrase_bands = 2;
+  size_t phrase_rows = 2;
+  /// Stage two: banding over phrase-bucket-id sketches of entities.
+  /// KORE-LSH-G uses 200 bands of 1 (recall-oriented); KORE-LSH-F uses
+  /// 1000 bands of 2 (precision-oriented, prunes more pairs).
+  size_t entity_bands = 200;
+  size_t entity_rows = 1;
+  uint64_t seed = 0x514E434F44455221ULL;
+};
+
+/// Returns the paper's KORE-LSH-G configuration.
+TwoStageConfig LshGoodConfig();
+/// Returns the paper's KORE-LSH-F configuration.
+TwoStageConfig LshFastConfig();
+
+/// Pre-clusters entities by keyphrase overlap so that expensive pairwise
+/// relatedness is only computed within clusters:
+///
+///  stage 1 (precomputed once per KB, linear): every keyphrase is min-hash
+///  sketched over its words and banded; each phrase maps to a small set of
+///  phrase-bucket ids, so near-duplicate phrases share buckets and partial
+///  phrase matches survive the set representation;
+///
+///  stage 2 (per query): each input entity is represented by the set of its
+///  phrase-bucket ids, min-hash sketched, and banded again; only entities
+///  sharing an entity bucket are compared exactly.
+class TwoStageHasher {
+ public:
+  /// Precomputes stage one over all phrases in `store` (must be finalized).
+  TwoStageHasher(const kb::KeyphraseStore& store, TwoStageConfig config);
+
+  /// Phrase-bucket ids (sorted, unique) representing `entity`.
+  const std::vector<uint32_t>& EntityBuckets(kb::EntityId entity) const;
+
+  /// Returns index pairs (into `entities`) that share at least one stage-two
+  /// bucket; only these pairs need exact relatedness computation.
+  std::vector<std::pair<uint32_t, uint32_t>> GroupEntities(
+      const std::vector<kb::EntityId>& entities) const;
+
+  const TwoStageConfig& config() const { return config_; }
+
+ private:
+  TwoStageConfig config_;
+  // Per entity: sorted unique phrase-bucket ids.
+  std::vector<std::vector<uint32_t>> entity_buckets_;
+};
+
+}  // namespace aida::hashing
+
+#endif  // AIDA_HASHING_TWO_STAGE_HASHER_H_

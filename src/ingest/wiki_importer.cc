@@ -1,0 +1,220 @@
+#include "ingest/wiki_importer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "kb/kb_builder.h"
+#include "nlp/keyphrase_extractor.h"
+#include "nlp/pos_tagger.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace aida::ingest {
+
+namespace {
+
+// Replaces '_' with ' ' (wiki titles use underscores; surface text uses
+// spaces).
+std::string TitleToSurface(std::string_view title) {
+  std::string surface(title);
+  std::replace(surface.begin(), surface.end(), '_', ' ');
+  return surface;
+}
+
+// Splits a "a | b | c" list line.
+std::vector<std::string> SplitList(std::string_view line) {
+  std::vector<std::string> items;
+  for (const std::string& piece : util::Split(line, '|')) {
+    std::string_view trimmed = util::Trim(piece);
+    if (!trimmed.empty()) items.emplace_back(trimmed);
+  }
+  return items;
+}
+
+}  // namespace
+
+WikiImporter::WikiImporter() : WikiImporter(Options()) {}
+
+WikiImporter::WikiImporter(Options options) : options_(options) {}
+
+util::StatusOr<WikiImporter::ParsedPage> WikiImporter::Parse(
+    std::string_view page) const {
+  ParsedPage parsed;
+  bool saw_title = false;
+  for (const std::string& raw_line : util::Split(std::string(page), '\n')) {
+    std::string_view line = util::Trim(raw_line);
+    if (line.empty()) continue;
+    if (line.front() == '=' && line.back() == '=') {
+      std::string_view title = util::Trim(line.substr(1, line.size() - 2));
+      if (title.empty()) {
+        return util::Status::InvalidArgument("empty page title");
+      }
+      parsed.title = std::string(title);
+      saw_title = true;
+      continue;
+    }
+    if (line.rfind("CATEGORY:", 0) == 0) {
+      for (std::string& item : SplitList(line.substr(9))) {
+        parsed.categories.push_back(std::move(item));
+      }
+      continue;
+    }
+    if (line.rfind("NAME:", 0) == 0) {
+      for (std::string& item : SplitList(line.substr(5))) {
+        parsed.extra_names.push_back(std::move(item));
+      }
+      continue;
+    }
+    if (line.rfind("REDIRECT-FROM:", 0) == 0) {
+      for (std::string& item : SplitList(line.substr(14))) {
+        parsed.redirects.push_back(std::move(item));
+      }
+      continue;
+    }
+
+    // Body line: extract [[Target]] / [[Target|anchor]] markup.
+    std::string stripped;
+    size_t pos = 0;
+    while (pos < line.size()) {
+      size_t open = line.find("[[", pos);
+      if (open == std::string_view::npos) {
+        stripped.append(line.substr(pos));
+        break;
+      }
+      stripped.append(line.substr(pos, open - pos));
+      size_t close = line.find("]]", open + 2);
+      if (close == std::string_view::npos) {
+        return util::Status::InvalidArgument("unterminated [[ link");
+      }
+      std::string_view inner = line.substr(open + 2, close - open - 2);
+      size_t bar = inner.find('|');
+      std::string target;
+      std::string anchor;
+      if (bar == std::string_view::npos) {
+        target = std::string(util::Trim(inner));
+        anchor = TitleToSurface(target);
+      } else {
+        target = std::string(util::Trim(inner.substr(0, bar)));
+        anchor = std::string(util::Trim(inner.substr(bar + 1)));
+      }
+      if (target.empty()) {
+        return util::Status::InvalidArgument("empty link target");
+      }
+      parsed.links.emplace_back(target, anchor);
+      stripped.append(anchor);
+      pos = close + 2;
+    }
+    parsed.body.append(stripped);
+    parsed.body.push_back('\n');
+  }
+  if (!saw_title) {
+    return util::Status::InvalidArgument("page without '= Title =' header");
+  }
+  return parsed;
+}
+
+util::Status WikiImporter::AddPage(std::string_view page) {
+  util::StatusOr<ParsedPage> parsed = Parse(page);
+  if (!parsed.ok()) return parsed.status();
+  pages_.push_back(std::move(*parsed));
+  ++page_count_;
+  return util::Status::Ok();
+}
+
+std::unique_ptr<kb::KnowledgeBase> WikiImporter::Build() && {
+  kb::KbBuilder builder;
+
+  // ---- Pass 1: entities (pages first, then red-link targets) ---------------
+  std::unordered_map<std::string, kb::EntityId> by_title;
+  for (const ParsedPage& page : pages_) {
+    if (by_title.count(page.title) == 0) {
+      by_title.emplace(page.title, builder.AddEntity(page.title));
+    }
+  }
+  for (const ParsedPage& page : pages_) {
+    for (const auto& [target, anchor] : page.links) {
+      if (by_title.count(target) == 0) {
+        by_title.emplace(target, builder.AddEntity(target));
+      }
+    }
+  }
+
+  // ---- Taxonomy from categories ----------------------------------------------
+  kb::TypeId root = builder.AddType("entity");
+  std::unordered_map<std::string, kb::TypeId> types;
+  auto type_of = [&](const std::string& name) {
+    auto [it, inserted] = types.emplace(name, kb::kNoType);
+    if (inserted) it->second = builder.AddType(name, root);
+    return it->second;
+  };
+
+  // ---- Pass 2: names, links, keyphrases ----------------------------------------
+  nlp::PosTagger tagger;
+  nlp::KeyphraseExtractor extractor;
+  text::Tokenizer tokenizer;
+
+  for (const ParsedPage& page : pages_) {
+    kb::EntityId entity = by_title.at(page.title);
+
+    // Dictionary names: the title surface, declared names, redirects.
+    builder.AddName(TitleToSurface(page.title), entity,
+                    options_.anchor_weight);
+    for (const std::string& name : page.extra_names) {
+      builder.AddName(name, entity, options_.anchor_weight);
+    }
+    for (const std::string& redirect : page.redirects) {
+      builder.AddName(TitleToSurface(redirect), entity,
+                      options_.anchor_weight);
+    }
+
+    // Categories: taxonomy assignment + keyphrases.
+    for (const std::string& category : page.categories) {
+      builder.AssignType(entity, type_of(category));
+      builder.AddKeyphrase(entity, util::ToLower(category));
+    }
+
+    // Links: graph edges, target names from anchors, source keyphrases.
+    for (const auto& [target, anchor] : page.links) {
+      kb::EntityId target_entity = by_title.at(target);
+      builder.AddLink(entity, target_entity);
+      if (!anchor.empty()) {
+        builder.AddName(anchor, target_entity, options_.anchor_weight);
+        builder.AddKeyphrase(entity, util::ToLower(anchor));
+      }
+    }
+
+    // Body noun groups.
+    if (options_.extract_text_phrases && !page.body.empty()) {
+      text::TokenSequence tokens = tokenizer.Tokenize(page.body);
+      for (const nlp::ExtractedPhrase& phrase :
+           extractor.Extract(tokens, tagger.Tag(tokens))) {
+        builder.AddKeyphrase(entity, phrase.text);
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+std::string RenderWikiPage(
+    const std::string& title, const std::vector<std::string>& categories,
+    const std::vector<std::string>& names,
+    const std::vector<std::pair<std::string, std::string>>& links,
+    const std::string& body) {
+  std::string page = "= " + title + " =\n";
+  if (!categories.empty()) {
+    page += "CATEGORY: " + util::Join(categories, " | ") + "\n";
+  }
+  if (!names.empty()) {
+    page += "NAME: " + util::Join(names, " | ") + "\n";
+  }
+  page += body;
+  if (!body.empty() && body.back() != '\n') page += "\n";
+  for (const auto& [target, anchor] : links) {
+    page += "Related to [[" + target +
+            (anchor.empty() ? std::string("]]") : "|" + anchor + "]]") +
+            " .\n";
+  }
+  return page;
+}
+
+}  // namespace aida::ingest

@@ -1,0 +1,93 @@
+#ifndef AIDA_INGEST_WIKI_IMPORTER_H_
+#define AIDA_INGEST_WIKI_IMPORTER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "util/status.h"
+
+namespace aida::ingest {
+
+/// Builds a knowledge base from a corpus of wiki-style article pages —
+/// the extraction pipeline the paper runs over Wikipedia (Section 2.3.3):
+/// every article becomes an entity; links, anchors, redirects and
+/// categories become the dictionary, the link graph, the taxonomy and the
+/// keyphrase sets.
+///
+/// Page format (one page per string):
+///
+///   = Jimmy_Page =
+///   CATEGORY: person | musician
+///   NAME: Page | Jimmy Page
+///   REDIRECT-FROM: Jimmy_Patrick_Page
+///   Jimmy Page is an english rock guitarist of [[Led_Zeppelin]] fame.
+///   He played a [[Gibson_Les_Paul|gibson guitar]] on stage.
+///
+/// Extraction rules, mirroring Section 3.3 / 4.3:
+///  * the page title is the canonical entity name; its space-separated
+///    form and all NAME:/REDIRECT-FROM: lines enter the dictionary;
+///  * [[Target]] and [[Target|anchor]] create links; the anchor text is
+///    a dictionary name for the TARGET and a keyphrase of the SOURCE
+///    ("link anchor texts" as keyphrase candidates);
+///  * CATEGORY: lines become taxonomy types of the entity and keyphrases;
+///  * noun groups of the body text (Appendix A patterns) become
+///    keyphrases of the page's entity.
+///
+/// Pages may reference entities defined by later pages; unresolved link
+/// targets become entities with no page of their own (as Wikipedia red
+/// links would, except they are materialized so the graph stays closed).
+class WikiImporter {
+ public:
+  struct Options {
+    /// Extract body-text noun phrases as keyphrases (in addition to
+    /// anchors and categories).
+    bool extract_text_phrases = true;
+    /// Anchor-count credited to each name observation.
+    uint64_t anchor_weight = 1;
+  };
+
+  WikiImporter();
+  explicit WikiImporter(Options options);
+
+  /// Parses and accumulates one page. Returns an error for pages without
+  /// a `= Title =` header or with malformed link markup.
+  util::Status AddPage(std::string_view page);
+
+  /// Number of pages accepted so far.
+  size_t page_count() const { return page_count_; }
+
+  /// Finalizes the knowledge base. The importer is consumed.
+  std::unique_ptr<kb::KnowledgeBase> Build() &&;
+
+ private:
+  struct ParsedPage {
+    std::string title;
+    std::vector<std::string> categories;
+    std::vector<std::string> extra_names;
+    std::vector<std::string> redirects;
+    // (target title, anchor text or empty).
+    std::vector<std::pair<std::string, std::string>> links;
+    std::string body;  // markup stripped
+  };
+
+  util::StatusOr<ParsedPage> Parse(std::string_view page) const;
+
+  Options options_;
+  size_t page_count_ = 0;
+  std::vector<ParsedPage> pages_;
+};
+
+/// Renders a page in the importer's format (used by tests and by tooling
+/// that exports a synthetic world as a readable corpus).
+std::string RenderWikiPage(
+    const std::string& title, const std::vector<std::string>& categories,
+    const std::vector<std::string>& names,
+    const std::vector<std::pair<std::string, std::string>>& links,
+    const std::string& body);
+
+}  // namespace aida::ingest
+
+#endif  // AIDA_INGEST_WIKI_IMPORTER_H_

@@ -1,0 +1,88 @@
+#include "kb/dictionary.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace aida::kb {
+
+void Dictionary::AddAnchor(std::string_view name, EntityId entity,
+                           uint64_t count) {
+  std::string key(name);
+  exact_[key][entity] += count;
+  if (name.size() > 3) {
+    folded_[util::ToUpper(name)][entity] += count;
+  }
+}
+
+std::vector<NameCandidate> Dictionary::Lookup(
+    std::string_view mention_text) const {
+  const CandidateMap* candidates = nullptr;
+  if (mention_text.size() <= 3) {
+    auto it = exact_.find(std::string(mention_text));
+    if (it != exact_.end()) candidates = &it->second;
+  } else {
+    auto it = folded_.find(util::ToUpper(mention_text));
+    if (it != folded_.end()) candidates = &it->second;
+  }
+  std::vector<NameCandidate> result;
+  if (candidates == nullptr) return result;
+  uint64_t total = 0;
+  result.reserve(candidates->size());
+  for (const auto& [entity, count] : *candidates) {
+    result.push_back({entity, count, 0.0});
+    total += count;
+  }
+  for (NameCandidate& c : result) {
+    c.prior = total > 0
+                  ? static_cast<double>(c.anchor_count) /
+                        static_cast<double>(total)
+                  : 0.0;
+  }
+  // Deterministic order: by descending prior, then entity id.
+  std::sort(result.begin(), result.end(),
+            [](const NameCandidate& a, const NameCandidate& b) {
+              if (a.anchor_count != b.anchor_count)
+                return a.anchor_count > b.anchor_count;
+              return a.entity < b.entity;
+            });
+  return result;
+}
+
+bool Dictionary::Contains(std::string_view mention_text) const {
+  if (mention_text.size() <= 3)
+    return exact_.count(std::string(mention_text)) > 0;
+  return folded_.count(util::ToUpper(mention_text)) > 0;
+}
+
+double Dictionary::MeanAmbiguity() const {
+  if (exact_.empty()) return 0.0;
+  size_t total = 0;
+  for (const auto& [name, cands] : exact_) total += cands.size();
+  return static_cast<double>(total) / static_cast<double>(exact_.size());
+}
+
+std::vector<Dictionary::AnchorRecord> Dictionary::ExportAnchors() const {
+  std::vector<AnchorRecord> records;
+  for (const auto& [name, candidates] : exact_) {
+    for (const auto& [entity, count] : candidates) {
+      records.push_back({name, entity, count});
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const AnchorRecord& a, const AnchorRecord& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.entity < b.entity;
+            });
+  return records;
+}
+
+std::vector<std::string> Dictionary::AllNames() const {
+  std::vector<std::string> names;
+  names.reserve(exact_.size());
+  for (const auto& [name, cands] : exact_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace aida::kb

@@ -1,0 +1,76 @@
+#ifndef AIDA_KB_DICTIONARY_H_
+#define AIDA_KB_DICTIONARY_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/entity.h"
+
+namespace aida::kb {
+
+/// One candidate produced by a dictionary lookup: the entity and how often
+/// the looked-up name was observed as an anchor for it.
+struct NameCandidate {
+  EntityId entity = kNoEntity;
+  uint64_t anchor_count = 0;
+  /// Prior probability P(entity | name), filled in by Lookup from the
+  /// anchor counts of all candidates sharing the name.
+  double prior = 0.0;
+};
+
+/// The name -> entity dictionary D (Section 2.2.1), harvested in the paper
+/// from Wikipedia titles, redirects, disambiguation pages and link anchors.
+///
+/// Matching follows Section 3.3.2: names of up to 3 characters are matched
+/// case-sensitively (to keep acronyms like "US" apart from the word "us");
+/// longer names are matched after upper-casing both sides, so the mention
+/// "APPLE" retrieves candidates registered under "Apple".
+class Dictionary {
+ public:
+  /// Records one observation (or `count` observations) of `name` referring
+  /// to `entity`.
+  void AddAnchor(std::string_view name, EntityId entity, uint64_t count = 1);
+
+  /// Returns all candidates for `mention_text` with priors normalized over
+  /// the candidate set. Empty when the name is unknown.
+  std::vector<NameCandidate> Lookup(std::string_view mention_text) const;
+
+  /// True if any entity is registered under `mention_text`.
+  bool Contains(std::string_view mention_text) const;
+
+  /// Number of distinct names.
+  size_t NameCount() const { return exact_.size(); }
+
+  /// Average number of candidates per name (dictionary ambiguity).
+  double MeanAmbiguity() const;
+
+  /// All registered surface names (for corpus generation / stats).
+  std::vector<std::string> AllNames() const;
+
+  /// One (name, entity, count) anchor observation; the dictionary is
+  /// fully reconstructible from these records (serialization support).
+  struct AnchorRecord {
+    std::string name;
+    EntityId entity = kNoEntity;
+    uint64_t count = 0;
+  };
+
+  /// Exports all anchor observations in a deterministic order.
+  std::vector<AnchorRecord> ExportAnchors() const;
+
+ private:
+  using CandidateMap = std::unordered_map<EntityId, uint64_t>;
+
+  // Exact surface form -> candidate counts (primary store).
+  std::unordered_map<std::string, CandidateMap> exact_;
+  // Upper-cased key -> candidate counts, only for names longer than
+  // 3 characters.
+  std::unordered_map<std::string, CandidateMap> folded_;
+};
+
+}  // namespace aida::kb
+
+#endif  // AIDA_KB_DICTIONARY_H_

@@ -1,0 +1,34 @@
+#include "kb/entity.h"
+
+#include "util/status.h"
+
+namespace aida::kb {
+
+EntityId EntityRepository::Add(std::string canonical_name) {
+  AIDA_CHECK(by_name_.find(canonical_name) == by_name_.end());
+  EntityId id = static_cast<EntityId>(entities_.size());
+  Entity e;
+  e.id = id;
+  e.canonical_name = std::move(canonical_name);
+  by_name_.emplace(e.canonical_name, id);
+  entities_.push_back(std::move(e));
+  return id;
+}
+
+const Entity& EntityRepository::Get(EntityId id) const {
+  AIDA_DCHECK(id < entities_.size());
+  return entities_[id];
+}
+
+Entity& EntityRepository::GetMutable(EntityId id) {
+  AIDA_DCHECK(id < entities_.size());
+  return entities_[id];
+}
+
+EntityId EntityRepository::FindByName(
+    const std::string& canonical_name) const {
+  auto it = by_name_.find(canonical_name);
+  return it == by_name_.end() ? kNoEntity : it->second;
+}
+
+}  // namespace aida::kb

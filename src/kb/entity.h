@@ -1,0 +1,70 @@
+#ifndef AIDA_KB_ENTITY_H_
+#define AIDA_KB_ENTITY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace aida::kb {
+
+/// Dense integer handle for an entity in the repository.
+using EntityId = uint32_t;
+/// Dense integer handle for an interned keyphrase.
+using PhraseId = uint32_t;
+/// Dense integer handle for an interned keyword (single token).
+using WordId = uint32_t;
+/// Dense integer handle for a semantic type (class) in the taxonomy.
+using TypeId = uint32_t;
+
+/// Sentinel for "no entity". Also used by gold annotations to mark
+/// mentions whose true entity is out of the knowledge base.
+inline constexpr EntityId kNoEntity = std::numeric_limits<EntityId>::max();
+
+/// Sentinel phrase/word/type ids.
+inline constexpr PhraseId kNoPhrase = std::numeric_limits<PhraseId>::max();
+inline constexpr WordId kNoWord = std::numeric_limits<WordId>::max();
+inline constexpr TypeId kNoType = std::numeric_limits<TypeId>::max();
+
+/// A canonical entity registered in the knowledge base (Section 2.3 of the
+/// paper). Popularity mirrors the Wikipedia-derived signals AIDA uses: the
+/// number of link anchors referring to the entity.
+struct Entity {
+  EntityId id = kNoEntity;
+  /// Unique canonical name, e.g. "Jimmy_Page".
+  std::string canonical_name;
+  /// Total anchor occurrences across the collection; the basis of the
+  /// popularity prior (Section 3.3.3).
+  uint64_t anchor_count = 0;
+  /// Types assigned in the taxonomy (YAGO-style classes).
+  std::vector<TypeId> types;
+};
+
+/// Owns all entities; ids are indices into the backing vector.
+class EntityRepository {
+ public:
+  /// Adds an entity with the given canonical name; returns its id.
+  /// Duplicate canonical names are a programmer error.
+  EntityId Add(std::string canonical_name);
+
+  /// Number of registered entities.
+  size_t size() const { return entities_.size(); }
+
+  const Entity& Get(EntityId id) const;
+  Entity& GetMutable(EntityId id);
+
+  /// Looks up by canonical name; returns kNoEntity when absent.
+  EntityId FindByName(const std::string& canonical_name) const;
+
+  const std::vector<Entity>& entities() const { return entities_; }
+
+ private:
+  std::vector<Entity> entities_;
+  std::unordered_map<std::string, EntityId> by_name_;
+};
+
+}  // namespace aida::kb
+
+#endif  // AIDA_KB_ENTITY_H_

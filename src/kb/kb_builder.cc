@@ -1,0 +1,58 @@
+#include "kb/kb_builder.h"
+
+namespace aida::kb {
+
+KbBuilder::KbBuilder() : kb_(new KnowledgeBase()) {
+  kb_->entities_ = std::make_unique<EntityRepository>();
+  kb_->dictionary_ = std::make_unique<Dictionary>();
+  kb_->keyphrases_ = std::make_unique<KeyphraseStore>();
+  kb_->taxonomy_ = std::make_unique<TypeTaxonomy>();
+  // The link graph is sized at Build time, once the entity count is known.
+}
+
+EntityId KbBuilder::AddEntity(std::string canonical_name) {
+  return kb_->entities_->Add(std::move(canonical_name));
+}
+
+void KbBuilder::AddName(std::string_view name, EntityId entity,
+                        uint64_t anchor_count) {
+  kb_->dictionary_->AddAnchor(name, entity, anchor_count);
+  kb_->entities_->GetMutable(entity).anchor_count += anchor_count;
+}
+
+PhraseId KbBuilder::AddKeyphrase(EntityId entity,
+                                 std::string_view phrase_text,
+                                 uint32_t count) {
+  PhraseId p = kb_->keyphrases_->InternPhraseText(phrase_text);
+  kb_->keyphrases_->AddEntityPhrase(entity, p, count);
+  return p;
+}
+
+void KbBuilder::AddLink(EntityId source, EntityId target) {
+  pending_links_.emplace_back(source, target);
+}
+
+TypeId KbBuilder::AddType(std::string name, TypeId parent) {
+  return kb_->taxonomy_->AddType(std::move(name), parent);
+}
+
+void KbBuilder::AssignType(EntityId entity, TypeId type) {
+  kb_->entities_->GetMutable(entity).types.push_back(type);
+}
+
+size_t KbBuilder::entity_count() const { return kb_->entities_->size(); }
+
+KeyphraseStore& KbBuilder::keyphrases() { return *kb_->keyphrases_; }
+
+std::unique_ptr<KnowledgeBase> KbBuilder::Build() && {
+  const size_t n = kb_->entities_->size();
+  kb_->links_ = std::make_unique<LinkGraph>(n);
+  for (const auto& [source, target] : pending_links_) {
+    kb_->links_->AddLink(source, target);
+  }
+  kb_->links_->Finalize();
+  kb_->keyphrases_->Finalize(*kb_->links_, n);
+  return std::move(kb_);
+}
+
+}  // namespace aida::kb

@@ -1,0 +1,67 @@
+#ifndef AIDA_KB_KB_BUILDER_H_
+#define AIDA_KB_KB_BUILDER_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "util/status.h"
+
+namespace aida::kb {
+
+/// Mutable construction interface for a `KnowledgeBase`. The synthetic
+/// world generator drives this; real deployments would drive it from a
+/// Wikipedia/YAGO dump instead. Usage:
+///
+///   KbBuilder builder;
+///   EntityId e = builder.AddEntity("Jimmy_Page");
+///   builder.AddName("Page", e, /*anchor_count=*/120);
+///   builder.AddKeyphrase(e, "Gibson guitar");
+///   builder.AddLink(other, e);
+///   std::unique_ptr<KnowledgeBase> kb = builder.Build();
+class KbBuilder {
+ public:
+  KbBuilder();
+
+  /// Registers a new entity with a unique canonical name.
+  EntityId AddEntity(std::string canonical_name);
+
+  /// Registers `name` as a surface form of `entity` observed `anchor_count`
+  /// times. Also accumulates the entity's total anchor count (popularity).
+  void AddName(std::string_view name, EntityId entity,
+               uint64_t anchor_count = 1);
+
+  /// Associates a space-separated keyphrase with `entity`.
+  PhraseId AddKeyphrase(EntityId entity, std::string_view phrase_text,
+                        uint32_t count = 1);
+
+  /// Adds a page link from `source` to `target`.
+  void AddLink(EntityId source, EntityId target);
+
+  /// Adds a type under `parent` (kNoType for root types).
+  TypeId AddType(std::string name, TypeId parent = kNoType);
+
+  /// Assigns `type` to `entity`.
+  void AssignType(EntityId entity, TypeId type);
+
+  /// Pending link-count access for generators that need degree feedback.
+  size_t entity_count() const;
+
+  /// Direct access while building (e.g. to intern shared phrases).
+  KeyphraseStore& keyphrases();
+
+  /// Finalizes link lists and all keyphrase weights and returns the
+  /// immutable knowledge base. The builder is consumed.
+  std::unique_ptr<KnowledgeBase> Build() &&;
+
+ private:
+  std::unique_ptr<KnowledgeBase> kb_;
+  std::vector<std::pair<EntityId, EntityId>> pending_links_;
+};
+
+}  // namespace aida::kb
+
+#endif  // AIDA_KB_KB_BUILDER_H_

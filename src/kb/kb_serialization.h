@@ -1,0 +1,33 @@
+#ifndef AIDA_KB_KB_SERIALIZATION_H_
+#define AIDA_KB_KB_SERIALIZATION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "kb/knowledge_base.h"
+#include "util/status.h"
+
+namespace aida::kb {
+
+/// Serializes a knowledge base into a self-contained binary buffer. Only
+/// the source facts are stored (entities, anchors, keyphrases, links,
+/// taxonomy); all derived statistics (IDF, NPMI, MI weights) are
+/// recomputed deterministically on load, so the format stays stable as
+/// weighting schemes evolve.
+std::string SerializeKnowledgeBase(const KnowledgeBase& kb);
+
+/// Reconstructs a knowledge base from a buffer produced by
+/// SerializeKnowledgeBase. Fails cleanly on truncated or corrupt input.
+util::StatusOr<std::unique_ptr<KnowledgeBase>> DeserializeKnowledgeBase(
+    std::string_view data);
+
+/// Convenience: serialize to / load from a file.
+util::Status SaveKnowledgeBase(const KnowledgeBase& kb,
+                               const std::string& path);
+util::StatusOr<std::unique_ptr<KnowledgeBase>> LoadKnowledgeBase(
+    const std::string& path);
+
+}  // namespace aida::kb
+
+#endif  // AIDA_KB_KB_SERIALIZATION_H_

@@ -1,0 +1,285 @@
+#include "kb/keyphrase_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace aida::kb {
+
+namespace {
+
+// Superdocuments of very popular entities can contain tens of thousands of
+// in-linking entities; weight estimation only needs a stable sample. The
+// in-link lists are sorted, so taking a prefix is deterministic.
+constexpr size_t kMaxSuperdocMembers = 128;
+
+// Entropy of a Bernoulli(p) event, in bits.
+double BernoulliEntropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+// -x*log2(x) with the 0*log0 = 0 convention.
+double PLogP(double x) { return x <= 0.0 ? 0.0 : -x * std::log2(x); }
+
+}  // namespace
+
+WordId KeyphraseStore::InternWord(std::string_view word) {
+  auto [it, inserted] =
+      word_ids_.emplace(std::string(word), static_cast<WordId>(words_.size()));
+  if (inserted) words_.emplace_back(word);
+  return it->second;
+}
+
+PhraseId KeyphraseStore::InternPhrase(const std::vector<WordId>& words) {
+  AIDA_CHECK(!words.empty());
+  std::string key;
+  key.reserve(words.size() * 4);
+  for (WordId w : words) {
+    key.append(reinterpret_cast<const char*>(&w), sizeof(w));
+  }
+  auto [it, inserted] =
+      phrase_keys_.emplace(std::move(key), static_cast<PhraseId>(phrases_.size()));
+  if (inserted) phrases_.push_back(words);
+  return it->second;
+}
+
+PhraseId KeyphraseStore::InternPhraseText(std::string_view text) {
+  std::vector<WordId> words;
+  for (const std::string& token : util::Split(text, ' ')) {
+    words.push_back(InternWord(token));
+  }
+  return InternPhrase(words);
+}
+
+void KeyphraseStore::AddEntityPhrase(EntityId entity, PhraseId phrase,
+                                     uint32_t count) {
+  AIDA_DCHECK(!finalized_);
+  AIDA_DCHECK(phrase < phrases_.size());
+  EntityData& data = DataFor(entity);
+  size_t idx = IndexOf(data.phrases, phrase);
+  if (idx == static_cast<size_t>(-1)) {
+    data.phrases.push_back(phrase);
+    data.phrase_counts.push_back(count);
+  } else {
+    data.phrase_counts[idx] += count;
+  }
+}
+
+KeyphraseStore::EntityData& KeyphraseStore::DataFor(EntityId entity) {
+  if (entity >= entities_.size()) entities_.resize(entity + 1);
+  return entities_[entity];
+}
+
+const KeyphraseStore::EntityData* KeyphraseStore::DataOrNull(
+    EntityId entity) const {
+  if (entity >= entities_.size()) return nullptr;
+  return &entities_[entity];
+}
+
+size_t KeyphraseStore::IndexOf(const std::vector<PhraseId>& v, PhraseId p) {
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i] == p) return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+void KeyphraseStore::Finalize(const LinkGraph& links, size_t entity_count) {
+  AIDA_CHECK(!finalized_);
+  AIDA_CHECK(links.finalized());
+  if (entities_.size() < entity_count) entities_.resize(entity_count);
+  collection_size_ = entity_count;
+  const double n = static_cast<double>(std::max<size_t>(entity_count, 1));
+
+  // Distinct keyword sets per entity.
+  for (EntityData& data : entities_) {
+    data.words.clear();
+    for (PhraseId p : data.phrases) {
+      for (WordId w : phrases_[p]) data.words.push_back(w);
+    }
+    std::sort(data.words.begin(), data.words.end());
+    data.words.erase(std::unique(data.words.begin(), data.words.end()),
+                     data.words.end());
+  }
+
+  // Document frequencies over entities.
+  phrase_df_.assign(phrases_.size(), 0);
+  word_df_.assign(words_.size(), 0);
+  for (const EntityData& data : entities_) {
+    for (PhraseId p : data.phrases) ++phrase_df_[p];
+    for (WordId w : data.words) ++word_df_[w];
+  }
+
+  // Per-entity weights from superdocument co-occurrence statistics.
+  std::vector<uint32_t> word_in_superdoc(words_.size(), 0);
+  std::vector<uint32_t> phrase_in_superdoc(phrases_.size(), 0);
+  std::vector<WordId> touched_words;
+  std::vector<PhraseId> touched_phrases;
+  for (EntityId e = 0; e < entities_.size(); ++e) {
+    EntityData& data = entities_[e];
+    data.phrase_mi.assign(data.phrases.size(), 0.0);
+    data.word_npmi.assign(data.words.size(), 0.0);
+    if (data.phrases.empty()) continue;
+
+    // Superdocument members: the entity plus (a bounded prefix of) its
+    // in-linking entities.
+    size_t superdoc_size = 1;
+    touched_words.clear();
+    touched_phrases.clear();
+    auto absorb = [&](EntityId member) {
+      const EntityData* md = DataOrNull(member);
+      if (md == nullptr) return;
+      for (WordId w : md->words) {
+        if (word_in_superdoc[w]++ == 0) touched_words.push_back(w);
+      }
+      for (PhraseId p : md->phrases) {
+        if (phrase_in_superdoc[p]++ == 0) touched_phrases.push_back(p);
+      }
+    };
+    absorb(e);
+    if (e < links.entity_count()) {
+      const auto& in = links.InLinks(e);
+      size_t take = std::min(in.size(), kMaxSuperdocMembers);
+      for (size_t i = 0; i < take; ++i) absorb(in[i]);
+      superdoc_size += take;
+    }
+
+    const double p_e = static_cast<double>(superdoc_size) / n;
+
+    // Keyword NPMI (Eq. 3.1): contrast occurrence in the superdocument with
+    // the global document frequency.
+    for (size_t i = 0; i < data.words.size(); ++i) {
+      WordId w = data.words[i];
+      // A member entity counts once, so the joint count is the number of
+      // superdocument members containing w.
+      double p_ew =
+          static_cast<double>(std::min<uint32_t>(
+              word_in_superdoc[w], static_cast<uint32_t>(superdoc_size))) /
+          n;
+      double p_w = static_cast<double>(word_df_[w]) / n;
+      if (p_ew <= 0.0 || p_w <= 0.0) continue;
+      double pmi = std::log(p_ew / (p_e * p_w));
+      double npmi = p_ew >= 1.0 ? 1.0 : pmi / -std::log(p_ew);
+      data.word_npmi[i] = std::max(0.0, npmi);
+    }
+
+    // Keyphrase normalized mutual information mu (Eq. 4.1) over the joint
+    // binary distribution of (member-of-superdocument, has-phrase).
+    const double h_e = BernoulliEntropy(p_e);
+    for (size_t i = 0; i < data.phrases.size(); ++i) {
+      PhraseId p = data.phrases[i];
+      double n11 = static_cast<double>(std::min<uint32_t>(
+          phrase_in_superdoc[p], static_cast<uint32_t>(superdoc_size)));
+      double n_e = static_cast<double>(superdoc_size);
+      double n_p = static_cast<double>(phrase_df_[p]);
+      double p11 = n11 / n;
+      double p10 = (n_e - n11) / n;
+      double p01 = (n_p - n11) / n;
+      double p00 = 1.0 - p11 - p10 - p01;
+      double h_t = BernoulliEntropy(n_p / n);
+      double h_joint = PLogP(p11) + PLogP(p10) + PLogP(p01) + PLogP(p00);
+      double denom = h_e + h_t;
+      if (denom <= 0.0) continue;
+      double mi = 2.0 * (h_e + h_t - h_joint) / denom;
+      data.phrase_mi[i] = std::max(0.0, mi);
+    }
+
+    for (WordId w : touched_words) word_in_superdoc[w] = 0;
+    for (PhraseId p : touched_phrases) phrase_in_superdoc[p] = 0;
+  }
+  finalized_ = true;
+}
+
+const std::string& KeyphraseStore::WordText(WordId w) const {
+  AIDA_DCHECK(w < words_.size());
+  return words_[w];
+}
+
+const std::vector<WordId>& KeyphraseStore::PhraseWords(PhraseId p) const {
+  AIDA_DCHECK(p < phrases_.size());
+  return phrases_[p];
+}
+
+std::string KeyphraseStore::PhraseText(PhraseId p) const {
+  std::string out;
+  for (WordId w : PhraseWords(p)) {
+    if (!out.empty()) out += ' ';
+    out += WordText(w);
+  }
+  return out;
+}
+
+WordId KeyphraseStore::FindWord(std::string_view word) const {
+  auto it = word_ids_.find(std::string(word));
+  return it == word_ids_.end() ? kNoWord : it->second;
+}
+
+const std::vector<PhraseId>& KeyphraseStore::EntityPhrases(
+    EntityId entity) const {
+  static const std::vector<PhraseId>& empty = *new std::vector<PhraseId>();
+  const EntityData* data = DataOrNull(entity);
+  return data == nullptr ? empty : data->phrases;
+}
+
+const std::vector<WordId>& KeyphraseStore::EntityWords(
+    EntityId entity) const {
+  static const std::vector<WordId>& empty = *new std::vector<WordId>();
+  const EntityData* data = DataOrNull(entity);
+  return data == nullptr ? empty : data->words;
+}
+
+uint32_t KeyphraseStore::EntityPhraseCount(EntityId entity, PhraseId p) const {
+  const EntityData* data = DataOrNull(entity);
+  if (data == nullptr) return 0;
+  size_t idx = IndexOf(data->phrases, p);
+  if (idx == static_cast<size_t>(-1)) return 0;
+  return data->phrase_counts[idx];
+}
+
+uint32_t KeyphraseStore::PhraseDf(PhraseId p) const {
+  AIDA_DCHECK(finalized_);
+  AIDA_DCHECK(p < phrase_df_.size());
+  return phrase_df_[p];
+}
+
+uint32_t KeyphraseStore::WordDf(WordId w) const {
+  AIDA_DCHECK(finalized_);
+  AIDA_DCHECK(w < word_df_.size());
+  return word_df_[w];
+}
+
+double KeyphraseStore::WordIdf(WordId w) const {
+  AIDA_DCHECK(finalized_);
+  if (w >= word_df_.size() || word_df_[w] == 0) return 0.0;
+  return std::log2(static_cast<double>(collection_size_) /
+                   static_cast<double>(word_df_[w]));
+}
+
+double KeyphraseStore::PhraseIdf(PhraseId p) const {
+  AIDA_DCHECK(finalized_);
+  if (p >= phrase_df_.size() || phrase_df_[p] == 0) return 0.0;
+  return std::log2(static_cast<double>(collection_size_) /
+                   static_cast<double>(phrase_df_[p]));
+}
+
+double KeyphraseStore::KeywordNpmi(EntityId e, WordId w) const {
+  AIDA_DCHECK(finalized_);
+  const EntityData* data = DataOrNull(e);
+  if (data == nullptr) return 0.0;
+  auto it = std::lower_bound(data->words.begin(), data->words.end(), w);
+  if (it == data->words.end() || *it != w) return 0.0;
+  return data->word_npmi[static_cast<size_t>(it - data->words.begin())];
+}
+
+double KeyphraseStore::PhraseMi(EntityId e, PhraseId p) const {
+  AIDA_DCHECK(finalized_);
+  const EntityData* data = DataOrNull(e);
+  if (data == nullptr) return 0.0;
+  size_t idx = IndexOf(data->phrases, p);
+  if (idx == static_cast<size_t>(-1)) return 0.0;
+  return data->phrase_mi[idx];
+}
+
+}  // namespace aida::kb

@@ -1,0 +1,122 @@
+#ifndef AIDA_KB_KEYPHRASE_STORE_H_
+#define AIDA_KB_KEYPHRASE_STORE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/entity.h"
+#include "kb/link_graph.h"
+
+namespace aida::kb {
+
+/// Interns keyphrases (multi-word) and keywords (single tokens), associates
+/// them with entities, and computes the statistical weights AIDA and KORE
+/// rely on:
+///
+///  * keyword IDF and keyphrase IDF (Eq. 3.5),
+///  * per-entity keyword NPMI (Eqs. 3.1-3.3) over "superdocuments"
+///    (an entity's keyphrases plus those of all entities linking to it),
+///  * per-entity keyphrase normalized MI "mu" (Eq. 4.1).
+///
+/// Phrases are stored as sequences of word ids; equal word sequences share
+/// one PhraseId.
+class KeyphraseStore {
+ public:
+  /// Interns a word; repeated calls with the same text return the same id.
+  WordId InternWord(std::string_view word);
+
+  /// Interns a phrase given as word ids.
+  PhraseId InternPhrase(const std::vector<WordId>& words);
+
+  /// Convenience: interns a phrase given as space-separated text.
+  PhraseId InternPhraseText(std::string_view text);
+
+  /// Associates `phrase` with `entity` (`count` co-occurrences).
+  void AddEntityPhrase(EntityId entity, PhraseId phrase, uint32_t count = 1);
+
+  /// Computes document frequencies and all weights. `links` supplies the
+  /// in-link sets for superdocuments; `entity_count` fixes the collection
+  /// size N. Must be called before any weight query.
+  void Finalize(const LinkGraph& links, size_t entity_count);
+
+  // ---- Vocabulary access -------------------------------------------------
+
+  size_t word_count() const { return words_.size(); }
+  size_t phrase_count() const { return phrases_.size(); }
+  const std::string& WordText(WordId w) const;
+  const std::vector<WordId>& PhraseWords(PhraseId p) const;
+  /// Space-joined surface text of a phrase.
+  std::string PhraseText(PhraseId p) const;
+  /// Looks up an existing word; kNoWord when unknown.
+  WordId FindWord(std::string_view word) const;
+
+  // ---- Entity associations ----------------------------------------------
+
+  /// Phrase ids associated with `entity` (order of insertion, deduped).
+  const std::vector<PhraseId>& EntityPhrases(EntityId entity) const;
+
+  /// Distinct keyword ids appearing in any of `entity`'s phrases.
+  const std::vector<WordId>& EntityWords(EntityId entity) const;
+
+  /// Co-occurrence count of `p` with `entity` (0 when not associated).
+  uint32_t EntityPhraseCount(EntityId entity, PhraseId p) const;
+
+  /// Number of entities whose phrase set contains `p`.
+  uint32_t PhraseDf(PhraseId p) const;
+
+  /// Number of entities having at least one phrase containing `w`.
+  uint32_t WordDf(WordId w) const;
+
+  // ---- Weights (valid after Finalize) -------------------------------------
+
+  /// log2(N / df) keyword IDF; 0 for unseen words.
+  double WordIdf(WordId w) const;
+
+  /// log2(N / df) keyphrase IDF.
+  double PhraseIdf(PhraseId p) const;
+
+  /// Per-entity keyword specificity weight npmi(e, w) (Eq. 3.1), clipped at
+  /// zero (non-positive weights are discarded by the paper). Returns 0 for
+  /// words outside the entity's superdocument.
+  double KeywordNpmi(EntityId e, WordId w) const;
+
+  /// Per-entity keyphrase weight mu(e, p) (Eq. 4.1).
+  double PhraseMi(EntityId e, PhraseId p) const;
+
+  bool finalized() const { return finalized_; }
+  size_t collection_size() const { return collection_size_; }
+
+ private:
+  struct EntityData {
+    std::vector<PhraseId> phrases;
+    std::vector<uint32_t> phrase_counts;  // parallel to `phrases`
+    std::vector<WordId> words;            // distinct, sorted
+    // Weight tables computed at Finalize, parallel to phrases/words.
+    std::vector<double> phrase_mi;
+    std::vector<double> word_npmi;
+  };
+
+  EntityData& DataFor(EntityId entity);
+  const EntityData* DataOrNull(EntityId entity) const;
+  /// Index of `p` in EntityPhrases(e), or npos.
+  static size_t IndexOf(const std::vector<PhraseId>& v, PhraseId p);
+
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, WordId> word_ids_;
+  std::vector<std::vector<WordId>> phrases_;
+  std::unordered_map<std::string, PhraseId> phrase_keys_;
+
+  std::vector<EntityData> entities_;
+
+  std::vector<uint32_t> phrase_df_;
+  std::vector<uint32_t> word_df_;
+  size_t collection_size_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace aida::kb
+
+#endif  // AIDA_KB_KEYPHRASE_STORE_H_

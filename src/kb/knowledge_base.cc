@@ -1,0 +1,5 @@
+#include "kb/knowledge_base.h"
+
+// KnowledgeBase is a plain aggregate; all behaviour lives in its parts and
+// in KbBuilder. This file exists so the target has a translation unit that
+// anchors the class (and any future out-of-line members).

@@ -1,0 +1,45 @@
+#ifndef AIDA_KB_KNOWLEDGE_BASE_H_
+#define AIDA_KB_KNOWLEDGE_BASE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "kb/dictionary.h"
+#include "kb/entity.h"
+#include "kb/keyphrase_store.h"
+#include "kb/link_graph.h"
+#include "kb/type_taxonomy.h"
+#include "util/status.h"
+
+namespace aida::kb {
+
+/// Immutable facade bundling all knowledge-base components (Figure 2.1 of
+/// the paper): the entity repository E, the name dictionary D, entity
+/// features F (keyphrases with weights), the link graph, and the type
+/// taxonomy. Construct via `KbBuilder`.
+class KnowledgeBase {
+ public:
+  const EntityRepository& entities() const { return *entities_; }
+  const Dictionary& dictionary() const { return *dictionary_; }
+  const KeyphraseStore& keyphrases() const { return *keyphrases_; }
+  const LinkGraph& links() const { return *links_; }
+  const TypeTaxonomy& taxonomy() const { return *taxonomy_; }
+
+  /// Number of entities (the collection size N in all weight formulas).
+  size_t entity_count() const { return entities_->size(); }
+
+ private:
+  friend class KbBuilder;
+  KnowledgeBase() = default;
+
+  std::unique_ptr<EntityRepository> entities_;
+  std::unique_ptr<Dictionary> dictionary_;
+  std::unique_ptr<KeyphraseStore> keyphrases_;
+  std::unique_ptr<LinkGraph> links_;
+  std::unique_ptr<TypeTaxonomy> taxonomy_;
+};
+
+}  // namespace aida::kb
+
+#endif  // AIDA_KB_KNOWLEDGE_BASE_H_

@@ -1,0 +1,68 @@
+#include "kb/link_graph.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace aida::kb {
+
+LinkGraph::LinkGraph(size_t entity_count)
+    : in_(entity_count), out_(entity_count) {}
+
+void LinkGraph::AddLink(EntityId source, EntityId target) {
+  AIDA_DCHECK(!finalized_);
+  AIDA_DCHECK(source < out_.size() && target < in_.size());
+  if (source == target) return;
+  out_[source].push_back(target);
+  in_[target].push_back(source);
+}
+
+void LinkGraph::Finalize() {
+  auto dedup = [](std::vector<EntityId>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  for (auto& v : in_) dedup(v);
+  for (auto& v : out_) dedup(v);
+  finalized_ = true;
+}
+
+const std::vector<EntityId>& LinkGraph::InLinks(EntityId entity) const {
+  AIDA_DCHECK(finalized_);
+  AIDA_DCHECK(entity < in_.size());
+  return in_[entity];
+}
+
+const std::vector<EntityId>& LinkGraph::OutLinks(EntityId entity) const {
+  AIDA_DCHECK(finalized_);
+  AIDA_DCHECK(entity < out_.size());
+  return out_[entity];
+}
+
+size_t LinkGraph::SharedInLinkCount(EntityId a, EntityId b) const {
+  const auto& va = InLinks(a);
+  const auto& vb = InLinks(b);
+  size_t i = 0;
+  size_t j = 0;
+  size_t shared = 0;
+  while (i < va.size() && j < vb.size()) {
+    if (va[i] < vb[j]) {
+      ++i;
+    } else if (vb[j] < va[i]) {
+      ++j;
+    } else {
+      ++shared;
+      ++i;
+      ++j;
+    }
+  }
+  return shared;
+}
+
+size_t LinkGraph::link_count() const {
+  size_t total = 0;
+  for (const auto& v : out_) total += v.size();
+  return total;
+}
+
+}  // namespace aida::kb

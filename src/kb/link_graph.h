@@ -1,0 +1,55 @@
+#ifndef AIDA_KB_LINK_GRAPH_H_
+#define AIDA_KB_LINK_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "kb/entity.h"
+
+namespace aida::kb {
+
+/// Directed entity-entity link structure, mirroring Wikipedia's article
+/// links. The Milne-Witten relatedness measure (Eq. 3.7) and the keyword
+/// superdocuments (Section 3.3.4) are both defined over in-link sets.
+class LinkGraph {
+ public:
+  /// Creates a graph over `entity_count` entities with no links.
+  explicit LinkGraph(size_t entity_count);
+
+  /// Adds a link from `source`'s page to `target`'s page. Duplicate edges
+  /// are collapsed at Finalize().
+  void AddLink(EntityId source, EntityId target);
+
+  /// Sorts and deduplicates adjacency lists. Must be called before any
+  /// query; additional AddLink calls after Finalize are a programmer error.
+  void Finalize();
+
+  /// Entities whose pages link to `entity` (sorted, unique).
+  const std::vector<EntityId>& InLinks(EntityId entity) const;
+
+  /// Entities that `entity`'s page links to (sorted, unique).
+  const std::vector<EntityId>& OutLinks(EntityId entity) const;
+
+  size_t InLinkCount(EntityId entity) const {
+    return InLinks(entity).size();
+  }
+
+  /// |InLinks(a) ∩ InLinks(b)| via sorted-list intersection.
+  size_t SharedInLinkCount(EntityId a, EntityId b) const;
+
+  size_t entity_count() const { return in_.size(); }
+
+  /// Total number of directed links.
+  size_t link_count() const;
+
+  bool finalized() const { return finalized_; }
+
+ private:
+  std::vector<std::vector<EntityId>> in_;
+  std::vector<std::vector<EntityId>> out_;
+  bool finalized_ = false;
+};
+
+}  // namespace aida::kb
+
+#endif  // AIDA_KB_LINK_GRAPH_H_

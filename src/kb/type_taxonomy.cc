@@ -1,0 +1,49 @@
+#include "kb/type_taxonomy.h"
+
+#include "util/status.h"
+
+namespace aida::kb {
+
+TypeId TypeTaxonomy::AddType(std::string name, TypeId parent) {
+  AIDA_CHECK(by_name_.find(name) == by_name_.end());
+  AIDA_CHECK(parent == kNoType || parent < names_.size());
+  TypeId id = static_cast<TypeId>(names_.size());
+  by_name_.emplace(name, id);
+  names_.push_back(std::move(name));
+  parents_.push_back(parent);
+  return id;
+}
+
+TypeId TypeTaxonomy::FindType(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kNoType : it->second;
+}
+
+const std::string& TypeTaxonomy::TypeName(TypeId t) const {
+  AIDA_DCHECK(t < names_.size());
+  return names_[t];
+}
+
+TypeId TypeTaxonomy::Parent(TypeId t) const {
+  AIDA_DCHECK(t < parents_.size());
+  return parents_[t];
+}
+
+std::vector<TypeId> TypeTaxonomy::AncestorsInclusive(TypeId t) const {
+  std::vector<TypeId> chain;
+  while (t != kNoType) {
+    chain.push_back(t);
+    t = parents_[t];
+  }
+  return chain;
+}
+
+bool TypeTaxonomy::IsSubtypeOf(TypeId descendant, TypeId ancestor) const {
+  while (descendant != kNoType) {
+    if (descendant == ancestor) return true;
+    descendant = parents_[descendant];
+  }
+  return false;
+}
+
+}  // namespace aida::kb

@@ -1,0 +1,44 @@
+#ifndef AIDA_KB_TYPE_TAXONOMY_H_
+#define AIDA_KB_TYPE_TAXONOMY_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/entity.h"
+
+namespace aida::kb {
+
+/// YAGO-style class hierarchy: a forest of named types with subclass-of
+/// edges. Used by the Cucerzan-style baseline (category context expansion)
+/// and by the "cats" dimension of the entity search application (ch. 6).
+class TypeTaxonomy {
+ public:
+  /// Adds a type under `parent` (kNoType for a root). Names are unique.
+  TypeId AddType(std::string name, TypeId parent = kNoType);
+
+  /// Looks up a type by name; kNoType when absent.
+  TypeId FindType(std::string_view name) const;
+
+  const std::string& TypeName(TypeId t) const;
+  TypeId Parent(TypeId t) const;
+
+  /// `t` and all its ancestors up to the root, nearest first.
+  std::vector<TypeId> AncestorsInclusive(TypeId t) const;
+
+  /// True if `descendant` equals `ancestor` or lies below it.
+  bool IsSubtypeOf(TypeId descendant, TypeId ancestor) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<TypeId> parents_;
+  std::unordered_map<std::string, TypeId> by_name_;
+};
+
+}  // namespace aida::kb
+
+#endif  // AIDA_KB_TYPE_TAXONOMY_H_

@@ -1,0 +1,42 @@
+#ifndef AIDA_KORE_KEYTERM_COSINE_H_
+#define AIDA_KORE_KEYTERM_COSINE_H_
+
+#include <string>
+
+#include "core/relatedness.h"
+
+namespace aida::kore {
+
+/// Keyterm cosine relatedness (Section 4.3.2): entities as weighted
+/// keyterm vectors compared by cosine similarity. Two variants:
+///
+///  * kKeyword (KWCS): vectors over single keywords; keyword weights take
+///    the originating phrases' MI weights into account (word IDF times the
+///    mean MI weight of the phrases containing the word).
+///  * kKeyphrase (KPCS): vectors over whole phrases with MI weights;
+///    phrases only match exactly.
+///
+/// Both are link-independent, so they apply to placeholder candidates.
+class KeytermCosineRelatedness : public core::RelatednessMeasure {
+ public:
+  enum class Mode { kKeyword, kKeyphrase };
+
+  explicit KeytermCosineRelatedness(Mode mode);
+
+  std::string name() const override {
+    return mode_ == Mode::kKeyword ? "kwcs" : "kpcs";
+  }
+  double Relatedness(const core::Candidate& a,
+                     const core::Candidate& b) const override;
+
+  /// Model-level computation (shared with tests).
+  double RelatednessOfModels(const core::CandidateModel& a,
+                             const core::CandidateModel& b) const;
+
+ private:
+  Mode mode_;
+};
+
+}  // namespace aida::kore
+
+#endif  // AIDA_KORE_KEYTERM_COSINE_H_

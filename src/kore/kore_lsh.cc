@@ -1,0 +1,46 @@
+#include "kore/kore_lsh.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace aida::kore {
+
+KoreLshRelatedness::KoreLshRelatedness(const kb::KeyphraseStore* store,
+                                       hashing::TwoStageConfig config,
+                                       std::string name)
+    : hasher_(*store, config), name_(std::move(name)) {}
+
+std::vector<std::pair<uint32_t, uint32_t>> KoreLshRelatedness::FilterPairs(
+    const std::vector<const core::Candidate*>& candidates) const {
+  // Split candidates into hashable in-KB entities and placeholders.
+  std::vector<kb::EntityId> kb_entities;
+  std::vector<uint32_t> kb_index;  // position in `candidates`
+  std::vector<uint32_t> placeholders;
+  for (uint32_t i = 0; i < candidates.size(); ++i) {
+    const core::Candidate* c = candidates[i];
+    if (c->is_placeholder || c->entity == kb::kNoEntity) {
+      placeholders.push_back(i);
+    } else {
+      kb_entities.push_back(c->entity);
+      kb_index.push_back(i);
+    }
+  }
+
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (const auto& [a, b] : hasher_.GroupEntities(kb_entities)) {
+    pairs.emplace_back(kb_index[a], kb_index[b]);
+  }
+  // Placeholders are rare and always compared exactly.
+  for (uint32_t p : placeholders) {
+    for (uint32_t i = 0; i < candidates.size(); ++i) {
+      if (i == p) continue;
+      pairs.emplace_back(std::min(i, p), std::max(i, p));
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+}  // namespace aida::kore

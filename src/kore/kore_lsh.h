@@ -1,0 +1,47 @@
+#ifndef AIDA_KORE_KORE_LSH_H_
+#define AIDA_KORE_KORE_LSH_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hashing/two_stage_hasher.h"
+#include "kore/kore_relatedness.h"
+
+namespace aida::kore {
+
+/// KORE accelerated by the two-stage hashing scheme (Section 4.4.2): exact
+/// KORE values, but only for entity pairs that share at least one stage-two
+/// LSH bucket; all other pairs are treated as unrelated. Two named
+/// configurations mirror the paper: KORE-LSH-G (recall-oriented, 200x1
+/// banding) and KORE-LSH-F (aggressively pruning, 1000x2 banding).
+///
+/// Placeholder candidates are not in the precomputed hash tables; pairs
+/// involving a placeholder are always admitted, so NED-EE keeps working.
+class KoreLshRelatedness : public KoreRelatedness {
+ public:
+  /// `store` must be finalized and outlive the measure.
+  KoreLshRelatedness(const kb::KeyphraseStore* store,
+                     hashing::TwoStageConfig config, std::string name);
+
+  std::string name() const override { return name_; }
+  bool has_pair_filter() const override { return true; }
+  std::vector<std::pair<uint32_t, uint32_t>> FilterPairs(
+      const std::vector<const core::Candidate*>& candidates) const override;
+
+  /// Factory helpers with the paper's configurations.
+  static KoreLshRelatedness Good(const kb::KeyphraseStore* store) {
+    return KoreLshRelatedness(store, hashing::LshGoodConfig(), "kore-lsh-g");
+  }
+  static KoreLshRelatedness Fast(const kb::KeyphraseStore* store) {
+    return KoreLshRelatedness(store, hashing::LshFastConfig(), "kore-lsh-f");
+  }
+
+ private:
+  hashing::TwoStageHasher hasher_;
+  std::string name_;
+};
+
+}  // namespace aida::kore
+
+#endif  // AIDA_KORE_KORE_LSH_H_

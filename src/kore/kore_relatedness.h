@@ -1,0 +1,39 @@
+#ifndef AIDA_KORE_KORE_RELATEDNESS_H_
+#define AIDA_KORE_KORE_RELATEDNESS_H_
+
+#include <string>
+
+#include "core/relatedness.h"
+
+namespace aida::kore {
+
+/// Keyphrase Overlap RElatedness (Section 4.3.3). Phrases match partially
+/// through the weighted-Jaccard phrase overlap
+///
+///   PO(p,q) = sum_{w in p∩q} min(γe(w), γf(w))
+///           / sum_{w in p∪q} max(γe(w), γf(w))              (Eq. 4.3)
+///
+/// with keyword IDF weights γ, aggregated over all phrase pairs with
+/// phrase MI weights φ:
+///
+///   KORE(e,f) = sum_{p,q} PO(p,q)^2 · min(φe(p), φf(q))
+///             / (sum_p φe(p) + sum_q φf(q))                  (Eq. 4.4)
+///
+/// KORE needs no link structure, so it scores long-tail and out-of-KB
+/// placeholder candidates — the property chapter 5 builds on.
+class KoreRelatedness : public core::RelatednessMeasure {
+ public:
+  KoreRelatedness() = default;
+
+  std::string name() const override { return "kore"; }
+  double Relatedness(const core::Candidate& a,
+                     const core::Candidate& b) const override;
+
+  /// Model-level computation (shared with tests and the LSH variants).
+  static double RelatednessOfModels(const core::CandidateModel& a,
+                                    const core::CandidateModel& b);
+};
+
+}  // namespace aida::kore
+
+#endif  // AIDA_KORE_KORE_RELATEDNESS_H_

@@ -1,0 +1,88 @@
+#include "nlp/keyphrase_extractor.h"
+
+#include "util/string_util.h"
+
+namespace aida::nlp {
+
+namespace {
+
+bool IsNounish(PosTag tag) {
+  return tag == PosTag::kNoun || tag == PosTag::kProperNoun;
+}
+
+bool IsGroupMember(PosTag tag) {
+  return IsNounish(tag) || tag == PosTag::kAdjective ||
+         tag == PosTag::kNumber;
+}
+
+}  // namespace
+
+KeyphraseExtractor::KeyphraseExtractor()
+    : KeyphraseExtractor(Options()) {}
+
+KeyphraseExtractor::KeyphraseExtractor(Options options)
+    : options_(options) {}
+
+std::vector<ExtractedPhrase> KeyphraseExtractor::Extract(
+    const text::TokenSequence& tokens, const std::vector<PosTag>& tags) const {
+  std::vector<ExtractedPhrase> phrases;
+  const size_t n = tokens.size();
+
+  auto emit = [&](size_t begin, size_t end) {
+    if (end <= begin) return;
+    size_t len = end - begin;
+    if (len > options_.max_phrase_tokens) {
+      // Keep the suffix; noun groups are right-headed.
+      begin = end - options_.max_phrase_tokens;
+      len = options_.max_phrase_tokens;
+    }
+    if (len == 1 && !options_.allow_unigrams &&
+        tags[begin] != PosTag::kProperNoun) {
+      return;
+    }
+    std::vector<std::string> words;
+    words.reserve(len);
+    for (size_t i = begin; i < end; ++i) {
+      words.push_back(util::ToLower(tokens[i].text));
+    }
+    phrases.push_back({util::Join(words, " "), begin, end});
+  };
+
+  size_t i = 0;
+  while (i < n) {
+    if (!IsGroupMember(tags[i])) {
+      ++i;
+      continue;
+    }
+    // Scan a (Adj|Noun|Num)+ group; it qualifies if it ends in a noun.
+    size_t begin = i;
+    size_t last_noun = static_cast<size_t>(-1);
+    while (i < n && IsGroupMember(tags[i])) {
+      if (IsNounish(tags[i])) last_noun = i;
+      ++i;
+    }
+    if (last_noun == static_cast<size_t>(-1)) continue;
+    size_t end = last_noun + 1;
+
+    // Optionally absorb one "Noun Prep NounGroup" continuation
+    // ("school of martial arts").
+    if (end < n && tags[end] == PosTag::kPreposition && end + 1 < n &&
+        IsGroupMember(tags[end + 1])) {
+      size_t j = end + 1;
+      size_t cont_last_noun = static_cast<size_t>(-1);
+      while (j < n && IsGroupMember(tags[j])) {
+        if (IsNounish(tags[j])) cont_last_noun = j;
+        ++j;
+      }
+      if (cont_last_noun != static_cast<size_t>(-1)) {
+        emit(begin, cont_last_noun + 1);
+        i = j;
+        continue;
+      }
+    }
+    emit(begin, end);
+  }
+  return phrases;
+}
+
+}  // namespace aida::nlp

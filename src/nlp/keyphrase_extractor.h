@@ -1,0 +1,49 @@
+#ifndef AIDA_NLP_KEYPHRASE_EXTRACTOR_H_
+#define AIDA_NLP_KEYPHRASE_EXTRACTOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nlp/pos_tagger.h"
+#include "text/token.h"
+
+namespace aida::nlp {
+
+/// A keyphrase candidate extracted from text: the normalized phrase text
+/// plus its token span in the source sequence.
+struct ExtractedPhrase {
+  std::string text;
+  size_t begin_token = 0;
+  size_t end_token = 0;  // exclusive
+};
+
+/// Extracts keyphrase candidates from tagged text using the
+/// part-of-speech patterns of Appendix A: maximal proper-noun groups and
+/// Justeson-Katz style technical terms
+/// `((Adj | Noun)+ | ((Adj | Noun)* (Noun Prep)?) (Adj | Noun)*) Noun`.
+/// In practice this reduces to noun groups optionally joined by a single
+/// preposition ("school of martial arts").
+class KeyphraseExtractor {
+ public:
+  struct Options {
+    /// Longest phrase emitted, in tokens.
+    size_t max_phrase_tokens = 5;
+    /// Whether single-token nouns are emitted (proper nouns always are).
+    bool allow_unigrams = true;
+  };
+
+  KeyphraseExtractor();
+  explicit KeyphraseExtractor(Options options);
+
+  /// Extracts phrases from `tokens` tagged with `tags` (parallel arrays).
+  std::vector<ExtractedPhrase> Extract(const text::TokenSequence& tokens,
+                                       const std::vector<PosTag>& tags) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace aida::nlp
+
+#endif  // AIDA_NLP_KEYPHRASE_EXTRACTOR_H_

@@ -1,0 +1,81 @@
+#include "nlp/ner_tagger.h"
+
+#include <unordered_set>
+
+#include "text/stopwords.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace aida::nlp {
+
+namespace {
+
+bool IsNameToken(const text::Token& token) {
+  if (token.text.empty()) return false;
+  // Sentence-initial capitalized function words ("They", "The") are not
+  // name material unless the dictionary says otherwise (checked later).
+  if (token.capitalized &&
+      !text::DefaultStopwords().Contains(token.text)) {
+    return true;
+  }
+  return util::IsAllUpper(token.text) && token.text.size() >= 2;
+}
+
+std::string JoinSpan(const text::TokenSequence& tokens, size_t begin,
+                     size_t end) {
+  std::string text;
+  for (size_t i = begin; i < end; ++i) {
+    if (!text.empty()) text += ' ';
+    text += tokens[i].text;
+  }
+  return text;
+}
+
+}  // namespace
+
+NerTagger::NerTagger(const kb::Dictionary* dictionary)
+    : NerTagger(dictionary, Options()) {}
+
+NerTagger::NerTagger(const kb::Dictionary* dictionary, Options options)
+    : dictionary_(dictionary), options_(options) {
+  AIDA_CHECK(dictionary_ != nullptr);
+}
+
+std::vector<MentionSpan> NerTagger::Recognize(
+    const text::TokenSequence& tokens) const {
+  std::vector<MentionSpan> mentions;
+  size_t i = 0;
+  const size_t n = tokens.size();
+  while (i < n) {
+    if (!IsNameToken(tokens[i])) {
+      ++i;
+      continue;
+    }
+    // Maximal run of name tokens starting at i.
+    size_t run_end = i;
+    while (run_end < n && IsNameToken(tokens[run_end]) &&
+           run_end - i < options_.max_span_tokens) {
+      ++run_end;
+    }
+    // Longest dictionary match within the run.
+    size_t match_end = 0;
+    for (size_t end = run_end; end > i; --end) {
+      if (dictionary_->Contains(JoinSpan(tokens, i, end))) {
+        match_end = end;
+        break;
+      }
+    }
+    if (match_end > i) {
+      mentions.push_back({JoinSpan(tokens, i, match_end), i, match_end});
+      i = match_end;
+    } else if (options_.emit_unknown_spans) {
+      mentions.push_back({JoinSpan(tokens, i, run_end), i, run_end});
+      i = run_end;
+    } else {
+      ++i;
+    }
+  }
+  return mentions;
+}
+
+}  // namespace aida::nlp

@@ -1,0 +1,51 @@
+#ifndef AIDA_NLP_NER_TAGGER_H_
+#define AIDA_NLP_NER_TAGGER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "kb/dictionary.h"
+#include "text/token.h"
+
+namespace aida::nlp {
+
+/// A recognized named-entity mention span.
+struct MentionSpan {
+  /// Surface text, whitespace-joined.
+  std::string text;
+  size_t begin_token = 0;
+  size_t end_token = 0;  // exclusive
+};
+
+/// Recognizes named-entity mentions in tokenized text. Stands in for the
+/// Stanford NER tagger (Section 3.3.1): candidate spans are maximal runs of
+/// capitalized tokens (and all-caps acronyms), preferring the longest span
+/// the dictionary knows as a name — a gazetteer-backed recognizer that is
+/// reliable on the synthetic news corpora.
+class NerTagger {
+ public:
+  struct Options {
+    /// Maximum mention length in tokens.
+    size_t max_span_tokens = 4;
+    /// If true, spans absent from the dictionary are still emitted when
+    /// they are capitalized multi-token runs (possible emerging entities).
+    bool emit_unknown_spans = true;
+  };
+
+  /// `dictionary` provides the gazetteer; it must outlive the tagger.
+  explicit NerTagger(const kb::Dictionary* dictionary);
+  NerTagger(const kb::Dictionary* dictionary, Options options);
+
+  /// Finds non-overlapping mention spans, left to right, longest match
+  /// first.
+  std::vector<MentionSpan> Recognize(const text::TokenSequence& tokens) const;
+
+ private:
+  const kb::Dictionary* dictionary_;
+  Options options_;
+};
+
+}  // namespace aida::nlp
+
+#endif  // AIDA_NLP_NER_TAGGER_H_

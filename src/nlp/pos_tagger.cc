@@ -1,0 +1,136 @@
+#include "nlp/pos_tagger.h"
+
+#include <cctype>
+#include <string>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace aida::nlp {
+
+namespace {
+
+const std::unordered_set<std::string>& Determiners() {
+  static const auto& set = *new std::unordered_set<std::string>{
+      "a", "an", "the", "this", "that", "these", "those", "some", "any",
+      "each", "every", "no"};
+  return set;
+}
+
+const std::unordered_set<std::string>& Prepositions() {
+  static const auto& set = *new std::unordered_set<std::string>{
+      "of", "in", "on", "at", "by", "for", "with", "about", "against",
+      "between", "into", "through", "during", "before", "after", "above",
+      "below", "to", "from", "up", "down", "under", "over"};
+  return set;
+}
+
+const std::unordered_set<std::string>& Pronouns() {
+  static const auto& set = *new std::unordered_set<std::string>{
+      "i", "you", "he", "she", "it", "we", "they", "him", "her", "them",
+      "his", "hers", "its", "their", "our", "my", "your", "who", "whom",
+      "which", "whose"};
+  return set;
+}
+
+const std::unordered_set<std::string>& Conjunctions() {
+  static const auto& set = *new std::unordered_set<std::string>{
+      "and", "or", "but", "nor", "so", "yet", "because", "although",
+      "while", "whereas", "if", "unless"};
+  return set;
+}
+
+const std::unordered_set<std::string>& CommonVerbs() {
+  static const auto& set = *new std::unordered_set<std::string>{
+      "is",   "are",  "was",  "were", "be",    "been",  "being", "am",
+      "has",  "have", "had",  "do",   "does",  "did",   "will",  "would",
+      "can",  "could", "may", "might", "shall", "should", "must",
+      "said", "says", "made", "make", "took",  "take",  "went",  "go",
+      "won",  "wins", "lost", "beat", "played", "plays", "wrote", "writes",
+      "released", "performed", "recorded", "announced", "revealed",
+      "signed", "scored", "founded", "joined", "led", "met"};
+  return set;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  std::string suf(suffix);
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+}  // namespace
+
+const char* PosTagLabel(PosTag tag) {
+  switch (tag) {
+    case PosTag::kNoun:
+      return "NN";
+    case PosTag::kProperNoun:
+      return "NNP";
+    case PosTag::kVerb:
+      return "VB";
+    case PosTag::kAdjective:
+      return "JJ";
+    case PosTag::kAdverb:
+      return "RB";
+    case PosTag::kDeterminer:
+      return "DT";
+    case PosTag::kPreposition:
+      return "IN";
+    case PosTag::kPronoun:
+      return "PRP";
+    case PosTag::kConjunction:
+      return "CC";
+    case PosTag::kNumber:
+      return "CD";
+    case PosTag::kPunctuation:
+      return "PUNCT";
+    case PosTag::kOther:
+      return "X";
+  }
+  return "X";
+}
+
+PosTagger::PosTagger() = default;
+
+std::vector<PosTag> PosTagger::Tag(const text::TokenSequence& tokens) const {
+  std::vector<PosTag> tags;
+  tags.reserve(tokens.size());
+  bool sentence_initial = true;
+  for (const text::Token& token : tokens) {
+    tags.push_back(TagOne(token, sentence_initial));
+    sentence_initial = token.sentence_final_punct;
+  }
+  return tags;
+}
+
+PosTag PosTagger::TagOne(const text::Token& token,
+                         bool sentence_initial) const {
+  const std::string& text = token.text;
+  if (text.empty()) return PosTag::kOther;
+  unsigned char first = static_cast<unsigned char>(text.front());
+  if (std::ispunct(first) && text.size() == 1) return PosTag::kPunctuation;
+  if (std::isdigit(first)) return PosTag::kNumber;
+
+  std::string lower = util::ToLower(text);
+  if (Determiners().count(lower)) return PosTag::kDeterminer;
+  if (Prepositions().count(lower)) return PosTag::kPreposition;
+  if (Pronouns().count(lower)) return PosTag::kPronoun;
+  if (Conjunctions().count(lower)) return PosTag::kConjunction;
+  if (CommonVerbs().count(lower)) return PosTag::kVerb;
+
+  // Proper nouns: capitalized in a non-sentence-initial position, or
+  // all-caps acronyms anywhere.
+  if (util::IsAllUpper(text) && text.size() >= 2) return PosTag::kProperNoun;
+  if (token.capitalized && !sentence_initial) return PosTag::kProperNoun;
+
+  if (EndsWith(lower, "ly")) return PosTag::kAdverb;
+  if (EndsWith(lower, "ing") || EndsWith(lower, "ed")) return PosTag::kVerb;
+  if (EndsWith(lower, "ous") || EndsWith(lower, "ful") ||
+      EndsWith(lower, "ive") || EndsWith(lower, "ical") ||
+      EndsWith(lower, "able") || EndsWith(lower, "ian")) {
+    return PosTag::kAdjective;
+  }
+  return PosTag::kNoun;
+}
+
+}  // namespace aida::nlp

@@ -1,0 +1,47 @@
+#ifndef AIDA_NLP_POS_TAGGER_H_
+#define AIDA_NLP_POS_TAGGER_H_
+
+#include <vector>
+
+#include "text/token.h"
+
+namespace aida::nlp {
+
+/// Coarse part-of-speech tagset sufficient for the keyphrase extraction
+/// patterns of Appendix A (noun groups, adjectives, prepositions).
+enum class PosTag {
+  kNoun,
+  kProperNoun,
+  kVerb,
+  kAdjective,
+  kAdverb,
+  kDeterminer,
+  kPreposition,
+  kPronoun,
+  kConjunction,
+  kNumber,
+  kPunctuation,
+  kOther,
+};
+
+/// Returns a short label ("NN", "NNP", ...) for diagnostics.
+const char* PosTagLabel(PosTag tag);
+
+/// Lexicon- and suffix-based part-of-speech tagger. This stands in for the
+/// Stanford POS tagger the paper uses (Section 5.5.1): keyphrase harvesting
+/// only needs reliable noun-group boundaries, which closed-class word lists
+/// plus capitalization and suffix heuristics provide on news-style text.
+class PosTagger {
+ public:
+  PosTagger();
+
+  /// Tags each token of `tokens`; the result is parallel to the input.
+  std::vector<PosTag> Tag(const text::TokenSequence& tokens) const;
+
+ private:
+  PosTag TagOne(const text::Token& token, bool sentence_initial) const;
+};
+
+}  // namespace aida::nlp
+
+#endif  // AIDA_NLP_POS_TAGGER_H_

@@ -1,0 +1,288 @@
+#include "synth/corpus_generator.h"
+
+#include <algorithm>
+#include <iterator>
+#include <unordered_map>
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace aida::synth {
+
+namespace {
+
+const char* const kStopwords[] = {"the", "a",  "of",   "in",   "and",
+                                  "to",  "on", "with", "from", "for",
+                                  "at",  "by", "was",  "is",   "has"};
+
+// One planned mention occurrence inside a document.
+struct PlannedMention {
+  kb::EntityId entity = kb::kNoEntity;      // kNoEntity => emerging
+  corpus::EmergingId emerging = corpus::kNoEmerging;
+  std::string name;
+  const std::vector<std::string>* phrases = nullptr;  // context source
+  /// Coherence trap: ambiguous name, guaranteed clean context.
+  bool trap = false;
+};
+
+}  // namespace
+
+CorpusGenerator::CorpusGenerator(const World* world, CorpusConfig config)
+    : world_(world), config_(std::move(config)) {
+  AIDA_CHECK(world_ != nullptr);
+}
+
+corpus::Document CorpusGenerator::GenerateDocument(
+    const std::vector<kb::EntityId>& entities,
+    const std::vector<uint32_t>& emerging_ids, uint32_t primary_topic,
+    int64_t day, util::Rng& rng,
+    const std::vector<kb::EntityId>* trap_entities) const {
+  const CorpusConfig& cfg = config_;
+  corpus::Document doc;
+  doc.topic = primary_topic;
+  doc.day = day;
+
+  auto is_trap = [&](kb::EntityId e) {
+    return trap_entities != nullptr &&
+           std::find(trap_entities->begin(), trap_entities->end(), e) !=
+               trap_entities->end();
+  };
+
+  // Plan mention occurrences: each document entity appears one or more
+  // times, under an ambiguous family name or the fuller form.
+  std::vector<PlannedMention> plan;
+  double repeat_p = 1.0 / std::max(1.0, cfg.mention_repeat);
+  for (kb::EntityId e : entities) {
+    int occurrences = 1 + rng.Geometric(repeat_p, 3);
+    const auto& names = world_->entity_names[e];
+    for (int k = 0; k < occurrences; ++k) {
+      PlannedMention m;
+      m.entity = e;
+      m.trap = is_trap(e);
+      if (m.trap || names.size() < 2 ||
+          rng.Bernoulli(cfg.ambiguous_name_prob)) {
+        m.name = names.front();  // the ambiguous family name
+      } else {
+        m.name = names[1];  // the fuller, mostly unambiguous form
+      }
+      m.phrases = &world_->entity_phrases[e];
+      plan.push_back(std::move(m));
+    }
+  }
+  for (uint32_t ee_id : emerging_ids) {
+    const EmergingEntity& ee = world_->emerging[ee_id];
+    int occurrences = 1 + rng.Geometric(repeat_p, 3);
+    for (int k = 0; k < occurrences; ++k) {
+      PlannedMention m;
+      m.emerging = ee_id;
+      m.name = ee.name;
+      m.phrases = &ee.keyphrases;
+      plan.push_back(std::move(m));
+    }
+  }
+  rng.Shuffle(plan);
+
+  const auto& topic_vocab = world_->topic_vocab[primary_topic];
+  auto filler_word = [&]() -> std::string {
+    if (rng.Bernoulli(cfg.stopword_prob)) {
+      return kStopwords[rng.UniformInt(std::size(kStopwords))];
+    }
+    if (rng.Bernoulli(cfg.topical_filler_prob)) {
+      return topic_vocab[rng.UniformInt(topic_vocab.size())];
+    }
+    return world_->generic_vocab[rng.UniformInt(
+        world_->generic_vocab.size())];
+  };
+
+  auto append_filler = [&](size_t count) {
+    for (size_t i = 0; i < count; ++i) doc.tokens.push_back(filler_word());
+  };
+
+  // Emit one sentence per planned mention: filler, the mention, a few of
+  // the entity's keyphrases as context (sometimes partially), filler, ".".
+  for (const PlannedMention& m : plan) {
+    append_filler(2 + rng.UniformInt(4));
+
+    corpus::GoldMention gold;
+    gold.surface = m.name;
+    gold.begin_token = doc.tokens.size();
+    for (const std::string& tok : util::Split(m.name, ' ')) {
+      doc.tokens.push_back(tok);
+    }
+    gold.end_token = doc.tokens.size();
+    gold.gold_entity = m.entity;
+    gold.gold_emerging = m.emerging;
+    doc.mentions.push_back(gold);
+
+    bool emit_context =
+        m.trap || !rng.Bernoulli(cfg.sparse_context_prob);
+    if (emit_context && m.phrases != nullptr && !m.phrases->empty()) {
+      size_t num_ctx = 1 + rng.UniformInt(cfg.context_phrases_per_mention);
+      if (m.trap) num_ctx = std::max<size_t>(num_ctx, 2);
+      for (size_t c = 0; c < num_ctx; ++c) {
+        const std::vector<std::string>* source = m.phrases;
+        if (!m.trap && rng.Bernoulli(cfg.confusion_prob)) {
+          // Misleading context: a keyphrase of another entity that shares
+          // the mention's surface name.
+          auto candidates =
+              world_->knowledge_base->dictionary().Lookup(m.name);
+          std::vector<kb::EntityId> others;
+          for (const kb::NameCandidate& nc : candidates) {
+            if (nc.entity != m.entity) others.push_back(nc.entity);
+          }
+          if (!others.empty()) {
+            kb::EntityId other = others[rng.UniformInt(others.size())];
+            source = &world_->entity_phrases[other];
+          }
+        } else if (!m.trap && rng.Bernoulli(cfg.topical_context_prob)) {
+          // Topic-level context only: emit 1-2 topical filler words that
+          // match every same-topic candidate equally.
+          size_t count = 1 + rng.UniformInt(2);
+          for (size_t w = 0; w < count; ++w) {
+            doc.tokens.push_back(
+                topic_vocab[rng.UniformInt(topic_vocab.size())]);
+          }
+          continue;
+        }
+        if (source->empty()) continue;
+        const std::string& phrase =
+            (*source)[rng.UniformInt(source->size())];
+        std::vector<std::string> words = util::Split(phrase, ' ');
+        // Drop words occasionally so only partial phrase matches exist in
+        // the text (exercises the cover-based scoring, Eq. 3.4).
+        for (const std::string& w : words) {
+          if (words.size() > 1 &&
+              rng.Bernoulli(cfg.context_word_drop_prob)) {
+            continue;
+          }
+          doc.tokens.push_back(util::ToLower(w));
+        }
+        if (c + 1 < num_ctx) doc.tokens.push_back(",");
+      }
+    }
+    append_filler(1 + rng.UniformInt(3));
+    doc.tokens.push_back(".");
+  }
+
+  // Pad with filler sentences to the target length.
+  while (doc.tokens.size() < cfg.doc_tokens) {
+    append_filler(6 + rng.UniformInt(8));
+    doc.tokens.push_back(".");
+  }
+  return doc;
+}
+
+corpus::Corpus CorpusGenerator::Generate() {
+  const CorpusConfig& cfg = config_;
+  util::Rng rng(cfg.seed ^ 0x5EED5EEDULL);
+
+  // Per-topic emerging entity lists.
+  std::vector<std::vector<uint32_t>> topic_emerging(world_->num_topics());
+  for (const EmergingEntity& ee : world_->emerging) {
+    topic_emerging[ee.topic].push_back(ee.id);
+  }
+
+  // Popularity-biased per-topic samplers (members are sorted by
+  // descending popularity).
+  std::vector<util::ZipfSampler> topic_sampler;
+  topic_sampler.reserve(world_->num_topics());
+  for (size_t t = 0; t < world_->num_topics(); ++t) {
+    topic_sampler.emplace_back(
+        std::max<size_t>(1, world_->topic_entities[t].size()),
+        cfg.popularity_bias);
+  }
+
+  // Name -> holders index for coherence traps.
+  std::unordered_map<std::string, std::vector<kb::EntityId>> name_holders;
+  if (cfg.coherence_trap_prob > 0.0) {
+    for (kb::EntityId e = 0; e < world_->entity_names.size(); ++e) {
+      name_holders[world_->entity_names[e].front()].push_back(e);
+    }
+  }
+
+  corpus::Corpus docs;
+  docs.reserve(cfg.num_documents);
+  for (size_t d = 0; d < cfg.num_documents; ++d) {
+    uint32_t primary =
+        static_cast<uint32_t>(rng.UniformInt(world_->num_topics()));
+    bool homogeneous = rng.Bernoulli(cfg.homogeneous_prob);
+    uint32_t secondary =
+        homogeneous ? primary
+                    : static_cast<uint32_t>(rng.UniformInt(world_->num_topics()));
+
+    std::vector<kb::EntityId> entities;
+    std::vector<uint32_t> emerging_ids;
+    size_t attempts = 0;
+    while (entities.size() + emerging_ids.size() < cfg.entities_per_doc &&
+           attempts++ < cfg.entities_per_doc * 10) {
+      uint32_t topic = rng.Bernoulli(0.7) ? primary : secondary;
+      if (cfg.emerging_mention_prob > 0 &&
+          !topic_emerging[topic].empty() &&
+          rng.Bernoulli(cfg.emerging_mention_prob)) {
+        uint32_t ee = topic_emerging[topic][rng.UniformInt(
+            topic_emerging[topic].size())];
+        if (std::find(emerging_ids.begin(), emerging_ids.end(), ee) ==
+            emerging_ids.end()) {
+          emerging_ids.push_back(ee);
+        }
+        continue;
+      }
+      kb::EntityId e = kb::kNoEntity;
+      if (!entities.empty() && rng.Bernoulli(cfg.linked_entity_prob)) {
+        // Association-coherent selection: stories co-mention related
+        // entities whether or not their pages are mutually linked.
+        kb::EntityId base = entities[rng.UniformInt(entities.size())];
+        const auto& related = world_->entity_associations[base];
+        if (!related.empty()) e = related[rng.UniformInt(related.size())];
+      }
+      if (e == kb::kNoEntity) {
+        const auto& members = world_->topic_entities[topic];
+        if (members.empty()) continue;
+        e = members[topic_sampler[topic].Sample(rng)];
+      }
+      if (std::find(entities.begin(), entities.end(), e) == entities.end()) {
+        entities.push_back(e);
+      }
+    }
+
+    // Coherence trap: a popular out-of-topic entity whose family name is
+    // also held by an entity of the document's primary topic.
+    std::vector<kb::EntityId> traps;
+    if (cfg.coherence_trap_prob > 0.0 &&
+        rng.Bernoulli(cfg.coherence_trap_prob)) {
+      for (int attempt = 0; attempt < 30; ++attempt) {
+        kb::EntityId trap = static_cast<kb::EntityId>(rng.UniformInt(
+            std::max<size_t>(1, world_->entity_names.size() / 4)));
+        if (world_->entity_topic[trap] == primary) continue;
+        const auto& holders =
+            name_holders[world_->entity_names[trap].front()];
+        bool collides = false;
+        for (kb::EntityId holder : holders) {
+          if (holder != trap && world_->entity_topic[holder] == primary) {
+            collides = true;
+            break;
+          }
+        }
+        if (!collides) continue;
+        if (std::find(entities.begin(), entities.end(), trap) ==
+            entities.end()) {
+          entities.push_back(trap);
+          traps.push_back(trap);
+        }
+        break;
+      }
+    }
+
+    int64_t day = cfg.first_day;
+    if (cfg.last_day > cfg.first_day) {
+      day = rng.UniformRange(cfg.first_day, cfg.last_day);
+    }
+    corpus::Document doc =
+        GenerateDocument(entities, emerging_ids, primary, day, rng, &traps);
+    doc.id = util::StrFormat("doc_%zu", d);
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+}  // namespace aida::synth

@@ -1,0 +1,102 @@
+#ifndef AIDA_SYNTH_CORPUS_GENERATOR_H_
+#define AIDA_SYNTH_CORPUS_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/document.h"
+#include "synth/world_generator.h"
+#include "util/rng.h"
+
+namespace aida::synth {
+
+/// Parameters of a generated annotated corpus. Presets in presets.h mirror
+/// the paper's evaluation corpora (CoNLL-like, KORE50-like, WP-like,
+/// GigaWord-EE-like).
+struct CorpusConfig {
+  uint64_t seed = 7;
+  size_t num_documents = 200;
+  /// Target document length in tokens (mention tokens included).
+  size_t doc_tokens = 216;
+  /// Distinct entities mentioned per document.
+  size_t entities_per_doc = 12;
+  /// Average repeat mentions of a document entity.
+  double mention_repeat = 1.5;
+  /// Probability that a document is thematically homogeneous (all entities
+  /// from the primary topic). Heterogeneous documents mix in a second
+  /// topic, the case where coherence misleads (Section 3.5).
+  double homogeneous_prob = 0.8;
+  /// Exponent biasing in-document entity choice toward popular entities;
+  /// lower values surface more long-tail entities.
+  double popularity_bias = 0.8;
+  /// Probability that the next document entity is drawn from the out-links
+  /// of an already selected one (link-coherent stories, where graph
+  /// coherence genuinely helps).
+  double linked_entity_prob = 0.0;
+  /// Probability that a document receives a "coherence trap": a popular
+  /// entity from ANOTHER topic whose name collides with an entity of the
+  /// document's topic. Graph coherence pulls such mentions toward the
+  /// topically coherent impostor; the coherence robustness test
+  /// (Section 3.5.2) is what rescues them.
+  double coherence_trap_prob = 0.0;
+  /// Fraction of mentions that use the ambiguous family name (the rest use
+  /// the unambiguous full name).
+  double ambiguous_name_prob = 0.75;
+  /// Fraction of entity mentions referring to hidden emerging entities.
+  double emerging_mention_prob = 0.0;
+  /// Per mention: number of context keyphrases of the entity woven into
+  /// surrounding text.
+  size_t context_phrases_per_mention = 3;
+  /// Probability that a context phrase is replaced by plain topical words
+  /// (evidence that matches every same-topic candidate equally).
+  double topical_context_prob = 0.0;
+  /// Probability that a context phrase is borrowed from a DIFFERENT entity
+  /// sharing the mention's name — misleading context, the hard case where
+  /// local similarity errs and priors/coherence must compensate.
+  double confusion_prob = 0.0;
+  /// Probability of dropping each word of a multi-word context phrase
+  /// (creates partial matches for the cover scoring of Eq. 3.4).
+  double context_word_drop_prob = 0.2;
+  /// Probability of each filler token being topical (vs generic).
+  double topical_filler_prob = 0.35;
+  /// Probability of each filler token being a stopword.
+  double stopword_prob = 0.25;
+  /// Document days are drawn uniformly from [first_day, last_day].
+  int64_t first_day = 0;
+  int64_t last_day = 0;
+  /// If true, context keyphrases for a mention can be dropped, yielding
+  /// low-context (harder) mentions.
+  double sparse_context_prob = 0.1;
+};
+
+/// Generates annotated documents from a hidden `World`.
+class CorpusGenerator {
+ public:
+  /// `world` must outlive the generator.
+  CorpusGenerator(const World* world, CorpusConfig config);
+
+  /// Generates the corpus; deterministic per (world seed, corpus seed).
+  corpus::Corpus Generate();
+
+  /// Generates a single document about the given entities (helper for
+  /// focused tests). Emerging entities are referenced by
+  /// `emerging_ids` and annotated as out-of-KB. Entities listed in
+  /// `trap_entities` (may be null) are always mentioned under their
+  /// ambiguous family name with full own-entity context — the coherence
+  /// traps of Section 3.5.
+  corpus::Document GenerateDocument(
+      const std::vector<kb::EntityId>& entities,
+      const std::vector<uint32_t>& emerging_ids, uint32_t primary_topic,
+      int64_t day, util::Rng& rng,
+      const std::vector<kb::EntityId>* trap_entities = nullptr) const;
+
+ private:
+  const World* world_;
+  CorpusConfig config_;
+};
+
+}  // namespace aida::synth
+
+#endif  // AIDA_SYNTH_CORPUS_GENERATOR_H_

@@ -1,0 +1,117 @@
+#include "synth/presets.h"
+
+namespace aida::synth {
+
+CorpusPreset ConllPreset() {
+  CorpusPreset preset;
+  preset.name = "conll-like";
+  preset.world.seed = 1101;
+  preset.world.num_topics = 40;
+  preset.world.num_entities = 4000;
+  preset.world.num_emerging = 120;  // ~20% of mentions resolve out-of-KB
+  preset.world.num_shared_names = 1100;
+  preset.corpus.seed = 1102;
+  preset.corpus.num_documents = 1393;
+  preset.corpus.doc_tokens = 216;
+  preset.corpus.entities_per_doc = 14;
+  preset.corpus.mention_repeat = 1.6;
+  preset.corpus.homogeneous_prob = 0.65;
+  preset.corpus.popularity_bias = 1.2;
+  preset.corpus.linked_entity_prob = 0.6;
+  preset.corpus.coherence_trap_prob = 0.5;
+  preset.corpus.ambiguous_name_prob = 0.75;
+  preset.corpus.emerging_mention_prob = 0.22;
+  // Realistic difficulty: sparse and noisy mention contexts.
+  preset.corpus.context_phrases_per_mention = 2;
+  preset.corpus.sparse_context_prob = 0.45;
+  preset.corpus.topical_context_prob = 0.5;
+  preset.corpus.confusion_prob = 0.22;
+  preset.corpus.context_word_drop_prob = 0.35;
+  return preset;
+}
+
+CorpusPreset Kore50Preset() {
+  CorpusPreset preset;
+  preset.name = "kore50-like";
+  preset.world.seed = 5001;
+  preset.world.num_topics = 25;
+  preset.world.num_entities = 3000;
+  // High ambiguity: few shared names across many entities; collisions are
+  // mostly cross-topic (first names collide across all walks of life).
+  preset.world.num_shared_names = 220;
+  preset.world.topic_local_name_fraction = 0.1;
+  preset.corpus.seed = 5002;
+  preset.corpus.num_documents = 50;
+  preset.corpus.doc_tokens = 24;
+  preset.corpus.entities_per_doc = 3;
+  preset.corpus.mention_repeat = 1.0;
+  preset.corpus.homogeneous_prob = 1.0;
+  // Long-tail bias: nearly uniform over the topic's entities, and the
+  // co-mentioned entities are specifically related ("Cash performed
+  // Jackson"), so fine-grained coherence is the only reliable clue.
+  preset.corpus.popularity_bias = 0.15;
+  preset.corpus.linked_entity_prob = 0.9;
+  // First-name-only style: always the ambiguous short name.
+  preset.corpus.ambiguous_name_prob = 1.0;
+  preset.corpus.context_phrases_per_mention = 1;
+  preset.corpus.sparse_context_prob = 0.5;
+  preset.corpus.topical_context_prob = 0.3;
+  return preset;
+}
+
+CorpusPreset WpPreset() {
+  CorpusPreset preset;
+  preset.name = "wp-like";
+  preset.world.seed = 7001;
+  preset.world.num_topics = 12;  // "heavy metal musical groups" style slice
+  preset.world.num_entities = 2500;
+  preset.world.num_shared_names = 500;
+  // Niche domains ("heavy metal musical groups") are extremely link-poor
+  // even among related entities, while their articles are dominated by
+  // entity-specific phrases (members, albums, venues).
+  preset.world.min_link_coverage = 0.04;
+  preset.world.link_coverage_exponent = 4.5;
+  preset.world.signature_phrase_fraction = 0.75;
+  preset.world.topic_vocab_size = 400;
+  preset.corpus.seed = 7002;
+  preset.corpus.num_documents = 400;
+  preset.corpus.doc_tokens = 52;
+  preset.corpus.entities_per_doc = 5;
+  preset.corpus.mention_repeat = 1.0;
+  preset.corpus.homogeneous_prob = 0.95;
+  preset.corpus.popularity_bias = 0.15;
+  preset.corpus.linked_entity_prob = 0.8;
+  // "Family name only" stress test (Section 4.6.1); context is sparse, so
+  // joint coherence has to carry much of the decision.
+  preset.corpus.ambiguous_name_prob = 1.0;
+  preset.corpus.context_phrases_per_mention = 1;
+  preset.corpus.sparse_context_prob = 0.55;
+  preset.corpus.topical_context_prob = 0.3;
+  return preset;
+}
+
+CorpusPreset GigawordEePreset() {
+  CorpusPreset preset;
+  preset.name = "gigaword-ee-like";
+  preset.world.seed = 9001;
+  preset.world.num_topics = 30;
+  preset.world.num_entities = 3000;
+  preset.world.num_emerging = 80;
+  preset.world.num_shared_names = 700;
+  preset.corpus.seed = 9002;
+  // A month-long stream; the EE experiments slice out test days and use
+  // preceding days for keyphrase harvesting.
+  preset.corpus.num_documents = 2400;
+  preset.corpus.doc_tokens = 260;
+  preset.corpus.entities_per_doc = 12;
+  preset.corpus.mention_repeat = 1.8;
+  preset.corpus.homogeneous_prob = 0.85;
+  preset.corpus.popularity_bias = 0.7;
+  preset.corpus.ambiguous_name_prob = 0.85;
+  preset.corpus.emerging_mention_prob = 0.16;
+  preset.corpus.first_day = 0;
+  preset.corpus.last_day = 30;
+  return preset;
+}
+
+}  // namespace aida::synth

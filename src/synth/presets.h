@@ -1,0 +1,39 @@
+#ifndef AIDA_SYNTH_PRESETS_H_
+#define AIDA_SYNTH_PRESETS_H_
+
+#include <string>
+
+#include "synth/corpus_generator.h"
+#include "synth/world_generator.h"
+
+namespace aida::synth {
+
+/// A named (world, corpus) configuration pair mirroring one of the paper's
+/// evaluation corpora.
+struct CorpusPreset {
+  std::string name;
+  WorldConfig world;
+  CorpusConfig corpus;
+};
+
+/// CoNLL-YAGO-like news-wire corpus (Table 3.1): 1,393 documents of ~216
+/// words with ~25 mentions each, mostly topic-homogeneous, ~20% of
+/// mentions out-of-KB.
+CorpusPreset ConllPreset();
+
+/// KORE50-like stress corpus (Section 4.6.1): very short documents, dense
+/// highly ambiguous mentions, strong long-tail bias.
+CorpusPreset Kore50Preset();
+
+/// WP-like corpus (Section 4.6.1): mid-length sentences about one domain,
+/// family-name-only mentions of long-tail entities.
+CorpusPreset WpPreset();
+
+/// GigaWord-EE-like news stream (Section 5.7.2): dated documents over a
+/// month, a pool of hidden emerging entities sharing names with in-KB
+/// entities.
+CorpusPreset GigawordEePreset();
+
+}  // namespace aida::synth
+
+#endif  // AIDA_SYNTH_PRESETS_H_

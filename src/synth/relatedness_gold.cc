@@ -1,0 +1,181 @@
+#include "synth/relatedness_gold.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kb/kb_builder.h"
+#include "synth/word_forge.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace aida::synth {
+
+namespace {
+
+struct DomainSpec {
+  const char* name;
+  size_t num_seeds;
+  /// Typical in-link count of seeds in this domain; link-poor domains are
+  /// where keyphrase-based measures must carry the signal.
+  size_t seed_inlinks;
+  size_t candidate_inlinks;
+};
+
+// Mirrors the paper's domain mix (Table 4.2): two link-rich domains, one
+// medium, two link-poor.
+constexpr DomainSpec kDomains[] = {
+    {"it_companies", 5, 320, 120},
+    {"hollywood_celebrities", 5, 260, 90},
+    {"television_series", 5, 60, 24},
+    {"video_games", 5, 14, 5},
+    {"chuck_norris", 1, 10, 4},
+};
+
+}  // namespace
+
+RelatednessGold GenerateRelatednessGold(const RelatednessGoldConfig& config) {
+  util::Rng rng(config.seed);
+  WordForge forge(rng.Fork());
+  kb::KbBuilder builder;
+  RelatednessGold gold;
+
+  // Global and per-domain vocabulary pools.
+  std::vector<std::string> global_vocab;
+  for (size_t i = 0; i < 800; ++i) global_vocab.push_back(forge.MakeWord());
+
+  // Background entities provide df statistics and donate in-links.
+  std::vector<kb::EntityId> background;
+  for (size_t i = 0; i < config.background_entities; ++i) {
+    kb::EntityId e = builder.AddEntity(util::StrFormat("bg_%zu", i));
+    builder.AddName(forge.MakeName(), e, 5);
+    for (int p = 0; p < 8; ++p) {
+      std::string phrase = global_vocab[rng.UniformInt(global_vocab.size())];
+      if (rng.Bernoulli(0.5)) {
+        phrase += ' ';
+        phrase += global_vocab[rng.UniformInt(global_vocab.size())];
+      }
+      builder.AddKeyphrase(e, phrase);
+    }
+    background.push_back(e);
+  }
+  // A pool of linker entities used purely as in-link sources. Links are
+  // sampled from the pool, so unrelated entities still share occasional
+  // incidental in-links -- the background noise real link graphs have.
+  std::vector<kb::EntityId> linkers;
+  for (size_t i = 0; i < 3000; ++i) {
+    linkers.push_back(builder.AddEntity(util::StrFormat("linker_%zu", i)));
+  }
+  auto random_linker = [&]() -> kb::EntityId {
+    return linkers[rng.UniformInt(linkers.size())];
+  };
+
+  for (const DomainSpec& domain : kDomains) {
+    std::vector<std::string> domain_vocab;
+    for (size_t i = 0; i < 150; ++i) domain_vocab.push_back(forge.MakeWord());
+
+    for (size_t s = 0; s < domain.num_seeds; ++s) {
+      // ---- Seed entity ----------------------------------------------------
+      kb::EntityId seed = builder.AddEntity(
+          util::StrFormat("%s_seed_%zu", domain.name, s));
+      builder.AddName(forge.MakeName(), seed, 100);
+
+      // The seed's phrase pool: signature + domain words.
+      std::vector<std::string> seed_pool;
+      std::vector<std::string> signature;
+      for (int i = 0; i < 10; ++i) signature.push_back(forge.MakeWord());
+      for (int p = 0; p < 40; ++p) {
+        std::vector<std::string> words;
+        if (rng.Bernoulli(0.5)) {
+          words.push_back(signature[rng.UniformInt(signature.size())]);
+        }
+        size_t extra = 1 + rng.UniformInt(2);
+        for (size_t w = 0; w < extra; ++w) {
+          words.push_back(domain_vocab[rng.UniformInt(domain_vocab.size())]);
+        }
+        seed_pool.push_back(util::Join(words, " "));
+      }
+      for (int p = 0; p < 30; ++p) {
+        builder.AddKeyphrase(seed, seed_pool[rng.UniformInt(seed_pool.size())]);
+      }
+
+      // Seed in-links: dedicated linker entities (shared ones are added
+      // with candidates below, proportional to planted relatedness).
+      std::vector<kb::EntityId> seed_linkers;
+      size_t own_links =
+          domain.seed_inlinks / 2 + rng.UniformInt(domain.seed_inlinks / 2 + 1);
+      for (size_t l = 0; l < own_links; ++l) {
+        kb::EntityId linker = random_linker();
+        builder.AddLink(linker, seed);
+        seed_linkers.push_back(linker);
+      }
+
+      // ---- Ranked candidates ----------------------------------------------
+      RelatednessSeed entry;
+      entry.domain = domain.name;
+      entry.seed = seed;
+      const size_t k = config.candidates_per_seed;
+      for (size_t r = 0; r < k; ++r) {
+        // Planted relatedness decays with rank. Keyphrase overlap tracks
+        // it with moderate noise (humans agree imperfectly); the link
+        // structure is a much noisier proxy of true relatedness — pages
+        // link for many editorial reasons — which is what limits MW.
+        double f = static_cast<double>(k - r) / static_cast<double>(k + 1);
+        double f_noisy =
+            std::clamp(f + 0.10 * rng.Gaussian(), 0.0, 1.0);
+        // Sparse link neighbourhoods are dominated by editorial accident:
+        // the fewer links an entity has, the less its overlap reflects
+        // true relatedness.
+        double link_sigma =
+            0.18 + 2.0 / static_cast<double>(domain.candidate_inlinks);
+        double f_link =
+            std::clamp(f + link_sigma * rng.Gaussian(), 0.0, 1.0);
+
+        kb::EntityId cand = builder.AddEntity(
+            util::StrFormat("%s_seed_%zu_cand_%zu", domain.name, s, r));
+        builder.AddName(forge.MakeName(), cand, 20);
+
+        // Keyphrases: fraction f from the seed's pool, rest domain/global.
+        const int num_phrases = 25;
+        for (int p = 0; p < num_phrases; ++p) {
+          if (rng.Bernoulli(f_noisy)) {
+            builder.AddKeyphrase(
+                cand, seed_pool[rng.UniformInt(seed_pool.size())]);
+          } else if (rng.Bernoulli(0.6)) {
+            builder.AddKeyphrase(
+                cand, domain_vocab[rng.UniformInt(domain_vocab.size())]);
+          } else {
+            builder.AddKeyphrase(
+                cand, global_vocab[rng.UniformInt(global_vocab.size())]);
+          }
+        }
+
+        // Links: shared in-links with the seed proportional to f, drawn
+        // from the seed's linkers; plus candidate-only links. In link-poor
+        // domains the shared counts are tiny, so MW has little resolution.
+        size_t shared = static_cast<size_t>(
+            std::round(f_link * static_cast<double>(
+                                    std::min(domain.candidate_inlinks,
+                                             seed_linkers.size()))));
+        for (size_t l = 0; l < shared; ++l) {
+          builder.AddLink(seed_linkers[rng.UniformInt(seed_linkers.size())],
+                          cand);
+        }
+        size_t own = domain.candidate_inlinks -
+                     std::min(domain.candidate_inlinks, shared);
+        for (size_t l = 0; l < own; ++l) {
+          builder.AddLink(random_linker(), cand);
+        }
+
+        entry.ranked_candidates.push_back(cand);
+      }
+      gold.seeds.push_back(std::move(entry));
+      gold.seed_inlinks.push_back(own_links);
+    }
+  }
+
+  gold.knowledge_base = std::move(builder).Build();
+  return gold;
+}
+
+}  // namespace aida::synth

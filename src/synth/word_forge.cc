@@ -1,0 +1,41 @@
+#include "synth/word_forge.h"
+
+#include <cctype>
+#include <iterator>
+
+#include "util/string_util.h"
+
+namespace aida::synth {
+
+std::string WordForge::MakeWord() {
+  static const char* const kOnsets[] = {
+      "b", "br", "c",  "cl", "d", "dr", "f",  "g",  "gr", "h",
+      "j", "k",  "l",  "m",  "n", "p",  "pr", "r",  "s",  "st",
+      "t", "tr", "v",  "w",  "z", "sh", "ch", "th", "pl", "sl"};
+  static const char* const kVowels[] = {"a",  "e",  "i",  "o",
+                                        "u",  "ai", "ea", "ou"};
+  static const char* const kCodas[] = {"",  "n", "r",  "s",  "l",
+                                       "t", "m", "k",  "nd", "st"};
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::string word;
+    int syllables = 2 + static_cast<int>(rng_.UniformInt(2));
+    for (int s = 0; s < syllables; ++s) {
+      word += kOnsets[rng_.UniformInt(std::size(kOnsets))];
+      word += kVowels[rng_.UniformInt(std::size(kVowels))];
+      if (s + 1 == syllables) word += kCodas[rng_.UniformInt(std::size(kCodas))];
+    }
+    if (used_.insert(word).second) return word;
+  }
+  std::string word = util::StrFormat("word%zu", used_.size());
+  used_.insert(word);
+  return word;
+}
+
+std::string WordForge::MakeName() {
+  std::string word = MakeWord();
+  word[0] =
+      static_cast<char>(std::toupper(static_cast<unsigned char>(word[0])));
+  return word;
+}
+
+}  // namespace aida::synth

@@ -1,0 +1,32 @@
+#ifndef AIDA_SYNTH_WORD_FORGE_H_
+#define AIDA_SYNTH_WORD_FORGE_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace aida::synth {
+
+/// Deterministic pseudo-word synthesis: pronounceable lowercase words built
+/// from syllables. Words are globally unique within one forge (a numeric
+/// suffix is appended on collision), so vocabularies generated from a
+/// single forge never alias.
+class WordForge {
+ public:
+  explicit WordForge(util::Rng rng) : rng_(rng) {}
+
+  /// A fresh lowercase word.
+  std::string MakeWord();
+
+  /// A fresh capitalized name.
+  std::string MakeName();
+
+ private:
+  util::Rng rng_;
+  std::unordered_set<std::string> used_;
+};
+
+}  // namespace aida::synth
+
+#endif  // AIDA_SYNTH_WORD_FORGE_H_

@@ -1,0 +1,290 @@
+#include "synth/world_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+
+#include "synth/word_forge.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace aida::synth {
+
+WorldGenerator::WorldGenerator(WorldConfig config)
+    : config_(std::move(config)) {}
+
+World WorldGenerator::Generate() {
+  const WorldConfig& cfg = config_;
+  AIDA_CHECK(cfg.num_topics > 0 && cfg.num_entities > 0);
+  util::Rng rng(cfg.seed);
+  WordForge forge(rng.Fork());
+
+  World world;
+  world.topic_vocab.resize(cfg.num_topics);
+  world.topic_entities.resize(cfg.num_topics);
+  world.entity_topic.resize(cfg.num_entities);
+  world.entity_names.resize(cfg.num_entities);
+  world.entity_phrases.resize(cfg.num_entities);
+
+  // ---- Vocabulary ---------------------------------------------------------
+  for (auto& vocab : world.topic_vocab) {
+    vocab.reserve(cfg.topic_vocab_size);
+    for (size_t i = 0; i < cfg.topic_vocab_size; ++i) {
+      vocab.push_back(forge.MakeWord());
+    }
+  }
+  world.generic_vocab.reserve(cfg.generic_vocab_size);
+  for (size_t i = 0; i < cfg.generic_vocab_size; ++i) {
+    world.generic_vocab.push_back(forge.MakeWord());
+  }
+
+  // Shared family names and given names; sharing is what creates ambiguity.
+  std::vector<std::string> family_names;
+  family_names.reserve(cfg.num_shared_names);
+  for (size_t i = 0; i < cfg.num_shared_names; ++i) {
+    family_names.push_back(forge.MakeName());
+  }
+  std::vector<std::string> given_names;
+  const size_t num_given = std::max<size_t>(20, cfg.num_shared_names / 10);
+  given_names.reserve(num_given);
+  for (size_t i = 0; i < num_given; ++i) {
+    given_names.push_back(forge.MakeName());
+  }
+
+  kb::KbBuilder builder;
+
+  // ---- Taxonomy -----------------------------------------------------------
+  kb::TypeId root = builder.AddType("entity");
+  static const char* const kDomains[] = {"person", "organization",
+                                         "location", "event", "work"};
+  std::vector<kb::TypeId> domain_types;
+  for (const char* d : kDomains) domain_types.push_back(builder.AddType(d, root));
+  std::vector<kb::TypeId> topic_types;
+  for (size_t t = 0; t < cfg.num_topics; ++t) {
+    topic_types.push_back(
+        builder.AddType(util::StrFormat("topic_%zu", t), root));
+  }
+
+  // ---- Entities: topic, popularity, names --------------------------------
+  util::ZipfSampler popularity(cfg.num_entities, cfg.popularity_exponent);
+  std::vector<double> anchor_counts(cfg.num_entities);
+  const double pmf0 = popularity.Pmf(0);
+  for (size_t i = 0; i < cfg.num_entities; ++i) {
+    anchor_counts[i] =
+        std::max(3.0, cfg.max_anchor_count * popularity.Pmf(i) / pmf0);
+  }
+
+  for (size_t i = 0; i < cfg.num_entities; ++i) {
+    uint32_t topic = static_cast<uint32_t>(rng.UniformInt(cfg.num_topics));
+    world.entity_topic[i] = topic;
+
+    // Family names are drawn either from a topic-local slice of the pool
+    // (same-topic collisions) or globally (cross-topic collisions).
+    size_t family_index;
+    if (rng.Bernoulli(cfg.topic_local_name_fraction)) {
+      size_t slice = std::max<size_t>(2, family_names.size() / cfg.num_topics);
+      size_t offset = (topic * slice) % family_names.size();
+      family_index = (offset + rng.UniformInt(slice)) % family_names.size();
+    } else {
+      family_index = rng.UniformInt(family_names.size());
+    }
+    const std::string& family = family_names[family_index];
+    const std::string& given = given_names[rng.UniformInt(given_names.size())];
+    std::string canonical = util::StrFormat("%s_%s_%zu", given.c_str(),
+                                            family.c_str(), i);
+    kb::EntityId e = builder.AddEntity(canonical);
+    AIDA_CHECK(e == i);
+    world.topic_entities[topic].push_back(e);
+
+    uint64_t anchors = static_cast<uint64_t>(anchor_counts[i]);
+    std::vector<std::string>& names = world.entity_names[i];
+    // The ambiguous family name is the dominant surface form.
+    names.push_back(family);
+    builder.AddName(family, e, std::max<uint64_t>(1, anchors * 6 / 10));
+    // Full name: much less ambiguous.
+    std::string full = given + " " + family;
+    names.push_back(full);
+    builder.AddName(full, e, std::max<uint64_t>(1, anchors * 3 / 10));
+    // Occasionally an extra shared alias (redirect/disambiguation noise).
+    if (rng.Bernoulli(cfg.extra_name_prob * 0.25)) {
+      const std::string& alias =
+          family_names[rng.UniformInt(family_names.size())];
+      names.push_back(alias);
+      builder.AddName(alias, e, std::max<uint64_t>(1, anchors / 10));
+    }
+
+    builder.AssignType(e, domain_types[i % std::size(kDomains)]);
+    builder.AssignType(e, topic_types[topic]);
+  }
+
+  // Sort topic members by descending popularity (== ascending id, since
+  // anchor counts decay with id).
+  for (auto& members : world.topic_entities) {
+    std::sort(members.begin(), members.end());
+  }
+
+  // ---- Links --------------------------------------------------------------
+  // Out-links go mostly to same-topic entities, proportional to target
+  // popularity; in-link counts therefore track popularity, making the long
+  // tail link-poor while still keyphrase-rich.
+  std::vector<std::vector<kb::EntityId>> out_links(cfg.num_entities);
+  std::vector<util::ZipfSampler> topic_zipf;
+  topic_zipf.reserve(cfg.num_topics);
+  for (size_t t = 0; t < cfg.num_topics; ++t) {
+    topic_zipf.emplace_back(std::max<size_t>(1, world.topic_entities[t].size()),
+                            0.9);
+  }
+  for (size_t i = 0; i < cfg.num_entities; ++i) {
+    double pop_percentile =
+        1.0 - static_cast<double>(i) / static_cast<double>(cfg.num_entities);
+    size_t degree =
+        cfg.min_out_links +
+        static_cast<size_t>((cfg.max_out_links - cfg.min_out_links) *
+                            pop_percentile * rng.UniformDouble());
+    for (size_t k = 0; k < degree; ++k) {
+      uint32_t topic = world.entity_topic[i];
+      if (rng.Bernoulli(cfg.cross_topic_link_prob)) {
+        topic = static_cast<uint32_t>(rng.UniformInt(cfg.num_topics));
+      }
+      const auto& members = world.topic_entities[topic];
+      if (members.empty()) continue;
+      kb::EntityId target = members[topic_zipf[topic].Sample(rng)];
+      if (target == i) continue;
+      // The association always exists (and will surface in keyphrases);
+      // the page link is only materialized with popularity-dependent
+      // coverage, mirroring Wikipedia's link sparsity on the long tail.
+      out_links[i].push_back(target);
+      double target_percentile = 1.0 - static_cast<double>(target) /
+                                           static_cast<double>(
+                                               cfg.num_entities);
+      double keep = cfg.min_link_coverage +
+                    (1.0 - cfg.min_link_coverage) *
+                        std::pow(target_percentile,
+                                 cfg.link_coverage_exponent);
+      if (rng.Bernoulli(keep)) {
+        builder.AddLink(static_cast<kb::EntityId>(i), target);
+      }
+    }
+  }
+
+  // ---- Keyphrases ----------------------------------------------------------
+  // Signature words are entity-specific; topic words are shared within a
+  // topic; link-target names and relational phrases (containing a linked
+  // partner's signature word) tie related entities' phrase sets together —
+  // the association signal KORE exploits where link counts are too sparse
+  // for Milne-Witten.
+  std::vector<std::vector<std::string>> signatures(cfg.num_entities);
+  for (size_t i = 0; i < cfg.num_entities; ++i) {
+    for (size_t s = 0; s < cfg.signature_words; ++s) {
+      signatures[i].push_back(forge.MakeWord());
+    }
+  }
+  for (size_t i = 0; i < cfg.num_entities; ++i) {
+    uint32_t topic = world.entity_topic[i];
+    const auto& tvocab = world.topic_vocab[topic];
+    const std::vector<std::string>& signature = signatures[i];
+
+    double pop_percentile =
+        1.0 - static_cast<double>(i) / static_cast<double>(cfg.num_entities);
+    size_t num_phrases =
+        cfg.base_keyphrases +
+        static_cast<size_t>(cfg.max_bonus_keyphrases * pop_percentile *
+                            rng.UniformDouble());
+
+    std::vector<std::string>& phrases = world.entity_phrases[i];
+    for (size_t p = 0; p < num_phrases; ++p) {
+      std::vector<std::string> words;
+      if (rng.Bernoulli(cfg.signature_phrase_fraction)) {
+        words.push_back(signature[rng.UniformInt(signature.size())]);
+        size_t extra = rng.UniformInt(3);  // 0..2 topic words
+        for (size_t w = 0; w < extra; ++w) {
+          words.push_back(tvocab[rng.UniformInt(tvocab.size())]);
+        }
+      } else {
+        size_t len = 1 + rng.UniformInt(3);  // 1..3 topic words
+        for (size_t w = 0; w < len; ++w) {
+          words.push_back(tvocab[rng.UniformInt(tvocab.size())]);
+        }
+        if (rng.Bernoulli(0.15)) {
+          words.push_back(
+              world.generic_vocab[rng.UniformInt(world.generic_vocab.size())]);
+        }
+      }
+      std::string text = util::Join(words, " ");
+      phrases.push_back(text);
+      builder.AddKeyphrase(static_cast<kb::EntityId>(i), text,
+                           1 + static_cast<uint32_t>(rng.UniformInt(4)));
+    }
+    // Link-anchor style phrases: names of out-link targets, plus
+    // relational phrases combining a partner signature word with an own
+    // signature word ("jimmy page signature model" style associations).
+    size_t anchor_phrases = std::min<size_t>(out_links[i].size(), 12);
+    for (size_t k = 0; k < anchor_phrases; ++k) {
+      kb::EntityId target = out_links[i][k];
+      const std::string& target_name = world.entity_names[target].front();
+      phrases.push_back(target_name);
+      builder.AddKeyphrase(static_cast<kb::EntityId>(i),
+                           util::ToLower(target_name));
+      int relational_count = rng.Bernoulli(0.8) ? 3 : 2;
+      for (int rc = 0; rc < relational_count; ++rc) {
+        if (signatures[target].empty()) break;
+        const std::string& partner_word =
+            signatures[target][rng.UniformInt(signatures[target].size())];
+        // Half the relational phrases carry the partner's signature word
+        // alone (maximal overlap with the partner's own phrases), half
+        // pair it with an own signature word.
+        std::string relational =
+            rng.Bernoulli(0.5)
+                ? partner_word
+                : partner_word + " " +
+                      signature[rng.UniformInt(signature.size())];
+        phrases.push_back(relational);
+        builder.AddKeyphrase(static_cast<kb::EntityId>(i), relational);
+      }
+    }
+  }
+
+  // ---- Emerging entities (hidden from the KB) ------------------------------
+  world.emerging.reserve(cfg.num_emerging);
+  for (size_t k = 0; k < cfg.num_emerging; ++k) {
+    EmergingEntity ee;
+    ee.id = static_cast<uint32_t>(k);
+    ee.topic = static_cast<uint32_t>(rng.UniformInt(cfg.num_topics));
+    // Most emerging entities collide with an existing shared name — the
+    // hard case the paper targets; the rest carry brand-new names.
+    if (rng.Bernoulli(0.75)) {
+      ee.name = family_names[rng.UniformInt(family_names.size())];
+    } else {
+      ee.name = forge.MakeName();
+    }
+    const auto& tvocab = world.topic_vocab[ee.topic];
+    std::vector<std::string> signature;
+    for (size_t s = 0; s < cfg.signature_words; ++s) {
+      signature.push_back(forge.MakeWord());
+    }
+    size_t num_phrases = cfg.base_keyphrases;
+    for (size_t p = 0; p < num_phrases; ++p) {
+      std::vector<std::string> words;
+      if (rng.Bernoulli(0.6)) {
+        words.push_back(signature[rng.UniformInt(signature.size())]);
+        size_t extra = rng.UniformInt(3);
+        for (size_t w = 0; w < extra; ++w) {
+          words.push_back(tvocab[rng.UniformInt(tvocab.size())]);
+        }
+      } else {
+        size_t len = 1 + rng.UniformInt(3);
+        for (size_t w = 0; w < len; ++w) {
+          words.push_back(tvocab[rng.UniformInt(tvocab.size())]);
+        }
+      }
+      ee.keyphrases.push_back(util::Join(words, " "));
+    }
+    world.emerging.push_back(std::move(ee));
+  }
+
+  world.entity_associations = std::move(out_links);
+  world.knowledge_base = std::move(builder).Build();
+  return world;
+}
+
+}  // namespace aida::synth

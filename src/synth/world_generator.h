@@ -1,0 +1,126 @@
+#ifndef AIDA_SYNTH_WORLD_GENERATOR_H_
+#define AIDA_SYNTH_WORLD_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kb/kb_builder.h"
+#include "kb/knowledge_base.h"
+#include "util/rng.h"
+
+namespace aida::synth {
+
+/// Parameters of the synthetic knowledge-base world. The generator plants
+/// the statistical structure the paper's experiments depend on: Zipfian
+/// entity popularity, ambiguous names shared across (and within) topics,
+/// topic-clustered keyphrases, popularity-proportional in-links (so the
+/// long tail is link-poor but keyphrase-rich), and a held-out pool of
+/// emerging entities that share names with in-KB entities.
+struct WorldConfig {
+  uint64_t seed = 42;
+  /// Number of topical clusters; documents are mostly single-topic.
+  size_t num_topics = 40;
+  /// Entities registered in the knowledge base.
+  size_t num_entities = 4000;
+  /// Hidden emerging entities, not added to the KB but known to the
+  /// corpus generator and the ground truth.
+  size_t num_emerging = 0;
+  /// Size of the shared family-name pool; smaller => more ambiguity.
+  size_t num_shared_names = 1200;
+  /// Zipf exponent of entity popularity.
+  double popularity_exponent = 1.05;
+  /// Anchor-count scale of the most popular entity.
+  double max_anchor_count = 50000;
+  /// Topic-specific context vocabulary size per topic.
+  size_t topic_vocab_size = 220;
+  /// Generic (topic-neutral) vocabulary size.
+  size_t generic_vocab_size = 1500;
+  /// Keyphrases per entity: base plus a popularity-driven bonus
+  /// (popular entities accumulate more keyphrases, Section 3.6.3).
+  size_t base_keyphrases = 12;
+  size_t max_bonus_keyphrases = 40;
+  /// Entity-specific signature words per entity; these make keyphrases
+  /// discriminative among same-topic entities.
+  size_t signature_words = 6;
+  /// Fraction of an entity's keyphrases containing a signature word.
+  double signature_phrase_fraction = 0.6;
+  /// Out-links per entity: floor plus popularity-driven count; targets are
+  /// drawn mostly from the same topic, proportional to popularity.
+  size_t min_out_links = 3;
+  size_t max_out_links = 40;
+  /// Probability an out-link crosses into a random other topic.
+  double cross_topic_link_prob = 0.15;
+  /// Link-graph coverage: an association between two entities is only
+  /// materialized as a page link with probability
+  /// min_link_coverage + (1 - min_link_coverage) * percentile^link_coverage_exponent
+  /// of the target's popularity percentile. Keyphrases always reflect the
+  /// association — Wikipedia's text mentions related entities long before
+  /// anyone links their articles, which is why the link-based MW measure
+  /// starves on the long tail while KORE does not (Section 4.1).
+  double min_link_coverage = 0.08;
+  double link_coverage_exponent = 3.0;
+  /// Probability that an additional (non-canonical-derived) shared name is
+  /// attached to an entity; drives name ambiguity.
+  double extra_name_prob = 0.9;
+  /// Fraction of entities whose family name comes from a topic-local slice
+  /// of the name pool: same-topic name collisions are the cases topical
+  /// context cannot resolve and entity-specific evidence must.
+  double topic_local_name_fraction = 0.4;
+};
+
+/// Hidden description of an emerging entity (ground truth only).
+struct EmergingEntity {
+  uint32_t id = 0;
+  std::string name;  // ambiguous surface name (often also names KB entities)
+  uint32_t topic = 0;
+  /// Keyphrases (space-separated word strings) characterizing the entity;
+  /// used by the corpus generator to write documents about it.
+  std::vector<std::string> keyphrases;
+};
+
+/// Everything the corpus generator needs to know about the hidden world:
+/// the KB plus generation-side metadata (topics, per-entity vocabulary,
+/// emerging entities).
+struct World {
+  std::unique_ptr<kb::KnowledgeBase> knowledge_base;
+
+  /// Per entity: generative topic.
+  std::vector<uint32_t> entity_topic;
+  /// Per entity: surface names usable in documents (first = most common).
+  std::vector<std::vector<std::string>> entity_names;
+  /// Per entity: the keyphrases as plain strings (for text generation).
+  std::vector<std::vector<std::string>> entity_phrases;
+  /// Per topic: list of member entities, sorted by descending popularity.
+  std::vector<std::vector<kb::EntityId>> topic_entities;
+  /// Per entity: associated (related) entities. A superset of the
+  /// materialized link graph — associations surface in text and
+  /// keyphrases even when no page link exists.
+  std::vector<std::vector<kb::EntityId>> entity_associations;
+  /// Per topic: topical filler vocabulary.
+  std::vector<std::vector<std::string>> topic_vocab;
+  /// Generic filler vocabulary.
+  std::vector<std::string> generic_vocab;
+  /// Hidden emerging entities.
+  std::vector<EmergingEntity> emerging;
+
+  size_t num_topics() const { return topic_entities.size(); }
+};
+
+/// Generates a `World` from a `WorldConfig`, deterministically per seed.
+class WorldGenerator {
+ public:
+  explicit WorldGenerator(WorldConfig config);
+
+  /// Builds the world; call once.
+  World Generate();
+
+ private:
+  WorldConfig config_;
+};
+
+}  // namespace aida::synth
+
+#endif  // AIDA_SYNTH_WORLD_GENERATOR_H_

@@ -1,0 +1,29 @@
+#include "text/sentence_splitter.h"
+
+namespace aida::text {
+
+std::vector<SentenceSpan> SentenceSplitter::Split(
+    const TokenSequence& tokens) const {
+  std::vector<SentenceSpan> sentences;
+  size_t begin = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].sentence_final_punct) {
+      sentences.push_back({begin, i + 1});
+      begin = i + 1;
+    }
+  }
+  if (begin < tokens.size()) sentences.push_back({begin, tokens.size()});
+  return sentences;
+}
+
+size_t SentenceSplitter::SentenceOf(
+    const std::vector<SentenceSpan>& sentences, size_t token_index) {
+  for (size_t i = 0; i < sentences.size(); ++i) {
+    if (token_index >= sentences[i].begin && token_index < sentences[i].end) {
+      return i;
+    }
+  }
+  return sentences.empty() ? 0 : sentences.size() - 1;
+}
+
+}  // namespace aida::text

@@ -1,0 +1,33 @@
+#ifndef AIDA_TEXT_SENTENCE_SPLITTER_H_
+#define AIDA_TEXT_SENTENCE_SPLITTER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "text/token.h"
+
+namespace aida::text {
+
+/// Half-open token-index range [begin, end) identifying one sentence.
+struct SentenceSpan {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Splits a token sequence into sentences at sentence-final punctuation.
+/// Used by the dynamic keyphrase harvester, which operates on sentence
+/// windows around a mention (Section 5.5.1).
+class SentenceSplitter {
+ public:
+  /// Returns sentence spans covering all of `tokens`.
+  std::vector<SentenceSpan> Split(const TokenSequence& tokens) const;
+
+  /// Returns the index (into the result of Split) of the sentence
+  /// containing token `token_index`, or the last sentence if out of range.
+  static size_t SentenceOf(const std::vector<SentenceSpan>& sentences,
+                           size_t token_index);
+};
+
+}  // namespace aida::text
+
+#endif  // AIDA_TEXT_SENTENCE_SPLITTER_H_

@@ -1,0 +1,44 @@
+#include "text/stopwords.h"
+
+#include "util/string_util.h"
+
+namespace aida::text {
+
+namespace {
+
+constexpr const char* kWords[] = {
+    "a",      "about", "above", "after",  "again",   "all",    "also",
+    "am",     "an",    "and",   "any",    "are",     "as",     "at",
+    "be",     "been",  "before", "being", "below",   "between", "both",
+    "but",    "by",    "can",   "could",  "did",     "do",     "does",
+    "doing",  "down",  "during", "each",  "few",     "for",    "from",
+    "further", "had",  "has",   "have",   "having",  "he",     "her",
+    "here",   "hers",  "him",   "his",    "how",     "i",      "if",
+    "in",     "into",  "is",    "it",     "its",     "itself", "just",
+    "me",     "more",  "most",  "my",     "no",      "nor",    "not",
+    "now",    "of",    "off",   "on",     "once",    "only",   "or",
+    "other",  "our",   "out",   "over",   "own",     "s",      "said",
+    "same",   "she",   "should", "so",    "some",    "such",   "t",
+    "than",   "that",  "the",   "their",  "them",    "then",   "there",
+    "these",  "they",  "this",  "those",  "through", "to",     "too",
+    "under",  "until", "up",    "very",   "was",     "we",     "were",
+    "what",   "when",  "where", "which",  "while",   "who",    "whom",
+    "why",    "will",  "with",  "would",  "you",     "your",   "yours",
+};
+
+}  // namespace
+
+StopwordList::StopwordList() {
+  for (const char* w : kWords) words_.insert(w);
+}
+
+bool StopwordList::Contains(std::string_view word) const {
+  return words_.count(util::ToLower(word)) > 0;
+}
+
+const StopwordList& DefaultStopwords() {
+  static const StopwordList& list = *new StopwordList();
+  return list;
+}
+
+}  // namespace aida::text

@@ -1,0 +1,32 @@
+#ifndef AIDA_TEXT_STOPWORDS_H_
+#define AIDA_TEXT_STOPWORDS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace aida::text {
+
+/// Fixed English stopword list used when building mention contexts
+/// (Section 3.3.4 of the paper discards stopwords from the context).
+class StopwordList {
+ public:
+  /// Constructs the default English list.
+  StopwordList();
+
+  /// True if `word` (matched case-insensitively) is a stopword.
+  bool Contains(std::string_view word) const;
+
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::unordered_set<std::string> words_;
+};
+
+/// Shared default instance (thread-safe after first use).
+const StopwordList& DefaultStopwords();
+
+}  // namespace aida::text
+
+#endif  // AIDA_TEXT_STOPWORDS_H_

@@ -1,0 +1,29 @@
+#ifndef AIDA_TEXT_TOKEN_H_
+#define AIDA_TEXT_TOKEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aida::text {
+
+/// A single token of an input document: the surface text plus character
+/// offsets into the original string.
+struct Token {
+  std::string text;
+  /// Byte offset of the first character in the source document.
+  size_t begin = 0;
+  /// Byte offset one past the last character.
+  size_t end = 0;
+  /// True if the token starts with an upper-case letter.
+  bool capitalized = false;
+  /// True if the token ends a sentence (".", "!", "?").
+  bool sentence_final_punct = false;
+};
+
+using TokenSequence = std::vector<Token>;
+
+}  // namespace aida::text
+
+#endif  // AIDA_TEXT_TOKEN_H_

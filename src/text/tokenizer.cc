@@ -1,0 +1,57 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace aida::text {
+
+namespace {
+
+bool IsWordChar(char c) {
+  unsigned char uc = static_cast<unsigned char>(c);
+  return std::isalnum(uc) || c == '-' || c == '_';
+}
+
+bool IsSentenceFinal(char c) { return c == '.' || c == '!' || c == '?'; }
+
+Token MakeToken(std::string_view input, size_t begin, size_t end) {
+  Token t;
+  t.text = std::string(input.substr(begin, end - begin));
+  t.begin = begin;
+  t.end = end;
+  t.capitalized =
+      !t.text.empty() &&
+      std::isupper(static_cast<unsigned char>(t.text.front())) != 0;
+  t.sentence_final_punct =
+      t.text.size() == 1 && IsSentenceFinal(t.text.front());
+  return t;
+}
+
+}  // namespace
+
+TokenSequence Tokenizer::Tokenize(std::string_view input) const {
+  TokenSequence tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    unsigned char c = static_cast<unsigned char>(input[i]);
+    if (std::isspace(c)) {
+      ++i;
+      continue;
+    }
+    if (IsWordChar(input[i]) || input[i] == '\'') {
+      size_t begin = i;
+      // Apostrophe-led clitic like "'s".
+      if (input[i] == '\'') ++i;
+      while (i < n && IsWordChar(input[i])) ++i;
+      // Split possessive "'s" into its own token.
+      tokens.push_back(MakeToken(input, begin, i));
+    } else {
+      // Single punctuation character.
+      tokens.push_back(MakeToken(input, i, i + 1));
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace aida::text

@@ -1,0 +1,22 @@
+#ifndef AIDA_TEXT_TOKENIZER_H_
+#define AIDA_TEXT_TOKENIZER_H_
+
+#include <string_view>
+
+#include "text/token.h"
+
+namespace aida::text {
+
+/// Rule-based whitespace/punctuation tokenizer for the ASCII news-style
+/// text the synthetic corpora produce. Splits on whitespace, separates
+/// leading/trailing punctuation into their own tokens, and keeps internal
+/// hyphens and apostrophes ("long-tail", "Dylan's" -> "Dylan", "'s").
+class Tokenizer {
+ public:
+  /// Tokenizes `input`, recording character offsets.
+  TokenSequence Tokenize(std::string_view input) const;
+};
+
+}  // namespace aida::text
+
+#endif  // AIDA_TEXT_TOKENIZER_H_

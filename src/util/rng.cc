@@ -1,0 +1,120 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace aida::util {
+
+namespace {
+
+// SplitMix64, used to expand the seed into xoshiro state.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  AIDA_DCHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  AIDA_DCHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+double Rng::Gaussian() {
+  // Box-Muller; the discarded second sample keeps the API stateless.
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+int Rng::Geometric(double p, int cap) {
+  AIDA_DCHECK(p > 0.0 && p <= 1.0);
+  int failures = 0;
+  while (failures < cap && !Bernoulli(p)) ++failures;
+  return failures;
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  AIDA_DCHECK(!weights.empty());
+  double total = 0;
+  for (double w : weights) total += w;
+  AIDA_DCHECK(total > 0);
+  double r = UniformDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xA02BDBF7BB3C0A7ULL); }
+
+ZipfSampler::ZipfSampler(size_t n, double exponent) {
+  AIDA_CHECK(n >= 1);
+  cdf_.resize(n);
+  double acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = acc;
+  }
+  for (double& v : cdf_) v /= acc;
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  double r = rng.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), r);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(size_t i) const {
+  AIDA_DCHECK(i < cdf_.size());
+  if (i == 0) return cdf_[0];
+  return cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace aida::util

@@ -1,0 +1,82 @@
+#ifndef AIDA_UTIL_RNG_H_
+#define AIDA_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aida::util {
+
+/// Deterministic pseudo-random number generator (xoshiro256**) with
+/// convenience samplers. All synthetic-data generation in the library is
+/// driven through this class so experiments are reproducible from a seed.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds produce equal streams.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal sample (Box-Muller).
+  double Gaussian();
+
+  /// Geometric-ish sample: number of Bernoulli(p) failures before the first
+  /// success, capped at `cap`.
+  int Geometric(double p, int cap);
+
+  /// Samples an index in [0, weights.size()) proportional to `weights`.
+  /// All weights must be >= 0 with a positive sum.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = UniformInt(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Forks a new generator whose stream is decorrelated from this one.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Samples ranks 1..n with P(rank=k) proportional to 1/k^exponent.
+/// Precomputes the CDF once; sampling is O(log n).
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1; `exponent` is the Zipf skew (1.0 is classic Zipf).
+  ZipfSampler(size_t n, double exponent);
+
+  /// Returns a 0-based index in [0, n) with Zipfian head skew.
+  size_t Sample(Rng& rng) const;
+
+  /// Probability mass of 0-based index `i`.
+  double Pmf(size_t i) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace aida::util
+
+#endif  // AIDA_UTIL_RNG_H_

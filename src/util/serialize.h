@@ -1,0 +1,127 @@
+#ifndef AIDA_UTIL_SERIALIZE_H_
+#define AIDA_UTIL_SERIALIZE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aida::util {
+
+/// Append-only binary encoder for fixed-width integers, doubles, strings,
+/// and vectors thereof. Produces a byte buffer `BinaryReader` can decode.
+/// Little-endian, no alignment padding.
+class BinaryWriter {
+ public:
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+
+  void WriteString(const std::string& s) {
+    WriteU64(s.size());
+    WriteRaw(s.data(), s.size());
+  }
+
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(v.size());
+    WriteRaw(v.data(), v.size() * sizeof(T));
+  }
+
+  void WriteStringVector(const std::vector<std::string>& v) {
+    WriteU64(v.size());
+    for (const auto& s : v) WriteString(s);
+  }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string&& TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  void WriteRaw(const void* data, size_t n) {
+    buffer_.append(static_cast<const char*>(data), n);
+  }
+
+  std::string buffer_;
+};
+
+/// Sequential decoder over a byte buffer produced by `BinaryWriter`.
+/// All reads return an error Status on truncated input instead of
+/// reading out of bounds.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Status ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadI64(int64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadDouble(double* v) { return ReadRaw(v, sizeof(*v)); }
+
+  Status ReadString(std::string* s) {
+    uint64_t n = 0;
+    Status st = ReadU64(&n);
+    if (!st.ok()) return st;
+    if (n > Remaining()) return Truncated();
+    s->assign(data_.substr(pos_, n));
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  template <typename T>
+  Status ReadVector(std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = 0;
+    Status st = ReadU64(&n);
+    if (!st.ok()) return st;
+    if (n * sizeof(T) > Remaining()) return Truncated();
+    v->resize(n);
+    return ReadRaw(v->data(), n * sizeof(T));
+  }
+
+  Status ReadStringVector(std::vector<std::string>* v) {
+    uint64_t n = 0;
+    Status st = ReadU64(&n);
+    if (!st.ok()) return st;
+    v->clear();
+    v->reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      std::string s;
+      st = ReadString(&s);
+      if (!st.ok()) return st;
+      v->push_back(std::move(s));
+    }
+    return Status::Ok();
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t Remaining() const { return data_.size() - pos_; }
+
+ private:
+  Status ReadRaw(void* out, size_t n) {
+    if (n > Remaining()) return Truncated();
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  static Status Truncated() {
+    return Status::IoError("truncated serialized data");
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Writes `data` to `path`, replacing any existing file.
+Status WriteFile(const std::string& path, const std::string& data);
+
+/// Reads the full contents of `path`.
+StatusOr<std::string> ReadFile(const std::string& path);
+
+}  // namespace aida::util
+
+#endif  // AIDA_UTIL_SERIALIZE_H_

@@ -1,0 +1,144 @@
+#ifndef AIDA_UTIL_STATUS_H_
+#define AIDA_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace aida::util {
+
+/// Error categories used throughout the library. The library does not use
+/// C++ exceptions; fallible operations return `Status` or `StatusOr<T>`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kIoError = 8,
+};
+
+/// Returns a human-readable name for `code` ("OK", "NOT_FOUND", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error result, modeled after the status types
+/// used by RocksDB and Abseil. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and a diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+/// Either a value of type `T` or an error `Status`. Accessing `value()` on
+/// an error result aborts in debug builds (undefined in release), so callers
+/// must check `ok()` first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit by design, mirroring absl::StatusOr).
+  StatusOr(T value) : status_(), value_(std::move(value)) {}
+
+  /// Constructs from a non-OK status.
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace aida::util
+
+/// Aborts with a message if `condition` is false. Used for programmer
+/// errors (invariant violations), not recoverable conditions.
+#define AIDA_CHECK(condition)                                              \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      ::aida::util::internal_check::CheckFail(#condition, __FILE__,        \
+                                              __LINE__);                   \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define AIDA_DCHECK(condition) \
+  do {                         \
+  } while (0)
+#else
+#define AIDA_DCHECK(condition) AIDA_CHECK(condition)
+#endif
+
+namespace aida::util::internal_check {
+[[noreturn]] void CheckFail(const char* expr, const char* file, int line);
+}  // namespace aida::util::internal_check
+
+#endif  // AIDA_UTIL_STATUS_H_

@@ -1,0 +1,36 @@
+#ifndef AIDA_UTIL_STRING_UTIL_H_
+#define AIDA_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aida::util {
+
+/// ASCII-lowercases `s` (the library's synthetic text is ASCII-only).
+std::string ToLower(std::string_view s);
+
+/// ASCII-uppercases `s`.
+std::string ToUpper(std::string_view s);
+
+/// True if every alphabetic character in `s` is upper case and `s`
+/// contains at least one alphabetic character.
+bool IsAllUpper(std::string_view s);
+
+/// Splits `s` on `sep`, omitting empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace aida::util
+
+#endif  // AIDA_UTIL_STRING_UTIL_H_

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "apps/entity_search.h"
+#include "apps/news_analytics.h"
+#include "test_world.h"
+#include "util/string_util.h"
+
+namespace aida::apps {
+namespace {
+
+using ::aida::testing::TestWorld;
+
+class AppsTest : public ::testing::Test {
+ protected:
+  AppsTest()
+      : world_(TestWorld::Get().world), corpus_(TestWorld::Get().corpus) {}
+
+  // Gold entity annotations of a document.
+  static std::vector<kb::EntityId> GoldEntities(const corpus::Document& doc) {
+    std::vector<kb::EntityId> out;
+    for (const corpus::GoldMention& m : doc.mentions) {
+      out.push_back(m.gold_entity);
+    }
+    return out;
+  }
+
+  const synth::World& world_;
+  const corpus::Corpus& corpus_;
+};
+
+TEST_F(AppsTest, EntitySearchFindsDocsByEntity) {
+  EntitySearch search(world_.knowledge_base.get());
+  for (const corpus::Document& doc : corpus_) {
+    search.IndexDocument(doc, GoldEntities(doc));
+  }
+  // Pick an entity mentioned in some document.
+  kb::EntityId target = kb::kNoEntity;
+  size_t expected_doc = 0;
+  for (size_t d = 0; d < corpus_.size(); ++d) {
+    for (const corpus::GoldMention& m : corpus_[d].mentions) {
+      if (!m.out_of_kb()) {
+        target = m.gold_entity;
+        expected_doc = d;
+        break;
+      }
+    }
+    if (target != kb::kNoEntity) break;
+  }
+  ASSERT_NE(target, kb::kNoEntity);
+
+  EntitySearch::Query query;
+  query.entities.push_back(target);
+  std::vector<EntitySearch::Hit> hits = search.Search(query, 100);
+  bool found = false;
+  for (const auto& hit : hits) found |= (hit.doc_index == expected_doc);
+  EXPECT_TRUE(found);
+}
+
+TEST_F(AppsTest, EntitySearchCategoryExpansion) {
+  EntitySearch search(world_.knowledge_base.get());
+  for (const corpus::Document& doc : corpus_) {
+    search.IndexDocument(doc, GoldEntities(doc));
+  }
+  // The root type matches every document with at least one entity.
+  kb::TypeId root = world_.knowledge_base->taxonomy().FindType("entity");
+  ASSERT_NE(root, kb::kNoType);
+  EntitySearch::Query query;
+  query.categories.push_back(root);
+  std::vector<EntitySearch::Hit> hits =
+      search.Search(query, corpus_.size() + 10);
+  EXPECT_EQ(hits.size(), corpus_.size());
+}
+
+TEST_F(AppsTest, EntitySearchDayFilter) {
+  EntitySearch search(world_.knowledge_base.get());
+  for (const corpus::Document& doc : corpus_) {
+    search.IndexDocument(doc, GoldEntities(doc));
+  }
+  kb::TypeId root = world_.knowledge_base->taxonomy().FindType("entity");
+  EntitySearch::Query query;
+  query.categories.push_back(root);
+  query.first_day = 3;
+  query.last_day = 5;
+  for (const auto& hit : search.Search(query, corpus_.size())) {
+    EXPECT_GE(corpus_[hit.doc_index].day, 3);
+    EXPECT_LE(corpus_[hit.doc_index].day, 5);
+  }
+}
+
+TEST_F(AppsTest, EntitySearchTermQuery) {
+  EntitySearch search(world_.knowledge_base.get());
+  for (const corpus::Document& doc : corpus_) {
+    search.IndexDocument(doc, GoldEntities(doc));
+  }
+  // Query a word from some document; that document must be retrievable.
+  const corpus::Document& doc0 = corpus_.front();
+  std::string term;
+  for (const std::string& token : doc0.tokens) {
+    if (token.size() > 4) {
+      term = token;
+      break;
+    }
+  }
+  ASSERT_FALSE(term.empty());
+  EntitySearch::Query query;
+  query.terms.push_back(term);
+  std::vector<EntitySearch::Hit> hits = search.Search(query, corpus_.size());
+  bool found = false;
+  for (const auto& hit : hits) found |= (hit.doc_index == 0);
+  EXPECT_TRUE(found);
+}
+
+TEST(NewsAnalyticsTest, FrequencyTimeline) {
+  NewsAnalytics analytics;
+  analytics.AddDocument(0, {1, 2});
+  analytics.AddDocument(1, {1});
+  analytics.AddDocument(1, {1, 3});
+  std::vector<uint32_t> timeline = analytics.FrequencyTimeline(1, 0, 2);
+  ASSERT_EQ(timeline.size(), 3u);
+  EXPECT_EQ(timeline[0], 1u);
+  EXPECT_EQ(timeline[1], 2u);
+  EXPECT_EQ(timeline[2], 0u);
+}
+
+TEST(NewsAnalyticsTest, DedupesEntitiesPerDocument) {
+  NewsAnalytics analytics;
+  analytics.AddDocument(0, {1, 1, 1});
+  EXPECT_EQ(analytics.FrequencyTimeline(1, 0, 0)[0], 1u);
+}
+
+TEST(NewsAnalyticsTest, Cooccurrence) {
+  NewsAnalytics analytics;
+  analytics.AddDocument(0, {1, 2});
+  analytics.AddDocument(1, {1, 2});
+  analytics.AddDocument(2, {1, 3});
+  auto top = analytics.TopCooccurring(1, 10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 2u);
+  EXPECT_EQ(top[0].second, 2u);
+  EXPECT_EQ(top[1].first, 3u);
+}
+
+TEST(NewsAnalyticsTest, TrendingDetectsSpike) {
+  NewsAnalytics analytics;
+  // Entity 7 is quiet for days 0..8, then spikes on days 9-10.
+  // Entity 8 is steady throughout.
+  for (int64_t day = 0; day <= 10; ++day) {
+    analytics.AddDocument(day, {8});
+  }
+  for (int i = 0; i < 6; ++i) analytics.AddDocument(9, {7});
+  for (int i = 0; i < 6; ++i) analytics.AddDocument(10, {7});
+  auto trending = analytics.TrendingEntities(10, 2, 5);
+  ASSERT_FALSE(trending.empty());
+  EXPECT_EQ(trending[0].first, 7u);
+}
+
+TEST_F(AppsTest, SuggestCompletesNamesByPopularity) {
+  EntitySearch search(world_.knowledge_base.get());
+  // Pick a dictionary name and query its prefix.
+  std::string name;
+  for (const std::string& n : world_.knowledge_base->dictionary().AllNames()) {
+    if (n.size() >= 5 && n.find(' ') == std::string::npos) {
+      name = n;
+      break;
+    }
+  }
+  ASSERT_FALSE(name.empty());
+  std::string prefix = name.substr(0, 4);
+  std::vector<EntitySearch::Suggestion> suggestions =
+      search.Suggest(prefix, 10);
+  ASSERT_FALSE(suggestions.empty());
+  bool found = false;
+  for (size_t i = 0; i < suggestions.size(); ++i) {
+    found |= (suggestions[i].name == name);
+    EXPECT_NE(suggestions[i].entity, kb::kNoEntity);
+    if (i > 0) {
+      EXPECT_LE(suggestions[i].anchor_count,
+                suggestions[i - 1].anchor_count);
+    }
+  }
+  EXPECT_TRUE(found);
+  // Case-insensitive for long prefixes; unknown prefixes yield nothing.
+  EXPECT_FALSE(search.Suggest(util::ToLower(prefix), 10).empty());
+  EXPECT_TRUE(search.Suggest("zzzzzzzzz", 10).empty());
+}
+
+TEST(NewsAnalyticsTest, CooccurrenceTimeline) {
+  NewsAnalytics analytics;
+  analytics.AddDocument(0, {1, 2});
+  analytics.AddDocument(2, {1, 2});
+  analytics.AddDocument(2, {2, 1});  // order-insensitive pair key
+  analytics.AddDocument(3, {1, 3});
+  std::vector<uint32_t> timeline =
+      analytics.CooccurrenceTimeline(1, 2, 0, 3);
+  ASSERT_EQ(timeline.size(), 4u);
+  EXPECT_EQ(timeline[0], 1u);
+  EXPECT_EQ(timeline[1], 0u);
+  EXPECT_EQ(timeline[2], 2u);
+  EXPECT_EQ(timeline[3], 0u);
+  // Symmetric.
+  EXPECT_EQ(analytics.CooccurrenceTimeline(2, 1, 0, 3), timeline);
+}
+
+TEST(NewsAnalyticsTest, TrendingRespectsMinCount) {
+  NewsAnalytics analytics;
+  analytics.AddDocument(0, {1});
+  auto trending = analytics.TrendingEntities(0, 1, 5, 3);
+  EXPECT_TRUE(trending.empty());
+}
+
+}  // namespace
+}  // namespace aida::apps

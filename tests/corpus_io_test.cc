@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "corpus/corpus_io.h"
+#include "test_world.h"
+
+namespace aida::corpus {
+namespace {
+
+using ::aida::testing::TestWorld;
+
+TEST(CorpusIoTest, RoundTripsGeneratedCorpus) {
+  const Corpus& corpus = TestWorld::Get().corpus;
+  std::string data = SerializeCorpus(corpus);
+  util::StatusOr<Corpus> loaded = DeserializeCorpus(data);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), corpus.size());
+  for (size_t d = 0; d < corpus.size(); ++d) {
+    const Document& a = corpus[d];
+    const Document& b = (*loaded)[d];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.day, b.day);
+    EXPECT_EQ(a.topic, b.topic);
+    EXPECT_EQ(a.tokens, b.tokens);
+    ASSERT_EQ(a.mentions.size(), b.mentions.size());
+    for (size_t m = 0; m < a.mentions.size(); ++m) {
+      EXPECT_EQ(a.mentions[m].surface, b.mentions[m].surface);
+      EXPECT_EQ(a.mentions[m].begin_token, b.mentions[m].begin_token);
+      EXPECT_EQ(a.mentions[m].end_token, b.mentions[m].end_token);
+      EXPECT_EQ(a.mentions[m].gold_entity, b.mentions[m].gold_entity);
+      EXPECT_EQ(a.mentions[m].gold_emerging, b.mentions[m].gold_emerging);
+    }
+  }
+  // Deterministic.
+  EXPECT_EQ(SerializeCorpus(*loaded), data);
+}
+
+TEST(CorpusIoTest, PreservesOutOfKbMarkers) {
+  Document doc;
+  doc.id = "d";
+  doc.tokens = {"Prism", "leaked"};
+  GoldMention m;
+  m.surface = "Prism";
+  m.begin_token = 0;
+  m.end_token = 1;
+  m.gold_entity = kb::kNoEntity;
+  m.gold_emerging = 7;
+  doc.mentions.push_back(m);
+  util::StatusOr<Corpus> loaded = DeserializeCorpus(SerializeCorpus({doc}));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE((*loaded)[0].mentions[0].out_of_kb());
+  EXPECT_EQ((*loaded)[0].mentions[0].gold_emerging, 7u);
+}
+
+TEST(CorpusIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(DeserializeCorpus("garbage\n").ok());
+  EXPECT_FALSE(DeserializeCorpus("#DOC a 1\n").ok());  // missing field
+  EXPECT_FALSE(
+      DeserializeCorpus("#DOC a 1 0\n#TOKENS\nx y\n#MENTIONS\n0 9 - - x\n"
+                        "#END\n")
+          .ok());  // span out of range
+  EXPECT_FALSE(
+      DeserializeCorpus("#DOC a 1 0\n#TOKENS\nx y\n#MENTIONS\n0 1 q - x\n"
+                        "#END\n")
+          .ok());  // bad entity id
+  EXPECT_FALSE(
+      DeserializeCorpus("#DOC a 1 0\n#TOKENS\nx y\n#MENTIONS\n0 1 - - x\n")
+          .ok());  // missing #END
+}
+
+TEST(CorpusIoTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/aida_corpus_test.txt";
+  const Corpus& corpus = TestWorld::Get().corpus;
+  ASSERT_TRUE(SaveCorpus(corpus, path).ok());
+  util::StatusOr<Corpus> loaded = LoadCorpus(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), corpus.size());
+}
+
+TEST(CorpusIoTest, EmptyCorpus) {
+  EXPECT_EQ(SerializeCorpus({}), "");
+  util::StatusOr<Corpus> loaded = DeserializeCorpus("");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+}  // namespace
+}  // namespace aida::corpus

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "core/aida.h"
+#include "ee/confidence.h"
+#include "ee/ee_discovery.h"
+#include "ee/emerging_entity_model.h"
+#include "ee/keyphrase_harvester.h"
+#include "eval/metrics.h"
+#include "eval/pr_curve.h"
+#include "kore/kore_relatedness.h"
+#include "test_world.h"
+
+namespace aida::ee {
+namespace {
+
+using ::aida::testing::TestWorld;
+
+core::DisambiguationProblem ToProblem(const corpus::Document& doc) {
+  core::DisambiguationProblem problem;
+  problem.tokens = &doc.tokens;
+  for (const corpus::GoldMention& gm : doc.mentions) {
+    core::ProblemMention pm;
+    pm.surface = gm.surface;
+    pm.begin_token = gm.begin_token;
+    pm.end_token = gm.end_token;
+    problem.mentions.push_back(std::move(pm));
+  }
+  return problem;
+}
+
+class EeTest : public ::testing::Test {
+ protected:
+  EeTest()
+      : world_(TestWorld::Get().world),
+        corpus_(TestWorld::Get().corpus),
+        models_(world_.knowledge_base.get()),
+        kore_() {
+    core::AidaOptions options;
+    options.graph.entities_per_mention_budget = 5;
+    aida_ = std::make_unique<core::Aida>(&models_, &kore_, options);
+  }
+
+  const synth::World& world_;
+  const corpus::Corpus& corpus_;
+  core::CandidateModelStore models_;
+  kore::KoreRelatedness kore_;
+  std::unique_ptr<core::Aida> aida_;
+};
+
+// ---- Confidence ------------------------------------------------------------
+
+TEST_F(EeTest, NormalizedScoresSumToShare) {
+  core::DisambiguationResult result;
+  core::MentionResult m;
+  m.entity = 5;
+  m.candidate_entities = {5, 6};
+  m.candidate_scores = {3.0, 1.0};
+  m.candidate_is_placeholder = {false, false};
+  result.mentions.push_back(m);
+  std::vector<double> conf = ConfidenceEstimator::NormalizedScores(result);
+  ASSERT_EQ(conf.size(), 1u);
+  EXPECT_DOUBLE_EQ(conf[0], 0.75);
+}
+
+TEST_F(EeTest, ConfidencesInUnitInterval) {
+  ConfidenceOptions options;
+  options.rounds = 8;
+  ConfidenceEstimator estimator(&models_, aida_.get(), options);
+  const corpus::Document& doc = corpus_.front();
+  core::DisambiguationProblem problem = ToProblem(doc);
+  core::DisambiguationResult base = aida_->Disambiguate(problem);
+
+  for (const std::vector<double>& conf :
+       {estimator.MentionPerturbation(problem, base),
+        estimator.EntityPerturbation(problem, base),
+        estimator.Conf(problem, base)}) {
+    ASSERT_EQ(conf.size(), doc.mentions.size());
+    for (double c : conf) {
+      EXPECT_GE(c, 0.0);
+      EXPECT_LE(c, 1.0);
+    }
+  }
+}
+
+TEST_F(EeTest, ConfidenceRanksCorrectness) {
+  // CONF-ranked predictions should yield decent MAP: correct
+  // disambiguations should concentrate at high confidence.
+  ConfidenceOptions options;
+  options.rounds = 6;
+  ConfidenceEstimator estimator(&models_, aida_.get(), options);
+  std::vector<eval::ScoredPrediction> scored;
+  for (size_t d = 0; d < 5; ++d) {
+    const corpus::Document& doc = corpus_[d];
+    core::DisambiguationProblem problem = ToProblem(doc);
+    core::DisambiguationResult base = aida_->Disambiguate(problem);
+    std::vector<double> conf = estimator.Conf(problem, base);
+    for (size_t m = 0; m < doc.mentions.size(); ++m) {
+      if (doc.mentions[m].out_of_kb()) continue;
+      scored.push_back(
+          {conf[m], base.mentions[m].entity == doc.mentions[m].gold_entity});
+    }
+  }
+  ASSERT_GT(scored.size(), 30u);
+  double map = eval::MeanAveragePrecision(scored);
+  // Baseline: overall accuracy (precision of an unranked list).
+  size_t correct = 0;
+  for (const auto& s : scored) correct += s.correct ? 1 : 0;
+  double accuracy = static_cast<double>(correct) / scored.size();
+  EXPECT_GT(map, accuracy - 0.02);
+}
+
+// ---- Harvesting ---------------------------------------------------------------
+
+TEST(SurfaceMatchingTest, Rules) {
+  EXPECT_TRUE(SurfaceMatchesName("Paris", "PARIS"));
+  EXPECT_TRUE(SurfaceMatchesName("Paris", "Paris"));
+  EXPECT_FALSE(SurfaceMatchesName("Pas", "Paris"));
+  // Short names are case-sensitive.
+  EXPECT_TRUE(SurfaceMatchesName("US", "US"));
+  EXPECT_FALSE(SurfaceMatchesName("us", "US"));
+}
+
+TEST_F(EeTest, HarvestForNameFindsPhrases) {
+  KeyphraseHarvester harvester;
+  // Use a name that occurs in the corpus.
+  std::string name;
+  for (const corpus::Document& doc : corpus_) {
+    if (!doc.mentions.empty()) {
+      name = doc.mentions.front().surface;
+      break;
+    }
+  }
+  ASSERT_FALSE(name.empty());
+  std::vector<const corpus::Document*> docs;
+  for (const corpus::Document& doc : corpus_) docs.push_back(&doc);
+  HarvestedCounts counts = harvester.HarvestForName(docs, name);
+  EXPECT_GT(counts.occurrences, 0u);
+  EXPECT_GT(counts.documents, 0u);
+  EXPECT_FALSE(counts.phrase_counts.empty());
+}
+
+TEST_F(EeTest, WindowPhrasesExcludeName) {
+  KeyphraseHarvester harvester;
+  const corpus::Document& doc = corpus_.front();
+  ASSERT_FALSE(doc.mentions.empty());
+  std::vector<std::string> phrases = harvester.WindowPhrases(doc, 0);
+  std::string lower = doc.mentions[0].surface;
+  for (char& c : lower) c = static_cast<char>(std::tolower(c));
+  for (const std::string& p : phrases) EXPECT_NE(p, lower);
+}
+
+// ---- Model difference -----------------------------------------------------------
+
+TEST_F(EeTest, PlaceholderModelSubtractsKbPhrases) {
+  core::ExtendedVocabulary vocab(&world_.knowledge_base->keyphrases());
+  EeModelOptions options;
+  EmergingEntityModelBuilder builder(&models_, &vocab, options);
+
+  // Candidate entity 0's first keyphrase, plus a novel phrase.
+  const kb::KeyphraseStore& store = world_.knowledge_base->keyphrases();
+  std::string kb_phrase = store.PhraseText(store.EntityPhrases(0).front());
+  HarvestedCounts harvested;
+  harvested.phrase_counts[kb_phrase] = 1;  // weak; candidate owns it
+  harvested.phrase_counts["brand new signal phrase"] = 40;
+  harvested.occurrences = 40;
+
+  std::vector<core::Candidate> kb_candidates;
+  core::Candidate c;
+  c.entity = 0;
+  c.model = models_.ModelFor(0);
+  kb_candidates.push_back(c);
+
+  auto model = builder.BuildPlaceholder("Name", harvested, kb_candidates,
+                                        /*chunk_docs=*/100);
+  ASSERT_FALSE(model->phrases.empty());
+  // The novel phrase dominates; words were interned into the vocabulary.
+  EXPECT_NE(vocab.Find("brand"), kb::kNoWord);
+  EXPECT_GT(model->total_phrase_weight, 0.0);
+  // The strongest phrase is the novel one.
+  double best = 0;
+  size_t best_idx = 0;
+  for (size_t i = 0; i < model->phrases.size(); ++i) {
+    if (model->phrases[i].phrase_weight > best) {
+      best = model->phrases[i].phrase_weight;
+      best_idx = i;
+    }
+  }
+  EXPECT_EQ(model->phrases[best_idx].words.size(), 4u);
+}
+
+TEST_F(EeTest, ExtendModelAddsNewPhrasesOnly) {
+  core::ExtendedVocabulary vocab(&world_.knowledge_base->keyphrases());
+  EeModelOptions options;
+  EmergingEntityModelBuilder builder(&models_, &vocab, options);
+
+  auto base = models_.ModelFor(0);
+  size_t base_count = base->phrases.size();
+  const kb::KeyphraseStore& store = world_.knowledge_base->keyphrases();
+  std::string existing = store.PhraseText(store.EntityPhrases(0).front());
+
+  HarvestedCounts harvested;
+  harvested.phrase_counts[existing] = 10;       // already known: skipped
+  harvested.phrase_counts["fresh event phrase"] = 10;  // added
+  auto extended = builder.ExtendModel(*base, harvested, 50);
+  EXPECT_EQ(extended->phrases.size(), base_count + 1);
+  EXPECT_GT(extended->total_phrase_weight, base->total_phrase_weight);
+}
+
+// ---- Discovery -------------------------------------------------------------------
+
+TEST_F(EeTest, ApplyEeThreshold) {
+  core::DisambiguationResult result;
+  core::MentionResult m;
+  m.entity = 3;
+  result.mentions.push_back(m);
+  result.mentions.push_back(m);
+  core::DisambiguationResult out =
+      ApplyEeThreshold(result, {0.9, 0.1}, 0.5);
+  EXPECT_EQ(out.mentions[0].entity, 3u);
+  EXPECT_EQ(out.mentions[1].entity, kb::kNoEntity);
+}
+
+TEST_F(EeTest, DiscovererLabelsEmergingEntities) {
+  EeDiscoveryOptions options;
+  options.harvest_days = 8;  // the whole little stream
+  options.harvest_existing = false;
+  // The tiny test stream yields sparse placeholder models; a higher gamma
+  // compensates (the benches tune this on a proper train split).
+  options.gamma = 0.4;
+  EmergingEntityDiscoverer discoverer(&models_, aida_.get(), &corpus_,
+                                      options);
+
+  eval::NedEvaluator evaluator;
+  size_t docs_with_ee = 0;
+  for (size_t d = 0; d < corpus_.size(); ++d) {
+    const corpus::Document& doc = corpus_[d];
+    bool has_ee = false;
+    for (const corpus::GoldMention& m : doc.mentions) {
+      has_ee |= m.out_of_kb();
+    }
+    if (!has_ee) continue;
+    ++docs_with_ee;
+    core::DisambiguationResult result = discoverer.Discover(doc);
+    evaluator.AddDocument(doc, result);
+  }
+  ASSERT_GT(docs_with_ee, 2u);
+  // The discoverer must find a nontrivial share of the emerging entities
+  // without destroying in-KB accuracy.
+  EXPECT_GT(evaluator.EeRecall(), 0.3);
+  EXPECT_GT(evaluator.EePrecision(), 0.35);
+  EXPECT_GT(evaluator.MicroAccuracy(), 0.4);
+}
+
+TEST_F(EeTest, PlaceholderModelsAreCached) {
+  EeDiscoveryOptions options;
+  options.harvest_days = 8;
+  options.harvest_existing = false;
+  EmergingEntityDiscoverer discoverer(&models_, aida_.get(), &corpus_,
+                                      options);
+  auto a = discoverer.PlaceholderModel("SomeName", 5);
+  auto b = discoverer.PlaceholderModel("SomeName", 5);
+  EXPECT_EQ(a.get(), b.get());
+}
+
+TEST_F(EeTest, HarvestExistingEntitiesExtendsModels) {
+  EeDiscoveryOptions options;
+  options.harvest_days = 8;
+  EmergingEntityDiscoverer discoverer(&models_, aida_.get(), &corpus_,
+                                      options);
+  // Should run without error and allow discovery afterwards.
+  discoverer.HarvestExistingEntities(0, 8);
+  core::DisambiguationResult result = discoverer.Discover(corpus_.front());
+  EXPECT_EQ(result.mentions.size(), corpus_.front().mentions.size());
+}
+
+}  // namespace
+}  // namespace aida::ee

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/pr_curve.h"
+#include "eval/spearman.h"
+
+namespace aida::eval {
+namespace {
+
+corpus::Document MakeGold(const std::vector<kb::EntityId>& gold) {
+  corpus::Document doc;
+  for (kb::EntityId e : gold) {
+    corpus::GoldMention m;
+    m.gold_entity = e;
+    if (e == kb::kNoEntity) m.gold_emerging = 0;
+    doc.mentions.push_back(m);
+  }
+  return doc;
+}
+
+core::DisambiguationResult MakePrediction(
+    const std::vector<kb::EntityId>& predicted) {
+  core::DisambiguationResult result;
+  for (kb::EntityId e : predicted) {
+    core::MentionResult m;
+    m.entity = e;
+    result.mentions.push_back(m);
+  }
+  return result;
+}
+
+TEST(NedEvaluatorTest, MicroAccuracyIgnoresOutOfKb) {
+  NedEvaluator eval;
+  // 3 in-KB mentions (2 correct), 1 EE mention predicted as entity.
+  eval.AddDocument(MakeGold({1, 2, 3, kb::kNoEntity}),
+                   MakePrediction({1, 2, 9, 7}));
+  EXPECT_DOUBLE_EQ(eval.MicroAccuracy(), 2.0 / 3.0);
+  EXPECT_EQ(eval.gold_in_kb_mentions(), 3u);
+  EXPECT_EQ(eval.gold_ee_mentions(), 1u);
+}
+
+TEST(NedEvaluatorTest, MacroAveragesOverDocuments) {
+  NedEvaluator eval;
+  eval.AddDocument(MakeGold({1, 2}), MakePrediction({1, 2}));  // 1.0
+  eval.AddDocument(MakeGold({1, 2}), MakePrediction({9, 9}));  // 0.0
+  EXPECT_DOUBLE_EQ(eval.MacroAccuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(eval.MicroAccuracy(), 0.5);
+}
+
+TEST(NedEvaluatorTest, EeMetrics) {
+  NedEvaluator eval;
+  // gold: [E, EE, E, EE]; predicted: [E(correct), EE, EE(wrong), entity]
+  eval.AddDocument(MakeGold({1, kb::kNoEntity, 2, kb::kNoEntity}),
+                   MakePrediction({1, kb::kNoEntity, kb::kNoEntity, 5}));
+  // predicted EE = 2, correct EE = 1, gold EE = 2.
+  EXPECT_DOUBLE_EQ(eval.EePrecision(), 0.5);
+  EXPECT_DOUBLE_EQ(eval.EeRecall(), 0.5);
+  EXPECT_DOUBLE_EQ(eval.EeF1(), 0.5);
+  // Accuracy with EE: correct = 1 (entity) + 1 (EE) of 4.
+  EXPECT_DOUBLE_EQ(eval.MicroAccuracyWithEe(), 0.5);
+}
+
+TEST(NedEvaluatorTest, PerfectEe) {
+  NedEvaluator eval;
+  eval.AddDocument(MakeGold({kb::kNoEntity}),
+                   MakePrediction({kb::kNoEntity}));
+  EXPECT_DOUBLE_EQ(eval.EePrecision(), 1.0);
+  EXPECT_DOUBLE_EQ(eval.EeRecall(), 1.0);
+  EXPECT_DOUBLE_EQ(eval.EeF1(), 1.0);
+}
+
+TEST(SpearmanTest, PerfectCorrelation) {
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({3, 2, 1}, {30, 20, 10}), 1.0);
+}
+
+TEST(SpearmanTest, PerfectAnticorrelation) {
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1, 2, 3}, {30, 20, 10}), -1.0);
+}
+
+TEST(SpearmanTest, HandlesTies) {
+  double rho = SpearmanCorrelation({1, 1, 2}, {1, 2, 3});
+  EXPECT_GT(rho, 0.0);
+  EXPECT_LT(rho, 1.0);
+}
+
+TEST(SpearmanTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({5, 5, 5}, {1, 2, 3}), 0.0);
+}
+
+TEST(SpearmanTest, DescendingRanks) {
+  std::vector<double> ranks = DescendingRanks({10, 30, 20});
+  EXPECT_DOUBLE_EQ(ranks[0], 3.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+  // Ties share the average rank.
+  std::vector<double> tied = DescendingRanks({5, 5});
+  EXPECT_DOUBLE_EQ(tied[0], 1.5);
+  EXPECT_DOUBLE_EQ(tied[1], 1.5);
+}
+
+TEST(PrCurveTest, PerfectRankingKeepsPrecisionHighEarly) {
+  std::vector<ScoredPrediction> preds;
+  for (int i = 0; i < 50; ++i) preds.push_back({1.0 - i * 0.01, i < 25});
+  std::vector<PrPoint> curve = PrecisionRecallCurve(preds, 10);
+  ASSERT_EQ(curve.size(), 10u);
+  EXPECT_DOUBLE_EQ(curve.front().precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().precision, 0.5);
+  EXPECT_DOUBLE_EQ(curve.back().recall, 1.0);
+}
+
+TEST(PrCurveTest, MapOrdersRankingsCorrectly) {
+  // Good ranking: correct predictions first.
+  std::vector<ScoredPrediction> good;
+  std::vector<ScoredPrediction> bad;
+  for (int i = 0; i < 40; ++i) {
+    good.push_back({1.0 - i * 0.01, i < 20});
+    bad.push_back({1.0 - i * 0.01, i >= 20});
+  }
+  EXPECT_GT(MeanAveragePrecision(good), MeanAveragePrecision(bad));
+}
+
+TEST(PrCurveTest, PrecisionAtConfidence) {
+  std::vector<ScoredPrediction> preds = {
+      {0.99, true}, {0.97, true}, {0.90, false}, {0.50, true}};
+  size_t count = 0;
+  double precision = PrecisionAtConfidence(preds, 0.95, &count);
+  EXPECT_EQ(count, 2u);
+  EXPECT_DOUBLE_EQ(precision, 1.0);
+  precision = PrecisionAtConfidence(preds, 0.80, &count);
+  EXPECT_EQ(count, 3u);
+  EXPECT_NEAR(precision, 2.0 / 3.0, 1e-12);
+}
+
+TEST(PrCurveTest, EmptyInputs) {
+  EXPECT_TRUE(PrecisionRecallCurve({}, 10).empty());
+  EXPECT_DOUBLE_EQ(MeanAveragePrecision({}), 0.0);
+  size_t count = 99;
+  EXPECT_DOUBLE_EQ(PrecisionAtConfidence({}, 0.5, &count), 0.0);
+  EXPECT_EQ(count, 0u);
+}
+
+}  // namespace
+}  // namespace aida::eval

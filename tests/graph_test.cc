@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/dense_subgraph.h"
+#include "graph/shortest_paths.h"
+#include "graph/weighted_graph.h"
+
+namespace aida::graph {
+namespace {
+
+TEST(WeightedGraphTest, DegreeAndNeighbors) {
+  WeightedGraph g(4);
+  g.AddEdge(0, 1, 0.5);
+  g.AddEdge(0, 2, 0.25);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(0), 0.75);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(1), 0.5);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(3), 0.0);
+  EXPECT_EQ(g.Neighbors(0).size(), 2u);
+  EXPECT_EQ(g.Neighbors(1).size(), 1u);
+}
+
+TEST(ShortestPathsTest, PrefersHighSimilarityEdges) {
+  // 0 -(0.9)- 1 -(0.9)- 3 and 0 -(0.1)- 2 -(0.1)- 3: the high-similarity
+  // two-hop path is cheaper than the low-similarity one.
+  WeightedGraph g(4);
+  g.AddEdge(0, 1, 0.9);
+  g.AddEdge(1, 3, 0.9);
+  g.AddEdge(0, 2, 0.1);
+  g.AddEdge(2, 3, 0.1);
+  std::vector<double> dist =
+      ShortestPathDistances(g, 0, InverseSimilarityCost);
+  EXPECT_LT(dist[1], dist[2]);
+  EXPECT_NEAR(dist[3], dist[1] * 2.0, 1e-6);
+}
+
+TEST(ShortestPathsTest, UnreachableIsInfinite) {
+  WeightedGraph g(3);
+  g.AddEdge(0, 1, 1.0);
+  std::vector<double> dist =
+      ShortestPathDistances(g, 0, InverseSimilarityCost);
+  EXPECT_TRUE(std::isinf(dist[2]));
+  EXPECT_EQ(dist[0], 0.0);
+}
+
+// Dense subgraph on a toy disambiguation instance: two mentions
+// (nodes 0, 1), four entities (nodes 2..5). Entities 2 and 4 are coherent
+// (heavy edge); entities 3 and 5 are isolated junk.
+TEST(DenseSubgraphTest, KeepsCoherentEntities) {
+  WeightedGraph g(6);
+  g.AddEdge(0, 2, 0.5);  // mention 0 - good entity
+  g.AddEdge(0, 3, 0.4);  // mention 0 - junk entity
+  g.AddEdge(1, 4, 0.5);  // mention 1 - good entity
+  g.AddEdge(1, 5, 0.4);  // mention 1 - junk entity
+  g.AddEdge(2, 4, 0.9);  // coherence between the good entities
+
+  std::vector<bool> removable = {false, false, true, true, true, true};
+  std::vector<std::vector<NodeId>> groups = {{2, 3}, {4, 5}};
+  DenseSubgraphResult result = ConstrainedDenseSubgraph(g, removable, groups);
+
+  EXPECT_TRUE(result.alive[2]);
+  EXPECT_TRUE(result.alive[4]);
+  EXPECT_FALSE(result.alive[3]);
+  EXPECT_FALSE(result.alive[5]);
+  EXPECT_GT(result.objective, 0.0);
+  EXPECT_EQ(result.iterations, 2u);
+}
+
+TEST(DenseSubgraphTest, GroupConstraintKeepsLastCandidate) {
+  // A mention whose only candidate has tiny weight must keep it.
+  WeightedGraph g(3);
+  g.AddEdge(0, 1, 0.01);  // mention 0 -> entity 1 (only candidate)
+  g.AddEdge(0, 2, 0.9);   // a much heavier unrelated removable node
+
+  std::vector<bool> removable = {false, true, true};
+  std::vector<std::vector<NodeId>> groups = {{1}};
+  DenseSubgraphResult result = ConstrainedDenseSubgraph(g, removable, groups);
+  EXPECT_TRUE(result.alive[1]);
+}
+
+TEST(DenseSubgraphTest, SharedCandidateAcrossGroups) {
+  // Entity node 2 is the last candidate of group 0 AND group 1; it is
+  // taboo even though group 1 has another member.
+  WeightedGraph g(5);
+  g.AddEdge(0, 2, 0.5);
+  g.AddEdge(1, 2, 0.5);
+  g.AddEdge(1, 3, 0.4);
+  std::vector<bool> removable = {false, false, true, true, true};
+  std::vector<std::vector<NodeId>> groups = {{2}, {2, 3}};
+  DenseSubgraphResult result = ConstrainedDenseSubgraph(g, removable, groups);
+  EXPECT_TRUE(result.alive[2]);
+}
+
+TEST(DenseSubgraphTest, EmptyGroupsRemoveEverything) {
+  WeightedGraph g(3);
+  g.AddEdge(0, 1, 0.5);
+  g.AddEdge(1, 2, 0.5);
+  std::vector<bool> removable = {true, true, true};
+  DenseSubgraphResult result = ConstrainedDenseSubgraph(g, removable, {});
+  // With no group constraints the greedy loop can peel everything; the
+  // best intermediate subgraph is still recorded.
+  EXPECT_EQ(result.iterations, 3u);
+}
+
+}  // namespace
+}  // namespace aida::graph

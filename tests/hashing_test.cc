@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hashing/lsh_index.h"
+#include "hashing/minhash.h"
+#include "hashing/two_stage_hasher.h"
+#include "kb/kb_builder.h"
+
+namespace aida::hashing {
+namespace {
+
+TEST(MinHashTest, IdenticalSetsIdenticalSketches) {
+  MinHasher hasher(16, 7);
+  std::vector<uint32_t> items = {1, 5, 9, 42};
+  EXPECT_EQ(hasher.Sketch(items), hasher.Sketch(items));
+}
+
+TEST(MinHashTest, OrderInvariant) {
+  MinHasher hasher(16, 7);
+  std::vector<uint32_t> a = {1, 5, 9, 42};
+  std::vector<uint32_t> b = {42, 9, 5, 1};
+  EXPECT_EQ(hasher.Sketch(a), hasher.Sketch(b));
+}
+
+TEST(MinHashTest, JaccardEstimateTracksTruth) {
+  MinHasher hasher(512, 11);
+  // |A ∩ B| = 50, |A ∪ B| = 150 -> Jaccard = 1/3.
+  std::vector<uint32_t> a;
+  std::vector<uint32_t> b;
+  for (uint32_t i = 0; i < 100; ++i) a.push_back(i);
+  for (uint32_t i = 50; i < 150; ++i) b.push_back(i);
+  double estimate = EstimateJaccard(hasher.Sketch(a), hasher.Sketch(b));
+  EXPECT_NEAR(estimate, 1.0 / 3.0, 0.08);
+}
+
+TEST(MinHashTest, DisjointSetsLowEstimate) {
+  MinHasher hasher(256, 13);
+  std::vector<uint32_t> a = {1, 2, 3, 4, 5};
+  std::vector<uint32_t> b = {100, 200, 300, 400};
+  EXPECT_LT(EstimateJaccard(hasher.Sketch(a), hasher.Sketch(b)), 0.05);
+}
+
+TEST(LshIndexTest, NearDuplicatesCollide) {
+  MinHasher hasher(8, 17);
+  LshIndex index(4, 2);
+  std::vector<uint32_t> a = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<uint32_t> b = a;
+  b[9] = 999;  // 9/11 Jaccard
+  index.Insert(0, hasher.Sketch(a));
+  index.Insert(1, hasher.Sketch(b));
+  auto pairs = index.CandidatePairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (std::pair<uint32_t, uint32_t>(0, 1)));
+}
+
+TEST(LshIndexTest, UnrelatedItemsRarelyCollide) {
+  MinHasher hasher(8, 19);
+  LshIndex index(4, 2);
+  for (uint32_t item = 0; item < 20; ++item) {
+    std::vector<uint32_t> set;
+    for (uint32_t k = 0; k < 10; ++k) set.push_back(item * 1000 + k);
+    index.Insert(item, hasher.Sketch(set));
+  }
+  // With bands of size 2 over disjoint sets, collisions are unlikely.
+  EXPECT_LT(index.CandidatePairs().size(), 5u);
+}
+
+class TwoStageHasherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kb::KbBuilder builder;
+    // Two entities sharing most keyphrases, one unrelated.
+    a_ = builder.AddEntity("A");
+    b_ = builder.AddEntity("B");
+    c_ = builder.AddEntity("C");
+    for (const char* phrase :
+         {"hard rock", "led zeppelin", "english guitarist",
+          "grammy award winner"}) {
+      builder.AddKeyphrase(a_, phrase);
+      builder.AddKeyphrase(b_, phrase);
+    }
+    builder.AddKeyphrase(a_, "session musician");
+    builder.AddKeyphrase(b_, "golden god");
+    for (const char* phrase :
+         {"himalaya mountains", "disputed territory", "line of control",
+          "mountain pass"}) {
+      builder.AddKeyphrase(c_, phrase);
+    }
+    kb_ = std::move(builder).Build();
+  }
+
+  kb::EntityId a_, b_, c_;
+  std::unique_ptr<kb::KnowledgeBase> kb_;
+};
+
+TEST_F(TwoStageHasherTest, EntityBucketsNonEmpty) {
+  TwoStageHasher hasher(kb_->keyphrases(), LshGoodConfig());
+  EXPECT_FALSE(hasher.EntityBuckets(a_).empty());
+  EXPECT_FALSE(hasher.EntityBuckets(c_).empty());
+}
+
+TEST_F(TwoStageHasherTest, SharedPhrasesShareBuckets) {
+  TwoStageHasher hasher(kb_->keyphrases(), LshGoodConfig());
+  const auto& ba = hasher.EntityBuckets(a_);
+  const auto& bb = hasher.EntityBuckets(b_);
+  size_t shared = 0;
+  for (uint32_t bucket : ba) {
+    if (std::binary_search(bb.begin(), bb.end(), bucket)) ++shared;
+  }
+  // Identical phrases hash to identical phrase buckets.
+  EXPECT_GE(shared, 4u);
+}
+
+TEST_F(TwoStageHasherTest, GroupsRelatedPair) {
+  TwoStageHasher hasher(kb_->keyphrases(), LshGoodConfig());
+  auto pairs = hasher.GroupEntities({a_, b_, c_});
+  bool ab = false;
+  bool with_c = false;
+  for (const auto& [i, j] : pairs) {
+    if (i == 0 && j == 1) ab = true;
+    if (j == 2 || i == 2) with_c = true;
+  }
+  EXPECT_TRUE(ab);
+  // The recall-oriented config may or may not pair the unrelated entity;
+  // the fast config should prune it.
+  TwoStageHasher fast(kb_->keyphrases(), LshFastConfig());
+  bool fast_with_c = false;
+  for (const auto& [i, j] : fast.GroupEntities({a_, b_, c_})) {
+    if (j == 2 || i == 2) fast_with_c = true;
+  }
+  EXPECT_FALSE(fast_with_c);
+  (void)with_c;
+}
+
+TEST_F(TwoStageHasherTest, FastConfigPrunesAtLeastAsMuch) {
+  TwoStageHasher good(kb_->keyphrases(), LshGoodConfig());
+  TwoStageHasher fast(kb_->keyphrases(), LshFastConfig());
+  std::vector<kb::EntityId> all = {a_, b_, c_};
+  EXPECT_GE(good.GroupEntities(all).size(),
+            fast.GroupEntities(all).size());
+}
+
+}  // namespace
+}  // namespace aida::hashing

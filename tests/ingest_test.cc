@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "core/aida.h"
+#include "core/candidates.h"
+#include "core/relatedness.h"
+#include "ingest/wiki_importer.h"
+
+namespace aida::ingest {
+namespace {
+
+constexpr const char* kPagePage = R"(= Jimmy_Page =
+CATEGORY: person | musician
+NAME: Page
+REDIRECT-FROM: James_Patrick_Page
+Jimmy Page is an english rock guitarist famous for the band
+[[Led_Zeppelin]] and his [[Gibson_Les_Paul|gibson guitar]] solos .
+)";
+
+constexpr const char* kZeppelinPage = R"(= Led_Zeppelin =
+CATEGORY: organization | band
+An english rock band founded by [[Jimmy_Page|Page]] playing hard rock .
+)";
+
+constexpr const char* kRegionPage = R"(= Kashmir_Region =
+CATEGORY: location
+NAME: Kashmir
+A disputed himalaya territory with high mountain passes .
+)";
+
+class WikiImporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WikiImporter importer;
+    ASSERT_TRUE(importer.AddPage(kPagePage).ok());
+    ASSERT_TRUE(importer.AddPage(kZeppelinPage).ok());
+    ASSERT_TRUE(importer.AddPage(kRegionPage).ok());
+    ASSERT_EQ(importer.page_count(), 3u);
+    kb_ = std::move(importer).Build();
+  }
+
+  std::unique_ptr<kb::KnowledgeBase> kb_;
+};
+
+TEST_F(WikiImporterTest, PagesAndRedLinksBecomeEntities) {
+  // 3 pages + the red-link target Gibson_Les_Paul.
+  EXPECT_EQ(kb_->entity_count(), 4u);
+  EXPECT_NE(kb_->entities().FindByName("Jimmy_Page"), kb::kNoEntity);
+  EXPECT_NE(kb_->entities().FindByName("Gibson_Les_Paul"), kb::kNoEntity);
+}
+
+TEST_F(WikiImporterTest, DictionaryFromTitlesNamesRedirectsAnchors) {
+  kb::EntityId page = kb_->entities().FindByName("Jimmy_Page");
+  auto check = [&](const std::string& name) {
+    for (const kb::NameCandidate& nc : kb_->dictionary().Lookup(name)) {
+      if (nc.entity == page) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(check("Jimmy Page"));        // title surface
+  EXPECT_TRUE(check("Page"));              // NAME: line + anchor
+  EXPECT_TRUE(check("James Patrick Page"));  // redirect
+}
+
+TEST_F(WikiImporterTest, LinksBecomeGraphEdges) {
+  kb::EntityId page = kb_->entities().FindByName("Jimmy_Page");
+  kb::EntityId zeppelin = kb_->entities().FindByName("Led_Zeppelin");
+  const auto& out = kb_->links().OutLinks(page);
+  EXPECT_TRUE(std::find(out.begin(), out.end(), zeppelin) != out.end());
+  // Reciprocal link from the Zeppelin page.
+  const auto& in = kb_->links().InLinks(page);
+  EXPECT_TRUE(std::find(in.begin(), in.end(), zeppelin) != in.end());
+}
+
+TEST_F(WikiImporterTest, CategoriesBecomeTypes) {
+  kb::EntityId page = kb_->entities().FindByName("Jimmy_Page");
+  kb::TypeId musician = kb_->taxonomy().FindType("musician");
+  ASSERT_NE(musician, kb::kNoType);
+  const auto& types = kb_->entities().Get(page).types;
+  EXPECT_TRUE(std::find(types.begin(), types.end(), musician) !=
+              types.end());
+}
+
+TEST_F(WikiImporterTest, KeyphrasesFromAnchorsCategoriesAndText) {
+  kb::EntityId page = kb_->entities().FindByName("Jimmy_Page");
+  const kb::KeyphraseStore& store = kb_->keyphrases();
+  std::vector<std::string> texts;
+  for (kb::PhraseId p : store.EntityPhrases(page)) {
+    texts.push_back(store.PhraseText(p));
+  }
+  auto has = [&](const std::string& t) {
+    return std::find(texts.begin(), texts.end(), t) != texts.end();
+  };
+  EXPECT_TRUE(has("musician"));       // category
+  EXPECT_TRUE(has("gibson guitar"));  // link anchor
+  // A body noun group.
+  bool body_phrase = false;
+  for (const std::string& t : texts) {
+    body_phrase |= t.find("guitarist") != std::string::npos;
+  }
+  EXPECT_TRUE(body_phrase);
+}
+
+TEST_F(WikiImporterTest, ImportedKbDisambiguates) {
+  // The imported KB is a fully functional substrate for AIDA.
+  core::CandidateModelStore models(kb_.get());
+  core::MilneWittenRelatedness mw(kb_.get());
+  core::Aida aida(&models, &mw, core::AidaOptions());
+
+  std::vector<std::string> tokens = {"Page",  "played", "hard",
+                                     "rock",  "with",   "the",
+                                     "band", "on", "stage"};
+  core::DisambiguationProblem problem;
+  problem.tokens = &tokens;
+  core::ProblemMention pm;
+  pm.surface = "Page";
+  pm.begin_token = 0;
+  pm.end_token = 1;
+  problem.mentions.push_back(pm);
+  core::DisambiguationResult result = aida.Disambiguate(problem);
+  EXPECT_EQ(result.mentions[0].entity,
+            kb_->entities().FindByName("Jimmy_Page"));
+}
+
+TEST(WikiImporterErrorsTest, RejectsMalformedPages) {
+  WikiImporter importer;
+  EXPECT_FALSE(importer.AddPage("no title line at all\n").ok());
+  EXPECT_FALSE(importer.AddPage("= T =\nbroken [[link\n").ok());
+  EXPECT_FALSE(importer.AddPage("= T =\nempty [[|anchor]]\n").ok());
+  EXPECT_FALSE(importer.AddPage("= =\n").ok());
+  EXPECT_EQ(importer.page_count(), 0u);
+}
+
+TEST(WikiImporterErrorsTest, RenderRoundTrips) {
+  std::string page = RenderWikiPage(
+      "Some_Entity", {"person"}, {"Some", "S. Entity"},
+      {{"Other_Entity", "the other one"}}, "A body line about things .");
+  WikiImporter importer;
+  ASSERT_TRUE(importer.AddPage(page).ok());
+  auto kb = std::move(importer).Build();
+  EXPECT_EQ(kb->entity_count(), 2u);
+  EXPECT_TRUE(kb->dictionary().Contains("Some"));
+  EXPECT_TRUE(kb->dictionary().Contains("the other one"));
+}
+
+}  // namespace
+}  // namespace aida::ingest

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "apps/entity_search.h"
+#include "core/aida.h"
+#include "core/baselines.h"
+#include "eval/metrics.h"
+#include "kore/kore_lsh.h"
+#include "kore/kore_relatedness.h"
+#include "nlp/ner_tagger.h"
+#include "test_world.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace aida {
+namespace {
+
+using ::aida::testing::TestWorld;
+
+core::DisambiguationProblem ToProblem(const corpus::Document& doc) {
+  core::DisambiguationProblem problem;
+  problem.tokens = &doc.tokens;
+  for (const corpus::GoldMention& gm : doc.mentions) {
+    core::ProblemMention pm;
+    pm.surface = gm.surface;
+    pm.begin_token = gm.begin_token;
+    pm.end_token = gm.end_token;
+    problem.mentions.push_back(std::move(pm));
+  }
+  return problem;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest()
+      : world_(TestWorld::Get().world),
+        corpus_(TestWorld::Get().corpus),
+        models_(world_.knowledge_base.get()) {}
+
+  double Accuracy(const core::NedSystem& system, size_t docs) {
+    eval::NedEvaluator evaluator;
+    for (size_t d = 0; d < docs && d < corpus_.size(); ++d) {
+      core::DisambiguationProblem problem = ToProblem(corpus_[d]);
+      evaluator.AddDocument(corpus_[d], system.Disambiguate(problem));
+    }
+    return evaluator.MicroAccuracy();
+  }
+
+  const synth::World& world_;
+  const corpus::Corpus& corpus_;
+  core::CandidateModelStore models_;
+};
+
+// The headline claim of chapter 3: full AIDA (prior test + keyphrase
+// similarity + coherence test) beats the prior-only baseline and plain
+// local similarity.
+TEST_F(IntegrationTest, AidaPipelineOrdering) {
+  core::MilneWittenRelatedness mw(world_.knowledge_base.get());
+
+  core::AidaOptions sim_only;
+  sim_only.use_prior = false;
+  sim_only.use_coherence = false;
+  core::Aida aida_sim(&models_, &mw, sim_only);
+
+  core::AidaOptions full;
+  core::Aida aida_full(&models_, &mw, full);
+
+  core::PriorBaseline prior(&models_);
+
+  double acc_prior = Accuracy(prior, 20);
+  double acc_sim = Accuracy(aida_sim, 20);
+  double acc_full = Accuracy(aida_full, 20);
+
+  EXPECT_GT(acc_full, acc_prior);
+  EXPECT_GE(acc_full, acc_sim - 0.02);
+  EXPECT_GT(acc_full, 0.6);
+}
+
+// Chapter 4: KORE-based coherence disambiguates about as well as MW on a
+// general corpus, and the LSH variants stay close to exact KORE.
+TEST_F(IntegrationTest, KoreVariantsCloseToExact) {
+  kore::KoreRelatedness kore;
+  kore::KoreLshRelatedness lsh_g =
+      kore::KoreLshRelatedness::Good(&world_.knowledge_base->keyphrases());
+
+  core::AidaOptions options;
+  core::Aida aida_kore(&models_, &kore, options);
+  core::Aida aida_lsh(&models_, &lsh_g, options);
+
+  double acc_kore = Accuracy(aida_kore, 15);
+  double acc_lsh = Accuracy(aida_lsh, 15);
+  EXPECT_GT(acc_kore, 0.6);
+  EXPECT_GT(acc_lsh, acc_kore - 0.1);
+}
+
+// Raw text to entities: tokenizer -> NER -> AIDA, no gold mention spans.
+TEST_F(IntegrationTest, RawTextPipeline) {
+  core::MilneWittenRelatedness mw(world_.knowledge_base.get());
+  core::Aida aida(&models_, &mw, core::AidaOptions());
+
+  // Reconstruct a document's text and run the full stack.
+  const corpus::Document& doc = corpus_.front();
+  std::string text = util::Join(doc.tokens, " ");
+  text::Tokenizer tokenizer;
+  text::TokenSequence tokens = tokenizer.Tokenize(text);
+  nlp::NerTagger::Options ner_options;
+  ner_options.emit_unknown_spans = false;
+  nlp::NerTagger ner(&world_.knowledge_base->dictionary(), ner_options);
+  std::vector<nlp::MentionSpan> mentions = ner.Recognize(tokens);
+  ASSERT_FALSE(mentions.empty());
+
+  std::vector<std::string> token_texts;
+  for (const text::Token& t : tokens) token_texts.push_back(t.text);
+  core::DisambiguationProblem problem;
+  problem.tokens = &token_texts;
+  for (const nlp::MentionSpan& span : mentions) {
+    core::ProblemMention pm;
+    pm.surface = span.text;
+    pm.begin_token = span.begin_token;
+    pm.end_token = span.end_token;
+    problem.mentions.push_back(std::move(pm));
+  }
+  core::DisambiguationResult result = aida.Disambiguate(problem);
+  size_t resolved = 0;
+  for (const core::MentionResult& m : result.mentions) {
+    if (m.entity != kb::kNoEntity) ++resolved;
+  }
+  EXPECT_GT(resolved, mentions.size() / 2);
+}
+
+// NED output feeds the search application: a document retrieved by the
+// entity it mentions, regardless of surface form.
+TEST_F(IntegrationTest, NedFeedsEntitySearch) {
+  core::MilneWittenRelatedness mw(world_.knowledge_base.get());
+  core::Aida aida(&models_, &mw, core::AidaOptions());
+  apps::EntitySearch search(world_.knowledge_base.get());
+
+  std::vector<std::vector<kb::EntityId>> per_doc;
+  for (size_t d = 0; d < 10; ++d) {
+    core::DisambiguationProblem problem = ToProblem(corpus_[d]);
+    core::DisambiguationResult result = aida.Disambiguate(problem);
+    std::vector<kb::EntityId> entities;
+    for (const core::MentionResult& m : result.mentions) {
+      entities.push_back(m.entity);
+    }
+    search.IndexDocument(corpus_[d], entities);
+    per_doc.push_back(std::move(entities));
+  }
+
+  // Query for some disambiguated entity.
+  for (size_t d = 0; d < per_doc.size(); ++d) {
+    for (kb::EntityId e : per_doc[d]) {
+      if (e == kb::kNoEntity) continue;
+      apps::EntitySearch::Query query;
+      query.entities.push_back(e);
+      bool found = false;
+      for (const auto& hit : search.Search(query, 20)) {
+        found |= (hit.doc_index == d);
+      }
+      EXPECT_TRUE(found);
+      return;
+    }
+  }
+  FAIL() << "no disambiguated entity found";
+}
+
+}  // namespace
+}  // namespace aida

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/aida.h"
+#include "core/joint_recognition.h"
+#include "test_world.h"
+
+namespace aida::core {
+namespace {
+
+using ::aida::testing::TestWorld;
+
+class JointRecognitionTest : public ::testing::Test {
+ protected:
+  JointRecognitionTest()
+      : world_(TestWorld::Get().world),
+        corpus_(TestWorld::Get().corpus),
+        models_(world_.knowledge_base.get()),
+        mw_(world_.knowledge_base.get()),
+        aida_(&models_, &mw_, AidaOptions()) {}
+
+  const synth::World& world_;
+  const corpus::Corpus& corpus_;
+  CandidateModelStore models_;
+  MilneWittenRelatedness mw_;
+  Aida aida_;
+};
+
+TEST_F(JointRecognitionTest, MentionsAreNonOverlappingAndOrdered) {
+  JointRecognizer recognizer(&models_, &aida_);
+  const corpus::Document& doc = corpus_.front();
+  std::vector<RecognizedMention> mentions = recognizer.Annotate(doc.tokens);
+  ASSERT_FALSE(mentions.empty());
+  for (size_t i = 0; i < mentions.size(); ++i) {
+    EXPECT_LT(mentions[i].begin_token, mentions[i].end_token);
+    EXPECT_LE(mentions[i].end_token, doc.tokens.size());
+    EXPECT_NE(mentions[i].entity, kb::kNoEntity);
+    if (i > 0) {
+      EXPECT_LE(mentions[i - 1].end_token, mentions[i].begin_token);
+    }
+  }
+}
+
+TEST_F(JointRecognitionTest, RecoversMostGoldMentions) {
+  JointRecognizer recognizer(&models_, &aida_);
+  size_t gold_in_kb = 0;
+  size_t span_recovered = 0;
+  size_t entity_correct = 0;
+  for (size_t d = 0; d < 8; ++d) {
+    const corpus::Document& doc = corpus_[d];
+    std::vector<RecognizedMention> mentions =
+        recognizer.Annotate(doc.tokens);
+    for (const corpus::GoldMention& gm : doc.mentions) {
+      if (gm.out_of_kb()) continue;
+      ++gold_in_kb;
+      for (const RecognizedMention& rm : mentions) {
+        // Overlap with the gold span counts as recovered.
+        if (rm.begin_token < gm.end_token && gm.begin_token < rm.end_token) {
+          ++span_recovered;
+          if (rm.entity == gm.gold_entity) ++entity_correct;
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_GT(gold_in_kb, 40u);
+  EXPECT_GT(static_cast<double>(span_recovered) / gold_in_kb, 0.85);
+  EXPECT_GT(static_cast<double>(entity_correct) / gold_in_kb, 0.55);
+}
+
+TEST_F(JointRecognitionTest, LongSpanBeatsEmbeddedShortSpan) {
+  // A document mentioning an entity by its full two-token name: the
+  // embedded family-name reading must not fragment the span.
+  kb::EntityId target = kb::kNoEntity;
+  const corpus::Document* doc = nullptr;
+  size_t gold_index = 0;
+  for (const corpus::Document& d : corpus_) {
+    for (size_t m = 0; m < d.mentions.size(); ++m) {
+      if (!d.mentions[m].out_of_kb() &&
+          d.mentions[m].end_token - d.mentions[m].begin_token == 2) {
+        target = d.mentions[m].gold_entity;
+        doc = &d;
+        gold_index = m;
+        break;
+      }
+    }
+    if (doc != nullptr) break;
+  }
+  if (doc == nullptr) GTEST_SKIP() << "no two-token mention in corpus";
+
+  JointRecognizer recognizer(&models_, &aida_);
+  std::vector<RecognizedMention> mentions = recognizer.Annotate(doc->tokens);
+  const corpus::GoldMention& gm = doc->mentions[gold_index];
+  for (const RecognizedMention& rm : mentions) {
+    if (rm.begin_token == gm.begin_token) {
+      EXPECT_EQ(rm.end_token, gm.end_token) << "span fragmented";
+      EXPECT_EQ(rm.entity, target);
+      return;
+    }
+  }
+  // The span may also have been consumed by a longer/better reading; at
+  // minimum it must not have produced a conflicting fragment.
+  for (const RecognizedMention& rm : mentions) {
+    EXPECT_FALSE(rm.begin_token > gm.begin_token &&
+                 rm.begin_token < gm.end_token)
+        << "fragment inside gold span";
+  }
+}
+
+TEST_F(JointRecognitionTest, NoNameTokensNoMentions) {
+  JointRecognizer recognizer(&models_, &aida_);
+  std::vector<std::string> tokens = {"all", "lower", "case", "words"};
+  EXPECT_TRUE(recognizer.Annotate(tokens).empty());
+}
+
+}  // namespace
+}  // namespace aida::core

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "kb/kb_serialization.h"
+#include "test_world.h"
+
+namespace aida::kb {
+namespace {
+
+using ::aida::testing::TestWorld;
+
+class KbSerializationTest : public ::testing::Test {
+ protected:
+  const KnowledgeBase& kb() const {
+    return *TestWorld::Get().world.knowledge_base;
+  }
+};
+
+TEST_F(KbSerializationTest, RoundTripPreservesEntities) {
+  std::string buffer = SerializeKnowledgeBase(kb());
+  auto loaded = DeserializeKnowledgeBase(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const KnowledgeBase& restored = **loaded;
+
+  ASSERT_EQ(restored.entity_count(), kb().entity_count());
+  for (EntityId e = 0; e < kb().entity_count(); ++e) {
+    const Entity& a = kb().entities().Get(e);
+    const Entity& b = restored.entities().Get(e);
+    EXPECT_EQ(a.canonical_name, b.canonical_name);
+    EXPECT_EQ(a.anchor_count, b.anchor_count);
+    EXPECT_EQ(a.types, b.types);
+  }
+}
+
+TEST_F(KbSerializationTest, RoundTripPreservesDictionary) {
+  std::string buffer = SerializeKnowledgeBase(kb());
+  auto loaded = DeserializeKnowledgeBase(buffer);
+  ASSERT_TRUE(loaded.ok());
+  const KnowledgeBase& restored = **loaded;
+
+  for (const std::string& name : kb().dictionary().AllNames()) {
+    auto original = kb().dictionary().Lookup(name);
+    auto round_trip = restored.dictionary().Lookup(name);
+    ASSERT_EQ(original.size(), round_trip.size()) << name;
+    for (size_t i = 0; i < original.size(); ++i) {
+      EXPECT_EQ(original[i].entity, round_trip[i].entity);
+      EXPECT_EQ(original[i].anchor_count, round_trip[i].anchor_count);
+      EXPECT_DOUBLE_EQ(original[i].prior, round_trip[i].prior);
+    }
+  }
+}
+
+TEST_F(KbSerializationTest, RoundTripPreservesLinksAndWeights) {
+  std::string buffer = SerializeKnowledgeBase(kb());
+  auto loaded = DeserializeKnowledgeBase(buffer);
+  ASSERT_TRUE(loaded.ok());
+  const KnowledgeBase& restored = **loaded;
+
+  for (EntityId e = 0; e < kb().entity_count(); e += 7) {
+    EXPECT_EQ(kb().links().InLinks(e), restored.links().InLinks(e));
+    EXPECT_EQ(kb().links().OutLinks(e), restored.links().OutLinks(e));
+    // Derived keyphrase statistics are recomputed identically.
+    const auto& phrases_a = kb().keyphrases().EntityPhrases(e);
+    const auto& phrases_b = restored.keyphrases().EntityPhrases(e);
+    ASSERT_EQ(phrases_a.size(), phrases_b.size());
+    for (size_t i = 0; i < phrases_a.size(); ++i) {
+      EXPECT_EQ(kb().keyphrases().PhraseText(phrases_a[i]),
+                restored.keyphrases().PhraseText(phrases_b[i]));
+      EXPECT_NEAR(kb().keyphrases().PhraseMi(e, phrases_a[i]),
+                  restored.keyphrases().PhraseMi(e, phrases_b[i]), 1e-12);
+    }
+  }
+}
+
+TEST_F(KbSerializationTest, RoundTripPreservesTaxonomy) {
+  std::string buffer = SerializeKnowledgeBase(kb());
+  auto loaded = DeserializeKnowledgeBase(buffer);
+  ASSERT_TRUE(loaded.ok());
+  const KnowledgeBase& restored = **loaded;
+  ASSERT_EQ(restored.taxonomy().size(), kb().taxonomy().size());
+  for (TypeId t = 0; t < kb().taxonomy().size(); ++t) {
+    EXPECT_EQ(restored.taxonomy().TypeName(t), kb().taxonomy().TypeName(t));
+    EXPECT_EQ(restored.taxonomy().Parent(t), kb().taxonomy().Parent(t));
+  }
+}
+
+TEST_F(KbSerializationTest, RejectsGarbage) {
+  auto result = DeserializeKnowledgeBase("not a knowledge base at all");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(KbSerializationTest, RejectsTruncation) {
+  std::string buffer = SerializeKnowledgeBase(kb());
+  for (size_t cut : {size_t{4}, buffer.size() / 2, buffer.size() - 3}) {
+    auto result = DeserializeKnowledgeBase(
+        std::string_view(buffer.data(), cut));
+    EXPECT_FALSE(result.ok()) << "cut at " << cut;
+  }
+}
+
+TEST_F(KbSerializationTest, RejectsTrailingBytes) {
+  std::string buffer = SerializeKnowledgeBase(kb());
+  buffer += "junk";
+  EXPECT_FALSE(DeserializeKnowledgeBase(buffer).ok());
+}
+
+TEST_F(KbSerializationTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/aida_kb_test.bin";
+  ASSERT_TRUE(SaveKnowledgeBase(kb(), path).ok());
+  auto loaded = LoadKnowledgeBase(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->entity_count(), kb().entity_count());
+}
+
+}  // namespace
+}  // namespace aida::kb

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "kb/kb_builder.h"
+#include "kb/knowledge_base.h"
+
+namespace aida::kb {
+namespace {
+
+TEST(EntityRepositoryTest, AddAndLookup) {
+  EntityRepository repo;
+  EntityId a = repo.Add("Jimmy_Page");
+  EntityId b = repo.Add("Larry_Page");
+  EXPECT_EQ(repo.size(), 2u);
+  EXPECT_EQ(repo.FindByName("Jimmy_Page"), a);
+  EXPECT_EQ(repo.FindByName("Larry_Page"), b);
+  EXPECT_EQ(repo.FindByName("Nobody"), kNoEntity);
+  EXPECT_EQ(repo.Get(a).canonical_name, "Jimmy_Page");
+}
+
+TEST(DictionaryTest, PriorsNormalize) {
+  Dictionary dict;
+  dict.AddAnchor("Page", 0, 90);
+  dict.AddAnchor("Page", 1, 10);
+  std::vector<NameCandidate> candidates = dict.Lookup("Page");
+  ASSERT_EQ(candidates.size(), 2u);
+  // Sorted by descending anchor count.
+  EXPECT_EQ(candidates[0].entity, 0u);
+  EXPECT_DOUBLE_EQ(candidates[0].prior, 0.9);
+  EXPECT_DOUBLE_EQ(candidates[1].prior, 0.1);
+}
+
+TEST(DictionaryTest, ShortNamesAreCaseSensitive) {
+  Dictionary dict;
+  dict.AddAnchor("US", 0, 5);
+  EXPECT_TRUE(dict.Contains("US"));
+  EXPECT_FALSE(dict.Contains("us"));
+}
+
+TEST(DictionaryTest, LongNamesFoldCase) {
+  Dictionary dict;
+  dict.AddAnchor("Apple", 0, 5);
+  // The all-upper-case acronym-style mention still retrieves the entity
+  // (Section 3.3.2).
+  EXPECT_TRUE(dict.Contains("APPLE"));
+  EXPECT_TRUE(dict.Contains("apple"));
+  std::vector<NameCandidate> candidates = dict.Lookup("APPLE");
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].entity, 0u);
+}
+
+TEST(DictionaryTest, UnknownNameEmpty) {
+  Dictionary dict;
+  EXPECT_TRUE(dict.Lookup("Ghost").empty());
+  EXPECT_FALSE(dict.Contains("Ghost"));
+}
+
+TEST(LinkGraphTest, InOutLinks) {
+  LinkGraph graph(4);
+  graph.AddLink(0, 1);
+  graph.AddLink(0, 2);
+  graph.AddLink(3, 1);
+  graph.AddLink(3, 1);  // duplicate collapses
+  graph.Finalize();
+  EXPECT_EQ(graph.InLinkCount(1), 2u);
+  EXPECT_EQ(graph.InLinkCount(0), 0u);
+  EXPECT_EQ(graph.OutLinks(0).size(), 2u);
+  EXPECT_EQ(graph.link_count(), 3u);
+}
+
+TEST(LinkGraphTest, SharedInLinks) {
+  LinkGraph graph(5);
+  graph.AddLink(0, 3);
+  graph.AddLink(1, 3);
+  graph.AddLink(0, 4);
+  graph.AddLink(2, 4);
+  graph.Finalize();
+  EXPECT_EQ(graph.SharedInLinkCount(3, 4), 1u);  // entity 0 links to both
+  EXPECT_EQ(graph.SharedInLinkCount(3, 3), 2u);
+}
+
+TEST(LinkGraphTest, SelfLinksIgnored) {
+  LinkGraph graph(2);
+  graph.AddLink(0, 0);
+  graph.Finalize();
+  EXPECT_EQ(graph.link_count(), 0u);
+}
+
+TEST(TypeTaxonomyTest, HierarchyQueries) {
+  TypeTaxonomy taxonomy;
+  TypeId root = taxonomy.AddType("entity");
+  TypeId person = taxonomy.AddType("person", root);
+  TypeId musician = taxonomy.AddType("musician", person);
+  TypeId place = taxonomy.AddType("place", root);
+
+  EXPECT_TRUE(taxonomy.IsSubtypeOf(musician, person));
+  EXPECT_TRUE(taxonomy.IsSubtypeOf(musician, root));
+  EXPECT_FALSE(taxonomy.IsSubtypeOf(person, musician));
+  EXPECT_FALSE(taxonomy.IsSubtypeOf(musician, place));
+  EXPECT_EQ(taxonomy.FindType("musician"), musician);
+  EXPECT_EQ(taxonomy.FindType("unknown"), kNoType);
+  EXPECT_EQ(taxonomy.AncestorsInclusive(musician).size(), 3u);
+}
+
+class KeyphraseStoreTest : public ::testing::Test {
+ protected:
+  // A small KB: two related musicians plus an unrelated place.
+  void SetUp() override {
+    KbBuilder builder;
+    page_ = builder.AddEntity("Jimmy_Page");
+    plant_ = builder.AddEntity("Robert_Plant");
+    region_ = builder.AddEntity("Kashmir_Region");
+    builder.AddName("Page", page_, 10);
+    builder.AddName("Plant", plant_, 10);
+    builder.AddName("Kashmir", region_, 10);
+    builder.AddKeyphrase(page_, "hard rock");
+    builder.AddKeyphrase(page_, "led zeppelin");
+    builder.AddKeyphrase(page_, "gibson guitar");
+    builder.AddKeyphrase(plant_, "hard rock");
+    builder.AddKeyphrase(plant_, "led zeppelin");
+    builder.AddKeyphrase(plant_, "golden god");
+    builder.AddKeyphrase(region_, "himalaya mountains");
+    builder.AddKeyphrase(region_, "disputed territory");
+    builder.AddLink(page_, plant_);
+    builder.AddLink(plant_, page_);
+    kb_ = std::move(builder).Build();
+  }
+
+  EntityId page_, plant_, region_;
+  std::unique_ptr<KnowledgeBase> kb_;
+};
+
+TEST_F(KeyphraseStoreTest, PhrasesAreInterned) {
+  const KeyphraseStore& store = kb_->keyphrases();
+  // "hard rock" is shared between the two musicians: one phrase id.
+  ASSERT_EQ(store.EntityPhrases(page_).size(), 3u);
+  ASSERT_EQ(store.EntityPhrases(plant_).size(), 3u);
+  PhraseId shared = store.EntityPhrases(page_)[0];
+  EXPECT_EQ(store.PhraseText(shared), "hard rock");
+  EXPECT_EQ(store.EntityPhrases(plant_)[0], shared);
+  EXPECT_EQ(store.PhraseDf(shared), 2u);
+}
+
+TEST_F(KeyphraseStoreTest, IdfOrdersByRarity) {
+  const KeyphraseStore& store = kb_->keyphrases();
+  WordId rock = store.FindWord("rock");
+  WordId gibson = store.FindWord("gibson");
+  ASSERT_NE(rock, kNoWord);
+  ASSERT_NE(gibson, kNoWord);
+  // "rock" occurs in two entities' phrase sets, "gibson" in one.
+  EXPECT_LT(store.WordIdf(rock), store.WordIdf(gibson));
+}
+
+TEST_F(KeyphraseStoreTest, NpmiFavorsSpecificWords) {
+  const KeyphraseStore& store = kb_->keyphrases();
+  WordId gibson = store.FindWord("gibson");
+  double w = store.KeywordNpmi(page_, gibson);
+  EXPECT_GT(w, 0.0);
+  // A word absent from the entity's superdocument scores zero.
+  WordId himalaya = store.FindWord("himalaya");
+  EXPECT_EQ(store.KeywordNpmi(page_, himalaya), 0.0);
+}
+
+TEST_F(KeyphraseStoreTest, PhraseMiPositiveForOwnPhrases) {
+  const KeyphraseStore& store = kb_->keyphrases();
+  for (PhraseId p : store.EntityPhrases(region_)) {
+    EXPECT_GT(store.PhraseMi(region_, p), 0.0);
+  }
+  // Phrase not associated with the entity scores zero.
+  PhraseId page_phrase = store.EntityPhrases(page_)[2];  // gibson guitar
+  EXPECT_EQ(store.PhraseMi(region_, page_phrase), 0.0);
+}
+
+TEST_F(KeyphraseStoreTest, EntityWordsAreDistinctSorted) {
+  const KeyphraseStore& store = kb_->keyphrases();
+  const std::vector<WordId>& words = store.EntityWords(page_);
+  EXPECT_EQ(words.size(), 6u);  // hard rock led zeppelin gibson guitar
+  for (size_t i = 1; i < words.size(); ++i) {
+    EXPECT_LT(words[i - 1], words[i]);
+  }
+}
+
+TEST_F(KeyphraseStoreTest, EntityPhraseCount) {
+  const KeyphraseStore& store = kb_->keyphrases();
+  PhraseId shared = store.EntityPhrases(page_)[0];
+  EXPECT_EQ(store.EntityPhraseCount(page_, shared), 1u);
+  EXPECT_EQ(store.EntityPhraseCount(region_, shared), 0u);
+}
+
+TEST(KbBuilderTest, AnchorCountsAccumulate) {
+  KbBuilder builder;
+  EntityId e = builder.AddEntity("Thing");
+  builder.AddName("Thing", e, 5);
+  builder.AddName("The Thing", e, 7);
+  builder.AddKeyphrase(e, "some phrase");
+  std::unique_ptr<KnowledgeBase> kb = std::move(builder).Build();
+  EXPECT_EQ(kb->entities().Get(e).anchor_count, 12u);
+  EXPECT_EQ(kb->entity_count(), 1u);
+}
+
+}  // namespace
+}  // namespace aida::kb

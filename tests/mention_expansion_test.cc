@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/aida.h"
+#include "core/mention_expansion.h"
+#include "eval/metrics.h"
+#include "util/string_util.h"
+#include "test_world.h"
+
+namespace aida::core {
+namespace {
+
+using ::aida::testing::TestWorld;
+
+class MentionExpansionTest : public ::testing::Test {
+ protected:
+  MentionExpansionTest()
+      : world_(TestWorld::Get().world),
+        corpus_(TestWorld::Get().corpus),
+        models_(world_.knowledge_base.get()),
+        mw_(world_.knowledge_base.get()),
+        expander_(&models_) {}
+
+  DisambiguationProblem ToProblem(const corpus::Document& doc) const {
+    DisambiguationProblem problem;
+    problem.tokens = &doc.tokens;
+    for (const corpus::GoldMention& gm : doc.mentions) {
+      ProblemMention pm;
+      pm.surface = gm.surface;
+      pm.begin_token = gm.begin_token;
+      pm.end_token = gm.end_token;
+      problem.mentions.push_back(std::move(pm));
+    }
+    return problem;
+  }
+
+  const synth::World& world_;
+  const corpus::Corpus& corpus_;
+  CandidateModelStore models_;
+  MilneWittenRelatedness mw_;
+  MentionExpander expander_;
+};
+
+TEST_F(MentionExpansionTest, FindsSuffixExpansion) {
+  // Pick an entity with both a family name and a full name in the
+  // dictionary.
+  const auto& names = world_.entity_names[0];
+  ASSERT_GE(names.size(), 2u);
+  std::string family = names[0];
+  std::string full = names[1];
+  EXPECT_EQ(expander_.FindExpansion(family, {full, family}), full);
+  // Prefix works too ("Jimmy" in "Jimmy Page") when in the dictionary.
+  std::string given = util::Split(full, ' ').front();
+  if (world_.knowledge_base->dictionary().Contains(given)) {
+    EXPECT_EQ(expander_.FindExpansion(given, {full}), full);
+  }
+  // Unrelated surfaces do not expand.
+  EXPECT_EQ(expander_.FindExpansion(family, {"Xyzzy Qwerty"}), "");
+}
+
+TEST_F(MentionExpansionTest, ExpansionNarrowsCandidates) {
+  // Over the corpus, expanded short mentions must never have MORE
+  // candidates than before, and frequently fewer.
+  size_t narrowed = 0;
+  size_t expanded_total = 0;
+  for (size_t d = 0; d < 10; ++d) {
+    DisambiguationProblem problem = ToProblem(corpus_[d]);
+    DisambiguationProblem expanded = expander_.Expand(problem);
+    for (size_t m = 0; m < problem.mentions.size(); ++m) {
+      if (!expanded.mentions[m].candidates_resolved) continue;
+      ++expanded_total;
+      size_t before =
+          LookupCandidates(models_, problem.mentions[m].surface).size();
+      size_t after = expanded.mentions[m].candidates.size();
+      EXPECT_LE(after, before);
+      if (after < before) ++narrowed;
+    }
+  }
+  ASSERT_GT(expanded_total, 5u);
+  EXPECT_GT(narrowed, 0u);
+}
+
+TEST_F(MentionExpansionTest, ExpansionDoesNotHurtAccuracy) {
+  Aida aida(&models_, &mw_, AidaOptions());
+  eval::NedEvaluator plain;
+  eval::NedEvaluator with_expansion;
+  for (size_t d = 0; d < 15; ++d) {
+    DisambiguationProblem problem = ToProblem(corpus_[d]);
+    plain.AddDocument(corpus_[d], aida.Disambiguate(problem));
+    DisambiguationProblem expanded = expander_.Expand(problem);
+    with_expansion.AddDocument(corpus_[d], aida.Disambiguate(expanded));
+  }
+  EXPECT_GE(with_expansion.MicroAccuracy(), plain.MicroAccuracy() - 0.01);
+}
+
+TEST_F(MentionExpansionTest, ResolvedMentionsUntouched) {
+  DisambiguationProblem problem = ToProblem(corpus_.front());
+  problem.mentions[0].candidates_resolved = true;  // explicitly empty
+  DisambiguationProblem expanded = expander_.Expand(problem);
+  EXPECT_TRUE(expanded.mentions[0].candidates.empty());
+}
+
+}  // namespace
+}  // namespace aida::core

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "kb/dictionary.h"
+#include "nlp/keyphrase_extractor.h"
+#include "nlp/ner_tagger.h"
+#include "nlp/pos_tagger.h"
+#include "text/tokenizer.h"
+
+namespace aida::nlp {
+namespace {
+
+text::TokenSequence Tokenize(const std::string& s) {
+  return text::Tokenizer().Tokenize(s);
+}
+
+TEST(PosTaggerTest, TagsClosedClassWords) {
+  PosTagger tagger;
+  text::TokenSequence tokens = Tokenize("the band played in a stadium");
+  std::vector<PosTag> tags = tagger.Tag(tokens);
+  EXPECT_EQ(tags[0], PosTag::kDeterminer);
+  EXPECT_EQ(tags[2], PosTag::kVerb);       // "played" (-ed)
+  EXPECT_EQ(tags[3], PosTag::kPreposition);
+  EXPECT_EQ(tags[1], PosTag::kNoun);
+  EXPECT_EQ(tags[5], PosTag::kNoun);
+}
+
+TEST(PosTaggerTest, ProperNounsByCapitalization) {
+  PosTagger tagger;
+  text::TokenSequence tokens = Tokenize("He met Jimmy Page in London .");
+  std::vector<PosTag> tags = tagger.Tag(tokens);
+  EXPECT_EQ(tags[2], PosTag::kProperNoun);
+  EXPECT_EQ(tags[3], PosTag::kProperNoun);
+  EXPECT_EQ(tags[5], PosTag::kProperNoun);
+  EXPECT_EQ(tags[6], PosTag::kPunctuation);
+}
+
+TEST(PosTaggerTest, AcronymsAreProperNouns) {
+  PosTagger tagger;
+  text::TokenSequence tokens = Tokenize("NASA launched a rocket");
+  std::vector<PosTag> tags = tagger.Tag(tokens);
+  // Even sentence-initial all-caps tokens are proper nouns.
+  EXPECT_EQ(tags[0], PosTag::kProperNoun);
+}
+
+TEST(PosTaggerTest, NumbersAndAdjectives) {
+  PosTagger tagger;
+  text::TokenSequence tokens = Tokenize("a famous 1976 record");
+  std::vector<PosTag> tags = tagger.Tag(tokens);
+  EXPECT_EQ(tags[1], PosTag::kAdjective);  // -ous
+  EXPECT_EQ(tags[2], PosTag::kNumber);
+}
+
+TEST(KeyphraseExtractorTest, ExtractsNounGroups) {
+  PosTagger tagger;
+  KeyphraseExtractor extractor;
+  text::TokenSequence tokens = Tokenize("he bought a gibson guitar yesterday");
+  // "yesterday" ends in -y: tagged noun; "gibson guitar yesterday" forms a
+  // group. Check the core phrase is found.
+  std::vector<ExtractedPhrase> phrases =
+      extractor.Extract(tokens, tagger.Tag(tokens));
+  bool found = false;
+  for (const auto& p : phrases) {
+    if (p.text.find("gibson guitar") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(KeyphraseExtractorTest, PrepositionalPattern) {
+  PosTagger tagger;
+  KeyphraseExtractor extractor;
+  text::TokenSequence tokens = Tokenize("the school of martial arts closed");
+  std::vector<ExtractedPhrase> phrases =
+      extractor.Extract(tokens, tagger.Tag(tokens));
+  bool found = false;
+  for (const auto& p : phrases) {
+    if (p.text == "school of martial arts") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(KeyphraseExtractorTest, SkipsVerbsAndFunctionWords) {
+  PosTagger tagger;
+  KeyphraseExtractor extractor;
+  text::TokenSequence tokens = Tokenize("they performed and played");
+  std::vector<ExtractedPhrase> phrases =
+      extractor.Extract(tokens, tagger.Tag(tokens));
+  EXPECT_TRUE(phrases.empty());
+}
+
+TEST(KeyphraseExtractorTest, RespectsMaxLength) {
+  PosTagger tagger;
+  KeyphraseExtractor::Options options;
+  options.max_phrase_tokens = 2;
+  KeyphraseExtractor extractor(options);
+  text::TokenSequence tokens =
+      Tokenize("big red heavy metal music festival");
+  for (const auto& p :
+       extractor.Extract(tokens, tagger.Tag(tokens))) {
+    EXPECT_LE(p.end_token - p.begin_token, 3u);  // emitted text capped at 2
+    EXPECT_LE(std::count(p.text.begin(), p.text.end(), ' '), 1);
+  }
+}
+
+class NerTaggerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dict_.AddAnchor("Jimmy Page", 1, 10);
+    dict_.AddAnchor("Page", 1, 10);
+    dict_.AddAnchor("Kashmir", 2, 10);
+    dict_.AddAnchor("US", 3, 10);
+  }
+  kb::Dictionary dict_;
+};
+
+TEST_F(NerTaggerTest, LongestDictionaryMatchWins) {
+  NerTagger tagger(&dict_);
+  text::TokenSequence tokens =
+      Tokenize("Jimmy Page wrote Kashmir");
+  std::vector<MentionSpan> mentions = tagger.Recognize(tokens);
+  ASSERT_EQ(mentions.size(), 2u);
+  EXPECT_EQ(mentions[0].text, "Jimmy Page");
+  EXPECT_EQ(mentions[1].text, "Kashmir");
+}
+
+TEST_F(NerTaggerTest, EmitsUnknownCapitalizedSpans) {
+  NerTagger tagger(&dict_);
+  text::TokenSequence tokens = Tokenize("concert with Robert Plant there");
+  std::vector<MentionSpan> mentions = tagger.Recognize(tokens);
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].text, "Robert Plant");
+}
+
+TEST_F(NerTaggerTest, CanSuppressUnknownSpans) {
+  NerTagger::Options options;
+  options.emit_unknown_spans = false;
+  NerTagger tagger(&dict_, options);
+  text::TokenSequence tokens = Tokenize("concert with Robert Plant there");
+  EXPECT_TRUE(tagger.Recognize(tokens).empty());
+}
+
+TEST_F(NerTaggerTest, AcronymRecognized) {
+  NerTagger tagger(&dict_);
+  text::TokenSequence tokens = Tokenize("officials in the US said");
+  std::vector<MentionSpan> mentions = tagger.Recognize(tokens);
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].text, "US");
+}
+
+}  // namespace
+}  // namespace aida::nlp

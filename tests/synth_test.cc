@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synth/corpus_generator.h"
+#include "synth/presets.h"
+#include "synth/relatedness_gold.h"
+#include "synth/world_generator.h"
+
+namespace aida::synth {
+namespace {
+
+WorldConfig SmallWorldConfig() {
+  WorldConfig config;
+  config.seed = 99;
+  config.num_topics = 5;
+  config.num_entities = 200;
+  config.num_emerging = 10;
+  config.num_shared_names = 60;
+  config.topic_vocab_size = 60;
+  config.generic_vocab_size = 120;
+  return config;
+}
+
+class WorldGeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = WorldGenerator(SmallWorldConfig()).Generate();
+  }
+  World world_;
+};
+
+TEST_F(WorldGeneratorTest, BasicShape) {
+  EXPECT_EQ(world_.knowledge_base->entity_count(), 200u);
+  EXPECT_EQ(world_.entity_topic.size(), 200u);
+  EXPECT_EQ(world_.emerging.size(), 10u);
+  EXPECT_EQ(world_.num_topics(), 5u);
+  size_t members = 0;
+  for (const auto& topic : world_.topic_entities) members += topic.size();
+  EXPECT_EQ(members, 200u);
+}
+
+TEST_F(WorldGeneratorTest, PopularityIsZipfian) {
+  const auto& entities = world_.knowledge_base->entities();
+  // Entity 0 is the head; the tail is much less popular.
+  EXPECT_GT(entities.Get(0).anchor_count, entities.Get(199).anchor_count * 10);
+}
+
+TEST_F(WorldGeneratorTest, NamesAreAmbiguous) {
+  const auto& dict = world_.knowledge_base->dictionary();
+  // With 200 entities over 60 shared family names, some name must be
+  // ambiguous.
+  double ambiguity = dict.MeanAmbiguity();
+  EXPECT_GT(ambiguity, 1.0);
+}
+
+TEST_F(WorldGeneratorTest, EveryEntityHasNamesAndPhrases) {
+  const auto& kb = *world_.knowledge_base;
+  for (size_t e = 0; e < kb.entity_count(); ++e) {
+    EXPECT_FALSE(world_.entity_names[e].empty());
+    EXPECT_FALSE(world_.entity_phrases[e].empty());
+    EXPECT_FALSE(kb.keyphrases().EntityPhrases(e).empty());
+    EXPECT_GE(kb.entities().Get(e).types.size(), 2u);
+  }
+}
+
+TEST_F(WorldGeneratorTest, PopularEntitiesHaveMoreInlinks) {
+  const auto& links = world_.knowledge_base->links();
+  size_t head = 0;
+  size_t tail = 0;
+  for (size_t e = 0; e < 20; ++e) head += links.InLinkCount(e);
+  for (size_t e = 180; e < 200; ++e) tail += links.InLinkCount(e);
+  EXPECT_GT(head, tail);
+}
+
+TEST_F(WorldGeneratorTest, DictionaryPriorsFavorPopularEntities) {
+  const auto& kb = *world_.knowledge_base;
+  // Find an ambiguous name and check the top candidate is the most
+  // popular.
+  for (const std::string& name : kb.dictionary().AllNames()) {
+    auto candidates = kb.dictionary().Lookup(name);
+    if (candidates.size() < 2) continue;
+    EXPECT_GE(candidates[0].prior, candidates[1].prior);
+    return;
+  }
+  FAIL() << "no ambiguous name found";
+}
+
+TEST_F(WorldGeneratorTest, EmergingEntitiesOftenCollide) {
+  const auto& dict = world_.knowledge_base->dictionary();
+  size_t colliding = 0;
+  for (const EmergingEntity& ee : world_.emerging) {
+    EXPECT_FALSE(ee.keyphrases.empty());
+    if (dict.Contains(ee.name)) ++colliding;
+  }
+  // Most emerging entities share a name with in-KB entities by design.
+  EXPECT_GT(colliding, world_.emerging.size() / 2);
+}
+
+TEST_F(WorldGeneratorTest, DeterministicPerSeed) {
+  World again = WorldGenerator(SmallWorldConfig()).Generate();
+  ASSERT_EQ(again.entity_names.size(), world_.entity_names.size());
+  for (size_t e = 0; e < again.entity_names.size(); ++e) {
+    EXPECT_EQ(again.entity_names[e], world_.entity_names[e]);
+  }
+  EXPECT_EQ(again.emerging.size(), world_.emerging.size());
+}
+
+class CorpusGeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = WorldGenerator(SmallWorldConfig()).Generate();
+    config_.seed = 5;
+    config_.num_documents = 40;
+    config_.doc_tokens = 120;
+    config_.entities_per_doc = 6;
+    config_.emerging_mention_prob = 0.15;
+    config_.first_day = 0;
+    config_.last_day = 10;
+  }
+  World world_;
+  CorpusConfig config_;
+};
+
+TEST_F(CorpusGeneratorTest, GeneratesAnnotatedDocuments) {
+  corpus::Corpus docs = CorpusGenerator(&world_, config_).Generate();
+  ASSERT_EQ(docs.size(), 40u);
+  size_t total_mentions = 0;
+  for (const corpus::Document& doc : docs) {
+    EXPECT_GE(doc.tokens.size(), 120u);
+    EXPECT_FALSE(doc.mentions.empty());
+    EXPECT_GE(doc.day, 0);
+    EXPECT_LE(doc.day, 10);
+    total_mentions += doc.mentions.size();
+    for (const corpus::GoldMention& m : doc.mentions) {
+      // Mention span matches the surface text.
+      EXPECT_LT(m.begin_token, m.end_token);
+      EXPECT_LE(m.end_token, doc.tokens.size());
+      std::string joined;
+      for (size_t i = m.begin_token; i < m.end_token; ++i) {
+        if (!joined.empty()) joined += ' ';
+        joined += doc.tokens[i];
+      }
+      EXPECT_EQ(joined, m.surface);
+      if (m.out_of_kb()) {
+        EXPECT_NE(m.gold_emerging, corpus::kNoEmerging);
+      } else {
+        EXPECT_LT(m.gold_entity, world_.knowledge_base->entity_count());
+      }
+    }
+  }
+  EXPECT_GT(total_mentions, 40u * 3);
+}
+
+TEST_F(CorpusGeneratorTest, EmergingMentionsPresent) {
+  corpus::Corpus docs = CorpusGenerator(&world_, config_).Generate();
+  size_t ee_mentions = 0;
+  for (const corpus::Document& doc : docs) {
+    for (const corpus::GoldMention& m : doc.mentions) {
+      if (m.out_of_kb()) ++ee_mentions;
+    }
+  }
+  EXPECT_GT(ee_mentions, 0u);
+}
+
+TEST_F(CorpusGeneratorTest, Deterministic) {
+  corpus::Corpus a = CorpusGenerator(&world_, config_).Generate();
+  corpus::Corpus b = CorpusGenerator(&world_, config_).Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t d = 0; d < a.size(); ++d) {
+    EXPECT_EQ(a[d].tokens, b[d].tokens);
+    ASSERT_EQ(a[d].mentions.size(), b[d].mentions.size());
+  }
+}
+
+TEST(PresetTest, AllPresetsHaveDistinctCharacter) {
+  CorpusPreset conll = ConllPreset();
+  CorpusPreset kore50 = Kore50Preset();
+  CorpusPreset wp = WpPreset();
+  CorpusPreset ee = GigawordEePreset();
+  EXPECT_EQ(conll.corpus.num_documents, 1393u);
+  EXPECT_EQ(kore50.corpus.num_documents, 50u);
+  EXPECT_LT(kore50.corpus.doc_tokens, wp.corpus.doc_tokens);
+  EXPECT_GT(ee.world.num_emerging, 0u);
+  EXPECT_GT(ee.corpus.last_day, ee.corpus.first_day);
+  EXPECT_EQ(kore50.corpus.ambiguous_name_prob, 1.0);
+}
+
+TEST(RelatednessGoldTest, StructureMatchesPaper) {
+  RelatednessGoldConfig config;
+  config.background_entities = 200;
+  RelatednessGold gold = GenerateRelatednessGold(config);
+  EXPECT_EQ(gold.seeds.size(), 21u);  // 5+5+5+5+1
+  std::set<std::string> domains;
+  for (const RelatednessSeed& seed : gold.seeds) {
+    domains.insert(seed.domain);
+    EXPECT_EQ(seed.ranked_candidates.size(), 20u);
+  }
+  EXPECT_EQ(domains.size(), 5u);
+  ASSERT_EQ(gold.seed_inlinks.size(), 21u);
+}
+
+TEST(RelatednessGoldTest, LinkRichnessVariesByDomain) {
+  RelatednessGoldConfig config;
+  config.background_entities = 200;
+  RelatednessGold gold = GenerateRelatednessGold(config);
+  const auto& links = gold.knowledge_base->links();
+  size_t rich = 0;
+  size_t poor = 0;
+  for (const RelatednessSeed& seed : gold.seeds) {
+    size_t inlinks = links.InLinkCount(seed.seed);
+    if (seed.domain == "it_companies") rich = std::max(rich, inlinks);
+    if (seed.domain == "video_games") poor = std::max(poor, inlinks);
+  }
+  EXPECT_GT(rich, poor * 3);
+}
+
+TEST(RelatednessGoldTest, TopCandidateSharesMorePhrases) {
+  RelatednessGoldConfig config;
+  config.background_entities = 200;
+  RelatednessGold gold = GenerateRelatednessGold(config);
+  const auto& store = gold.knowledge_base->keyphrases();
+  // Averaged over seeds, rank-1 candidates share more phrases with the
+  // seed than rank-20 candidates.
+  double top_shared = 0;
+  double bottom_shared = 0;
+  for (const RelatednessSeed& seed : gold.seeds) {
+    auto count_shared = [&](kb::EntityId cand) {
+      size_t shared = 0;
+      const auto& sp = store.EntityPhrases(seed.seed);
+      for (kb::PhraseId p : store.EntityPhrases(cand)) {
+        if (std::find(sp.begin(), sp.end(), p) != sp.end()) ++shared;
+      }
+      return static_cast<double>(shared);
+    };
+    top_shared += count_shared(seed.ranked_candidates.front());
+    bottom_shared += count_shared(seed.ranked_candidates.back());
+  }
+  EXPECT_GT(top_shared, bottom_shared * 2);
+}
+
+}  // namespace
+}  // namespace aida::synth

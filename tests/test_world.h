@@ -1,0 +1,67 @@
+#ifndef AIDA_TESTS_TEST_WORLD_H_
+#define AIDA_TESTS_TEST_WORLD_H_
+
+#include <memory>
+
+#include "synth/corpus_generator.h"
+#include "synth/world_generator.h"
+
+namespace aida::testing {
+
+/// A small deterministic world + corpus shared by the higher-level tests:
+/// big enough to exercise ambiguity, coherence and emerging entities,
+/// small enough to keep the suite fast.
+struct TestWorld {
+  synth::World world;
+  corpus::Corpus corpus;
+
+  static synth::WorldConfig WorldConfig() {
+    synth::WorldConfig config;
+    config.seed = 4242;
+    config.num_topics = 8;
+    config.num_entities = 400;
+    config.num_emerging = 20;
+    config.num_shared_names = 110;
+    config.topic_vocab_size = 80;
+    config.generic_vocab_size = 200;
+    // Small worlds need denser link coverage for MW coherence to carry
+    // any signal at all.
+    config.min_link_coverage = 0.35;
+    config.link_coverage_exponent = 1.5;
+    return config;
+  }
+
+  static synth::CorpusConfig CorpusConfig() {
+    synth::CorpusConfig config;
+    config.seed = 777;
+    config.num_documents = 30;
+    config.doc_tokens = 150;
+    config.entities_per_doc = 7;
+    config.emerging_mention_prob = 0.12;
+    config.first_day = 0;
+    config.last_day = 8;
+    // Realistic difficulty, mirroring the CoNLL-like preset.
+    config.popularity_bias = 1.0;
+    config.linked_entity_prob = 0.5;
+    config.sparse_context_prob = 0.35;
+    config.topical_context_prob = 0.35;
+    config.confusion_prob = 0.12;
+    config.coherence_trap_prob = 0.25;
+    return config;
+  }
+
+  static const TestWorld& Get() {
+    static const TestWorld& instance = *new TestWorld();
+    return instance;
+  }
+
+ private:
+  TestWorld() {
+    world = synth::WorldGenerator(WorldConfig()).Generate();
+    corpus = synth::CorpusGenerator(&world, CorpusConfig()).Generate();
+  }
+};
+
+}  // namespace aida::testing
+
+#endif  // AIDA_TESTS_TEST_WORLD_H_

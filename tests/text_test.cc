@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "text/sentence_splitter.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace aida::text {
+namespace {
+
+std::vector<std::string> TokenTexts(const TokenSequence& tokens) {
+  std::vector<std::string> out;
+  for (const Token& t : tokens) out.push_back(t.text);
+  return out;
+}
+
+TEST(TokenizerTest, SplitsOnWhitespace) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(TokenTexts(tokenizer.Tokenize("one two three")),
+            (std::vector<std::string>{"one", "two", "three"}));
+}
+
+TEST(TokenizerTest, SeparatesPunctuation) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(TokenTexts(tokenizer.Tokenize("Hello, world.")),
+            (std::vector<std::string>{"Hello", ",", "world", "."}));
+}
+
+TEST(TokenizerTest, KeepsInternalHyphens) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(TokenTexts(tokenizer.Tokenize("long-tail entities")),
+            (std::vector<std::string>{"long-tail", "entities"}));
+}
+
+TEST(TokenizerTest, SplitsPossessive) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(TokenTexts(tokenizer.Tokenize("Dylan's record")),
+            (std::vector<std::string>{"Dylan", "'s", "record"}));
+}
+
+TEST(TokenizerTest, RecordsOffsets) {
+  Tokenizer tokenizer;
+  TokenSequence tokens = tokenizer.Tokenize("ab cd");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].begin, 0u);
+  EXPECT_EQ(tokens[0].end, 2u);
+  EXPECT_EQ(tokens[1].begin, 3u);
+  EXPECT_EQ(tokens[1].end, 5u);
+}
+
+TEST(TokenizerTest, MarksCapitalization) {
+  Tokenizer tokenizer;
+  TokenSequence tokens = tokenizer.Tokenize("Paris in spring");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_TRUE(tokens[0].capitalized);
+  EXPECT_FALSE(tokens[1].capitalized);
+}
+
+TEST(TokenizerTest, MarksSentenceFinalPunct) {
+  Tokenizer tokenizer;
+  TokenSequence tokens = tokenizer.Tokenize("End. Next");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_TRUE(tokens[1].sentence_final_punct);
+  EXPECT_FALSE(tokens[0].sentence_final_punct);
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.Tokenize("").empty());
+  EXPECT_TRUE(tokenizer.Tokenize("   ").empty());
+}
+
+TEST(StopwordsTest, ContainsCommonWords) {
+  const StopwordList& list = DefaultStopwords();
+  EXPECT_TRUE(list.Contains("the"));
+  EXPECT_TRUE(list.Contains("The"));  // case-insensitive
+  EXPECT_TRUE(list.Contains("of"));
+  EXPECT_FALSE(list.Contains("guitar"));
+  EXPECT_FALSE(list.Contains("Dylan"));
+}
+
+TEST(SentenceSplitterTest, SplitsAtFinalPunct) {
+  Tokenizer tokenizer;
+  SentenceSplitter splitter;
+  TokenSequence tokens = tokenizer.Tokenize("One two. Three four! Five");
+  std::vector<SentenceSpan> sentences = splitter.Split(tokens);
+  ASSERT_EQ(sentences.size(), 3u);
+  EXPECT_EQ(sentences[0].begin, 0u);
+  EXPECT_EQ(sentences[0].end, 3u);  // "One two ."
+  EXPECT_EQ(sentences[2].end, tokens.size());
+}
+
+TEST(SentenceSplitterTest, SentenceOfLocatesToken) {
+  Tokenizer tokenizer;
+  SentenceSplitter splitter;
+  TokenSequence tokens = tokenizer.Tokenize("A b. C d. E");
+  std::vector<SentenceSpan> sentences = splitter.Split(tokens);
+  ASSERT_EQ(sentences.size(), 3u);
+  EXPECT_EQ(SentenceSplitter::SentenceOf(sentences, 0), 0u);
+  EXPECT_EQ(SentenceSplitter::SentenceOf(sentences, 4), 1u);
+  EXPECT_EQ(SentenceSplitter::SentenceOf(sentences, tokens.size() - 1), 2u);
+}
+
+TEST(SentenceSplitterTest, NoPunctuationYieldsOneSentence) {
+  Tokenizer tokenizer;
+  SentenceSplitter splitter;
+  TokenSequence tokens = tokenizer.Tokenize("no punctuation here");
+  std::vector<SentenceSpan> sentences = splitter.Split(tokens);
+  ASSERT_EQ(sentences.size(), 1u);
+  EXPECT_EQ(sentences[0].begin, 0u);
+  EXPECT_EQ(sentences[0].end, tokens.size());
+}
+
+}  // namespace
+}  // namespace aida::text
