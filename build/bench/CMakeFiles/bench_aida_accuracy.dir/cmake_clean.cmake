@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aida_accuracy.dir/bench_aida_accuracy.cc.o"
+  "CMakeFiles/bench_aida_accuracy.dir/bench_aida_accuracy.cc.o.d"
+  "bench_aida_accuracy"
+  "bench_aida_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aida_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ee_days.dir/bench_ee_days.cc.o"
+  "CMakeFiles/bench_ee_days.dir/bench_ee_days.cc.o.d"
+  "bench_ee_days"
+  "bench_ee_days.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ee_days.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ee_pipeline.dir/bench_ee_pipeline.cc.o"
+  "CMakeFiles/bench_ee_pipeline.dir/bench_ee_pipeline.cc.o.d"
+  "bench_ee_pipeline"
+  "bench_ee_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ee_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kore_efficiency.dir/bench_kore_efficiency.cc.o"
+  "CMakeFiles/bench_kore_efficiency.dir/bench_kore_efficiency.cc.o.d"
+  "bench_kore_efficiency"
+  "bench_kore_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kore_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

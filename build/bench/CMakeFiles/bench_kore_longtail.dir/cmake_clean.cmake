@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kore_longtail.dir/bench_kore_longtail.cc.o"
+  "CMakeFiles/bench_kore_longtail.dir/bench_kore_longtail.cc.o.d"
+  "bench_kore_longtail"
+  "bench_kore_longtail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kore_longtail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

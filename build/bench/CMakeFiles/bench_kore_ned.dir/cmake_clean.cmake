@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kore_ned.dir/bench_kore_ned.cc.o"
+  "CMakeFiles/bench_kore_ned.dir/bench_kore_ned.cc.o.d"
+  "bench_kore_ned"
+  "bench_kore_ned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kore_ned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

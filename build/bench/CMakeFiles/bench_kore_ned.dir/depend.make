@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_kore_ned.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_relatedness_quality.dir/bench_relatedness_quality.cc.o"
+  "CMakeFiles/bench_relatedness_quality.dir/bench_relatedness_quality.cc.o.d"
+  "bench_relatedness_quality"
+  "bench_relatedness_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_relatedness_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emerging_entities.dir/emerging_entities.cpp.o"
+  "CMakeFiles/emerging_entities.dir/emerging_entities.cpp.o.d"
+  "emerging_entities"
+  "emerging_entities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emerging_entities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entity_relatedness.dir/entity_relatedness.cpp.o"
+  "CMakeFiles/entity_relatedness.dir/entity_relatedness.cpp.o.d"
+  "entity_relatedness"
+  "entity_relatedness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entity_relatedness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

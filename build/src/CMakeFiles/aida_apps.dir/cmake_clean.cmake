@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aida_apps.dir/apps/entity_search.cc.o"
+  "CMakeFiles/aida_apps.dir/apps/entity_search.cc.o.d"
+  "CMakeFiles/aida_apps.dir/apps/news_analytics.cc.o"
+  "CMakeFiles/aida_apps.dir/apps/news_analytics.cc.o.d"
+  "libaida_apps.a"
+  "libaida_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aida_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aida.cc" "src/CMakeFiles/aida_core.dir/core/aida.cc.o" "gcc" "src/CMakeFiles/aida_core.dir/core/aida.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/CMakeFiles/aida_core.dir/core/baselines.cc.o" "gcc" "src/CMakeFiles/aida_core.dir/core/baselines.cc.o.d"
+  "/root/repo/src/core/batch.cc" "src/CMakeFiles/aida_core.dir/core/batch.cc.o" "gcc" "src/CMakeFiles/aida_core.dir/core/batch.cc.o.d"
+  "/root/repo/src/core/candidates.cc" "src/CMakeFiles/aida_core.dir/core/candidates.cc.o" "gcc" "src/CMakeFiles/aida_core.dir/core/candidates.cc.o.d"
+  "/root/repo/src/core/context_similarity.cc" "src/CMakeFiles/aida_core.dir/core/context_similarity.cc.o" "gcc" "src/CMakeFiles/aida_core.dir/core/context_similarity.cc.o.d"
+  "/root/repo/src/core/graph_disambiguator.cc" "src/CMakeFiles/aida_core.dir/core/graph_disambiguator.cc.o" "gcc" "src/CMakeFiles/aida_core.dir/core/graph_disambiguator.cc.o.d"
+  "/root/repo/src/core/joint_recognition.cc" "src/CMakeFiles/aida_core.dir/core/joint_recognition.cc.o" "gcc" "src/CMakeFiles/aida_core.dir/core/joint_recognition.cc.o.d"
+  "/root/repo/src/core/mention_entity_graph.cc" "src/CMakeFiles/aida_core.dir/core/mention_entity_graph.cc.o" "gcc" "src/CMakeFiles/aida_core.dir/core/mention_entity_graph.cc.o.d"
+  "/root/repo/src/core/mention_expansion.cc" "src/CMakeFiles/aida_core.dir/core/mention_expansion.cc.o" "gcc" "src/CMakeFiles/aida_core.dir/core/mention_expansion.cc.o.d"
+  "/root/repo/src/core/milne_witten.cc" "src/CMakeFiles/aida_core.dir/core/milne_witten.cc.o" "gcc" "src/CMakeFiles/aida_core.dir/core/milne_witten.cc.o.d"
+  "/root/repo/src/core/robustness.cc" "src/CMakeFiles/aida_core.dir/core/robustness.cc.o" "gcc" "src/CMakeFiles/aida_core.dir/core/robustness.cc.o.d"
+  "/root/repo/src/core/type_classifier.cc" "src/CMakeFiles/aida_core.dir/core/type_classifier.cc.o" "gcc" "src/CMakeFiles/aida_core.dir/core/type_classifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aida_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aida_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aida_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aida_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aida_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aida_core.dir/core/aida.cc.o"
+  "CMakeFiles/aida_core.dir/core/aida.cc.o.d"
+  "CMakeFiles/aida_core.dir/core/baselines.cc.o"
+  "CMakeFiles/aida_core.dir/core/baselines.cc.o.d"
+  "CMakeFiles/aida_core.dir/core/batch.cc.o"
+  "CMakeFiles/aida_core.dir/core/batch.cc.o.d"
+  "CMakeFiles/aida_core.dir/core/candidates.cc.o"
+  "CMakeFiles/aida_core.dir/core/candidates.cc.o.d"
+  "CMakeFiles/aida_core.dir/core/context_similarity.cc.o"
+  "CMakeFiles/aida_core.dir/core/context_similarity.cc.o.d"
+  "CMakeFiles/aida_core.dir/core/graph_disambiguator.cc.o"
+  "CMakeFiles/aida_core.dir/core/graph_disambiguator.cc.o.d"
+  "CMakeFiles/aida_core.dir/core/joint_recognition.cc.o"
+  "CMakeFiles/aida_core.dir/core/joint_recognition.cc.o.d"
+  "CMakeFiles/aida_core.dir/core/mention_entity_graph.cc.o"
+  "CMakeFiles/aida_core.dir/core/mention_entity_graph.cc.o.d"
+  "CMakeFiles/aida_core.dir/core/mention_expansion.cc.o"
+  "CMakeFiles/aida_core.dir/core/mention_expansion.cc.o.d"
+  "CMakeFiles/aida_core.dir/core/milne_witten.cc.o"
+  "CMakeFiles/aida_core.dir/core/milne_witten.cc.o.d"
+  "CMakeFiles/aida_core.dir/core/robustness.cc.o"
+  "CMakeFiles/aida_core.dir/core/robustness.cc.o.d"
+  "CMakeFiles/aida_core.dir/core/type_classifier.cc.o"
+  "CMakeFiles/aida_core.dir/core/type_classifier.cc.o.d"
+  "libaida_core.a"
+  "libaida_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aida_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

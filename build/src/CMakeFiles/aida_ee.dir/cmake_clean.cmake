@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aida_ee.dir/ee/confidence.cc.o"
+  "CMakeFiles/aida_ee.dir/ee/confidence.cc.o.d"
+  "CMakeFiles/aida_ee.dir/ee/ee_clustering.cc.o"
+  "CMakeFiles/aida_ee.dir/ee/ee_clustering.cc.o.d"
+  "CMakeFiles/aida_ee.dir/ee/ee_discovery.cc.o"
+  "CMakeFiles/aida_ee.dir/ee/ee_discovery.cc.o.d"
+  "CMakeFiles/aida_ee.dir/ee/emerging_entity_model.cc.o"
+  "CMakeFiles/aida_ee.dir/ee/emerging_entity_model.cc.o.d"
+  "CMakeFiles/aida_ee.dir/ee/keyphrase_harvester.cc.o"
+  "CMakeFiles/aida_ee.dir/ee/keyphrase_harvester.cc.o.d"
+  "libaida_ee.a"
+  "libaida_ee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aida_ee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aida_ee.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aida_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/aida_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/aida_eval.dir/eval/pr_curve.cc.o"
+  "CMakeFiles/aida_eval.dir/eval/pr_curve.cc.o.d"
+  "CMakeFiles/aida_eval.dir/eval/spearman.cc.o"
+  "CMakeFiles/aida_eval.dir/eval/spearman.cc.o.d"
+  "libaida_eval.a"
+  "libaida_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aida_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

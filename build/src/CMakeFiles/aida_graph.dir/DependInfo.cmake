@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dense_subgraph.cc" "src/CMakeFiles/aida_graph.dir/graph/dense_subgraph.cc.o" "gcc" "src/CMakeFiles/aida_graph.dir/graph/dense_subgraph.cc.o.d"
+  "/root/repo/src/graph/shortest_paths.cc" "src/CMakeFiles/aida_graph.dir/graph/shortest_paths.cc.o" "gcc" "src/CMakeFiles/aida_graph.dir/graph/shortest_paths.cc.o.d"
+  "/root/repo/src/graph/weighted_graph.cc" "src/CMakeFiles/aida_graph.dir/graph/weighted_graph.cc.o" "gcc" "src/CMakeFiles/aida_graph.dir/graph/weighted_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aida_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aida_graph.dir/graph/dense_subgraph.cc.o"
+  "CMakeFiles/aida_graph.dir/graph/dense_subgraph.cc.o.d"
+  "CMakeFiles/aida_graph.dir/graph/shortest_paths.cc.o"
+  "CMakeFiles/aida_graph.dir/graph/shortest_paths.cc.o.d"
+  "CMakeFiles/aida_graph.dir/graph/weighted_graph.cc.o"
+  "CMakeFiles/aida_graph.dir/graph/weighted_graph.cc.o.d"
+  "libaida_graph.a"
+  "libaida_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aida_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hashing/lsh_index.cc" "src/CMakeFiles/aida_hashing.dir/hashing/lsh_index.cc.o" "gcc" "src/CMakeFiles/aida_hashing.dir/hashing/lsh_index.cc.o.d"
+  "/root/repo/src/hashing/minhash.cc" "src/CMakeFiles/aida_hashing.dir/hashing/minhash.cc.o" "gcc" "src/CMakeFiles/aida_hashing.dir/hashing/minhash.cc.o.d"
+  "/root/repo/src/hashing/two_stage_hasher.cc" "src/CMakeFiles/aida_hashing.dir/hashing/two_stage_hasher.cc.o" "gcc" "src/CMakeFiles/aida_hashing.dir/hashing/two_stage_hasher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aida_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

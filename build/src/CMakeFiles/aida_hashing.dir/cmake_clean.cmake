@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aida_hashing.dir/hashing/lsh_index.cc.o"
+  "CMakeFiles/aida_hashing.dir/hashing/lsh_index.cc.o.d"
+  "CMakeFiles/aida_hashing.dir/hashing/minhash.cc.o"
+  "CMakeFiles/aida_hashing.dir/hashing/minhash.cc.o.d"
+  "CMakeFiles/aida_hashing.dir/hashing/two_stage_hasher.cc.o"
+  "CMakeFiles/aida_hashing.dir/hashing/two_stage_hasher.cc.o.d"
+  "libaida_hashing.a"
+  "libaida_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aida_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aida_ingest.dir/ingest/wiki_importer.cc.o"
+  "CMakeFiles/aida_ingest.dir/ingest/wiki_importer.cc.o.d"
+  "libaida_ingest.a"
+  "libaida_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aida_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/corpus_io.cc" "src/CMakeFiles/aida_kb.dir/corpus/corpus_io.cc.o" "gcc" "src/CMakeFiles/aida_kb.dir/corpus/corpus_io.cc.o.d"
+  "/root/repo/src/kb/dictionary.cc" "src/CMakeFiles/aida_kb.dir/kb/dictionary.cc.o" "gcc" "src/CMakeFiles/aida_kb.dir/kb/dictionary.cc.o.d"
+  "/root/repo/src/kb/entity.cc" "src/CMakeFiles/aida_kb.dir/kb/entity.cc.o" "gcc" "src/CMakeFiles/aida_kb.dir/kb/entity.cc.o.d"
+  "/root/repo/src/kb/kb_builder.cc" "src/CMakeFiles/aida_kb.dir/kb/kb_builder.cc.o" "gcc" "src/CMakeFiles/aida_kb.dir/kb/kb_builder.cc.o.d"
+  "/root/repo/src/kb/kb_serialization.cc" "src/CMakeFiles/aida_kb.dir/kb/kb_serialization.cc.o" "gcc" "src/CMakeFiles/aida_kb.dir/kb/kb_serialization.cc.o.d"
+  "/root/repo/src/kb/keyphrase_store.cc" "src/CMakeFiles/aida_kb.dir/kb/keyphrase_store.cc.o" "gcc" "src/CMakeFiles/aida_kb.dir/kb/keyphrase_store.cc.o.d"
+  "/root/repo/src/kb/knowledge_base.cc" "src/CMakeFiles/aida_kb.dir/kb/knowledge_base.cc.o" "gcc" "src/CMakeFiles/aida_kb.dir/kb/knowledge_base.cc.o.d"
+  "/root/repo/src/kb/link_graph.cc" "src/CMakeFiles/aida_kb.dir/kb/link_graph.cc.o" "gcc" "src/CMakeFiles/aida_kb.dir/kb/link_graph.cc.o.d"
+  "/root/repo/src/kb/type_taxonomy.cc" "src/CMakeFiles/aida_kb.dir/kb/type_taxonomy.cc.o" "gcc" "src/CMakeFiles/aida_kb.dir/kb/type_taxonomy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aida_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aida_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aida_kb.dir/corpus/corpus_io.cc.o"
+  "CMakeFiles/aida_kb.dir/corpus/corpus_io.cc.o.d"
+  "CMakeFiles/aida_kb.dir/kb/dictionary.cc.o"
+  "CMakeFiles/aida_kb.dir/kb/dictionary.cc.o.d"
+  "CMakeFiles/aida_kb.dir/kb/entity.cc.o"
+  "CMakeFiles/aida_kb.dir/kb/entity.cc.o.d"
+  "CMakeFiles/aida_kb.dir/kb/kb_builder.cc.o"
+  "CMakeFiles/aida_kb.dir/kb/kb_builder.cc.o.d"
+  "CMakeFiles/aida_kb.dir/kb/kb_serialization.cc.o"
+  "CMakeFiles/aida_kb.dir/kb/kb_serialization.cc.o.d"
+  "CMakeFiles/aida_kb.dir/kb/keyphrase_store.cc.o"
+  "CMakeFiles/aida_kb.dir/kb/keyphrase_store.cc.o.d"
+  "CMakeFiles/aida_kb.dir/kb/knowledge_base.cc.o"
+  "CMakeFiles/aida_kb.dir/kb/knowledge_base.cc.o.d"
+  "CMakeFiles/aida_kb.dir/kb/link_graph.cc.o"
+  "CMakeFiles/aida_kb.dir/kb/link_graph.cc.o.d"
+  "CMakeFiles/aida_kb.dir/kb/type_taxonomy.cc.o"
+  "CMakeFiles/aida_kb.dir/kb/type_taxonomy.cc.o.d"
+  "libaida_kb.a"
+  "libaida_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aida_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aida_kore.dir/kore/keyterm_cosine.cc.o"
+  "CMakeFiles/aida_kore.dir/kore/keyterm_cosine.cc.o.d"
+  "CMakeFiles/aida_kore.dir/kore/kore_lsh.cc.o"
+  "CMakeFiles/aida_kore.dir/kore/kore_lsh.cc.o.d"
+  "CMakeFiles/aida_kore.dir/kore/kore_relatedness.cc.o"
+  "CMakeFiles/aida_kore.dir/kore/kore_relatedness.cc.o.d"
+  "libaida_kore.a"
+  "libaida_kore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aida_kore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

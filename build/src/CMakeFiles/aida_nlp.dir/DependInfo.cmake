@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlp/keyphrase_extractor.cc" "src/CMakeFiles/aida_nlp.dir/nlp/keyphrase_extractor.cc.o" "gcc" "src/CMakeFiles/aida_nlp.dir/nlp/keyphrase_extractor.cc.o.d"
+  "/root/repo/src/nlp/ner_tagger.cc" "src/CMakeFiles/aida_nlp.dir/nlp/ner_tagger.cc.o" "gcc" "src/CMakeFiles/aida_nlp.dir/nlp/ner_tagger.cc.o.d"
+  "/root/repo/src/nlp/pos_tagger.cc" "src/CMakeFiles/aida_nlp.dir/nlp/pos_tagger.cc.o" "gcc" "src/CMakeFiles/aida_nlp.dir/nlp/pos_tagger.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aida_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aida_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

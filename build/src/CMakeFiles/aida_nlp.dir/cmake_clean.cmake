@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aida_nlp.dir/nlp/keyphrase_extractor.cc.o"
+  "CMakeFiles/aida_nlp.dir/nlp/keyphrase_extractor.cc.o.d"
+  "CMakeFiles/aida_nlp.dir/nlp/ner_tagger.cc.o"
+  "CMakeFiles/aida_nlp.dir/nlp/ner_tagger.cc.o.d"
+  "CMakeFiles/aida_nlp.dir/nlp/pos_tagger.cc.o"
+  "CMakeFiles/aida_nlp.dir/nlp/pos_tagger.cc.o.d"
+  "libaida_nlp.a"
+  "libaida_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aida_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

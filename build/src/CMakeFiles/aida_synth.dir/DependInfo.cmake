@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/corpus_generator.cc" "src/CMakeFiles/aida_synth.dir/synth/corpus_generator.cc.o" "gcc" "src/CMakeFiles/aida_synth.dir/synth/corpus_generator.cc.o.d"
+  "/root/repo/src/synth/presets.cc" "src/CMakeFiles/aida_synth.dir/synth/presets.cc.o" "gcc" "src/CMakeFiles/aida_synth.dir/synth/presets.cc.o.d"
+  "/root/repo/src/synth/relatedness_gold.cc" "src/CMakeFiles/aida_synth.dir/synth/relatedness_gold.cc.o" "gcc" "src/CMakeFiles/aida_synth.dir/synth/relatedness_gold.cc.o.d"
+  "/root/repo/src/synth/word_forge.cc" "src/CMakeFiles/aida_synth.dir/synth/word_forge.cc.o" "gcc" "src/CMakeFiles/aida_synth.dir/synth/word_forge.cc.o.d"
+  "/root/repo/src/synth/world_generator.cc" "src/CMakeFiles/aida_synth.dir/synth/world_generator.cc.o" "gcc" "src/CMakeFiles/aida_synth.dir/synth/world_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aida_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aida_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aida_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aida_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

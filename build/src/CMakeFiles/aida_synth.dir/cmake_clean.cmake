@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aida_synth.dir/synth/corpus_generator.cc.o"
+  "CMakeFiles/aida_synth.dir/synth/corpus_generator.cc.o.d"
+  "CMakeFiles/aida_synth.dir/synth/presets.cc.o"
+  "CMakeFiles/aida_synth.dir/synth/presets.cc.o.d"
+  "CMakeFiles/aida_synth.dir/synth/relatedness_gold.cc.o"
+  "CMakeFiles/aida_synth.dir/synth/relatedness_gold.cc.o.d"
+  "CMakeFiles/aida_synth.dir/synth/word_forge.cc.o"
+  "CMakeFiles/aida_synth.dir/synth/word_forge.cc.o.d"
+  "CMakeFiles/aida_synth.dir/synth/world_generator.cc.o"
+  "CMakeFiles/aida_synth.dir/synth/world_generator.cc.o.d"
+  "libaida_synth.a"
+  "libaida_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aida_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

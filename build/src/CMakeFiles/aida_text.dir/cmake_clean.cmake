@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aida_text.dir/text/sentence_splitter.cc.o"
+  "CMakeFiles/aida_text.dir/text/sentence_splitter.cc.o.d"
+  "CMakeFiles/aida_text.dir/text/stopwords.cc.o"
+  "CMakeFiles/aida_text.dir/text/stopwords.cc.o.d"
+  "CMakeFiles/aida_text.dir/text/tokenizer.cc.o"
+  "CMakeFiles/aida_text.dir/text/tokenizer.cc.o.d"
+  "libaida_text.a"
+  "libaida_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aida_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

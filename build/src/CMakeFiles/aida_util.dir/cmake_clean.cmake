@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aida_util.dir/util/rng.cc.o"
+  "CMakeFiles/aida_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/aida_util.dir/util/serialize.cc.o"
+  "CMakeFiles/aida_util.dir/util/serialize.cc.o.d"
+  "CMakeFiles/aida_util.dir/util/status.cc.o"
+  "CMakeFiles/aida_util.dir/util/status.cc.o.d"
+  "CMakeFiles/aida_util.dir/util/string_util.cc.o"
+  "CMakeFiles/aida_util.dir/util/string_util.cc.o.d"
+  "libaida_util.a"
+  "libaida_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aida_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aida_edge_test.dir/aida_edge_test.cc.o"
+  "CMakeFiles/aida_edge_test.dir/aida_edge_test.cc.o.d"
+  "aida_edge_test"
+  "aida_edge_test.pdb"
+  "aida_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aida_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

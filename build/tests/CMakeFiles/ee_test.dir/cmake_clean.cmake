@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ee_test.dir/ee_test.cc.o"
+  "CMakeFiles/ee_test.dir/ee_test.cc.o.d"
+  "ee_test"
+  "ee_test.pdb"
+  "ee_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ee_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joint_recognition_test.dir/joint_recognition_test.cc.o"
+  "CMakeFiles/joint_recognition_test.dir/joint_recognition_test.cc.o.d"
+  "joint_recognition_test"
+  "joint_recognition_test.pdb"
+  "joint_recognition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joint_recognition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_serialization_test.dir/kb_serialization_test.cc.o"
+  "CMakeFiles/kb_serialization_test.dir/kb_serialization_test.cc.o.d"
+  "kb_serialization_test"
+  "kb_serialization_test.pdb"
+  "kb_serialization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

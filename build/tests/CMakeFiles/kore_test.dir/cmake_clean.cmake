@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kore_test.dir/kore_test.cc.o"
+  "CMakeFiles/kore_test.dir/kore_test.cc.o.d"
+  "kore_test"
+  "kore_test.pdb"
+  "kore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mention_expansion_test.dir/mention_expansion_test.cc.o"
+  "CMakeFiles/mention_expansion_test.dir/mention_expansion_test.cc.o.d"
+  "mention_expansion_test"
+  "mention_expansion_test.pdb"
+  "mention_expansion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mention_expansion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

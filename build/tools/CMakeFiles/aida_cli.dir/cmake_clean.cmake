@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aida_cli.dir/aida_cli.cc.o"
+  "CMakeFiles/aida_cli.dir/aida_cli.cc.o.d"
+  "aida_cli"
+  "aida_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aida_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
