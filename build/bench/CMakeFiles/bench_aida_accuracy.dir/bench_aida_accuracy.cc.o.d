@@ -223,8 +223,8 @@ bench/CMakeFiles/bench_aida_accuracy.dir/bench_aida_accuracy.cc.o: \
  /root/repo/src/core/graph_disambiguator.h \
  /root/repo/src/core/mention_entity_graph.h \
  /root/repo/src/core/relatedness.h /root/repo/src/graph/weighted_graph.h \
- /root/repo/src/core/baselines.h /root/repo/src/eval/metrics.h \
- /root/repo/src/util/stopwatch.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/core/baselines.h /root/repo/src/core/relatedness_cache.h \
+ /root/repo/src/eval/metrics.h /root/repo/src/util/stopwatch.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

@@ -251,6 +251,7 @@ bench/CMakeFiles/bench_kore_efficiency.dir/bench_kore_efficiency.cc.o: \
  /root/repo/src/core/graph_disambiguator.h \
  /root/repo/src/core/mention_entity_graph.h \
  /root/repo/src/core/relatedness.h /root/repo/src/graph/weighted_graph.h \
+ /root/repo/src/core/batch.h /root/repo/src/core/relatedness_cache.h \
  /root/repo/src/kore/kore_lsh.h /root/repo/src/hashing/two_stage_hasher.h \
  /root/repo/src/kore/kore_relatedness.h /root/repo/src/util/stopwatch.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \

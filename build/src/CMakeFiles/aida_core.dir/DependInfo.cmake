@@ -18,6 +18,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/mention_entity_graph.cc" "src/CMakeFiles/aida_core.dir/core/mention_entity_graph.cc.o" "gcc" "src/CMakeFiles/aida_core.dir/core/mention_entity_graph.cc.o.d"
   "/root/repo/src/core/mention_expansion.cc" "src/CMakeFiles/aida_core.dir/core/mention_expansion.cc.o" "gcc" "src/CMakeFiles/aida_core.dir/core/mention_expansion.cc.o.d"
   "/root/repo/src/core/milne_witten.cc" "src/CMakeFiles/aida_core.dir/core/milne_witten.cc.o" "gcc" "src/CMakeFiles/aida_core.dir/core/milne_witten.cc.o.d"
+  "/root/repo/src/core/relatedness_cache.cc" "src/CMakeFiles/aida_core.dir/core/relatedness_cache.cc.o" "gcc" "src/CMakeFiles/aida_core.dir/core/relatedness_cache.cc.o.d"
   "/root/repo/src/core/robustness.cc" "src/CMakeFiles/aida_core.dir/core/robustness.cc.o" "gcc" "src/CMakeFiles/aida_core.dir/core/robustness.cc.o.d"
   "/root/repo/src/core/type_classifier.cc" "src/CMakeFiles/aida_core.dir/core/type_classifier.cc.o" "gcc" "src/CMakeFiles/aida_core.dir/core/type_classifier.cc.o.d"
   )

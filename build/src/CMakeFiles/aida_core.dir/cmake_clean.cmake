@@ -19,6 +19,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/aida_core.dir/core/mention_expansion.cc.o.d"
   "CMakeFiles/aida_core.dir/core/milne_witten.cc.o"
   "CMakeFiles/aida_core.dir/core/milne_witten.cc.o.d"
+  "CMakeFiles/aida_core.dir/core/relatedness_cache.cc.o"
+  "CMakeFiles/aida_core.dir/core/relatedness_cache.cc.o.d"
   "CMakeFiles/aida_core.dir/core/robustness.cc.o"
   "CMakeFiles/aida_core.dir/core/robustness.cc.o.d"
   "CMakeFiles/aida_core.dir/core/type_classifier.cc.o"

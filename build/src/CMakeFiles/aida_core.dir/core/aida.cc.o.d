@@ -223,4 +223,7 @@ src/CMakeFiles/aida_core.dir/core/aida.cc.o: /root/repo/src/core/aida.cc \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/core/robustness.h
+ /root/repo/src/core/robustness.h /root/repo/src/util/stopwatch.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc

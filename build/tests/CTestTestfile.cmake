@@ -15,6 +15,7 @@ include("/root/repo/build/tests/graph_test[1]_include.cmake")
 include("/root/repo/build/tests/hashing_test[1]_include.cmake")
 include("/root/repo/build/tests/synth_test[1]_include.cmake")
 include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/batch_test[1]_include.cmake")
 include("/root/repo/build/tests/kore_test[1]_include.cmake")
 include("/root/repo/build/tests/ee_test[1]_include.cmake")
 include("/root/repo/build/tests/eval_test[1]_include.cmake")

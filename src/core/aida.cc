@@ -4,6 +4,7 @@
 
 #include "core/robustness.h"
 #include "util/status.h"
+#include "util/stopwatch.h"
 
 namespace aida::core {
 
@@ -34,6 +35,8 @@ DisambiguationResult Aida::Disambiguate(
     const DisambiguationProblem& problem) const {
   AIDA_CHECK(problem.tokens != nullptr);
   const kb::KnowledgeBase& kb = models_->knowledge_base();
+  util::Stopwatch total_watch;
+  util::Stopwatch phase_watch;
 
   ExtendedVocabulary plain_vocab(&kb.keyphrases());
   const ExtendedVocabulary& vocab =
@@ -122,6 +125,8 @@ DisambiguationResult Aida::Disambiguate(
     }
   };
 
+  result.stats.local_seconds = phase_watch.ElapsedSeconds();
+
   if (!options_.use_coherence) {
     for (size_t m = 0; m < num_mentions; ++m) {
       if (candidates[m]->empty()) {
@@ -131,11 +136,12 @@ DisambiguationResult Aida::Disambiguate(
       fill_result(m, static_cast<int32_t>(robustness::ArgMax(combined[m])),
                   combined[m]);
     }
-    last_relatedness_computations_ = 0;
+    result.stats.total_seconds = total_watch.ElapsedSeconds();
     return result;
   }
 
   // ---- Graph construction ----------------------------------------------------
+  phase_watch.Reset();
   GraphBuildInput input;
   input.me_scale = options_.me_scale;
   input.ee_scale = options_.ee_scale;
@@ -159,8 +165,14 @@ DisambiguationResult Aida::Disambiguate(
   }
 
   MentionEntityGraph meg = BuildMentionEntityGraph(input, *relatedness_);
-  last_relatedness_computations_ = meg.relatedness_computations;
+  result.stats.relatedness_computations = meg.relatedness_computations;
+  result.stats.relatedness_cache_hits = meg.relatedness_cache_hits;
+  result.stats.graph_build_seconds = phase_watch.ElapsedSeconds();
+
+  phase_watch.Reset();
   GraphSolution sol = SolveMentionEntityGraph(meg, options_.graph);
+  result.stats.graph_iterations = sol.iterations;
+  result.stats.graph_solve_seconds = phase_watch.ElapsedSeconds();
 
   // ---- Map back and score all original candidates -----------------------------
   std::vector<const Candidate*> chosen(num_mentions, nullptr);
@@ -186,8 +198,15 @@ DisambiguationResult Aida::Disambiguate(
       double coherence = 0.0;
       for (size_t other = 0; other < num_mentions; ++other) {
         if (other == m || chosen[other] == nullptr) continue;
+        bool cache_hit = false;
         coherence += cands[c].weight_scale * chosen[other]->weight_scale *
-                     relatedness_->Relatedness(cands[c], *chosen[other]);
+                     relatedness_->RelatednessTracked(
+                         cands[c], *chosen[other], &cache_hit);
+        if (cache_hit) {
+          ++result.stats.relatedness_cache_hits;
+        } else {
+          ++result.stats.relatedness_computations;
+        }
       }
       scores[c] = options_.me_scale * combined[m][c] +
                   options_.ee_scale * coherence /
@@ -195,6 +214,12 @@ DisambiguationResult Aida::Disambiguate(
     }
     fill_result(m, chosen_original[m], scores);
   }
+  // Legacy counter: accumulate (never overwrite) so concurrent batch
+  // workers cannot clobber each other; per-call numbers live in
+  // result.stats.
+  total_relatedness_computations_.fetch_add(
+      result.stats.relatedness_computations, std::memory_order_relaxed);
+  result.stats.total_seconds = total_watch.ElapsedSeconds();
   return result;
 }
 

@@ -60,10 +60,21 @@ class Aida : public NedSystem {
 
   const AidaOptions& options() const { return options_; }
 
-  /// Relatedness computations performed by the most recent Disambiguate
-  /// call (for the efficiency experiments).
+  /// Deprecated: use DisambiguationResult::stats, which is per-call and
+  /// race-free. This legacy counter ACCUMULATES relatedness computations
+  /// across all Disambiguate calls (the old overwrite semantics made the
+  /// value garbage under concurrent BatchDisambiguator runs, where calls
+  /// clobbered each other). Reset with ResetRelatednessComputations()
+  /// between measurement windows — never while a batch is in flight.
+  [[deprecated(
+      "racy under batch runs; read DisambiguationResult::stats instead")]]
   uint64_t last_relatedness_computations() const {
-    return last_relatedness_computations_.load(std::memory_order_relaxed);
+    return total_relatedness_computations_.load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes the legacy accumulating counter.
+  void ResetRelatednessComputations() const {
+    total_relatedness_computations_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -71,7 +82,7 @@ class Aida : public NedSystem {
   const RelatednessMeasure* relatedness_;
   AidaOptions options_;
   ContextSimilarity similarity_;
-  mutable std::atomic<uint64_t> last_relatedness_computations_{0};
+  mutable std::atomic<uint64_t> total_relatedness_computations_{0};
 };
 
 }  // namespace aida::core

@@ -233,6 +233,7 @@ DisambiguationResult KulkarniBaseline::Disambiguate(
     }
   }
 
+  DisambiguationStats stats;
   if (mode_ == Mode::kCollective) {
     // Hill climbing on sum(local) + sum(pairwise coherence), the practical
     // surrogate of Kulkarni et al.'s relaxed ILP / hill-climbing variants.
@@ -252,8 +253,15 @@ DisambiguationResult KulkarniBaseline::Disambiguate(
             if (other == m || chosen[other] < 0) continue;
             const Candidate& oc =
                 (*candidates[other])[static_cast<size_t>(chosen[other])];
+            bool cache_hit = false;
             score += coherence_weight *
-                     relatedness_->Relatedness(cands[c], oc);
+                     relatedness_->RelatednessTracked(cands[c], oc,
+                                                      &cache_hit);
+            if (cache_hit) {
+              ++stats.relatedness_cache_hits;
+            } else {
+              ++stats.relatedness_computations;
+            }
           }
           if (score > best_score) {
             best_score = score;
@@ -269,6 +277,7 @@ DisambiguationResult KulkarniBaseline::Disambiguate(
   }
 
   DisambiguationResult result;
+  result.stats = stats;
   result.mentions.resize(num_mentions);
   for (size_t m = 0; m < num_mentions; ++m) {
     const std::vector<Candidate>& cands = *candidates[m];
@@ -308,8 +317,14 @@ DisambiguationResult TagMeBaseline::Disambiguate(
         if (other == m || candidates[other]->empty()) continue;
         double mention_vote = 0.0;
         for (const Candidate& voter : *candidates[other]) {
-          mention_vote += voter.prior *
-                          relatedness_->Relatedness(cands[c], voter);
+          bool cache_hit = false;
+          mention_vote += voter.prior * relatedness_->RelatednessTracked(
+                                            cands[c], voter, &cache_hit);
+          if (cache_hit) {
+            ++result.stats.relatedness_cache_hits;
+          } else {
+            ++result.stats.relatedness_computations;
+          }
         }
         votes += mention_vote /
                  static_cast<double>(candidates[other]->size());

@@ -1,6 +1,7 @@
 #include "core/batch.h"
 
 #include <atomic>
+#include <exception>
 #include <thread>
 
 #include "util/status.h"
@@ -23,23 +24,46 @@ std::vector<DisambiguationResult> BatchDisambiguator::Run(
 
   const size_t workers = std::min(num_threads_, problems.size());
   std::atomic<size_t> next{0};
-  auto worker = [&]() {
+  std::atomic<bool> failed{false};
+  // One slot per worker: an exception escaping a worker thread would call
+  // std::terminate, so each worker captures its first exception instead;
+  // the dispatch loop then drains, all threads join, and the first
+  // captured exception is rethrown on the calling thread.
+  std::vector<std::exception_ptr> errors(workers);
+  auto worker = [&](size_t slot) {
     for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
       size_t index = next.fetch_add(1, std::memory_order_relaxed);
       if (index >= problems.size()) return;
-      results[index] = system_->Disambiguate(problems[index]);
+      try {
+        results[index] = system_->Disambiguate(problems[index]);
+      } catch (...) {
+        errors[slot] = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
     }
   };
 
   if (workers <= 1) {
-    worker();
-    return results;
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t t = 0; t < workers; ++t) threads.emplace_back(worker, t);
+    for (std::thread& thread : threads) thread.join();
   }
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (size_t t = 0; t < workers; ++t) threads.emplace_back(worker);
-  for (std::thread& thread : threads) thread.join();
+  for (std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
   return results;
+}
+
+DisambiguationStats AggregateStats(
+    const std::vector<DisambiguationResult>& results) {
+  DisambiguationStats total;
+  for (const DisambiguationResult& result : results) total += result.stats;
+  return total;
 }
 
 }  // namespace aida::core

@@ -19,6 +19,11 @@ struct BatchOptions {
 /// ("NED on an entire corpus, e.g. one day's social-media postings",
 /// Section 4.4.1). Requires the underlying system's const Disambiguate
 /// to be thread-safe (Aida and all shipped baselines are).
+///
+/// To share relatedness work across the documents of one run, wrap the
+/// system's RelatednessMeasure in a CachedRelatednessMeasure backed by a
+/// RelatednessCache before constructing the system; every worker then
+/// reuses pairs computed by any other worker.
 class BatchDisambiguator {
  public:
   /// `system` is not owned and must outlive the batch runner.
@@ -26,7 +31,10 @@ class BatchDisambiguator {
 
   /// Disambiguates every problem; results are parallel to the input.
   /// Problems are dispatched dynamically, so skewed document sizes
-  /// balance across workers.
+  /// balance across workers. If a worker's Disambiguate throws, dispatch
+  /// of further problems stops, all threads are joined, and the first
+  /// captured exception is rethrown on the calling thread (the library
+  /// itself never throws, but wrapped user systems may).
   std::vector<DisambiguationResult> Run(
       const std::vector<DisambiguationProblem>& problems) const;
 
@@ -36,6 +44,12 @@ class BatchDisambiguator {
   const NedSystem* system_;
   size_t num_threads_;
 };
+
+/// Sums the per-call stats of a batch run into one total (relatedness
+/// evaluations, cache hits, phase times). Counter sums are exact under
+/// parallel runs because each call owns its stats.
+DisambiguationStats AggregateStats(
+    const std::vector<DisambiguationResult>& results);
 
 }  // namespace aida::core
 

@@ -143,6 +143,7 @@ GraphSolution SolveMentionEntityGraph(
   graph::DenseSubgraphResult dense =
       graph::ConstrainedDenseSubgraph(pruned, removable, groups);
   solution.objective = dense.objective;
+  solution.iterations += dense.iterations;
 
   // ---- Post-processing: resolve remaining per-mention choices ---------------
   // Alive candidates per mention.
@@ -203,6 +204,7 @@ GraphSolution SolveMentionEntityGraph(
     std::vector<uint32_t> current(active.size(), 0);
     std::function<void(size_t, double)> dfs = [&](size_t depth, double acc) {
       if (depth == active.size()) {
+        ++solution.iterations;
         if (acc > best_total) {
           best_total = acc;
           best_pick = current;
@@ -240,6 +242,7 @@ GraphSolution SolveMentionEntityGraph(
     double current_total = best_total;
     std::vector<double> degrees;
     for (size_t iter = 0; iter < options.local_search_iterations; ++iter) {
+      ++solution.iterations;
       size_t i = rng.UniformInt(active.size());
       const auto& cands = alive[active[i]];
       if (cands.size() < 2) continue;

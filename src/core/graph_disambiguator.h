@@ -30,6 +30,9 @@ struct GraphSolution {
   double objective = 0.0;
   /// Total edge weight of the final configuration.
   double total_weight = 0.0;
+  /// Solver work performed: greedy peel steps plus post-processing
+  /// assignments (exhaustive) or proposals (local search) evaluated.
+  uint64_t iterations = 0;
 };
 
 /// Runs Algorithm 1 on a built mention-entity graph: pre-prunes distant

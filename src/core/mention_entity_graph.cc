@@ -85,11 +85,16 @@ MentionEntityGraph BuildMentionEntityGraph(
   const size_t ec = meg.entity_candidates.size();
   auto add_ee = [&](size_t i, size_t j) {
     if (!serves_two_mentions(i, j)) return;
-    double rel = relatedness.Relatedness(*meg.entity_candidates[i],
-                                         *meg.entity_candidates[j]);
+    bool cache_hit = false;
+    double rel = relatedness.RelatednessTracked(
+        *meg.entity_candidates[i], *meg.entity_candidates[j], &cache_hit);
     rel *= meg.entity_candidates[i]->weight_scale *
            meg.entity_candidates[j]->weight_scale;
-    ++meg.relatedness_computations;
+    if (cache_hit) {
+      ++meg.relatedness_cache_hits;
+    } else {
+      ++meg.relatedness_computations;
+    }
     if (rel <= 0.0) return;
     ee_edges.push_back(
         {meg.EntityNodeId(i), meg.EntityNodeId(j), rel});

@@ -45,8 +45,11 @@ struct MentionEntityGraph {
   /// Per mention: entity node ids (graph node ids), parallel to the
   /// mention's candidate list.
   std::vector<std::vector<graph::NodeId>> mention_candidate_nodes;
-  /// Number of entity-entity relatedness evaluations performed.
+  /// Number of entity-entity relatedness evaluations performed (cache
+  /// misses, when the measure is a CachedRelatednessMeasure).
   uint64_t relatedness_computations = 0;
+  /// Entity-entity pair values served from a relatedness cache.
+  uint64_t relatedness_cache_hits = 0;
 
   graph::NodeId EntityNodeId(size_t entity_index) const {
     return static_cast<graph::NodeId>(num_mentions + entity_index);

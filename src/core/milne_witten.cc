@@ -29,10 +29,19 @@ double MilneWittenRelatedness::RelatednessById(kb::EntityId a,
   const double shared = static_cast<double>(links.SharedInLinkCount(a, b));
   if (shared == 0.0) return 0.0;
   const double n = static_cast<double>(kb_->entity_count());
-  double value =
+  // The denominator vanishes when min(|Ia|,|Ib|) == N (an entity linked by
+  // every page), which would yield NaN or +/-inf. Such an entity shares
+  // its whole in-link set with anything, so the distance collapses to
+  // whether the larger set is fully shared too.
+  const double denominator =
+      std::log(n) - std::log(std::min(size_a, size_b));
+  if (denominator <= 0.0) {
+    return shared >= std::max(size_a, size_b) ? 1.0 : 0.0;
+  }
+  const double value =
       1.0 - (std::log(std::max(size_a, size_b)) - std::log(shared)) /
-                (std::log(n) - std::log(std::min(size_a, size_b)));
-  return std::max(0.0, value);
+                denominator;
+  return std::clamp(value, 0.0, 1.0);
 }
 
 }  // namespace aida::core

@@ -2,6 +2,7 @@
 #define AIDA_CORE_NED_SYSTEM_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -49,9 +50,49 @@ struct MentionResult {
   std::vector<bool> candidate_is_placeholder;
 };
 
+/// Per-call efficiency counters of one Disambiguate invocation — the
+/// quantities the efficiency experiments (Table 4.4) report. Returned by
+/// value inside DisambiguationResult so concurrent calls (e.g. from
+/// BatchDisambiguator workers sharing one NedSystem) never race on shared
+/// mutable state; sum them with operator+= for batch-level totals.
+struct DisambiguationStats {
+  /// Evaluations of the underlying RelatednessMeasure performed on behalf
+  /// of this call (cache misses, when a cache is in play).
+  uint64_t relatedness_computations = 0;
+  /// Pair values served from a shared RelatednessCache instead.
+  uint64_t relatedness_cache_hits = 0;
+  /// Graph-solver work: greedy peel steps plus post-processing
+  /// (exhaustive assignments or local-search proposals) evaluated.
+  uint64_t graph_iterations = 0;
+  /// Per-phase wall clock, seconds. Phases that did not run stay 0.
+  double local_seconds = 0.0;        // candidate lookup + local features
+  double graph_build_seconds = 0.0;  // mention-entity graph construction
+  double graph_solve_seconds = 0.0;  // Algorithm 1 + post-processing
+  double total_seconds = 0.0;
+
+  double RelatednessCacheHitRate() const {
+    const uint64_t lookups = relatedness_computations + relatedness_cache_hits;
+    return lookups == 0 ? 0.0 : static_cast<double>(relatedness_cache_hits) /
+                                    static_cast<double>(lookups);
+  }
+
+  DisambiguationStats& operator+=(const DisambiguationStats& other) {
+    relatedness_computations += other.relatedness_computations;
+    relatedness_cache_hits += other.relatedness_cache_hits;
+    graph_iterations += other.graph_iterations;
+    local_seconds += other.local_seconds;
+    graph_build_seconds += other.graph_build_seconds;
+    graph_solve_seconds += other.graph_solve_seconds;
+    total_seconds += other.total_seconds;
+    return *this;
+  }
+};
+
 /// Output of one NED run, parallel to the problem's mentions.
 struct DisambiguationResult {
   std::vector<MentionResult> mentions;
+  /// Efficiency counters of the call that produced this result.
+  DisambiguationStats stats;
 };
 
 /// Abstract joint named-entity disambiguation system. AIDA and all

@@ -24,7 +24,9 @@ class RelatednessMeasure {
   RelatednessMeasure(const RelatednessMeasure& other)
       : comparisons_(other.comparisons()) {}
   RelatednessMeasure& operator=(const RelatednessMeasure& other) {
-    comparisons_.store(other.comparisons(), std::memory_order_relaxed);
+    if (this != &other) {
+      comparisons_.store(other.comparisons(), std::memory_order_relaxed);
+    }
     return *this;
   }
   virtual ~RelatednessMeasure() = default;
@@ -33,6 +35,19 @@ class RelatednessMeasure {
 
   /// Relatedness in [0, 1]; must be symmetric.
   virtual double Relatedness(const Candidate& a, const Candidate& b) const = 0;
+
+  /// Like Relatedness(), but additionally reports whether the value was
+  /// served from a memoization layer rather than evaluated. Only caching
+  /// decorators (CachedRelatednessMeasure) ever report true; the default
+  /// forwards to Relatedness(). Callers that keep per-call statistics
+  /// (the graph builder, the weighted-degree scorer) use this entry point
+  /// so hits and real evaluations are attributed to the right call even
+  /// when the measure is shared across threads.
+  virtual double RelatednessTracked(const Candidate& a, const Candidate& b,
+                                    bool* cache_hit) const {
+    if (cache_hit != nullptr) *cache_hit = false;
+    return Relatedness(a, b);
+  }
 
   /// True if the measure pre-filters candidate pairs (LSH variants).
   virtual bool has_pair_filter() const { return false; }
@@ -50,6 +65,11 @@ class RelatednessMeasure {
   uint64_t comparisons() const {
     return comparisons_.load(std::memory_order_relaxed);
   }
+  /// Zeroes the comparison counter. Must NOT be called while a batch run
+  /// (BatchDisambiguator::Run) using this measure is in flight: concurrent
+  /// Disambiguate calls would lose counts nondeterministically. Reset
+  /// between runs, or prefer the per-call DisambiguationStats, which need
+  /// no reset at all.
   void ResetComparisons() const {
     comparisons_.store(0, std::memory_order_relaxed);
   }

@@ -1,0 +1,186 @@
+#include "core/relatedness_cache.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/status.h"
+
+namespace aida::core {
+
+namespace {
+
+// Slots linearly probed (with wrap-around) from a key's home slot before
+// an eviction is forced. Bounds both probe cost and eviction scan cost.
+constexpr size_t kProbeWindow = 8;
+
+// Sentinel for an empty slot. Unreachable as a real key: it would require
+// both entity ids to be kNoEntity, which the decorator never caches.
+constexpr uint64_t kEmptyKey = std::numeric_limits<uint64_t>::max();
+
+uint64_t PairKey(kb::EntityId a, kb::EntityId b) {
+  const uint64_t lo = std::min(a, b);
+  const uint64_t hi = std::max(a, b);
+  return (lo << 32) | hi;
+}
+
+// splitmix64 finalizer: spreads the structured pair key over all 64 bits
+// so shard selection (low bits) and home slot (high bits) decorrelate.
+uint64_t MixKey(uint64_t key) {
+  key += 0x9e3779b97f4a7c15ull;
+  key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
+  key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
+  return key ^ (key >> 31);
+}
+
+size_t RoundUpPowerOfTwo(size_t value) {
+  size_t result = 1;
+  while (result < value) result <<= 1;
+  return result;
+}
+
+}  // namespace
+
+RelatednessCache::RelatednessCache(RelatednessCacheOptions options) {
+  const size_t num_shards = RoundUpPowerOfTwo(std::max<size_t>(1, options.num_shards));
+  slots_per_shard_ = RoundUpPowerOfTwo(std::max(
+      kProbeWindow, (std::max<size_t>(1, options.capacity) + num_shards - 1) /
+                        num_shards));
+  shards_ = std::vector<Shard>(num_shards);
+  for (Shard& shard : shards_) {
+    shard.slots.assign(slots_per_shard_, Slot{kEmptyKey, 0.0, 0});
+  }
+}
+
+const RelatednessCache::Shard& RelatednessCache::ShardFor(uint64_t key) const {
+  return shards_[MixKey(key) & (shards_.size() - 1)];
+}
+
+bool RelatednessCache::Lookup(kb::EntityId a, kb::EntityId b,
+                              double* value) const {
+  AIDA_DCHECK(value != nullptr);
+  const uint64_t key = PairKey(a, b);
+  const uint64_t hash = MixKey(key);
+  const Shard& shard = ShardFor(key);
+  const size_t mask = slots_per_shard_ - 1;
+  const size_t home = (hash >> 32) & mask;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (size_t p = 0; p < kProbeWindow; ++p) {
+      Slot& slot = shard.slots[(home + p) & mask];
+      if (slot.key == key) {
+        slot.stamp = ++shard.tick;
+        *value = slot.value;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void RelatednessCache::Insert(kb::EntityId a, kb::EntityId b, double value) {
+  const uint64_t key = PairKey(a, b);
+  const uint64_t hash = MixKey(key);
+  const Shard& shard = ShardFor(key);
+  const size_t mask = slots_per_shard_ - 1;
+  const size_t home = (hash >> 32) & mask;
+  bool evicted = false;
+  bool fresh = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    Slot* target = nullptr;
+    Slot* stalest = nullptr;
+    for (size_t p = 0; p < kProbeWindow; ++p) {
+      Slot& slot = shard.slots[(home + p) & mask];
+      if (slot.key == key) {  // concurrent insert of the same pair
+        target = &slot;
+        break;
+      }
+      if (slot.key == kEmptyKey) {
+        if (target == nullptr) {
+          target = &slot;
+          fresh = true;
+        }
+        continue;
+      }
+      if (stalest == nullptr || slot.stamp < stalest->stamp) stalest = &slot;
+    }
+    if (target == nullptr) {
+      target = stalest;  // full window: evict the least-recently-touched
+      evicted = true;
+    }
+    if (fresh) ++shard.live;
+    target->key = key;
+    target->value = value;
+    target->stamp = ++shard.tick;
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  if (evicted) evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+RelatednessCacheStats RelatednessCache::Snapshot() const {
+  RelatednessCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.inserts = inserts_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.entries += shard.live;
+  }
+  return stats;
+}
+
+void RelatednessCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.slots.assign(slots_per_shard_, Slot{kEmptyKey, 0.0, 0});
+    shard.tick = 0;
+    shard.live = 0;
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  inserts_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+CachedRelatednessMeasure::CachedRelatednessMeasure(
+    const RelatednessMeasure* base, RelatednessCache* cache)
+    : base_(base), cache_(cache) {
+  AIDA_CHECK(base_ != nullptr && cache_ != nullptr);
+}
+
+std::string CachedRelatednessMeasure::name() const {
+  return base_->name() + "+cache";
+}
+
+double CachedRelatednessMeasure::Relatedness(const Candidate& a,
+                                             const Candidate& b) const {
+  return RelatednessTracked(a, b, nullptr);
+}
+
+double CachedRelatednessMeasure::RelatednessTracked(const Candidate& a,
+                                                    const Candidate& b,
+                                                    bool* cache_hit) const {
+  const bool cacheable = !a.is_placeholder && !b.is_placeholder &&
+                         a.entity != kb::kNoEntity &&
+                         b.entity != kb::kNoEntity;
+  if (!cacheable) {
+    if (cache_hit != nullptr) *cache_hit = false;
+    CountComparison();
+    return base_->Relatedness(a, b);
+  }
+  double value = 0.0;
+  if (cache_->Lookup(a.entity, b.entity, &value)) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    return value;
+  }
+  if (cache_hit != nullptr) *cache_hit = false;
+  CountComparison();
+  value = base_->Relatedness(a, b);
+  cache_->Insert(a.entity, b.entity, value);
+  return value;
+}
+
+}  // namespace aida::core

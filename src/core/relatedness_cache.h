@@ -1,0 +1,141 @@
+#ifndef AIDA_CORE_RELATEDNESS_CACHE_H_
+#define AIDA_CORE_RELATEDNESS_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/relatedness.h"
+
+namespace aida::core {
+
+/// Counter snapshot of a RelatednessCache. All counters are cumulative
+/// since construction (or the last Clear()).
+struct RelatednessCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  /// Live entries at snapshot time.
+  uint64_t entries = 0;
+
+  double HitRate() const {
+    const uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) /
+                                    static_cast<double>(lookups);
+  }
+};
+
+struct RelatednessCacheOptions {
+  /// Upper bound on cached pairs across all shards. Rounded so each shard
+  /// holds a power-of-two slot count; a long batch can never grow the
+  /// cache beyond this footprint (~16 bytes per slot).
+  size_t capacity = size_t{1} << 20;
+  /// Mutex stripes; rounded up to a power of two. More shards reduce lock
+  /// contention between worker threads at a small fixed memory cost.
+  size_t num_shards = 16;
+};
+
+/// Sharded, bounded, thread-safe memoization table for symmetric
+/// entity-pair relatedness values — the cost driver of joint
+/// disambiguation (Table 4.4). Keys are the unordered pair
+/// (min(a,b), max(a,b)) of in-KB entity ids, so the symmetry contract of
+/// RelatednessMeasure::Relatedness is baked into the key. Each shard is an
+/// open-addressing table with a bounded linear-probe window; when the
+/// window is full, the least-recently-touched entry in the window is
+/// evicted (LRU-ish, O(window) and allocation-free), so a corpus-scale
+/// batch cannot grow the cache without limit.
+///
+/// Shared across all documents of a BatchDisambiguator::Run: one lock per
+/// probe, striped over shards, keeps contention negligible next to the
+/// cost of a single KORE evaluation.
+class RelatednessCache {
+ public:
+  explicit RelatednessCache(RelatednessCacheOptions options = {});
+
+  /// Returns true and sets `*value` when the pair is cached; refreshes the
+  /// entry's recency stamp. Counts one hit or one miss.
+  bool Lookup(kb::EntityId a, kb::EntityId b, double* value) const;
+
+  /// Inserts (or refreshes) the pair, evicting the stalest entry of a full
+  /// probe window. Concurrent inserts of the same pair are benign: the
+  /// measure is deterministic, so both threads write the same value.
+  void Insert(kb::EntityId a, kb::EntityId b, double value);
+
+  /// Cumulative counters plus the current live-entry count.
+  RelatednessCacheStats Snapshot() const;
+
+  /// Drops all entries and zeroes the counters.
+  void Clear();
+
+  /// Total slot budget across shards (>= the requested capacity).
+  size_t capacity() const { return shards_.size() * slots_per_shard_; }
+
+ private:
+  struct Slot {
+    uint64_t key;
+    double value;
+    uint64_t stamp;  // shard tick at last touch; smallest == stalest
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    mutable std::vector<Slot> slots;
+    mutable uint64_t tick = 0;
+    mutable size_t live = 0;
+  };
+
+  const Shard& ShardFor(uint64_t key) const;
+
+  size_t slots_per_shard_ = 0;
+  std::vector<Shard> shards_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+/// Decorator that serves RelatednessMeasure values through a shared
+/// RelatednessCache. Only pairs of in-KB, non-placeholder candidates are
+/// cached: a placeholder's model is document-private, while an in-KB
+/// entity id determines its candidate model for the lifetime of the
+/// CandidateModelStore, which makes the entity-id pair a sound cache key.
+/// Callers that substitute per-document models for in-KB entities must
+/// not share one cache across those documents.
+///
+/// FilterPairs semantics are preserved: has_pair_filter() and
+/// FilterPairs() delegate to the wrapped measure, so the LSH variants
+/// prune exactly as before and the cache only memoizes the surviving
+/// pairs. The decorator's own comparisons() counter counts only real
+/// evaluations of the wrapped measure (misses), mirroring the base
+/// counter's meaning.
+class CachedRelatednessMeasure : public RelatednessMeasure {
+ public:
+  /// Neither pointer is owned; both must outlive the decorator.
+  CachedRelatednessMeasure(const RelatednessMeasure* base,
+                           RelatednessCache* cache);
+
+  std::string name() const override;
+  double Relatedness(const Candidate& a, const Candidate& b) const override;
+  double RelatednessTracked(const Candidate& a, const Candidate& b,
+                            bool* cache_hit) const override;
+  bool has_pair_filter() const override { return base_->has_pair_filter(); }
+  std::vector<std::pair<uint32_t, uint32_t>> FilterPairs(
+      const std::vector<const Candidate*>& candidates) const override {
+    return base_->FilterPairs(candidates);
+  }
+
+  const RelatednessMeasure& base() const { return *base_; }
+  const RelatednessCache& cache() const { return *cache_; }
+
+ private:
+  const RelatednessMeasure* base_;
+  RelatednessCache* cache_;
+};
+
+}  // namespace aida::core
+
+#endif  // AIDA_CORE_RELATEDNESS_CACHE_H_

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the test suite with -DAIDA_SANITIZE=thread and runs the
+# concurrency-sensitive tests (batch runner, relatedness cache, per-call
+# stats) under ThreadSanitizer. Any data race fails the run.
+#
+# Usage: tools/run_tsan_tests.sh [extra gtest filter]
+#   BUILD_DIR=build-tsan  override the build directory
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-tsan}"
+FILTER="${1:-BatchTest.*}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DAIDA_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j --target batch_test
+
+# halt_on_error makes the first race fail fast with a non-zero exit.
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  "$BUILD_DIR/tests/batch_test" --gtest_filter="$FILTER"
+
+echo "TSan batch/cache tests passed: no data races reported."
