@@ -1,0 +1,196 @@
+// Closed-loop load test of the aida::serve online serving layer (the
+// architecture face of Section 7's efficiency story): C client threads,
+// each with one outstanding request, hammer a NedService over a synthetic
+// corpus. For each (workers, queue bound, clients) configuration we report
+// sustained QPS and p50/p95/p99 total latency from the service's own
+// streaming histograms, plus shed/expired counts. One deliberately
+// undersized queue bound demonstrates explicit load shedding; every
+// completed response is checked byte-identical to serial Aida output.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/aida.h"
+#include "core/relatedness_cache.h"
+#include "serve/ned_service.h"
+#include "synth/corpus_generator.h"
+#include "synth/world_generator.h"
+
+using namespace aida;
+
+namespace {
+
+struct RunConfig {
+  const char* label;
+  size_t workers;
+  size_t queue;
+  size_t clients;
+  double deadline_seconds;  // 0 = none
+  double duration_seconds;
+};
+
+struct RunOutcome {
+  size_t completed = 0;
+  size_t shed = 0;
+  size_t expired = 0;
+  size_t mismatches = 0;
+  double elapsed_seconds = 0.0;
+  serve::NedServiceSnapshot snapshot;
+};
+
+bool SameAnnotation(const core::DisambiguationResult& a,
+                    const core::DisambiguationResult& b) {
+  if (a.mentions.size() != b.mentions.size()) return false;
+  for (size_t m = 0; m < a.mentions.size(); ++m) {
+    if (a.mentions[m].entity != b.mentions[m].entity) return false;
+    if (a.mentions[m].score != b.mentions[m].score) return false;
+    if (a.mentions[m].candidate_scores != b.mentions[m].candidate_scores) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RunOutcome RunClosedLoop(const core::NedSystem& system,
+                         const core::RelatednessCache* shared_cache,
+                         const std::vector<core::DisambiguationProblem>& work,
+                         const std::vector<core::DisambiguationResult>& gold,
+                         const RunConfig& config) {
+  serve::NedServiceOptions options;
+  options.num_threads = config.workers;
+  options.queue_capacity = config.queue;
+  options.default_deadline_seconds = config.deadline_seconds;
+  options.shared_cache = shared_cache;
+  serve::NedService service(&system, options);
+
+  std::atomic<size_t> completed{0}, shed{0}, expired{0}, mismatches{0};
+  std::atomic<bool> stop{false};
+
+  auto client = [&](size_t client_id) {
+    size_t next = client_id;  // stagger document order across clients
+    while (!stop.load(std::memory_order_relaxed)) {
+      const size_t doc = next++ % work.size();
+      serve::ServeResult response = service.Submit(work[doc]).get();
+      if (response.status.ok()) {
+        completed.fetch_add(1, std::memory_order_relaxed);
+        if (!SameAnnotation(response.result, gold[doc])) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else if (response.status.code() ==
+                 util::StatusCode::kResourceExhausted) {
+        shed.fetch_add(1, std::memory_order_relaxed);
+        // A well-behaved client backs off briefly after being shed.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      } else if (response.status.code() ==
+                 util::StatusCode::kDeadlineExceeded) {
+        expired.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  util::Stopwatch watch;
+  std::vector<std::thread> clients;
+  clients.reserve(config.clients);
+  for (size_t c = 0; c < config.clients; ++c) clients.emplace_back(client, c);
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(config.duration_seconds));
+  stop.store(true);
+  for (std::thread& thread : clients) thread.join();
+
+  RunOutcome outcome;
+  outcome.elapsed_seconds = watch.ElapsedSeconds();
+  service.Drain();
+  outcome.snapshot = service.Snapshot();
+  outcome.completed = completed.load();
+  outcome.shed = shed.load();
+  outcome.expired = expired.load();
+  outcome.mismatches = mismatches.load();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  synth::CorpusPreset preset = synth::GigawordEePreset();
+  preset.corpus.num_documents = 160;
+  synth::World world = synth::WorldGenerator(preset.world).Generate();
+  corpus::Corpus docs =
+      synth::CorpusGenerator(&world, preset.corpus).Generate();
+
+  core::CandidateModelStore models(world.knowledge_base.get());
+  core::MilneWittenRelatedness mw(world.knowledge_base.get());
+  core::RelatednessCache cache;
+  core::CachedRelatednessMeasure cached_mw(&mw, &cache);
+  core::Aida aida(&models, &cached_mw, core::AidaOptions());
+
+  std::vector<core::DisambiguationProblem> work;
+  work.reserve(docs.size());
+  for (const corpus::Document& doc : docs) {
+    work.push_back(bench::ToProblem(doc));
+  }
+
+  // Serial reference with an *uncached* measure: the served results must
+  // match it byte-for-byte regardless of concurrency or cache reuse.
+  core::Aida serial(&models, &mw, core::AidaOptions());
+  std::vector<core::DisambiguationResult> gold;
+  gold.reserve(work.size());
+  util::Stopwatch serial_watch;
+  for (const core::DisambiguationProblem& problem : work) {
+    gold.push_back(serial.Disambiguate(problem));
+  }
+  const double serial_seconds = serial_watch.ElapsedSeconds();
+
+  bench::PrintHeader("aida::serve — closed-loop load test");
+  std::printf("corpus: %zu documents; serial Aida baseline %.2f ms/doc "
+              "(%.0f QPS single-threaded)\n\n",
+              docs.size(), 1000 * serial_seconds / docs.size(),
+              docs.size() / serial_seconds);
+
+  const std::vector<RunConfig> configs = {
+      {"1w/64q/4c", 1, 64, 4, 0.0, 1.2},
+      {"2w/64q/8c", 2, 64, 8, 0.0, 1.2},
+      {"4w/64q/16c", 4, 64, 16, 0.0, 1.2},
+      {"8w/64q/32c", 8, 64, 32, 0.0, 1.2},
+      // Undersized queue: 16 clients contend for 2 workers + 4 slots, so
+      // admission control must shed instead of parking callers.
+      {"2w/4q/16c (undersized)", 2, 4, 16, 0.0, 1.2},
+      // Tight deadline: requests expire in queue or cancel mid-flight.
+      {"2w/64q/16c + 5ms deadline", 2, 64, 16, 0.005, 1.2},
+  };
+
+  std::printf("%-26s %8s %8s %8s %8s %8s %8s\n", "config", "QPS", "p50ms",
+              "p95ms", "p99ms", "shed", "expired");
+  bench::PrintRule();
+  size_t total_mismatches = 0;
+  for (const RunConfig& config : configs) {
+    RunOutcome outcome = RunClosedLoop(aida, &cache, work, gold, config);
+    const serve::ServiceMetricsSnapshot& m = outcome.snapshot.metrics;
+    std::printf("%-26s %8.0f %8.2f %8.2f %8.2f %8zu %8zu\n", config.label,
+                outcome.completed / outcome.elapsed_seconds,
+                1000 * m.total_latency.p50_seconds,
+                1000 * m.total_latency.p95_seconds,
+                1000 * m.total_latency.p99_seconds,
+                outcome.shed,
+                outcome.expired);
+    total_mismatches += outcome.mismatches;
+    if (outcome.mismatches != 0) {
+      std::printf("  !! %zu completed responses differed from serial Aida\n",
+                  outcome.mismatches);
+    }
+  }
+  bench::PrintRule();
+  std::printf("all completed responses byte-identical to serial Aida: %s\n",
+              total_mismatches == 0 ? "yes" : "NO");
+  core::RelatednessCacheStats cache_stats = cache.Snapshot();
+  std::printf("shared relatedness cache: %zu entries, %.1f%% hit rate "
+              "(%llu hits / %llu misses)\n",
+              static_cast<size_t>(cache_stats.entries),
+              100.0 * cache_stats.HitRate(),
+              static_cast<unsigned long long>(cache_stats.hits),
+              static_cast<unsigned long long>(cache_stats.misses));
+  return total_mismatches == 0 ? 0 : 1;
+}

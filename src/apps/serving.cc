@@ -1,0 +1,62 @@
+#include "apps/serving.h"
+
+#include <utility>
+#include <vector>
+
+namespace aida::apps {
+
+StreamIngestReport IngestCorpus(serve::NedService& service,
+                                const corpus::Corpus& corpus,
+                                EntitySearch* search,
+                                NewsAnalytics* analytics,
+                                serve::RequestOptions options) {
+  std::vector<core::DisambiguationProblem> problems;
+  problems.reserve(corpus.size());
+  for (const corpus::Document& doc : corpus) {
+    core::DisambiguationProblem problem;
+    problem.tokens = &doc.tokens;
+    for (const corpus::GoldMention& gm : doc.mentions) {
+      core::ProblemMention pm;
+      pm.surface = gm.surface;
+      pm.begin_token = gm.begin_token;
+      pm.end_token = gm.end_token;
+      problem.mentions.push_back(std::move(pm));
+    }
+    problems.push_back(std::move(problem));
+  }
+
+  std::vector<serve::ServeResult> results =
+      service.DisambiguateAll(problems, options);
+
+  StreamIngestReport report;
+  report.documents = corpus.size();
+  for (size_t d = 0; d < results.size(); ++d) {
+    const serve::ServeResult& result = results[d];
+    if (!result.status.ok()) {
+      switch (result.status.code()) {
+        case util::StatusCode::kDeadlineExceeded:
+          ++report.deadline_expired;
+          break;
+        case util::StatusCode::kInternal:
+          ++report.failed;
+          break;
+        default:  // kResourceExhausted / kCancelled
+          ++report.shed;
+          break;
+      }
+      continue;
+    }
+    report.ned_stats += result.result.stats;
+    std::vector<kb::EntityId> entities;
+    entities.reserve(result.result.mentions.size());
+    for (const core::MentionResult& m : result.result.mentions) {
+      entities.push_back(m.entity);
+    }
+    if (search != nullptr) search->IndexDocument(corpus[d], entities);
+    if (analytics != nullptr) analytics->AddDocument(corpus[d].day, entities);
+    ++report.indexed;
+  }
+  return report;
+}
+
+}  // namespace aida::apps

@@ -1,0 +1,43 @@
+#ifndef AIDA_APPS_SERVING_H_
+#define AIDA_APPS_SERVING_H_
+
+#include <cstddef>
+
+#include "apps/entity_search.h"
+#include "apps/news_analytics.h"
+#include "corpus/document.h"
+#include "serve/ned_service.h"
+
+namespace aida::apps {
+
+/// Outcome of streaming a corpus through a NedService into the chapter-6
+/// applications. Documents whose request did not complete are simply not
+/// indexed — the application-level face of load shedding.
+struct StreamIngestReport {
+  size_t documents = 0;         // submitted
+  size_t indexed = 0;           // completed and added to the index(es)
+  size_t deadline_expired = 0;  // expired in queue or mid-flight
+  size_t shed = 0;              // rejected at admission or by shutdown
+  size_t failed = 0;            // the wrapped system threw
+  /// NED efficiency counters of the completed requests only.
+  core::DisambiguationStats ned_stats;
+};
+
+/// Streams `corpus` through the serving layer and feeds each completed
+/// annotation into `search` and/or `analytics` (either may be null).
+/// This is how the STICS-style search and the news-analytics dashboards
+/// consume NED in the online architecture: they hold a service handle
+/// instead of running the disambiguator inline, so index building rides
+/// the same worker pool, admission control, and deadlines as interactive
+/// traffic. Blocks until every document resolved; uses the service's
+/// closed-loop batch path, so it applies backpressure instead of
+/// shedding its own submissions (deadlines still apply via `options`).
+StreamIngestReport IngestCorpus(serve::NedService& service,
+                                const corpus::Corpus& corpus,
+                                EntitySearch* search,
+                                NewsAnalytics* analytics,
+                                serve::RequestOptions options = {});
+
+}  // namespace aida::apps
+
+#endif  // AIDA_APPS_SERVING_H_

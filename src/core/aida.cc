@@ -47,6 +47,15 @@ DisambiguationResult Aida::Disambiguate(
   DisambiguationResult result;
   result.mentions.resize(num_mentions);
 
+  // Cooperative cancellation, checked between phases: a request whose
+  // deadline already passed (e.g. while queued in serve::NedService) must
+  // not pay for candidate lookups at all.
+  if (problem.cancel != nullptr && problem.cancel->cancelled()) {
+    result.cancelled = true;
+    result.stats.total_seconds = total_watch.ElapsedSeconds();
+    return result;
+  }
+
   // ---- Candidate resolution and local features ------------------------------
   std::vector<std::vector<Candidate>> owned(num_mentions);
   std::vector<const std::vector<Candidate>*> candidates(num_mentions);
@@ -127,7 +136,7 @@ DisambiguationResult Aida::Disambiguate(
 
   result.stats.local_seconds = phase_watch.ElapsedSeconds();
 
-  if (!options_.use_coherence) {
+  auto fill_local_only = [&] {
     for (size_t m = 0; m < num_mentions; ++m) {
       if (candidates[m]->empty()) {
         fill_result(m, -1, {});
@@ -137,6 +146,18 @@ DisambiguationResult Aida::Disambiguate(
                   combined[m]);
     }
     result.stats.total_seconds = total_watch.ElapsedSeconds();
+  };
+
+  if (!options_.use_coherence) {
+    fill_local_only();
+    return result;
+  }
+
+  // A token that tripped during the local phase skips the coherence graph
+  // entirely and degrades to local-only choices.
+  if (problem.cancel != nullptr && problem.cancel->cancelled()) {
+    fill_local_only();
+    result.cancelled = true;
     return result;
   }
 
@@ -168,6 +189,16 @@ DisambiguationResult Aida::Disambiguate(
   result.stats.relatedness_computations = meg.relatedness_computations;
   result.stats.relatedness_cache_hits = meg.relatedness_cache_hits;
   result.stats.graph_build_seconds = phase_watch.ElapsedSeconds();
+
+  // Deadline tripped while building the graph (the relatedness-dominated
+  // phase): skip the solver and the full candidate re-scoring.
+  if (problem.cancel != nullptr && problem.cancel->cancelled()) {
+    fill_local_only();
+    result.cancelled = true;
+    total_relatedness_computations_.fetch_add(
+        result.stats.relatedness_computations, std::memory_order_relaxed);
+    return result;
+  }
 
   phase_watch.Reset();
   GraphSolution sol = SolveMentionEntityGraph(meg, options_.graph);

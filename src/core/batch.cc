@@ -1,7 +1,6 @@
 #include "core/batch.h"
 
-#include <atomic>
-#include <exception>
+#include <algorithm>
 #include <thread>
 
 #include "util/status.h"
@@ -10,59 +9,33 @@ namespace aida::core {
 
 BatchDisambiguator::BatchDisambiguator(const NedSystem* system,
                                        BatchOptions options)
-    : system_(system), num_threads_(options.num_threads) {
+    : system_(system), pool_(options.num_threads) {
   AIDA_CHECK(system_ != nullptr);
-  if (num_threads_ == 0) {
-    num_threads_ = std::max(1u, std::thread::hardware_concurrency());
-  }
 }
 
 std::vector<DisambiguationResult> BatchDisambiguator::Run(
     const std::vector<DisambiguationProblem>& problems) const {
   std::vector<DisambiguationResult> results(problems.size());
   if (problems.empty()) return results;
-
-  const size_t workers = std::min(num_threads_, problems.size());
-  std::atomic<size_t> next{0};
-  std::atomic<bool> failed{false};
-  // One slot per worker: an exception escaping a worker thread would call
-  // std::terminate, so each worker captures its first exception instead;
-  // the dispatch loop then drains, all threads join, and the first
-  // captured exception is rethrown on the calling thread.
-  std::vector<std::exception_ptr> errors(workers);
-  auto worker = [&](size_t slot) {
-    for (;;) {
-      if (failed.load(std::memory_order_relaxed)) return;
-      size_t index = next.fetch_add(1, std::memory_order_relaxed);
-      if (index >= problems.size()) return;
-      try {
-        results[index] = system_->Disambiguate(problems[index]);
-      } catch (...) {
-        errors[slot] = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-        return;
-      }
-    }
-  };
-
-  if (workers <= 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (size_t t = 0; t < workers; ++t) threads.emplace_back(worker, t);
-    for (std::thread& thread : threads) thread.join();
-  }
-  for (std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
+  // Dynamic dispatch, exception capture/join/rethrow, and the thread cap
+  // at min(num_threads, problems) all live in the pool now; each index
+  // writes only its own slot, so no synchronization beyond the pool's.
+  pool_.ParallelFor(problems.size(), [&](size_t index) {
+    results[index] = system_->Disambiguate(problems[index]);
+  });
   return results;
 }
 
 DisambiguationStats AggregateStats(
     const std::vector<DisambiguationResult>& results) {
   DisambiguationStats total;
-  for (const DisambiguationResult& result : results) total += result.stats;
+  for (const DisambiguationResult& result : results) {
+    // Shed or cancelled calls carry default-initialized or partial stats;
+    // summing those would understate per-document phase averages and mix
+    // aborted phase times into completed-work totals.
+    if (result.cancelled) continue;
+    total += result.stats;
+  }
   return total;
 }
 

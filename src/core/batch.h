@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/ned_system.h"
+#include "util/worker_pool.h"
 
 namespace aida::core {
 
@@ -20,6 +21,12 @@ struct BatchOptions {
 /// Section 4.4.1). Requires the underlying system's const Disambiguate
 /// to be thread-safe (Aida and all shipped baselines are).
 ///
+/// The worker threads live in a persistent util::WorkerPool created at
+/// construction, so repeated Run calls reuse them instead of paying
+/// thread create/join per call. For a latency-oriented online interface
+/// over the same pool idea (queueing, deadlines, admission control), see
+/// serve::NedService.
+///
 /// To share relatedness work across the documents of one run, wrap the
 /// system's RelatednessMeasure in a CachedRelatednessMeasure backed by a
 /// RelatednessCache before constructing the system; every worker then
@@ -32,22 +39,28 @@ class BatchDisambiguator {
   /// Disambiguates every problem; results are parallel to the input.
   /// Problems are dispatched dynamically, so skewed document sizes
   /// balance across workers. If a worker's Disambiguate throws, dispatch
-  /// of further problems stops, all threads are joined, and the first
+  /// of further problems stops, in-flight documents finish, and the first
   /// captured exception is rethrown on the calling thread (the library
   /// itself never throws, but wrapped user systems may).
   std::vector<DisambiguationResult> Run(
       const std::vector<DisambiguationProblem>& problems) const;
 
-  size_t num_threads() const { return num_threads_; }
+  size_t num_threads() const { return pool_.num_threads(); }
 
  private:
   const NedSystem* system_;
-  size_t num_threads_;
+  // ParallelFor pushes call-local runner tasks, hence mutable; Run stays
+  // const and safe to call concurrently, as before the pool refactor.
+  mutable util::WorkerPool pool_;
 };
 
 /// Sums the per-call stats of a batch run into one total (relatedness
 /// evaluations, cache hits, phase times). Counter sums are exact under
-/// parallel runs because each call owns its stats.
+/// parallel runs because each call owns its stats. Results flagged
+/// `cancelled` — requests a serving layer shed before they ran, or calls
+/// that bailed out on a tripped CancellationToken with partial phase
+/// times — are skipped so they cannot distort the totals of completed
+/// work.
 DisambiguationStats AggregateStats(
     const std::vector<DisambiguationResult>& results);
 

@@ -1,6 +1,8 @@
 #ifndef AIDA_CORE_NED_SYSTEM_H_
 #define AIDA_CORE_NED_SYSTEM_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -9,6 +11,46 @@
 #include "core/candidates.h"
 
 namespace aida::core {
+
+/// Cooperative cancellation handle for one disambiguation call: an
+/// explicit Cancel() flag plus an optional absolute deadline. NED systems
+/// poll cancelled() between their phases (candidate/local features, graph
+/// build, graph solve) and bail out early with whatever they have — the
+/// mechanism behind per-request deadlines in serve::NedService. Checking
+/// is cooperative: a system that ignores the token simply runs to
+/// completion, and the serving layer still enforces the deadline on the
+/// result's status.
+class CancellationToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A token that never expires on its own (Cancel() only).
+  CancellationToken() = default;
+
+  /// A token that additionally trips once `deadline` passes.
+  explicit CancellationToken(Clock::time_point deadline)
+      : deadline_(deadline) {}
+
+  /// Requests cancellation. Safe from any thread, idempotent.
+  void Cancel() const { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once Cancel() was called or the deadline passed. The flag
+  /// latches, so a token observed cancelled stays cancelled.
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (deadline_ != Clock::time_point::max() && Clock::now() >= deadline_) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  Clock::time_point deadline() const { return deadline_; }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  Clock::time_point deadline_ = Clock::time_point::max();
+};
 
 /// One mention to disambiguate. When `candidates` is empty and
 /// `candidates_resolved` is false, the NED system performs the dictionary
@@ -32,6 +74,10 @@ struct DisambiguationProblem {
   /// words). When null, systems fall back to the plain KB vocabulary.
   /// Needed whenever candidate models reference extension word ids.
   const ExtendedVocabulary* vocab = nullptr;
+  /// Optional cooperative-cancellation token (not owned; must outlive the
+  /// call). Aida polls it between phases and degrades to local-only
+  /// results when it trips; see DisambiguationResult::cancelled.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Per-mention output.
@@ -93,6 +139,12 @@ struct DisambiguationResult {
   std::vector<MentionResult> mentions;
   /// Efficiency counters of the call that produced this result.
   DisambiguationStats stats;
+  /// True when the call observed its CancellationToken tripped (deadline
+  /// or explicit Cancel) and returned early, or when a serving layer shed
+  /// the request before it ran. Mentions and stats may be partial —
+  /// AggregateStats skips such results so shed requests cannot dilute
+  /// phase-time totals.
+  bool cancelled = false;
 };
 
 /// Abstract joint named-entity disambiguation system. AIDA and all

@@ -1,0 +1,115 @@
+#ifndef AIDA_SERVE_BOUNDED_QUEUE_H_
+#define AIDA_SERVE_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aida::serve {
+
+/// Why a BoundedQueue::TryPush was refused.
+enum class AdmissionError {
+  kQueueFull,  // load shedding: the bounded queue is at capacity
+  kClosed,     // the queue no longer admits work (drain or shutdown)
+};
+
+/// A bounded multi-producer multi-consumer FIFO — the admission-control
+/// point of the serving layer. Producers never block: TryPush either
+/// admits the item or refuses immediately with the reason, which is what
+/// lets an overloaded service shed load with an error instead of holding
+/// client threads hostage (the "rejected-with-status, never blocked
+/// forever" contract). Consumers block in Pop until an item arrives or
+/// the queue is closed and empty.
+///
+/// Two close flavors mirror the service's two stop modes:
+///  * CloseAdmission() — drain: refuse new items, let consumers finish
+///    everything already queued;
+///  * CloseAndFlush()  — shutdown: refuse new items AND hand back the
+///    items still queued so the caller can fail them explicitly.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    AIDA_CHECK(capacity_ > 0);
+  }
+
+  /// Admits `item` unless the queue is full or closed; never blocks.
+  /// On refusal the item is left untouched in the caller's hands.
+  std::optional<AdmissionError> TryPush(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return AdmissionError::kClosed;
+      if (items_.size() >= capacity_) return AdmissionError::kQueueFull;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return std::nullopt;
+  }
+
+  /// Blocks until an item is available (returns it) or the queue is both
+  /// closed and empty (returns nullopt — the consumer's exit signal).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stops admission; queued items remain for consumers to drain.
+  void CloseAdmission() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  /// Stops admission and removes everything still queued, returning it so
+  /// the caller can complete each item with a cancellation status.
+  std::vector<T> CloseAndFlush() {
+    std::vector<T> flushed;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+      flushed.reserve(items_.size());
+      while (!items_.empty()) {
+        flushed.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    ready_.notify_all();
+    return flushed;
+  }
+
+  /// Queued (not in-flight) items right now — the service's depth gauge.
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace aida::serve
+
+#endif  // AIDA_SERVE_BOUNDED_QUEUE_H_

@@ -1,0 +1,110 @@
+#include "serve/metrics.h"
+
+#include <cmath>
+
+namespace aida::serve {
+
+LatencyHistogram::LatencyHistogram() { Clear(); }
+
+void LatencyHistogram::Clear() {
+  for (std::atomic<uint64_t>& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_seconds_.store(0.0, std::memory_order_relaxed);
+  max_seconds_.store(0.0, std::memory_order_relaxed);
+}
+
+size_t LatencyHistogram::BucketIndex(double seconds) {
+  if (!(seconds > kMinSeconds)) return 0;  // also catches NaN
+  const double decades = std::log10(seconds / kMinSeconds);
+  const size_t index =
+      static_cast<size_t>(decades * static_cast<double>(kBucketsPerDecade));
+  return index >= kNumBuckets ? kNumBuckets - 1 : index;
+}
+
+double LatencyHistogram::BucketValue(size_t index) {
+  // Geometric midpoint of the bucket's bounds — the value a quantile
+  // falling into this bucket reports.
+  const double exponent = (static_cast<double>(index) + 0.5) /
+                          static_cast<double>(kBucketsPerDecade);
+  return kMinSeconds * std::pow(10.0, exponent);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  buckets_[BucketIndex(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_seconds_.fetch_add(seconds, std::memory_order_relaxed);
+  double observed = max_seconds_.load(std::memory_order_relaxed);
+  while (seconds > observed &&
+         !max_seconds_.compare_exchange_weak(observed, seconds,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+LatencySnapshot LatencyHistogram::Snapshot() const {
+  std::array<uint64_t, kNumBuckets> counts;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+
+  LatencySnapshot snapshot;
+  snapshot.count = total;
+  if (total == 0) return snapshot;
+  snapshot.mean_seconds =
+      sum_seconds_.load(std::memory_order_relaxed) /
+      static_cast<double>(total);
+  snapshot.max_seconds = max_seconds_.load(std::memory_order_relaxed);
+
+  // Walk the cumulative distribution once for all three quantiles. The
+  // bucket totals (not count_) define the distribution so a Record racing
+  // this snapshot cannot push a quantile past the recorded observations.
+  const double targets[3] = {0.50, 0.95, 0.99};
+  double* outputs[3] = {&snapshot.p50_seconds, &snapshot.p95_seconds,
+                        &snapshot.p99_seconds};
+  size_t next_target = 0;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets && next_target < 3; ++i) {
+    cumulative += counts[i];
+    while (next_target < 3 &&
+           static_cast<double>(cumulative) >=
+               targets[next_target] * static_cast<double>(total)) {
+      *outputs[next_target] = BucketValue(i);
+      ++next_target;
+    }
+  }
+  return snapshot;
+}
+
+ServiceMetricsSnapshot ServiceMetrics::Snapshot(size_t queue_depth) const {
+  ServiceMetricsSnapshot snapshot;
+  snapshot.submitted = submitted_.load(std::memory_order_relaxed);
+  snapshot.admitted = admitted_.load(std::memory_order_relaxed);
+  snapshot.completed = completed_.load(std::memory_order_relaxed);
+  snapshot.failed = failed_.load(std::memory_order_relaxed);
+  snapshot.rejected_queue_full =
+      rejected_queue_full_.load(std::memory_order_relaxed);
+  snapshot.rejected_closed = rejected_closed_.load(std::memory_order_relaxed);
+  snapshot.expired_in_queue =
+      expired_in_queue_.load(std::memory_order_relaxed);
+  snapshot.cancelled_in_flight =
+      cancelled_in_flight_.load(std::memory_order_relaxed);
+  snapshot.cancelled_queued =
+      cancelled_queued_.load(std::memory_order_relaxed);
+  snapshot.queue_depth = queue_depth;
+  snapshot.in_flight = in_flight_.load(std::memory_order_relaxed);
+  snapshot.uptime_seconds = uptime_.ElapsedSeconds();
+  snapshot.completed_per_second =
+      snapshot.uptime_seconds > 0.0
+          ? static_cast<double>(snapshot.completed) / snapshot.uptime_seconds
+          : 0.0;
+  snapshot.queue_wait = queue_wait_.Snapshot();
+  snapshot.service_time = service_time_.Snapshot();
+  snapshot.total_latency = total_latency_.Snapshot();
+  return snapshot;
+}
+
+}  // namespace aida::serve

@@ -1,0 +1,164 @@
+#ifndef AIDA_SERVE_METRICS_H_
+#define AIDA_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/stopwatch.h"
+
+namespace aida::serve {
+
+/// Quantile/mean/max summary of one LatencyHistogram at snapshot time.
+struct LatencySnapshot {
+  uint64_t count = 0;
+  double mean_seconds = 0.0;
+  double max_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
+/// A streaming latency histogram: fixed geometric buckets (ten per decade
+/// from 1 microsecond to 1000 seconds), lock-free atomic counters, O(1)
+/// Record. Quantiles are read from a consistent-enough snapshot of the
+/// bucket counters while the service keeps recording — the p50/p95/p99
+/// the load generator and the metrics registry report. Bucket resolution
+/// bounds the quantile error at ~12% (one bucket width), plenty for tail
+/// monitoring.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Records one observation. Thread-safe, wait-free on x86.
+  void Record(double seconds);
+
+  /// Summarizes everything recorded so far. Safe to call concurrently
+  /// with Record; a racing observation is either in or out atomically.
+  LatencySnapshot Snapshot() const;
+
+  /// Zeroes all buckets and summary counters.
+  void Clear();
+
+ private:
+  // 10 buckets per decade over [1us, 1000s) plus an overflow bucket.
+  static constexpr size_t kBucketsPerDecade = 10;
+  static constexpr size_t kDecades = 9;
+  static constexpr size_t kNumBuckets = kBucketsPerDecade * kDecades + 1;
+  static constexpr double kMinSeconds = 1e-6;
+
+  static size_t BucketIndex(double seconds);
+  static double BucketValue(size_t index);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_seconds_{0.0};
+  std::atomic<double> max_seconds_{0.0};
+};
+
+/// Point-in-time view of a ServiceMetrics registry. Counters are
+/// cumulative since service construction; gauges are instantaneous.
+struct ServiceMetricsSnapshot {
+  // ---- throughput counters ----
+  uint64_t submitted = 0;        // Submit calls observed
+  uint64_t admitted = 0;         // accepted into the bounded queue
+  uint64_t completed = 0;        // finished with an OK result
+  uint64_t failed = 0;           // wrapped system threw; mapped to kInternal
+  // ---- load-shedding / cancellation counters ----
+  uint64_t rejected_queue_full = 0;   // shed at admission: queue at bound
+  uint64_t rejected_closed = 0;       // submitted after drain/shutdown began
+  uint64_t expired_in_queue = 0;      // deadline passed while still queued
+  uint64_t cancelled_in_flight = 0;   // deadline tripped mid-disambiguation
+  uint64_t cancelled_queued = 0;      // flushed by Shutdown before running
+  // ---- gauges ----
+  uint64_t queue_depth = 0;  // requests waiting in the bounded queue
+  uint64_t in_flight = 0;    // requests currently inside Disambiguate
+  // ---- rates ----
+  double uptime_seconds = 0.0;
+  double completed_per_second = 0.0;  // completed / uptime
+  // ---- latency histograms ----
+  LatencySnapshot queue_wait;     // submit -> dequeued by a worker
+  LatencySnapshot service_time;   // inside NedSystem::Disambiguate
+  LatencySnapshot total_latency;  // submit -> future satisfied (OK only)
+
+  /// Every submission is accounted exactly once across the outcome
+  /// counters; true when the books balance (modulo requests still queued
+  /// or in flight at snapshot time).
+  uint64_t Resolved() const {
+    return completed + failed + rejected_queue_full + rejected_closed +
+           expired_in_queue + cancelled_in_flight + cancelled_queued;
+  }
+};
+
+/// The metrics registry one NedService owns: throughput and shed
+/// counters, queue/in-flight gauges, and the three latency histograms.
+/// All mutators are thread-safe and O(1); Snapshot is safe while workers
+/// keep serving (counters may be mutually off by the few requests that
+/// transition during the read — fine for monitoring).
+class ServiceMetrics {
+ public:
+  ServiceMetrics() = default;
+
+  void OnSubmitted() { Add(submitted_); }
+  void OnAdmitted() { Add(admitted_); }
+  void OnRejectedQueueFull() { Add(rejected_queue_full_); }
+  void OnRejectedClosed() { Add(rejected_closed_); }
+  void OnCancelledQueued() { Add(cancelled_queued_); }
+
+  void OnExpiredInQueue(double queue_seconds) {
+    Add(expired_in_queue_);
+    queue_wait_.Record(queue_seconds);
+  }
+
+  /// A worker picked the request up and is about to disambiguate.
+  void OnStarted(double queue_seconds) {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    queue_wait_.Record(queue_seconds);
+  }
+
+  void OnCompleted(double service_seconds, double total_seconds) {
+    Add(completed_);
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    service_time_.Record(service_seconds);
+    total_latency_.Record(total_seconds);
+  }
+
+  void OnCancelledInFlight() {
+    Add(cancelled_in_flight_);
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void OnFailed() {
+    Add(failed_);
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// `queue_depth` is the owning service's current bounded-queue size —
+  /// the one gauge the registry cannot observe on its own.
+  ServiceMetricsSnapshot Snapshot(size_t queue_depth) const;
+
+ private:
+  static void Add(std::atomic<uint64_t>& counter) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> rejected_queue_full_{0};
+  std::atomic<uint64_t> rejected_closed_{0};
+  std::atomic<uint64_t> expired_in_queue_{0};
+  std::atomic<uint64_t> cancelled_in_flight_{0};
+  std::atomic<uint64_t> cancelled_queued_{0};
+  std::atomic<uint64_t> in_flight_{0};
+  LatencyHistogram queue_wait_;
+  LatencyHistogram service_time_;
+  LatencyHistogram total_latency_;
+  util::Stopwatch uptime_;
+};
+
+}  // namespace aida::serve
+
+#endif  // AIDA_SERVE_METRICS_H_

@@ -1,0 +1,234 @@
+#include "serve/ned_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "util/stopwatch.h"
+
+namespace aida::serve {
+namespace {
+
+using ServiceClock = core::CancellationToken::Clock;
+
+double SecondsBetween(ServiceClock::time_point begin,
+                      ServiceClock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+}  // namespace
+
+NedService::NedService(const core::NedSystem* system,
+                       NedServiceOptions options)
+    : system_(system),
+      options_(options),
+      num_threads_(options.num_threads != 0
+                       ? options.num_threads
+                       : std::max(1u, std::thread::hardware_concurrency())),
+      queue_(std::max<size_t>(1, options.queue_capacity)),
+      pool_(std::make_unique<util::WorkerPool>(num_threads_)) {
+  AIDA_CHECK(system_ != nullptr);
+  for (size_t t = 0; t < num_threads_; ++t) {
+    pool_->Submit([this] { WorkerLoop(); });
+  }
+}
+
+NedService::~NedService() { Drain(); }
+
+std::future<ServeResult> NedService::Submit(
+    core::DisambiguationProblem problem, RequestOptions options) {
+  metrics_.OnSubmitted();
+
+  Request request;
+  request.problem = std::move(problem);
+  request.submit_time = Clock::now();
+  const double deadline_seconds = options.deadline_seconds > 0.0
+                                      ? options.deadline_seconds
+                                      : options_.default_deadline_seconds;
+  request.deadline =
+      deadline_seconds > 0.0
+          ? request.submit_time + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double>(
+                                          deadline_seconds))
+          : Clock::time_point::max();
+  std::future<ServeResult> future = request.promise.get_future();
+
+  std::optional<AdmissionError> refused = queue_.TryPush(request);
+  if (!refused) {
+    metrics_.OnAdmitted();
+    return future;
+  }
+
+  // Shed: the future completes here and now with the rejection status —
+  // the caller is never parked on a full queue.
+  ServeResult shed;
+  shed.result.cancelled = true;
+  if (*refused == AdmissionError::kQueueFull) {
+    metrics_.OnRejectedQueueFull();
+    shed.status = util::Status::ResourceExhausted(
+        "request queue at capacity (" + std::to_string(queue_.capacity()) +
+        "); load shed");
+  } else {
+    metrics_.OnRejectedClosed();
+    shed.status =
+        util::Status::Cancelled("service is draining or shut down");
+  }
+  request.promise.set_value(std::move(shed));
+  return future;
+}
+
+std::vector<ServeResult> NedService::DisambiguateAll(
+    const std::vector<core::DisambiguationProblem>& problems,
+    RequestOptions options) {
+  std::vector<ServeResult> results(problems.size());
+  // Closed-loop backpressure: keep at most queue + workers of our own
+  // requests outstanding, and on a shed submission (another client may be
+  // filling the queue) wait for our oldest future before retrying.
+  const size_t window = queue_.capacity() + num_threads_;
+  std::deque<std::pair<size_t, std::future<ServeResult>>> outstanding;
+
+  auto settle_oldest = [&] {
+    auto [index, future] = std::move(outstanding.front());
+    outstanding.pop_front();
+    results[index] = future.get();
+  };
+
+  for (size_t i = 0; i < problems.size(); ++i) {
+    for (;;) {
+      while (outstanding.size() >= window) settle_oldest();
+      std::future<ServeResult> future = Submit(problems[i], options);
+      if (future.wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready) {
+        ServeResult ready = future.get();
+        if (ready.status.code() == util::StatusCode::kResourceExhausted) {
+          // Shed by concurrent load; make room and retry this problem.
+          if (!outstanding.empty()) {
+            settle_oldest();
+          } else {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          continue;
+        }
+        results[i] = std::move(ready);  // rejected-closed or instant finish
+      } else {
+        outstanding.emplace_back(i, std::move(future));
+      }
+      break;
+    }
+  }
+  while (!outstanding.empty()) settle_oldest();
+  return results;
+}
+
+void NedService::WorkerLoop() {
+  for (;;) {
+    std::optional<Request> request = queue_.Pop();
+    if (!request) return;
+    Process(std::move(*request));
+  }
+}
+
+void NedService::Process(Request request) {
+  const Clock::time_point start = Clock::now();
+  const double queue_seconds = SecondsBetween(request.submit_time, start);
+
+  ServeResult out;
+  out.queue_seconds = queue_seconds;
+
+  // Deadline already gone: complete without paying for NED at all.
+  if (start >= request.deadline) {
+    metrics_.OnExpiredInQueue(queue_seconds);
+    out.status =
+        util::Status::DeadlineExceeded("deadline expired while queued");
+    out.result.cancelled = true;
+    out.total_seconds = queue_seconds;
+    request.promise.set_value(std::move(out));
+    return;
+  }
+
+  metrics_.OnStarted(queue_seconds);
+  core::CancellationToken token(request.deadline);
+  request.problem.cancel = &token;
+  util::Stopwatch service_watch;
+  try {
+    out.result = system_->Disambiguate(request.problem);
+    out.service_seconds = service_watch.ElapsedSeconds();
+    out.total_seconds = SecondsBetween(request.submit_time, Clock::now());
+    if (out.result.cancelled) {
+      // The system observed the token between phases and bailed out; the
+      // partial (local-only) result rides along for best-effort callers.
+      metrics_.OnCancelledInFlight();
+      out.status = util::Status::DeadlineExceeded(
+          "deadline expired during disambiguation");
+    } else {
+      metrics_.OnCompleted(out.service_seconds, out.total_seconds);
+    }
+  } catch (const std::exception& error) {
+    // The library never throws, but wrapped user systems may; a worker
+    // must survive it, so the exception becomes a per-request status.
+    out.service_seconds = service_watch.ElapsedSeconds();
+    out.total_seconds = SecondsBetween(request.submit_time, Clock::now());
+    out.result.cancelled = true;
+    out.status = util::Status::Internal(std::string("NedSystem threw: ") +
+                                        error.what());
+    metrics_.OnFailed();
+  } catch (...) {
+    out.service_seconds = service_watch.ElapsedSeconds();
+    out.total_seconds = SecondsBetween(request.submit_time, Clock::now());
+    out.result.cancelled = true;
+    out.status = util::Status::Internal("NedSystem threw a non-exception");
+    metrics_.OnFailed();
+  }
+  request.promise.set_value(std::move(out));
+}
+
+void NedService::Stop(bool flush_queued) {
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (flush_queued) {
+    std::vector<Request> flushed = queue_.CloseAndFlush();
+    for (Request& request : flushed) {
+      metrics_.OnCancelledQueued();
+      ServeResult out;
+      out.status = util::Status::Cancelled("service shut down while queued");
+      out.result.cancelled = true;
+      out.queue_seconds = SecondsBetween(request.submit_time, Clock::now());
+      out.total_seconds = out.queue_seconds;
+      request.promise.set_value(std::move(out));
+    }
+  } else {
+    queue_.CloseAdmission();
+  }
+  // Joining the pool waits for the worker loops, which exit once the
+  // queue is closed and (for drain) fully consumed.
+  pool_.reset();
+}
+
+void NedService::Drain() { Stop(/*flush_queued=*/false); }
+
+void NedService::Shutdown() { Stop(/*flush_queued=*/true); }
+
+NedServiceSnapshot NedService::Snapshot() const {
+  NedServiceSnapshot snapshot;
+  snapshot.metrics = metrics_.Snapshot(queue_.size());
+  if (options_.shared_cache != nullptr) {
+    snapshot.has_cache = true;
+    snapshot.cache = options_.shared_cache->Snapshot();
+  }
+  return snapshot;
+}
+
+core::DisambiguationStats AggregateCompletedStats(
+    const std::vector<ServeResult>& results) {
+  core::DisambiguationStats total;
+  for (const ServeResult& result : results) {
+    if (!result.status.ok()) continue;
+    total += result.result.stats;
+  }
+  return total;
+}
+
+}  // namespace aida::serve

@@ -1,0 +1,181 @@
+#ifndef AIDA_SERVE_NED_SERVICE_H_
+#define AIDA_SERVE_NED_SERVICE_H_
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/ned_system.h"
+#include "core/relatedness_cache.h"
+#include "serve/bounded_queue.h"
+#include "serve/metrics.h"
+#include "util/status.h"
+#include "util/worker_pool.h"
+
+namespace aida::serve {
+
+/// Configuration of a NedService.
+struct NedServiceOptions {
+  /// Worker threads; 0 selects the hardware concurrency.
+  size_t num_threads = 0;
+  /// Bound on requests *waiting* for a worker (in-flight requests are on
+  /// top). Submissions beyond the bound are shed with kResourceExhausted
+  /// — the admission-control knob: size it to the queueing delay the
+  /// deployment can tolerate, not to peak burst size.
+  size_t queue_capacity = 1024;
+  /// Deadline applied to requests that do not set their own;
+  /// <= 0 means no deadline.
+  double default_deadline_seconds = 0.0;
+  /// Optional handle to the RelatednessCache shared by the served
+  /// system's CachedRelatednessMeasure (not owned). The service does not
+  /// need it to function — concurrent workers already reuse pairs through
+  /// the measure — but wiring it here surfaces hit rates and evictions in
+  /// Snapshot() next to the latency histograms.
+  const core::RelatednessCache* shared_cache = nullptr;
+};
+
+/// Per-request overrides.
+struct RequestOptions {
+  /// Deadline for this request, from submission; <= 0 uses the service
+  /// default. Expiry while queued completes the future with
+  /// kDeadlineExceeded without running NED; expiry mid-flight is caught
+  /// cooperatively between disambiguation phases (CancellationToken).
+  double deadline_seconds = 0.0;
+};
+
+/// What a Submit future resolves to.
+struct ServeResult {
+  /// OK, or why the request produced no (complete) annotation:
+  ///   kResourceExhausted — shed at admission, queue at capacity;
+  ///   kCancelled         — submitted after stop, or flushed by Shutdown;
+  ///   kDeadlineExceeded  — expired in queue or cancelled mid-flight;
+  ///   kInternal          — the wrapped NedSystem threw.
+  util::Status status;
+  /// The annotation; meaningful only when status.ok(). On
+  /// kDeadlineExceeded mid-flight it holds the partial (local-only)
+  /// result with result.cancelled set.
+  core::DisambiguationResult result;
+  /// Time spent waiting in the bounded queue (0 for shed requests).
+  double queue_seconds = 0.0;
+  /// Time inside NedSystem::Disambiguate (0 if it never ran).
+  double service_seconds = 0.0;
+  /// Submission to future completion.
+  double total_seconds = 0.0;
+};
+
+/// Service state surfaced by NedService::Snapshot.
+struct NedServiceSnapshot {
+  ServiceMetricsSnapshot metrics;
+  /// Present when NedServiceOptions::shared_cache was wired.
+  bool has_cache = false;
+  core::RelatednessCacheStats cache;
+};
+
+/// The online NED serving layer: a persistent worker pool consuming a
+/// bounded request queue in front of any core::NedSystem — the shape the
+/// ROADMAP's "serve heavy traffic" north star asks for, where documents
+/// arrive continuously with skewed sizes and latency constraints instead
+/// of as one big offline batch.
+///
+///   NedService service(&aida, {.num_threads = 8, .queue_capacity = 64});
+///   std::future<ServeResult> f = service.Submit(problem, {.deadline_seconds = 0.05});
+///   ServeResult r = f.get();           // r.status tells OK / shed / expired
+///
+/// Guarantees:
+///  * Submit never blocks: a request is admitted or its future completes
+///    immediately with a rejection status (explicit load shedding).
+///  * Every admitted request's future is satisfied exactly once — by a
+///    worker, by deadline expiry, or by Shutdown's queue flush.
+///  * Completed (OK) results are byte-identical to a serial
+///    system->Disambiguate on the same problem: workers add no
+///    nondeterminism, and a shared RelatednessCache stores exact values.
+///  * Drain(): stop admission, finish queued + in-flight work, join.
+///    Shutdown(): stop admission, fail queued work with kCancelled,
+///    finish in-flight work, join. The destructor drains.
+///
+/// The served system must be const-thread-safe (Aida and all shipped
+/// baselines are). Problems are copied into the service, but the token
+/// vector and vocabulary they point to stay caller-owned and must outlive
+/// the request's future.
+class NedService {
+ public:
+  /// `system` is not owned and must outlive the service.
+  explicit NedService(const core::NedSystem* system,
+                      NedServiceOptions options = {});
+
+  /// Drains: accepted work completes before destruction returns.
+  ~NedService();
+
+  NedService(const NedService&) = delete;
+  NedService& operator=(const NedService&) = delete;
+
+  /// Submits one request. Always returns a valid future; see ServeResult
+  /// for the outcome taxonomy. Thread-safe, never blocks.
+  std::future<ServeResult> Submit(core::DisambiguationProblem problem,
+                                  RequestOptions options = {});
+
+  /// Blocking batch convenience: submits every problem with closed-loop
+  /// backpressure (waits on its own outstanding futures instead of
+  /// shedding when the queue fills), returns results parallel to the
+  /// input. Requests can still expire against their deadlines or be
+  /// cancelled by a concurrent Shutdown.
+  std::vector<ServeResult> DisambiguateAll(
+      const std::vector<core::DisambiguationProblem>& problems,
+      RequestOptions options = {});
+
+  /// Stops admission, completes all queued and in-flight requests, joins
+  /// the workers. Idempotent; concurrent calls block until the stop
+  /// finishes.
+  void Drain();
+
+  /// Stops admission, fails queued requests with kCancelled, completes
+  /// in-flight requests, joins the workers. Idempotent.
+  void Shutdown();
+
+  /// Point-in-time metrics (plus shared-cache stats when wired). Safe to
+  /// call at any time, including while the service runs full tilt.
+  NedServiceSnapshot Snapshot() const;
+
+  size_t num_threads() const { return num_threads_; }
+  size_t queue_capacity() const { return queue_.capacity(); }
+  /// True once Drain or Shutdown began; Submit is rejected from then on.
+  bool stopped() const { return queue_.closed(); }
+
+ private:
+  using Clock = core::CancellationToken::Clock;
+
+  struct Request {
+    core::DisambiguationProblem problem;
+    std::promise<ServeResult> promise;
+    Clock::time_point submit_time;
+    Clock::time_point deadline;
+  };
+
+  /// One per pool thread: pop until the queue closes and empties.
+  void WorkerLoop();
+  /// Runs (or expires) one request and satisfies its promise.
+  void Process(Request request);
+  void Stop(bool flush_queued);
+
+  const core::NedSystem* system_;
+  NedServiceOptions options_;
+  size_t num_threads_;
+  ServiceMetrics metrics_;
+  BoundedQueue<Request> queue_;
+  // Declared after queue_ so it is destroyed first: the pool joins worker
+  // loops, which only exit once the queue is closed.
+  std::unique_ptr<util::WorkerPool> pool_;
+  std::mutex stop_mutex_;
+};
+
+/// Sums the DisambiguationStats of the completed (status OK) results,
+/// skipping shed / expired / failed entries entirely — the serving-layer
+/// counterpart of core::AggregateStats.
+core::DisambiguationStats AggregateCompletedStats(
+    const std::vector<ServeResult>& results);
+
+}  // namespace aida::serve
+
+#endif  // AIDA_SERVE_NED_SERVICE_H_

@@ -19,6 +19,9 @@ enum class StatusCode {
   kUnimplemented = 6,
   kInternal = 7,
   kIoError = 8,
+  kResourceExhausted = 9,
+  kDeadlineExceeded = 10,
+  kCancelled = 11,
 };
 
 /// Returns a human-readable name for `code` ("OK", "NOT_FOUND", ...).
@@ -59,6 +62,15 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,98 @@
+#include "util/worker_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace aida::util {
+
+WorkerPool::WorkerPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void WorkerPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  ready_.notify_one();
+}
+
+void WorkerPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      // Drain-then-stop: queued tasks still run after the stop flag rises,
+      // so a ParallelFor racing the destructor cannot lose indices.
+      if (tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void WorkerPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& body) {
+  if (count == 0) return;
+
+  // Per-call state, shared by the runner tasks of this invocation only, so
+  // concurrent ParallelFor calls on one pool never interfere.
+  struct CallState {
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex mutex;
+    std::condition_variable done;
+    size_t active = 0;
+  };
+  auto state = std::make_shared<CallState>();
+  const size_t runners = std::min(num_threads(), count);
+  state->active = runners;
+
+  // `body` is captured by reference: the caller blocks below until every
+  // runner finished, so the reference cannot dangle.
+  auto runner = [state, count, &body] {
+    for (;;) {
+      if (state->failed.load(std::memory_order_relaxed)) break;
+      const size_t index = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) break;
+      try {
+        body(index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->error) state->error = std::current_exception();
+        state->failed.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (--state->active == 0) state->done.notify_all();
+  };
+
+  for (size_t r = 0; r < runners; ++r) Submit(runner);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&] { return state->active == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace aida::util

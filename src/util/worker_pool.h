@@ -1,0 +1,65 @@
+#ifndef AIDA_UTIL_WORKER_POOL_H_
+#define AIDA_UTIL_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aida::util {
+
+/// A persistent pool of worker threads fed from an unbounded FIFO task
+/// queue. Threads are created once at construction and reused for every
+/// task, replacing the create/join-per-call pattern that used to live in
+/// core::BatchDisambiguator and that an online service cannot afford.
+///
+/// Two usage modes:
+///  * Submit() enqueues a fire-and-forget task (the serving layer submits
+///    one long-running dequeue loop per worker);
+///  * ParallelFor() runs an indexed body across the pool with dynamic
+///    dispatch and blocks the caller until every index finished.
+///
+/// The destructor stops intake, drains tasks already queued, and joins.
+class WorkerPool {
+ public:
+  /// `num_threads` of 0 selects the hardware concurrency.
+  explicit WorkerPool(size_t num_threads = 0);
+
+  /// Drains queued tasks, then joins all workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues `task` for execution on some worker. Never blocks; the queue
+  /// is unbounded (bounded admission belongs to the layer above, see
+  /// serve::BoundedQueue). Tasks must not throw — a task that needs
+  /// exception transport wraps its own try/catch, as ParallelFor does.
+  void Submit(std::function<void()> task);
+
+  /// Runs body(0) .. body(count - 1) across up to min(num_threads, count)
+  /// workers with dynamic dispatch (an atomic index, so skewed per-index
+  /// costs balance), blocking until all dispatched indices completed. If a
+  /// body throws, dispatch of further indices stops, in-flight bodies
+  /// finish, and the first captured exception is rethrown here. Safe to
+  /// call concurrently from several threads sharing one pool.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace aida::util
+
+#endif  // AIDA_UTIL_WORKER_POOL_H_

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Builds the test suite with -DAIDA_SANITIZE=address (which the top-level
+# CMakeLists expands to ASan + UBSan) and runs the concurrency-sensitive
+# tests: the batch runner and the aida::serve service, whose promise/future
+# handoffs and drain/shutdown paths are where lifetime bugs would live.
+# Any heap error or UB report fails the run.
+#
+# Usage: tools/run_asan_tests.sh [extra gtest filter]
+#   BUILD_DIR=build-asan  override the build directory
+#   When a filter is given it is applied to both test binaries.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-asan}"
+BATCH_FILTER="${1:-BatchTest.*}"
+SERVE_FILTER="${1:-*}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DAIDA_SANITIZE=address
+cmake --build "$BUILD_DIR" -j --target batch_test serve_test
+
+# halt_on_error fails fast; detect_leaks guards the promise/future and
+# flushed-request paths in the serving layer.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+"$BUILD_DIR/tests/batch_test" --gtest_filter="$BATCH_FILTER"
+"$BUILD_DIR/tests/serve_test" --gtest_filter="$SERVE_FILTER"
+
+echo "ASan/UBSan batch/serve tests passed: no memory errors reported."

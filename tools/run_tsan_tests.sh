@@ -1,23 +1,28 @@
 #!/usr/bin/env bash
 # Builds the test suite with -DAIDA_SANITIZE=thread and runs the
 # concurrency-sensitive tests (batch runner, relatedness cache, per-call
-# stats) under ThreadSanitizer. Any data race fails the run.
+# stats, and the aida::serve worker pool / queue / metrics) under
+# ThreadSanitizer. Any data race fails the run.
 #
 # Usage: tools/run_tsan_tests.sh [extra gtest filter]
 #   BUILD_DIR=build-tsan  override the build directory
+#   When a filter is given it is applied to both test binaries.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-tsan}"
-FILTER="${1:-BatchTest.*}"
+BATCH_FILTER="${1:-BatchTest.*}"
+SERVE_FILTER="${1:-*}"
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAIDA_SANITIZE=thread
-cmake --build "$BUILD_DIR" -j --target batch_test
+cmake --build "$BUILD_DIR" -j --target batch_test serve_test
 
 # halt_on_error makes the first race fail fast with a non-zero exit.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-  "$BUILD_DIR/tests/batch_test" --gtest_filter="$FILTER"
+  "$BUILD_DIR/tests/batch_test" --gtest_filter="$BATCH_FILTER"
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  "$BUILD_DIR/tests/serve_test" --gtest_filter="$SERVE_FILTER"
 
-echo "TSan batch/cache tests passed: no data races reported."
+echo "TSan batch/cache/serve tests passed: no data races reported."
