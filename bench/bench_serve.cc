@@ -6,16 +6,30 @@
 // streaming histograms, plus shed/expired counts. One deliberately
 // undersized queue bound demonstrates explicit load shedding; every
 // completed response is checked byte-identical to serial Aida output.
+//
+// The final scenario exercises hot reload: a registry-backed service takes
+// traffic while the KB is swapped via SnapshotRegistry::ReloadFromFile.
+// The run must complete with zero shed/failed requests, every response
+// byte-identical to a serial run against the generation it carries, and a
+// p99 within 2x of the identical run without the reload.
+//
+// Results are also written to BENCH_serve.json for machine consumption.
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/aida.h"
 #include "core/relatedness_cache.h"
+#include "kb/kb_serialization.h"
+#include "kb/snapshot_registry.h"
 #include "serve/ned_service.h"
 #include "synth/corpus_generator.h"
 #include "synth/world_generator.h"
@@ -65,7 +79,8 @@ RunOutcome RunClosedLoop(const core::NedSystem& system,
   options.queue_capacity = config.queue;
   options.default_deadline_seconds = config.deadline_seconds;
   options.shared_cache = shared_cache;
-  serve::NedService service(&system, options);
+  serve::NedService service(kb::KbSnapshot::WrapUnowned(system, "bench-fixed"),
+                            options);
 
   std::atomic<size_t> completed{0}, shed{0}, expired{0}, mismatches{0};
   std::atomic<bool> stop{false};
@@ -112,6 +127,180 @@ RunOutcome RunClosedLoop(const core::NedSystem& system,
   return outcome;
 }
 
+/// One recorded response of the reload scenario: which document it was,
+/// and the full ServeResult (generation tag included) for post-hoc
+/// verification against that generation's serial gold.
+struct RecordedResponse {
+  size_t doc = 0;
+  serve::ServeResult result;
+};
+
+struct ReloadOutcome {
+  size_t completed = 0;
+  size_t shed = 0;
+  size_t expired = 0;
+  size_t failed = 0;
+  size_t mismatches = 0;
+  std::map<uint64_t, size_t> completed_by_generation;
+  double elapsed_seconds = 0.0;
+  /// Build+validate+swap duration of the reload (0 when none happened).
+  double reload_pause_seconds = 0.0;
+  bool reload_ok = true;
+  serve::NedServiceSnapshot snapshot;
+};
+
+/// Drives closed-loop traffic against a registry-backed service; when
+/// `reload_path` is non-empty, swaps the KB mid-run via ReloadFromFile.
+/// Every completed response is verified byte-identical to a serial run
+/// against the snapshot of the generation it reports.
+ReloadOutcome RunReloadUnderLoad(
+    const std::shared_ptr<kb::SnapshotRegistry>& registry,
+    const std::string& reload_path,
+    const std::vector<core::DisambiguationProblem>& work,
+    const RunConfig& config) {
+  serve::NedServiceOptions options;
+  options.num_threads = config.workers;
+  options.queue_capacity = config.queue;
+  options.default_deadline_seconds = config.deadline_seconds;
+  serve::NedService service(registry, options);
+
+  // Pin the starting generation so its gold can be computed after the
+  // run even if the registry has moved on.
+  std::shared_ptr<const kb::KbSnapshot> before = registry->Current();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<RecordedResponse>> per_client(config.clients);
+  auto client = [&](size_t client_id) {
+    size_t next = client_id;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const size_t doc = next++ % work.size();
+      serve::ServeResult response = service.Submit(work[doc]).get();
+      per_client[client_id].push_back({doc, std::move(response)});
+    }
+  };
+
+  ReloadOutcome outcome;
+  util::Stopwatch watch;
+  std::vector<std::thread> clients;
+  clients.reserve(config.clients);
+  for (size_t c = 0; c < config.clients; ++c) clients.emplace_back(client, c);
+
+  std::shared_ptr<const kb::KbSnapshot> after;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(0.4 * config.duration_seconds));
+  if (!reload_path.empty()) {
+    util::StatusOr<std::shared_ptr<const kb::KbSnapshot>> reloaded =
+        registry->ReloadFromFile(reload_path);
+    outcome.reload_ok = reloaded.ok();
+    if (reloaded.ok()) after = reloaded.value();
+  }
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(0.6 * config.duration_seconds));
+  stop.store(true);
+  for (std::thread& thread : clients) thread.join();
+
+  outcome.elapsed_seconds = watch.ElapsedSeconds();
+  service.Drain();
+  outcome.snapshot = service.Snapshot();
+  if (!reload_path.empty()) {
+    outcome.reload_pause_seconds =
+        outcome.snapshot.registry.last_reload_seconds;
+  }
+
+  // Serial gold per generation, against the exact snapshot that served it.
+  std::map<uint64_t, const kb::KbSnapshot*> snapshots;
+  snapshots[before->generation()] = before.get();
+  if (after != nullptr) snapshots[after->generation()] = after.get();
+  std::map<uint64_t, std::vector<core::DisambiguationResult>> gold;
+  for (const auto& [generation, snapshot] : snapshots) {
+    std::vector<core::DisambiguationResult>& results = gold[generation];
+    results.reserve(work.size());
+    for (const core::DisambiguationProblem& problem : work) {
+      results.push_back(snapshot->system().Disambiguate(problem));
+    }
+  }
+
+  for (const std::vector<RecordedResponse>& responses : per_client) {
+    for (const RecordedResponse& response : responses) {
+      const serve::ServeResult& r = response.result;
+      if (r.status.ok()) {
+        ++outcome.completed;
+        ++outcome.completed_by_generation[r.generation];
+        auto it = gold.find(r.generation);
+        if (it == gold.end() ||
+            !SameAnnotation(r.result, it->second[response.doc])) {
+          ++outcome.mismatches;
+        }
+      } else if (r.status.code() == util::StatusCode::kResourceExhausted) {
+        ++outcome.shed;
+      } else if (r.status.code() == util::StatusCode::kDeadlineExceeded) {
+        ++outcome.expired;
+      } else {
+        ++outcome.failed;
+      }
+    }
+  }
+  return outcome;
+}
+
+double Qps(size_t completed, double elapsed) {
+  return elapsed > 0.0 ? completed / elapsed : 0.0;
+}
+
+void WriteJson(const std::vector<std::pair<RunConfig, RunOutcome>>& runs,
+               const RunConfig& reload_config, const ReloadOutcome& steady,
+               const ReloadOutcome& reload) {
+  std::FILE* out = std::fopen("BENCH_serve.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "could not open BENCH_serve.json for writing\n");
+    return;
+  }
+  std::fprintf(out, "{\n  \"scenarios\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunConfig& config = runs[i].first;
+    const RunOutcome& outcome = runs[i].second;
+    const serve::ServiceMetricsSnapshot& m = outcome.snapshot.metrics;
+    std::fprintf(
+        out,
+        "    {\"label\": \"%s\", \"qps\": %.1f, \"p50_ms\": %.3f, "
+        "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"shed\": %zu, "
+        "\"expired\": %zu, \"mismatches\": %zu}%s\n",
+        config.label, Qps(outcome.completed, outcome.elapsed_seconds),
+        1000 * m.total_latency.p50_seconds, 1000 * m.total_latency.p95_seconds,
+        1000 * m.total_latency.p99_seconds, outcome.shed, outcome.expired,
+        outcome.mismatches, i + 1 < runs.size() ? "," : "");
+  }
+  const serve::ServiceMetricsSnapshot& sm = steady.snapshot.metrics;
+  const serve::ServiceMetricsSnapshot& rm = reload.snapshot.metrics;
+  const double steady_p99 = 1000 * sm.total_latency.p99_seconds;
+  const double reload_p99 = 1000 * rm.total_latency.p99_seconds;
+  std::fprintf(out, "  ],\n  \"reload_under_load\": {\n");
+  std::fprintf(out, "    \"label\": \"%s\",\n", reload_config.label);
+  std::fprintf(out, "    \"qps\": %.1f,\n",
+               Qps(reload.completed, reload.elapsed_seconds));
+  std::fprintf(out,
+               "    \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f,\n",
+               1000 * rm.total_latency.p50_seconds,
+               1000 * rm.total_latency.p95_seconds, reload_p99);
+  std::fprintf(out, "    \"steady_p99_ms\": %.3f,\n", steady_p99);
+  std::fprintf(out, "    \"p99_ratio_vs_steady\": %.3f,\n",
+               steady_p99 > 0.0 ? reload_p99 / steady_p99 : 0.0);
+  std::fprintf(out, "    \"reload_pause_seconds\": %.6f,\n",
+               reload.reload_pause_seconds);
+  std::fprintf(out, "    \"shed\": %zu, \"failed\": %zu, \"expired\": %zu,\n",
+               reload.shed, reload.failed, reload.expired);
+  std::fprintf(out, "    \"mismatches\": %zu,\n", reload.mismatches);
+  std::fprintf(out, "    \"completed_by_generation\": {");
+  size_t emitted = 0;
+  for (const auto& [generation, count] : reload.completed_by_generation) {
+    std::fprintf(out, "%s\"%llu\": %zu", emitted++ > 0 ? ", " : "",
+                 static_cast<unsigned long long>(generation), count);
+  }
+  std::fprintf(out, "}\n  }\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_serve.json\n");
+}
+
 }  // namespace
 
 int main() {
@@ -120,9 +309,13 @@ int main() {
   synth::World world = synth::WorldGenerator(preset.world).Generate();
   corpus::Corpus docs =
       synth::CorpusGenerator(&world, preset.corpus).Generate();
+  // The registry-backed scenario shares ownership of the KB with the
+  // snapshots it publishes, so the world's KB moves into a shared_ptr.
+  std::shared_ptr<const kb::KnowledgeBase> base_kb =
+      std::move(world.knowledge_base);
 
-  core::CandidateModelStore models(world.knowledge_base.get());
-  core::MilneWittenRelatedness mw(world.knowledge_base.get());
+  core::CandidateModelStore models(base_kb.get());
+  core::MilneWittenRelatedness mw(base_kb.get());
   core::RelatednessCache cache;
   core::CachedRelatednessMeasure cached_mw(&mw, &cache);
   core::Aida aida(&models, &cached_mw, core::AidaOptions());
@@ -166,11 +359,12 @@ int main() {
               "p95ms", "p99ms", "shed", "expired");
   bench::PrintRule();
   size_t total_mismatches = 0;
+  std::vector<std::pair<RunConfig, RunOutcome>> runs;
   for (const RunConfig& config : configs) {
     RunOutcome outcome = RunClosedLoop(aida, &cache, work, gold, config);
     const serve::ServiceMetricsSnapshot& m = outcome.snapshot.metrics;
     std::printf("%-26s %8.0f %8.2f %8.2f %8.2f %8zu %8zu\n", config.label,
-                outcome.completed / outcome.elapsed_seconds,
+                Qps(outcome.completed, outcome.elapsed_seconds),
                 1000 * m.total_latency.p50_seconds,
                 1000 * m.total_latency.p95_seconds,
                 1000 * m.total_latency.p99_seconds,
@@ -181,16 +375,93 @@ int main() {
       std::printf("  !! %zu completed responses differed from serial Aida\n",
                   outcome.mismatches);
     }
+    runs.emplace_back(config, std::move(outcome));
   }
   bench::PrintRule();
   std::printf("all completed responses byte-identical to serial Aida: %s\n",
               total_mismatches == 0 ? "yes" : "NO");
   core::RelatednessCacheStats cache_stats = cache.Snapshot();
   std::printf("shared relatedness cache: %zu entries, %.1f%% hit rate "
-              "(%llu hits / %llu misses)\n",
+              "(%llu hits / %llu misses)\n\n",
               static_cast<size_t>(cache_stats.entries),
               100.0 * cache_stats.HitRate(),
               static_cast<unsigned long long>(cache_stats.hits),
               static_cast<unsigned long long>(cache_stats.misses));
-  return total_mismatches == 0 ? 0 : 1;
+
+  // --- Hot reload under load -------------------------------------------
+  bench::PrintHeader("aida::serve — KB hot reload under load");
+  const std::string kb_path = "bench_serve_world.kb";
+  util::Status saved = kb::SaveKnowledgeBase(*base_kb, kb_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "failed to save KB: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
+
+  const RunConfig reload_config = {"2w/256q/4c + reload", 2, 256, 4, 0.0,
+                                   2.0};
+  bool reload_healthy = true;
+
+  // Steady-state twin of the reload run: identical traffic shape, no
+  // reload — the p99 yardstick for "reload degrades p99 < 2x".
+  auto steady_registry = std::make_shared<kb::SnapshotRegistry>();
+  if (!steady_registry->Publish(base_kb, "initial").ok()) {
+    std::fprintf(stderr, "failed to publish initial snapshot\n");
+    return 1;
+  }
+  ReloadOutcome steady =
+      RunReloadUnderLoad(steady_registry, "", work, reload_config);
+
+  auto reload_registry = std::make_shared<kb::SnapshotRegistry>();
+  if (!reload_registry->Publish(base_kb, "initial").ok()) {
+    std::fprintf(stderr, "failed to publish initial snapshot\n");
+    return 1;
+  }
+  ReloadOutcome reload =
+      RunReloadUnderLoad(reload_registry, kb_path, work, reload_config);
+  std::remove(kb_path.c_str());
+
+  const double steady_p99 = steady.snapshot.metrics.total_latency.p99_seconds;
+  const double reload_p99 = reload.snapshot.metrics.total_latency.p99_seconds;
+  std::printf("steady run:  %zu completed, %zu shed, %zu failed, "
+              "p99 %.2f ms\n",
+              steady.completed, steady.shed, steady.failed, 1000 * steady_p99);
+  std::printf("reload run:  %zu completed, %zu shed, %zu failed, "
+              "p99 %.2f ms (%.2fx steady)\n",
+              reload.completed, reload.shed, reload.failed, 1000 * reload_p99,
+              steady_p99 > 0.0 ? reload_p99 / steady_p99 : 0.0);
+  std::printf("reload build+validate+swap: %.1f ms (serving continued "
+              "throughout)\n",
+              1000 * reload.reload_pause_seconds);
+  std::printf("completed by generation:");
+  for (const auto& [generation, count] : reload.completed_by_generation) {
+    std::printf(" gen%llu=%zu", static_cast<unsigned long long>(generation),
+                count);
+  }
+  std::printf("\n");
+  if (!reload.reload_ok) {
+    std::printf("  !! ReloadFromFile failed\n");
+    reload_healthy = false;
+  }
+  if (reload.shed != 0 || reload.failed != 0) {
+    std::printf("  !! reload run shed/failed requests (%zu shed, %zu "
+                "failed) — hot reload must not drop traffic\n",
+                reload.shed, reload.failed);
+    reload_healthy = false;
+  }
+  if (reload.mismatches != 0) {
+    std::printf("  !! %zu responses differed from their generation's "
+                "serial gold\n",
+                reload.mismatches);
+    reload_healthy = false;
+  }
+  if (reload.completed_by_generation.size() < 2) {
+    std::printf("  (note: all completions landed in one generation — "
+                "reload finished outside the traffic window)\n");
+  }
+  std::printf("served generations byte-identical to their serial gold: %s\n",
+              reload.mismatches == 0 ? "yes" : "NO");
+
+  WriteJson(runs, reload_config, steady, reload);
+  return (total_mismatches == 0 && reload_healthy) ? 0 : 1;
 }

@@ -55,6 +55,7 @@ StreamIngestReport IngestCorpus(serve::NedService& service,
     if (search != nullptr) search->IndexDocument(corpus[d], entities);
     if (analytics != nullptr) analytics->AddDocument(corpus[d].day, entities);
     ++report.indexed;
+    ++report.indexed_by_generation[result.generation];
   }
   return report;
 }

@@ -2,6 +2,8 @@
 #define AIDA_APPS_SERVING_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 
 #include "apps/entity_search.h"
 #include "apps/news_analytics.h"
@@ -21,6 +23,10 @@ struct StreamIngestReport {
   size_t failed = 0;            // the wrapped system threw
   /// NED efficiency counters of the completed requests only.
   core::DisambiguationStats ned_stats;
+  /// Indexed documents per KB snapshot generation. A hot reload during
+  /// ingest shows up as two entries; callers that must re-index after a
+  /// KB swap can detect the mix here instead of comparing annotations.
+  std::map<uint64_t, size_t> indexed_by_generation;
 };
 
 /// Streams `corpus` through the serving layer and feeds each completed

@@ -32,7 +32,8 @@ std::string Aida::name() const {
 }
 
 DisambiguationResult Aida::Disambiguate(
-    const DisambiguationProblem& problem) const {
+    const DisambiguationProblem& problem,
+    const DisambiguateOptions& options) const {
   AIDA_CHECK(problem.tokens != nullptr);
   const kb::KnowledgeBase& kb = models_->knowledge_base();
   util::Stopwatch total_watch;
@@ -40,7 +41,7 @@ DisambiguationResult Aida::Disambiguate(
 
   ExtendedVocabulary plain_vocab(&kb.keyphrases());
   const ExtendedVocabulary& vocab =
-      problem.vocab != nullptr ? *problem.vocab : plain_vocab;
+      options.vocab != nullptr ? *options.vocab : plain_vocab;
   DocumentContext context(*problem.tokens, vocab);
 
   const size_t num_mentions = problem.mentions.size();
@@ -50,7 +51,7 @@ DisambiguationResult Aida::Disambiguate(
   // Cooperative cancellation, checked between phases: a request whose
   // deadline already passed (e.g. while queued in serve::NedService) must
   // not pay for candidate lookups at all.
-  if (problem.cancel != nullptr && problem.cancel->cancelled()) {
+  if (options.cancel != nullptr && options.cancel->cancelled()) {
     result.cancelled = true;
     result.stats.total_seconds = total_watch.ElapsedSeconds();
     return result;
@@ -155,7 +156,7 @@ DisambiguationResult Aida::Disambiguate(
 
   // A token that tripped during the local phase skips the coherence graph
   // entirely and degrades to local-only choices.
-  if (problem.cancel != nullptr && problem.cancel->cancelled()) {
+  if (options.cancel != nullptr && options.cancel->cancelled()) {
     fill_local_only();
     result.cancelled = true;
     return result;
@@ -192,11 +193,9 @@ DisambiguationResult Aida::Disambiguate(
 
   // Deadline tripped while building the graph (the relatedness-dominated
   // phase): skip the solver and the full candidate re-scoring.
-  if (problem.cancel != nullptr && problem.cancel->cancelled()) {
+  if (options.cancel != nullptr && options.cancel->cancelled()) {
     fill_local_only();
     result.cancelled = true;
-    total_relatedness_computations_.fetch_add(
-        result.stats.relatedness_computations, std::memory_order_relaxed);
     return result;
   }
 
@@ -245,11 +244,6 @@ DisambiguationResult Aida::Disambiguate(
     }
     fill_result(m, chosen_original[m], scores);
   }
-  // Legacy counter: accumulate (never overwrite) so concurrent batch
-  // workers cannot clobber each other; per-call numbers live in
-  // result.stats.
-  total_relatedness_computations_.fetch_add(
-      result.stats.relatedness_computations, std::memory_order_relaxed);
   result.stats.total_seconds = total_watch.ElapsedSeconds();
   return result;
 }

@@ -1,7 +1,6 @@
 #ifndef AIDA_CORE_AIDA_H_
 #define AIDA_CORE_AIDA_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -53,36 +52,20 @@ class Aida : public NedSystem {
   Aida(const CandidateModelStore* models,
        const RelatednessMeasure* relatedness, AidaOptions options);
 
+  using NedSystem::Disambiguate;
   DisambiguationResult Disambiguate(
-      const DisambiguationProblem& problem) const override;
+      const DisambiguationProblem& problem,
+      const DisambiguateOptions& options) const override;
 
   std::string name() const override;
 
   const AidaOptions& options() const { return options_; }
-
-  /// Deprecated: use DisambiguationResult::stats, which is per-call and
-  /// race-free. This legacy counter ACCUMULATES relatedness computations
-  /// across all Disambiguate calls (the old overwrite semantics made the
-  /// value garbage under concurrent BatchDisambiguator runs, where calls
-  /// clobbered each other). Reset with ResetRelatednessComputations()
-  /// between measurement windows — never while a batch is in flight.
-  [[deprecated(
-      "racy under batch runs; read DisambiguationResult::stats instead")]]
-  uint64_t last_relatedness_computations() const {
-    return total_relatedness_computations_.load(std::memory_order_relaxed);
-  }
-
-  /// Zeroes the legacy accumulating counter.
-  void ResetRelatednessComputations() const {
-    total_relatedness_computations_.store(0, std::memory_order_relaxed);
-  }
 
  private:
   const CandidateModelStore* models_;
   const RelatednessMeasure* relatedness_;
   AidaOptions options_;
   ContextSimilarity similarity_;
-  mutable std::atomic<uint64_t> total_relatedness_computations_{0};
 };
 
 }  // namespace aida::core

@@ -81,7 +81,8 @@ PriorBaseline::PriorBaseline(const CandidateModelStore* models)
 }
 
 DisambiguationResult PriorBaseline::Disambiguate(
-    const DisambiguationProblem& problem) const {
+    const DisambiguationProblem& problem,
+    const DisambiguateOptions& /*options*/) const {
   std::vector<std::vector<Candidate>> owned;
   std::vector<const std::vector<Candidate>*> candidates;
   ResolveCandidates(*models_, problem, owned, candidates);
@@ -109,7 +110,8 @@ CucerzanBaseline::CucerzanBaseline(const CandidateModelStore* models)
 }
 
 DisambiguationResult CucerzanBaseline::Disambiguate(
-    const DisambiguationProblem& problem) const {
+    const DisambiguationProblem& problem,
+    const DisambiguateOptions& options) const {
   AIDA_CHECK(problem.tokens != nullptr);
   const kb::KnowledgeBase& kb = models_->knowledge_base();
   std::vector<std::vector<Candidate>> owned;
@@ -118,7 +120,7 @@ DisambiguationResult CucerzanBaseline::Disambiguate(
 
   ExtendedVocabulary plain_vocab(&kb.keyphrases());
   const ExtendedVocabulary& vocab =
-      problem.vocab != nullptr ? *problem.vocab : plain_vocab;
+      options.vocab != nullptr ? *options.vocab : plain_vocab;
   DocumentContext context(*problem.tokens, vocab);
   ContextSimilarity similarity(ContextSimilarity::WordWeight::kIdf);
 
@@ -192,7 +194,8 @@ std::string KulkarniBaseline::name() const {
 }
 
 DisambiguationResult KulkarniBaseline::Disambiguate(
-    const DisambiguationProblem& problem) const {
+    const DisambiguationProblem& problem,
+    const DisambiguateOptions& options) const {
   AIDA_CHECK(problem.tokens != nullptr);
   const kb::KnowledgeBase& kb = models_->knowledge_base();
   std::vector<std::vector<Candidate>> owned;
@@ -201,7 +204,7 @@ DisambiguationResult KulkarniBaseline::Disambiguate(
 
   ExtendedVocabulary plain_vocab(&kb.keyphrases());
   const ExtendedVocabulary& vocab =
-      problem.vocab != nullptr ? *problem.vocab : plain_vocab;
+      options.vocab != nullptr ? *options.vocab : plain_vocab;
   DocumentContext context(*problem.tokens, vocab);
 
   const size_t num_mentions = problem.mentions.size();
@@ -296,7 +299,8 @@ TagMeBaseline::TagMeBaseline(const CandidateModelStore* models,
 }
 
 DisambiguationResult TagMeBaseline::Disambiguate(
-    const DisambiguationProblem& problem) const {
+    const DisambiguationProblem& problem,
+    const DisambiguateOptions& /*options*/) const {
   std::vector<std::vector<Candidate>> owned;
   std::vector<const std::vector<Candidate>*> candidates;
   ResolveCandidates(*models_, problem, owned, candidates);

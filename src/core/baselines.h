@@ -14,8 +14,10 @@ class PriorBaseline : public NedSystem {
  public:
   explicit PriorBaseline(const CandidateModelStore* models);
 
+  using NedSystem::Disambiguate;
   DisambiguationResult Disambiguate(
-      const DisambiguationProblem& problem) const override;
+      const DisambiguationProblem& problem,
+      const DisambiguateOptions& options) const override;
   std::string name() const override { return "prior"; }
 
  private:
@@ -30,8 +32,10 @@ class CucerzanBaseline : public NedSystem {
  public:
   explicit CucerzanBaseline(const CandidateModelStore* models);
 
+  using NedSystem::Disambiguate;
   DisambiguationResult Disambiguate(
-      const DisambiguationProblem& problem) const override;
+      const DisambiguationProblem& problem,
+      const DisambiguateOptions& options) const override;
   std::string name() const override { return "cucerzan"; }
 
  private:
@@ -54,8 +58,10 @@ class KulkarniBaseline : public NedSystem {
   KulkarniBaseline(const CandidateModelStore* models,
                    const RelatednessMeasure* relatedness, Mode mode);
 
+  using NedSystem::Disambiguate;
   DisambiguationResult Disambiguate(
-      const DisambiguationProblem& problem) const override;
+      const DisambiguationProblem& problem,
+      const DisambiguateOptions& options) const override;
   std::string name() const override;
 
  private:
@@ -76,8 +82,10 @@ class TagMeBaseline : public NedSystem {
   TagMeBaseline(const CandidateModelStore* models,
                 const RelatednessMeasure* relatedness);
 
+  using NedSystem::Disambiguate;
   DisambiguationResult Disambiguate(
-      const DisambiguationProblem& problem) const override;
+      const DisambiguationProblem& problem,
+      const DisambiguateOptions& options) const override;
   std::string name() const override { return "tagme"; }
 
  private:

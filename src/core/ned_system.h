@@ -65,18 +65,28 @@ struct ProblemMention {
   bool candidates_resolved = false;
 };
 
-/// A disambiguation task: a tokenized document plus its mentions.
+/// A disambiguation task: a tokenized document plus its mentions. The
+/// problem describes only the INPUT TEXT; per-call execution knobs
+/// (vocabulary override, cancellation) live in DisambiguateOptions so the
+/// problem struct stops accreting optional non-owning pointers.
 struct DisambiguationProblem {
   /// Not owned; must outlive the call.
   const std::vector<std::string>* tokens = nullptr;
   std::vector<ProblemMention> mentions;
-  /// Optional extended vocabulary (KB words plus harvested out-of-KB
-  /// words). When null, systems fall back to the plain KB vocabulary.
-  /// Needed whenever candidate models reference extension word ids.
+};
+
+/// Per-call execution options for NedSystem::Disambiguate. Everything is
+/// optional and non-owning; all pointees must outlive the call. New knobs
+/// (score calibration, per-call budgets, tracing hooks) belong here, not
+/// in DisambiguationProblem.
+struct DisambiguateOptions {
+  /// Extended vocabulary (KB words plus harvested out-of-KB words). When
+  /// null, systems fall back to the plain KB vocabulary. Needed whenever
+  /// candidate models reference extension word ids.
   const ExtendedVocabulary* vocab = nullptr;
-  /// Optional cooperative-cancellation token (not owned; must outlive the
-  /// call). Aida polls it between phases and degrades to local-only
-  /// results when it trips; see DisambiguationResult::cancelled.
+  /// Cooperative-cancellation token. Aida polls it between phases and
+  /// degrades to local-only results when it trips; see
+  /// DisambiguationResult::cancelled.
   const CancellationToken* cancel = nullptr;
 };
 
@@ -154,9 +164,20 @@ class NedSystem {
  public:
   virtual ~NedSystem() = default;
 
-  /// Disambiguates all mentions of `problem` jointly.
+  /// Disambiguates all mentions of `problem` jointly, honouring the
+  /// per-call `options` (vocabulary override, cooperative cancellation).
   virtual DisambiguationResult Disambiguate(
-      const DisambiguationProblem& problem) const = 0;
+      const DisambiguationProblem& problem,
+      const DisambiguateOptions& options) const = 0;
+
+  /// Back-compat overload with default options. Subclasses overriding the
+  /// two-argument form must re-expose it with `using
+  /// NedSystem::Disambiguate;` (C++ name hiding). Kept for one release;
+  /// new call sites should pass DisambiguateOptions explicitly.
+  DisambiguationResult Disambiguate(
+      const DisambiguationProblem& problem) const {
+    return Disambiguate(problem, DisambiguateOptions());
+  }
 
   /// Human-readable system name for reports.
   virtual std::string name() const = 0;

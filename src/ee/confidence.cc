@@ -48,7 +48,8 @@ core::DisambiguationProblem ConfidenceEstimator::ResolveProblem(
 
 std::vector<double> ConfidenceEstimator::MentionPerturbation(
     const core::DisambiguationProblem& problem,
-    const core::DisambiguationResult& base) const {
+    const core::DisambiguationResult& base,
+    const core::DisambiguateOptions& options) const {
   const size_t n = problem.mentions.size();
   std::vector<double> stable(n, 0.0);
   std::vector<double> present(n, 0.0);
@@ -59,7 +60,6 @@ std::vector<double> ConfidenceEstimator::MentionPerturbation(
     // Random subset R of mentions is kept this round.
     core::DisambiguationProblem sub;
     sub.tokens = resolved.tokens;
-    sub.vocab = resolved.vocab;
     std::vector<size_t> kept;
     for (size_t m = 0; m < n; ++m) {
       if (rng.Bernoulli(options_.perturb_fraction)) continue;  // dropped
@@ -67,7 +67,7 @@ std::vector<double> ConfidenceEstimator::MentionPerturbation(
       sub.mentions.push_back(resolved.mentions[m]);
     }
     if (kept.empty()) continue;
-    core::DisambiguationResult result = ned_->Disambiguate(sub);
+    core::DisambiguationResult result = ned_->Disambiguate(sub, options);
     for (size_t i = 0; i < kept.size(); ++i) {
       size_t m = kept[i];
       present[m] += 1.0;
@@ -88,7 +88,8 @@ std::vector<double> ConfidenceEstimator::MentionPerturbation(
 
 std::vector<double> ConfidenceEstimator::EntityPerturbation(
     const core::DisambiguationProblem& problem,
-    const core::DisambiguationResult& base) const {
+    const core::DisambiguationResult& base,
+    const core::DisambiguateOptions& options) const {
   const size_t n = problem.mentions.size();
   std::vector<double> stable(n, 0.0);
   std::vector<double> present(n, 0.0);
@@ -98,7 +99,6 @@ std::vector<double> ConfidenceEstimator::EntityPerturbation(
   for (size_t round = 0; round < options_.rounds; ++round) {
     core::DisambiguationProblem sub;
     sub.tokens = resolved.tokens;
-    sub.vocab = resolved.vocab;
     sub.mentions = resolved.mentions;
     std::vector<bool> perturbed(n, false);
     for (size_t m = 0; m < n; ++m) {
@@ -135,7 +135,7 @@ std::vector<double> ConfidenceEstimator::EntityPerturbation(
       pm.candidates_resolved = true;
       perturbed[m] = true;
     }
-    core::DisambiguationResult result = ned_->Disambiguate(sub);
+    core::DisambiguationResult result = ned_->Disambiguate(sub, options);
     for (size_t m = 0; m < n; ++m) {
       if (perturbed[m]) continue;
       present[m] += 1.0;
@@ -156,9 +156,10 @@ std::vector<double> ConfidenceEstimator::EntityPerturbation(
 
 std::vector<double> ConfidenceEstimator::Conf(
     const core::DisambiguationProblem& problem,
-    const core::DisambiguationResult& base) const {
+    const core::DisambiguationResult& base,
+    const core::DisambiguateOptions& options) const {
   std::vector<double> norm = NormalizedScores(base);
-  std::vector<double> perturb = EntityPerturbation(problem, base);
+  std::vector<double> perturb = EntityPerturbation(problem, base, options);
   AIDA_CHECK(norm.size() == perturb.size());
   std::vector<double> conf(norm.size(), 0.0);
   for (size_t m = 0; m < norm.size(); ++m) {

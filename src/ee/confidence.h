@@ -39,22 +39,26 @@ class ConfidenceEstimator {
 
   /// Mention-perturbation confidence (Section 5.4.2): stability of each
   /// mention's entity when random subsets of the other mentions are
-  /// removed from the input.
+  /// removed from the input. `options` (vocabulary, cancellation) is
+  /// forwarded to every perturbed rerun of the underlying NED system.
   std::vector<double> MentionPerturbation(
       const core::DisambiguationProblem& problem,
-      const core::DisambiguationResult& base) const;
+      const core::DisambiguationResult& base,
+      const core::DisambiguateOptions& options = {}) const;
 
   /// Entity-perturbation confidence (Section 5.4.3): stability of each
   /// unperturbed mention when random other mentions are force-mapped to
   /// alternate (likely wrong) candidates.
   std::vector<double> EntityPerturbation(
       const core::DisambiguationProblem& problem,
-      const core::DisambiguationResult& base) const;
+      const core::DisambiguationResult& base,
+      const core::DisambiguateOptions& options = {}) const;
 
   /// The combined CONF estimator: norm_weight * NormalizedScores +
   /// perturb_weight * EntityPerturbation.
   std::vector<double> Conf(const core::DisambiguationProblem& problem,
-                           const core::DisambiguationResult& base) const;
+                           const core::DisambiguationResult& base,
+                           const core::DisambiguateOptions& options = {}) const;
 
  private:
   /// Returns `problem` with every mention's candidates resolved (so that

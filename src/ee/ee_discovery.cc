@@ -111,7 +111,8 @@ core::DisambiguationResult EmergingEntityDiscoverer::Discover(
   // Resolve candidates with (possibly harvest-extended) models.
   core::DisambiguationProblem problem;
   problem.tokens = &doc.tokens;
-  problem.vocab = vocab_.get();
+  core::DisambiguateOptions ned_options;
+  ned_options.vocab = vocab_.get();
   for (const corpus::GoldMention& gm : doc.mentions) {
     core::ProblemMention pm;
     pm.surface = gm.surface;
@@ -133,9 +134,10 @@ core::DisambiguationResult EmergingEntityDiscoverer::Discover(
   std::vector<int> fixed_state(problem.mentions.size(), 0);  // 0 free,
                                                              // 1 EE, 2 pinned
   if (options_.lower_threshold > 0.0 || options_.upper_threshold < 1.0) {
-    core::DisambiguationResult initial = ned_->Disambiguate(problem);
+    core::DisambiguationResult initial =
+        ned_->Disambiguate(problem, ned_options);
     ConfidenceEstimator estimator(models_, ned_, options_.confidence);
-    std::vector<double> conf = estimator.Conf(problem, initial);
+    std::vector<double> conf = estimator.Conf(problem, initial, ned_options);
     for (size_t m = 0; m < problem.mentions.size(); ++m) {
       if (problem.mentions[m].candidates.empty()) continue;
       if (conf[m] <= options_.lower_threshold) {
@@ -174,7 +176,7 @@ core::DisambiguationResult EmergingEntityDiscoverer::Discover(
     }
   }
 
-  return ned_->Disambiguate(problem);
+  return ned_->Disambiguate(problem, ned_options);
 }
 
 core::DisambiguationResult ApplyEeThreshold(

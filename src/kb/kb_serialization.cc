@@ -155,6 +155,11 @@ util::StatusOr<std::unique_ptr<KnowledgeBase>> DeserializeKnowledgeBase(
   uint64_t phrase_count = 0;
   st = reader.ReadU64(&phrase_count);
   if (!st.ok()) return st;
+  // Every phrase costs at least its 8-byte length prefix; a count beyond
+  // that bound is a corrupt header and must not reach reserve().
+  if (phrase_count > reader.Remaining() / sizeof(uint64_t)) {
+    return util::Status::InvalidArgument("phrase count exceeds payload");
+  }
   std::vector<std::string> phrase_texts;
   phrase_texts.reserve(phrase_count);
   for (uint64_t p = 0; p < phrase_count; ++p) {

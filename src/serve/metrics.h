@@ -5,6 +5,9 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
 
 #include "util/stopwatch.h"
 
@@ -57,6 +60,17 @@ class LatencyHistogram {
   std::atomic<double> max_seconds_{0.0};
 };
 
+/// Outcome counters of the requests served against one KB snapshot
+/// generation — how hot reload becomes observable in the metrics: during
+/// a swap window two generations accumulate outcomes side by side, and a
+/// generation whose counters stop moving has fully retired.
+struct GenerationOutcomes {
+  uint64_t generation = 0;
+  uint64_t completed = 0;            // finished OK on this generation
+  uint64_t failed = 0;               // system threw while on this generation
+  uint64_t cancelled_in_flight = 0;  // deadline tripped mid-disambiguation
+};
+
 /// Point-in-time view of a ServiceMetrics registry. Counters are
 /// cumulative since service construction; gauges are instantaneous.
 struct ServiceMetricsSnapshot {
@@ -81,6 +95,11 @@ struct ServiceMetricsSnapshot {
   LatencySnapshot queue_wait;     // submit -> dequeued by a worker
   LatencySnapshot service_time;   // inside NedSystem::Disambiguate
   LatencySnapshot total_latency;  // submit -> future satisfied (OK only)
+  // ---- per-generation outcomes ----
+  /// One entry per KB snapshot generation that served at least one
+  /// request, ascending by generation. Empty for pre-snapshot metrics
+  /// consumers that never tag a generation.
+  std::vector<GenerationOutcomes> generations;
 
   /// Every submission is accounted exactly once across the outcome
   /// counters; true when the books balance (modulo requests still queued
@@ -117,21 +136,27 @@ class ServiceMetrics {
     queue_wait_.Record(queue_seconds);
   }
 
-  void OnCompleted(double service_seconds, double total_seconds) {
+  /// `generation` tags the outcome with the KB snapshot the request ran
+  /// against (0 when the caller has no snapshot concept).
+  void OnCompleted(uint64_t generation, double service_seconds,
+                   double total_seconds) {
     Add(completed_);
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
     service_time_.Record(service_seconds);
     total_latency_.Record(total_seconds);
+    BumpGeneration(generation, &GenerationOutcomes::completed);
   }
 
-  void OnCancelledInFlight() {
+  void OnCancelledInFlight(uint64_t generation) {
     Add(cancelled_in_flight_);
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    BumpGeneration(generation, &GenerationOutcomes::cancelled_in_flight);
   }
 
-  void OnFailed() {
+  void OnFailed(uint64_t generation) {
     Add(failed_);
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    BumpGeneration(generation, &GenerationOutcomes::failed);
   }
 
   /// `queue_depth` is the owning service's current bounded-queue size —
@@ -141,6 +166,21 @@ class ServiceMetrics {
  private:
   static void Add(std::atomic<uint64_t>& counter) {
     counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Generation counters live behind a mutex rather than per-counter
+  /// atomics: outcomes are recorded once per request (micro- to
+  /// millisecond cadence), so one uncontended lock is noise next to the
+  /// disambiguation itself, and a map keyed by generation handles the
+  /// unbounded-generations case without lock-free gymnastics. The
+  /// snapshot-acquisition hot path never touches this lock.
+  void BumpGeneration(uint64_t generation,
+                      uint64_t GenerationOutcomes::* counter) {
+    if (generation == 0) return;
+    std::lock_guard<std::mutex> lock(generations_mutex_);
+    GenerationOutcomes& outcomes = generations_[generation];
+    outcomes.generation = generation;
+    ++(outcomes.*counter);
   }
 
   std::atomic<uint64_t> submitted_{0};
@@ -157,6 +197,8 @@ class ServiceMetrics {
   LatencyHistogram service_time_;
   LatencyHistogram total_latency_;
   util::Stopwatch uptime_;
+  mutable std::mutex generations_mutex_;
+  std::map<uint64_t, GenerationOutcomes> generations_;
 };
 
 }  // namespace aida::serve

@@ -22,16 +22,30 @@ double SecondsBetween(ServiceClock::time_point begin,
 
 }  // namespace
 
-NedService::NedService(const core::NedSystem* system,
+NedService::NedService(std::shared_ptr<const kb::KbSnapshot> snapshot,
                        NedServiceOptions options)
-    : system_(system),
+    : NedService(std::move(snapshot), nullptr, options) {}
+
+NedService::NedService(std::shared_ptr<const kb::SnapshotRegistry> registry,
+                       NedServiceOptions options)
+    : NedService(nullptr, std::move(registry), options) {}
+
+NedService::NedService(std::shared_ptr<const kb::KbSnapshot> snapshot,
+                       std::shared_ptr<const kb::SnapshotRegistry> registry,
+                       NedServiceOptions options)
+    : fixed_snapshot_(std::move(snapshot)),
+      registry_(std::move(registry)),
       options_(options),
       num_threads_(options.num_threads != 0
                        ? options.num_threads
                        : std::max(1u, std::thread::hardware_concurrency())),
       queue_(std::max<size_t>(1, options.queue_capacity)),
       pool_(std::make_unique<util::WorkerPool>(num_threads_)) {
-  AIDA_CHECK(system_ != nullptr);
+  AIDA_CHECK((fixed_snapshot_ != nullptr) != (registry_ != nullptr));
+  // A registry-backed service needs a published generation before traffic
+  // arrives: requests pin whatever AcquireSnapshot returns, and "nothing
+  // published yet" is a configuration error, not a per-request condition.
+  AIDA_CHECK(AcquireSnapshot() != nullptr);
   for (size_t t = 0; t < num_threads_; ++t) {
     pool_->Submit([this] { WorkerLoop(); });
   }
@@ -45,6 +59,7 @@ std::future<ServeResult> NedService::Submit(
 
   Request request;
   request.problem = std::move(problem);
+  request.vocab = options.vocab;
   request.submit_time = Clock::now();
   const double deadline_seconds = options.deadline_seconds > 0.0
                                       ? options.deadline_seconds
@@ -151,21 +166,30 @@ void NedService::Process(Request request) {
   }
 
   metrics_.OnStarted(queue_seconds);
+  // Pin the current generation for the whole request: one atomic
+  // shared_ptr load, no lock, no drain. A reload published after this
+  // line is picked up by the NEXT dequeue; this request finishes on the
+  // stack it started with, which stays alive until `snapshot` drops.
+  const std::shared_ptr<const kb::KbSnapshot> snapshot = AcquireSnapshot();
+  out.generation = snapshot->generation();
   core::CancellationToken token(request.deadline);
-  request.problem.cancel = &token;
+  core::DisambiguateOptions ned_options;
+  ned_options.vocab = request.vocab;
+  ned_options.cancel = &token;
   util::Stopwatch service_watch;
   try {
-    out.result = system_->Disambiguate(request.problem);
+    out.result = snapshot->system().Disambiguate(request.problem, ned_options);
     out.service_seconds = service_watch.ElapsedSeconds();
     out.total_seconds = SecondsBetween(request.submit_time, Clock::now());
     if (out.result.cancelled) {
       // The system observed the token between phases and bailed out; the
       // partial (local-only) result rides along for best-effort callers.
-      metrics_.OnCancelledInFlight();
+      metrics_.OnCancelledInFlight(out.generation);
       out.status = util::Status::DeadlineExceeded(
           "deadline expired during disambiguation");
     } else {
-      metrics_.OnCompleted(out.service_seconds, out.total_seconds);
+      metrics_.OnCompleted(out.generation, out.service_seconds,
+                           out.total_seconds);
     }
   } catch (const std::exception& error) {
     // The library never throws, but wrapped user systems may; a worker
@@ -175,13 +199,13 @@ void NedService::Process(Request request) {
     out.result.cancelled = true;
     out.status = util::Status::Internal(std::string("NedSystem threw: ") +
                                         error.what());
-    metrics_.OnFailed();
+    metrics_.OnFailed(out.generation);
   } catch (...) {
     out.service_seconds = service_watch.ElapsedSeconds();
     out.total_seconds = SecondsBetween(request.submit_time, Clock::now());
     out.result.cancelled = true;
     out.status = util::Status::Internal("NedSystem threw a non-exception");
-    metrics_.OnFailed();
+    metrics_.OnFailed(out.generation);
   }
   request.promise.set_value(std::move(out));
 }
@@ -214,9 +238,18 @@ void NedService::Shutdown() { Stop(/*flush_queued=*/true); }
 NedServiceSnapshot NedService::Snapshot() const {
   NedServiceSnapshot snapshot;
   snapshot.metrics = metrics_.Snapshot(queue_.size());
+  const std::shared_ptr<const kb::KbSnapshot> active = AcquireSnapshot();
+  snapshot.active_generation = active->generation();
   if (options_.shared_cache != nullptr) {
     snapshot.has_cache = true;
     snapshot.cache = options_.shared_cache->Snapshot();
+  } else if (active->relatedness_cache() != nullptr) {
+    snapshot.has_cache = true;
+    snapshot.cache = active->relatedness_cache()->Snapshot();
+  }
+  if (registry_ != nullptr) {
+    snapshot.has_registry = true;
+    snapshot.registry = registry_->Stats();
   }
   return snapshot;
 }

@@ -9,6 +9,7 @@
 
 #include "core/ned_system.h"
 #include "core/relatedness_cache.h"
+#include "kb/snapshot_registry.h"
 #include "serve/bounded_queue.h"
 #include "serve/metrics.h"
 #include "util/status.h"
@@ -43,6 +44,11 @@ struct RequestOptions {
   /// kDeadlineExceeded without running NED; expiry mid-flight is caught
   /// cooperatively between disambiguation phases (CancellationToken).
   double deadline_seconds = 0.0;
+  /// Optional extended vocabulary forwarded to the NED system via
+  /// core::DisambiguateOptions (not owned; must outlive the request's
+  /// future). Callers using it across reloads must ensure it stays
+  /// compatible with every generation that may serve the request.
+  const core::ExtendedVocabulary* vocab = nullptr;
 };
 
 /// What a Submit future resolves to.
@@ -63,47 +69,87 @@ struct ServeResult {
   double service_seconds = 0.0;
   /// Submission to future completion.
   double total_seconds = 0.0;
+  /// KB snapshot generation the request ran against (0 when it never
+  /// reached a worker — shed, expired in queue, flushed). During a hot
+  /// reload concurrent responses may carry different generations; each is
+  /// byte-identical to a serial run against that generation's KB.
+  uint64_t generation = 0;
 };
 
 /// Service state surfaced by NedService::Snapshot.
 struct NedServiceSnapshot {
   ServiceMetricsSnapshot metrics;
-  /// Present when NedServiceOptions::shared_cache was wired.
+  /// Present when NedServiceOptions::shared_cache was wired, or when the
+  /// active KB snapshot carries a per-generation RelatednessCache.
   bool has_cache = false;
   core::RelatednessCacheStats cache;
+  /// Generation currently serving new dequeues (0 when the service wraps
+  /// a snapshot without registry and generation tagging is trivial).
+  uint64_t active_generation = 0;
+  /// Present when the service is backed by a SnapshotRegistry: reload
+  /// counters/durations and the retiring generations still pinned by
+  /// in-flight requests.
+  bool has_registry = false;
+  kb::SnapshotRegistryStats registry;
 };
 
 /// The online NED serving layer: a persistent worker pool consuming a
-/// bounded request queue in front of any core::NedSystem — the shape the
-/// ROADMAP's "serve heavy traffic" north star asks for, where documents
-/// arrive continuously with skewed sizes and latency constraints instead
-/// of as one big offline batch.
+/// bounded request queue in front of a versioned KB snapshot — the shape
+/// the ROADMAP's "serve heavy traffic" north star asks for, where
+/// documents arrive continuously with skewed sizes and latency
+/// constraints instead of as one big offline batch, and the KB itself
+/// evolves under traffic (emerging entities folded back in, bigger
+/// worlds loaded) without a process restart.
 ///
-///   NedService service(&aida, {.num_threads = 8, .queue_capacity = 64});
+///   auto registry = std::make_shared<kb::SnapshotRegistry>();
+///   registry->Publish(std::move(kb), "initial").value();
+///   NedService service(registry, {.num_threads = 8, .queue_capacity = 64});
 ///   std::future<ServeResult> f = service.Submit(problem, {.deadline_seconds = 0.05});
-///   ServeResult r = f.get();           // r.status tells OK / shed / expired
+///   ServeResult r = f.get();           // r.status + r.generation
+///   registry->ReloadFromFile("world_v2.kb");   // zero downtime
 ///
 /// Guarantees:
 ///  * Submit never blocks: a request is admitted or its future completes
 ///    immediately with a rejection status (explicit load shedding).
 ///  * Every admitted request's future is satisfied exactly once — by a
 ///    worker, by deadline expiry, or by Shutdown's queue flush.
+///  * Hot reload is invisible to requests: each dequeue pins the current
+///    snapshot with one atomic shared_ptr load (no drain, no lock on the
+///    hot path); in-flight requests finish on the generation they
+///    started, and a retiring generation's memory is freed when its last
+///    request completes.
 ///  * Completed (OK) results are byte-identical to a serial
-///    system->Disambiguate on the same problem: workers add no
-///    nondeterminism, and a shared RelatednessCache stores exact values.
+///    Disambiguate against the same generation's system: workers add no
+///    nondeterminism, and the per-snapshot RelatednessCache stores exact
+///    values.
 ///  * Drain(): stop admission, finish queued + in-flight work, join.
 ///    Shutdown(): stop admission, fail queued work with kCancelled,
 ///    finish in-flight work, join. The destructor drains.
 ///
 /// The served system must be const-thread-safe (Aida and all shipped
-/// baselines are). Problems are copied into the service, but the token
-/// vector and vocabulary they point to stay caller-owned and must outlive
-/// the request's future.
+/// baselines are; anything KbSnapshot::Create builds qualifies).
+/// Problems are copied into the service, but the token vector and
+/// vocabulary they point to stay caller-owned and must outlive the
+/// request's future.
 class NedService {
  public:
-  /// `system` is not owned and must outlive the service.
-  explicit NedService(const core::NedSystem* system,
+  /// Serves one fixed snapshot (no hot reload). The service shares
+  /// ownership: the snapshot lives at least as long as the service.
+  explicit NedService(std::shared_ptr<const kb::KbSnapshot> snapshot,
                       NedServiceOptions options = {});
+
+  /// Serves whatever generation `registry` has published, re-reading the
+  /// current snapshot on every dequeue. The registry must already have a
+  /// published generation (Current() != nullptr) and the service keeps it
+  /// alive via shared ownership.
+  explicit NedService(std::shared_ptr<const kb::SnapshotRegistry> registry,
+                      NedServiceOptions options = {});
+
+  /// The raw-pointer constructor is gone: a bare NedSystem* cannot pin
+  /// the stack a request runs against, which is unsound under hot reload.
+  /// Wrap the system instead:
+  ///   NedService service(kb::KbSnapshot::WrapUnowned(system, "my-system"));
+  NedService(const core::NedSystem*, NedServiceOptions = {}) = delete;
 
   /// Drains: accepted work completes before destruction returns.
   ~NedService();
@@ -148,10 +194,21 @@ class NedService {
 
   struct Request {
     core::DisambiguationProblem problem;
+    const core::ExtendedVocabulary* vocab = nullptr;
     std::promise<ServeResult> promise;
     Clock::time_point submit_time;
     Clock::time_point deadline;
   };
+
+  NedService(std::shared_ptr<const kb::KbSnapshot> snapshot,
+             std::shared_ptr<const kb::SnapshotRegistry> registry,
+             NedServiceOptions options);
+
+  /// The hot-path snapshot acquisition: one atomic shared_ptr load when
+  /// registry-backed, a plain copy when fixed. Never null.
+  std::shared_ptr<const kb::KbSnapshot> AcquireSnapshot() const {
+    return registry_ != nullptr ? registry_->Current() : fixed_snapshot_;
+  }
 
   /// One per pool thread: pop until the queue closes and empties.
   void WorkerLoop();
@@ -159,7 +216,9 @@ class NedService {
   void Process(Request request);
   void Stop(bool flush_queued);
 
-  const core::NedSystem* system_;
+  /// Exactly one of the two is set, fixed at construction.
+  std::shared_ptr<const kb::KbSnapshot> fixed_snapshot_;
+  std::shared_ptr<const kb::SnapshotRegistry> registry_;
   NedServiceOptions options_;
   size_t num_threads_;
   ServiceMetrics metrics_;

@@ -77,7 +77,10 @@ class BinaryReader {
     uint64_t n = 0;
     Status st = ReadU64(&n);
     if (!st.ok()) return st;
-    if (n * sizeof(T) > Remaining()) return Truncated();
+    // Divide instead of multiplying: n comes from untrusted input, and
+    // n * sizeof(T) can wrap uint64 past the bound check (then resize(n)
+    // would attempt a huge allocation).
+    if (n > Remaining() / sizeof(T)) return Truncated();
     v->resize(n);
     return ReadRaw(v->data(), n * sizeof(T));
   }
@@ -86,6 +89,10 @@ class BinaryReader {
     uint64_t n = 0;
     Status st = ReadU64(&n);
     if (!st.ok()) return st;
+    // Each element needs at least its 8-byte length prefix, so a count
+    // beyond Remaining()/8 is corrupt; checking before reserve() keeps a
+    // forged header from forcing a multi-gigabyte allocation.
+    if (n > Remaining() / sizeof(uint64_t)) return Truncated();
     v->clear();
     v->reserve(n);
     for (uint64_t i = 0; i < n; ++i) {

@@ -159,8 +159,10 @@ TEST_F(BatchTest, StatsSumAcrossThreadsWithCache) {
 TEST_F(BatchTest, BatchRethrowsWorkerException) {
   class ThrowingSystem : public NedSystem {
    public:
+    using NedSystem::Disambiguate;
     DisambiguationResult Disambiguate(
-        const DisambiguationProblem&) const override {
+        const DisambiguationProblem&,
+        const DisambiguateOptions&) const override {
       throw std::runtime_error("worker failure");
     }
     std::string name() const override { return "throwing"; }
@@ -315,22 +317,16 @@ TEST_F(BatchTest, RelatednessMeasureSelfAssignmentIsSafe) {
   EXPECT_EQ(mw.comparisons(), before);
 }
 
-TEST_F(BatchTest, LegacyCounterAccumulatesAcrossCalls) {
+TEST_F(BatchTest, PerCallStatsReplaceLegacyCounter) {
+  // The deprecated last_relatedness_computations() accumulator is gone;
+  // per-call DisambiguationStats carry the same information race-free.
   Aida aida(&models_, &mw_, AidaOptions());
-  aida.ResetRelatednessComputations();
+  const uint64_t before = mw_.comparisons();
   DisambiguationResult first = aida.Disambiguate(problems_.front());
   DisambiguationResult second = aida.Disambiguate(problems_.back());
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  // The legacy accessor now accumulates instead of overwriting, so two
-  // sequential calls report their sum (and concurrent calls no longer
-  // clobber each other).
-  EXPECT_EQ(aida.last_relatedness_computations(),
+  EXPECT_EQ(mw_.comparisons() - before,
             first.stats.relatedness_computations +
                 second.stats.relatedness_computations);
-  aida.ResetRelatednessComputations();
-  EXPECT_EQ(aida.last_relatedness_computations(), 0u);
-#pragma GCC diagnostic pop
 }
 
 }  // namespace

@@ -97,6 +97,71 @@ TEST_F(KbSerializationTest, RejectsTruncation) {
   }
 }
 
+TEST_F(KbSerializationTest, RejectsVersionMismatch) {
+  std::string buffer = SerializeKnowledgeBase(kb());
+  // Bytes [4, 8) hold the format version (little-endian u32, currently 1).
+  ASSERT_GE(buffer.size(), 8u);
+  buffer[4] = 0x7F;
+  auto result = DeserializeKnowledgeBase(buffer);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().ToString().find("version"), std::string::npos);
+}
+
+TEST_F(KbSerializationTest, RejectsCorruptSectionHeaders) {
+  // Overwrite each section-leading u64 count in turn with an absurd value.
+  // Every variant must come back as a clean Status — no crash, no
+  // gigabyte allocation, no out-of-bounds read (the ASan configuration
+  // runs this same test). The first count (taxonomy size) sits at offset
+  // 8, right after magic + version; later counts are found by scanning a
+  // handful of positions across the buffer, which covers the entity,
+  // anchor, keyphrase, and link headers without hardcoding the layout.
+  const std::string pristine = SerializeKnowledgeBase(kb());
+  ASSERT_GT(pristine.size(), 16u);
+  std::vector<size_t> offsets = {8};
+  for (size_t off = 16; off + 8 <= pristine.size();
+       off += pristine.size() / 64 + 1) {
+    offsets.push_back(off);
+  }
+  for (size_t off : offsets) {
+    std::string corrupt = pristine;
+    for (size_t b = 0; b < 8; ++b) corrupt[off + b] = '\xFF';
+    auto result = DeserializeKnowledgeBase(corrupt);
+    // A clobbered count must fail; a clobbered value region may happen to
+    // still parse — but it must never crash. Only assert failure for the
+    // known count position.
+    if (off == 8) {
+      EXPECT_FALSE(result.ok());
+    }
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().ToString().empty());
+    }
+  }
+}
+
+TEST_F(KbSerializationTest, RejectsTruncationAtEveryStride) {
+  // Denser sweep than RejectsTruncation: cut the buffer at many points
+  // (including every boundary near the end) and require a clean error.
+  const std::string buffer = SerializeKnowledgeBase(kb());
+  std::vector<size_t> cuts;
+  for (size_t cut = 0; cut < buffer.size(); cut += buffer.size() / 97 + 1) {
+    cuts.push_back(cut);
+  }
+  for (size_t tail = 1; tail <= 16 && tail < buffer.size(); ++tail) {
+    cuts.push_back(buffer.size() - tail);
+  }
+  for (size_t cut : cuts) {
+    auto result =
+        DeserializeKnowledgeBase(std::string_view(buffer.data(), cut));
+    EXPECT_FALSE(result.ok()) << "cut at " << cut;
+  }
+}
+
+TEST_F(KbSerializationTest, LoadRejectsMissingFile) {
+  auto result = LoadKnowledgeBase(::testing::TempDir() + "/does_not_exist.kb");
+  EXPECT_FALSE(result.ok());
+}
+
 TEST_F(KbSerializationTest, RejectsTrailingBytes) {
   std::string buffer = SerializeKnowledgeBase(kb());
   buffer += "junk";

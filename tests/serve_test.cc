@@ -18,6 +18,7 @@
 #include "core/aida.h"
 #include "core/batch.h"
 #include "core/relatedness_cache.h"
+#include "kb/snapshot_registry.h"
 #include "serve/bounded_queue.h"
 #include "serve/metrics.h"
 #include "serve/ned_service.h"
@@ -62,8 +63,10 @@ void ExpectSameResults(const core::DisambiguationResult& x,
 /// across a drain or shutdown.
 class GatedSystem : public core::NedSystem {
  public:
+  using NedSystem::Disambiguate;
   core::DisambiguationResult Disambiguate(
-      const core::DisambiguationProblem& problem) const override {
+      const core::DisambiguationProblem& problem,
+      const core::DisambiguateOptions& /*options*/) const override {
     std::unique_lock<std::mutex> lock(mutex_);
     ++started_;
     changed_.notify_all();
@@ -101,12 +104,14 @@ class GatedSystem : public core::NedSystem {
 /// Only submit with a deadline, or it never returns.
 class CooperativeSystem : public core::NedSystem {
  public:
+  using NedSystem::Disambiguate;
   core::DisambiguationResult Disambiguate(
-      const core::DisambiguationProblem& problem) const override {
+      const core::DisambiguationProblem& problem,
+      const core::DisambiguateOptions& options) const override {
     core::DisambiguationResult result;
     result.mentions.resize(problem.mentions.size());
-    if (problem.cancel != nullptr) {
-      while (!problem.cancel->cancelled()) {
+    if (options.cancel != nullptr) {
+      while (!options.cancel->cancelled()) {
         std::this_thread::sleep_for(std::chrono::microseconds(100));
       }
       result.cancelled = true;
@@ -205,7 +210,7 @@ TEST(NedServiceTest, ShedsWithStatusWhenQueueFull) {
   NedServiceOptions options;
   options.num_threads = 1;
   options.queue_capacity = 2;
-  NedService service(&gated, options);
+  NedService service(kb::KbSnapshot::WrapUnowned(gated, "gated"), options);
 
   std::future<ServeResult> in_flight = service.Submit(EmptyProblem());
   gated.WaitForStarts(1);  // the lone worker is now held by the gate
@@ -220,6 +225,7 @@ TEST(NedServiceTest, ShedsWithStatusWhenQueueFull) {
   ServeResult shed_result = shed.get();
   EXPECT_EQ(shed_result.status.code(), util::StatusCode::kResourceExhausted);
   EXPECT_TRUE(shed_result.result.cancelled);
+  EXPECT_EQ(shed_result.generation, 0u);  // never reached a worker
 
   NedServiceSnapshot mid = service.Snapshot();
   EXPECT_EQ(mid.metrics.submitted, 4u);
@@ -250,7 +256,7 @@ TEST(NedServiceTest, DeadlineExpiresWhileQueued) {
   NedServiceOptions options;
   options.num_threads = 1;
   options.queue_capacity = 4;
-  NedService service(&gated, options);
+  NedService service(kb::KbSnapshot::WrapUnowned(gated, "gated"), options);
 
   std::future<ServeResult> blocker = service.Submit(EmptyProblem());
   gated.WaitForStarts(1);
@@ -277,7 +283,8 @@ TEST(NedServiceTest, DeadlineCancelsCooperativelyMidFlight) {
   NedServiceOptions options;
   options.num_threads = 1;
   options.queue_capacity = 4;
-  NedService service(&cooperative, options);
+  NedService service(
+      kb::KbSnapshot::WrapUnowned(cooperative, "cooperative"), options);
 
   RequestOptions tight;
   tight.deadline_seconds = 0.02;
@@ -299,8 +306,9 @@ TEST(NedServiceTest, AidaHonorsCancellationTokenBetweenPhases) {
   core::DisambiguationProblem problem = ToProblem(tw.corpus.front());
   core::CancellationToken token;
   token.Cancel();
-  problem.cancel = &token;
-  core::DisambiguationResult cancelled = aida.Disambiguate(problem);
+  core::DisambiguateOptions tripped;
+  tripped.cancel = &token;
+  core::DisambiguationResult cancelled = aida.Disambiguate(problem, tripped);
   EXPECT_TRUE(cancelled.cancelled);
   ASSERT_EQ(cancelled.mentions.size(), problem.mentions.size());
   // The pre-phase check fires before candidate lookup: no graph work.
@@ -309,9 +317,10 @@ TEST(NedServiceTest, AidaHonorsCancellationTokenBetweenPhases) {
 
   // An untripped token changes nothing — byte-identical to no token.
   core::CancellationToken open_token;
-  problem.cancel = &open_token;
-  core::DisambiguationResult with_token = aida.Disambiguate(problem);
-  problem.cancel = nullptr;
+  core::DisambiguateOptions open_options;
+  open_options.cancel = &open_token;
+  core::DisambiguationResult with_token =
+      aida.Disambiguate(problem, open_options);
   core::DisambiguationResult without = aida.Disambiguate(problem);
   EXPECT_FALSE(with_token.cancelled);
   ExpectSameResults(with_token, without);
@@ -333,8 +342,9 @@ TEST(NedServiceTest, AggregateStatsSkipsShedAndCancelledResults) {
   // A mid-flight cancellation: partial stats that must not pollute totals.
   core::CancellationToken token;
   token.Cancel();
-  problem.cancel = &token;
-  results.push_back(aida.Disambiguate(problem));
+  core::DisambiguateOptions tripped;
+  tripped.cancel = &token;
+  results.push_back(aida.Disambiguate(problem, tripped));
   ASSERT_TRUE(results.back().cancelled);
 
   core::DisambiguationStats total = core::AggregateStats(results);
@@ -356,7 +366,7 @@ TEST(NedServiceTest, DrainCompletesQueuedAndInflightWork) {
   NedServiceOptions options;
   options.num_threads = 4;
   options.queue_capacity = 64;
-  NedService service(&aida, options);
+  NedService service(kb::KbSnapshot::WrapUnowned(aida, "aida"), options);
 
   std::vector<core::DisambiguationProblem> problems;
   for (const corpus::Document& doc : tw.corpus) {
@@ -389,7 +399,7 @@ TEST(NedServiceTest, ShutdownFailsQueuedAndCompletesInflight) {
   NedServiceOptions options;
   options.num_threads = 1;
   options.queue_capacity = 4;
-  NedService service(&gated, options);
+  NedService service(kb::KbSnapshot::WrapUnowned(gated, "gated"), options);
 
   std::future<ServeResult> in_flight = service.Submit(EmptyProblem());
   gated.WaitForStarts(1);
@@ -420,7 +430,7 @@ TEST(NedServiceTest, ShutdownWhileSubmittingResolvesEveryFuture) {
   NedServiceOptions options;
   options.num_threads = 2;
   options.queue_capacity = 2;
-  NedService service(&aida, options);
+  NedService service(kb::KbSnapshot::WrapUnowned(aida, "aida"), options);
 
   std::vector<core::DisambiguationProblem> problems;
   for (const corpus::Document& doc : tw.corpus) {
@@ -486,12 +496,14 @@ TEST(NedServiceTest, ServedResultsByteIdenticalToSerial) {
   NedServiceOptions options;
   options.num_threads = 4;
   options.queue_capacity = 8;
-  NedService service(&aida, options);
+  NedService service(kb::KbSnapshot::WrapUnowned(aida, "aida"), options);
   std::vector<ServeResult> served = service.DisambiguateAll(problems);
 
   ASSERT_EQ(served.size(), reference.size());
   for (size_t d = 0; d < served.size(); ++d) {
     ASSERT_TRUE(served[d].status.ok()) << served[d].status.ToString();
+    // A fixed-snapshot service serves every request from generation 1.
+    EXPECT_EQ(served[d].generation, 1u);
     ExpectSameResults(reference[d], served[d].result);
   }
   core::DisambiguationStats serial_total = core::AggregateStats(reference);
@@ -523,7 +535,7 @@ TEST(NedServiceTest, SharedRelatednessCacheServesConcurrentRequests) {
   options.num_threads = 4;
   options.queue_capacity = 16;
   options.shared_cache = &cache;
-  NedService service(&aida, options);
+  NedService service(kb::KbSnapshot::WrapUnowned(aida, "aida"), options);
   std::vector<ServeResult> served = service.DisambiguateAll(problems);
 
   for (size_t d = 0; d < served.size(); ++d) {
@@ -552,7 +564,7 @@ TEST(NedServiceTest, IngestCorpusIndexesCompletedDocuments) {
   NedServiceOptions options;
   options.num_threads = 4;
   options.queue_capacity = 16;
-  NedService service(&aida, options);
+  NedService service(kb::KbSnapshot::WrapUnowned(aida, "aida"), options);
 
   apps::EntitySearch search(tw.world.knowledge_base.get());
   apps::NewsAnalytics analytics;
@@ -576,7 +588,7 @@ TEST(NedServiceTest, IngestCorpusSkipsExpiredDocuments) {
   NedServiceOptions options;
   options.num_threads = 2;
   options.queue_capacity = 4;
-  NedService service(&aida, options);
+  NedService service(kb::KbSnapshot::WrapUnowned(aida, "aida"), options);
 
   apps::EntitySearch search(tw.world.knowledge_base.get());
   serve::RequestOptions hopeless;
@@ -595,8 +607,10 @@ TEST(NedServiceTest, IngestCorpusSkipsExpiredDocuments) {
 TEST(NedServiceTest, ThrowingSystemYieldsInternalStatusAndServiceSurvives) {
   class ThrowingSystem : public core::NedSystem {
    public:
+    using NedSystem::Disambiguate;
     core::DisambiguationResult Disambiguate(
-        const core::DisambiguationProblem& problem) const override {
+        const core::DisambiguationProblem& problem,
+        const core::DisambiguateOptions& /*options*/) const override {
       if (problem.mentions.empty()) throw std::runtime_error("boom");
       core::DisambiguationResult result;
       result.mentions.resize(problem.mentions.size());
@@ -609,7 +623,8 @@ TEST(NedServiceTest, ThrowingSystemYieldsInternalStatusAndServiceSurvives) {
   NedServiceOptions options;
   options.num_threads = 2;
   options.queue_capacity = 8;
-  NedService service(&throwing, options);
+  NedService service(kb::KbSnapshot::WrapUnowned(throwing, "throwing"),
+                     options);
 
   ServeResult failed = service.Submit(EmptyProblem()).get();
   EXPECT_EQ(failed.status.code(), util::StatusCode::kInternal);

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# The one-command CI gate: tier-1 build + full ctest suite, then the
+# ASan/UBSan and TSan passes over the concurrency- and lifetime-sensitive
+# tests (batch runner, serving layer, snapshot registry, KB
+# serialization). Everything a PR must keep green, runnable locally
+# exactly as the GitHub Actions workflow runs it.
+#
+# Usage: tools/run_all_checks.sh [--skip-sanitizers]
+#   BUILD_DIR=build       override the tier-1 build directory
+#   JOBS=N                override build/test parallelism (default: nproc)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+SKIP_SANITIZERS=0
+[[ "${1:-}" == "--skip-sanitizers" ]] && SKIP_SANITIZERS=1
+
+echo "==> tier-1: configure + build (${JOBS} jobs)"
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "==> tier-1: ctest"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+if [[ "$SKIP_SANITIZERS" == "1" ]]; then
+  echo "==> sanitizers skipped (--skip-sanitizers)"
+else
+  echo "==> ASan/UBSan pass"
+  "$REPO_ROOT/tools/run_asan_tests.sh"
+
+  echo "==> TSan pass"
+  "$REPO_ROOT/tools/run_tsan_tests.sh"
+fi
+
+echo "All checks passed."

@@ -14,11 +14,12 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-asan}"
 BATCH_FILTER="${1:-BatchTest.*}"
 SERVE_FILTER="${1:-*}"
+SNAPSHOT_FILTER="${1:-*}"
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAIDA_SANITIZE=address
-cmake --build "$BUILD_DIR" -j --target batch_test serve_test
+cmake --build "$BUILD_DIR" -j --target batch_test serve_test snapshot_test kb_serialization_test
 
 # halt_on_error fails fast; detect_leaks guards the promise/future and
 # flushed-request paths in the serving layer.
@@ -26,5 +27,7 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 "$BUILD_DIR/tests/batch_test" --gtest_filter="$BATCH_FILTER"
 "$BUILD_DIR/tests/serve_test" --gtest_filter="$SERVE_FILTER"
+"$BUILD_DIR/tests/snapshot_test" --gtest_filter="$SNAPSHOT_FILTER"
+"$BUILD_DIR/tests/kb_serialization_test" --gtest_filter="$SNAPSHOT_FILTER"
 
-echo "ASan/UBSan batch/serve tests passed: no memory errors reported."
+echo "ASan/UBSan batch/serve/snapshot/serialization tests passed: no memory errors reported."
