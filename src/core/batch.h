@@ -51,6 +51,8 @@ class BatchDisambiguator {
   const NedSystem* system_;
   // ParallelFor pushes call-local runner tasks, hence mutable; Run stays
   // const and safe to call concurrently, as before the pool refactor.
+  // All locking lives in the pool's annotated util::Mutex state, so the
+  // batch runner itself carries no capability of its own to annotate.
   mutable util::WorkerPool pool_;
 };
 

@@ -11,7 +11,7 @@ CandidateModelStore::CandidateModelStore(const kb::KnowledgeBase* kb)
 
 std::shared_ptr<const CandidateModel> CandidateModelStore::ModelFor(
     kb::EntityId entity) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   auto it = cache_.find(entity);
   if (it != cache_.end()) return it->second;
 

@@ -3,13 +3,15 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "kb/knowledge_base.h"
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aida::core {
 
@@ -64,15 +66,16 @@ class CandidateModelStore {
   explicit CandidateModelStore(const kb::KnowledgeBase* kb);
 
   /// Returns the (cached) model of `entity`.
-  std::shared_ptr<const CandidateModel> ModelFor(kb::EntityId entity) const;
+  std::shared_ptr<const CandidateModel> ModelFor(kb::EntityId entity) const
+      AIDA_EXCLUDES(mutex_);
 
   const kb::KnowledgeBase& knowledge_base() const { return *kb_; }
 
  private:
   const kb::KnowledgeBase* kb_;
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_{util::lock_rank::kCandidateStore};
   mutable std::unordered_map<kb::EntityId, std::shared_ptr<const CandidateModel>>
-      cache_;
+      cache_ AIDA_GUARDED_BY(mutex_);
 };
 
 /// Looks up the dictionary candidates of a mention surface string and

@@ -64,7 +64,7 @@ bool RelatednessCache::Lookup(kb::EntityId a, kb::EntityId b,
   const size_t mask = slots_per_shard_ - 1;
   const size_t home = (hash >> 32) & mask;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::MutexLock lock(&shard.mutex);
     for (size_t p = 0; p < kProbeWindow; ++p) {
       Slot& slot = shard.slots[(home + p) & mask];
       if (slot.key == key) {
@@ -88,7 +88,7 @@ void RelatednessCache::Insert(kb::EntityId a, kb::EntityId b, double value) {
   bool evicted = false;
   bool fresh = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::MutexLock lock(&shard.mutex);
     Slot* target = nullptr;
     Slot* stalest = nullptr;
     for (size_t p = 0; p < kProbeWindow; ++p) {
@@ -126,7 +126,7 @@ RelatednessCacheStats RelatednessCache::Snapshot() const {
   stats.inserts = inserts_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::MutexLock lock(&shard.mutex);
     stats.entries += shard.live;
   }
   return stats;
@@ -134,7 +134,7 @@ RelatednessCacheStats RelatednessCache::Snapshot() const {
 
 void RelatednessCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::MutexLock lock(&shard.mutex);
     shard.slots.assign(slots_per_shard_, Slot{kEmptyKey, 0.0, 0});
     shard.tick = 0;
     shard.live = 0;

@@ -4,12 +4,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/relatedness.h"
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aida::core {
 
@@ -82,10 +84,10 @@ class RelatednessCache {
     uint64_t stamp;  // shard tick at last touch; smallest == stalest
   };
   struct Shard {
-    mutable std::mutex mutex;
-    mutable std::vector<Slot> slots;
-    mutable uint64_t tick = 0;
-    mutable size_t live = 0;
+    mutable util::Mutex mutex{util::lock_rank::kRelatednessShard};
+    mutable std::vector<Slot> slots AIDA_GUARDED_BY(mutex);
+    mutable uint64_t tick AIDA_GUARDED_BY(mutex) = 0;
+    mutable size_t live AIDA_GUARDED_BY(mutex) = 0;
   };
 
   const Shard& ShardFor(uint64_t key) const;

@@ -85,14 +85,14 @@ SnapshotRegistry::SnapshotRegistry(SnapshotOptions options)
 
 util::StatusOr<std::shared_ptr<const KbSnapshot>> SnapshotRegistry::Publish(
     std::shared_ptr<const KnowledgeBase> kb, std::string source) {
-  std::unique_lock<std::mutex> lock(publish_mutex_);
+  util::MutexLock lock(&publish_mutex_);
   return PublishLocked(std::move(kb), std::move(source),
-                       /*build_seconds_so_far=*/0.0, std::move(lock));
+                       /*build_seconds_so_far=*/0.0);
 }
 
 std::shared_ptr<const KbSnapshot> SnapshotRegistry::PublishSystem(
     std::shared_ptr<const core::NedSystem> system, std::string source) {
-  std::unique_lock<std::mutex> lock(publish_mutex_);
+  util::MutexLock lock(&publish_mutex_);
   std::shared_ptr<const KbSnapshot> snapshot = KbSnapshot::WrapSystem(
       std::move(system), std::move(source), next_generation_);
   ++next_generation_;
@@ -105,7 +105,7 @@ std::shared_ptr<const KbSnapshot> SnapshotRegistry::PublishSystem(
 
 util::StatusOr<std::shared_ptr<const KbSnapshot>>
 SnapshotRegistry::ReloadFromFile(const std::string& path) {
-  std::unique_lock<std::mutex> lock(publish_mutex_);
+  util::MutexLock lock(&publish_mutex_);
   util::Stopwatch watch;
   util::StatusOr<std::unique_ptr<KnowledgeBase>> loaded =
       LoadKnowledgeBase(path);
@@ -115,8 +115,7 @@ SnapshotRegistry::ReloadFromFile(const std::string& path) {
   }
   return PublishLocked(std::shared_ptr<const KnowledgeBase>(
                            std::move(loaded).value()),
-                       "file:" + path, watch.ElapsedSeconds(),
-                       std::move(lock));
+                       "file:" + path, watch.ElapsedSeconds());
 }
 
 util::StatusOr<std::shared_ptr<const KbSnapshot>>
@@ -124,7 +123,7 @@ SnapshotRegistry::ReloadFromBuilder(
     const std::function<util::StatusOr<std::unique_ptr<KnowledgeBase>>()>&
         builder,
     std::string source) {
-  std::unique_lock<std::mutex> lock(publish_mutex_);
+  util::MutexLock lock(&publish_mutex_);
   util::Stopwatch watch;
   util::StatusOr<std::unique_ptr<KnowledgeBase>> built = builder();
   if (!built.ok()) {
@@ -133,16 +132,14 @@ SnapshotRegistry::ReloadFromBuilder(
   }
   return PublishLocked(std::shared_ptr<const KnowledgeBase>(
                            std::move(built).value()),
-                       std::move(source), watch.ElapsedSeconds(),
-                       std::move(lock));
+                       std::move(source), watch.ElapsedSeconds());
 }
 
 util::StatusOr<std::shared_ptr<const KbSnapshot>>
 SnapshotRegistry::PublishLocked(std::shared_ptr<const KnowledgeBase> kb,
                                 std::string source,
-                                double build_seconds_so_far,
-                                std::unique_lock<std::mutex> lock) {
-  AIDA_CHECK(lock.owns_lock());
+                                double build_seconds_so_far) {
+  AIDA_ASSERT_HELD(publish_mutex_);
   util::Stopwatch watch;
   util::StatusOr<std::shared_ptr<const KbSnapshot>> created =
       KbSnapshot::Create(std::move(kb), next_generation_, std::move(source),
@@ -179,7 +176,7 @@ SnapshotRegistryStats SnapshotRegistry::Stats() const {
     stats.active_generation = current->generation();
     stats.active_source = current->source();
   }
-  std::lock_guard<std::mutex> lock(publish_mutex_);
+  util::MutexLock lock(&publish_mutex_);
   stats.publishes = publishes_;
   stats.reloads = publishes_ > 0 ? publishes_ - 1 : 0;
   stats.reload_failures = reload_failures_;

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,7 +13,10 @@
 #include "core/ned_system.h"
 #include "core/relatedness_cache.h"
 #include "kb/knowledge_base.h"
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace aida::kb {
 
@@ -169,16 +171,18 @@ class SnapshotRegistry {
   /// Builds a snapshot over `kb` and atomically makes it the current
   /// generation. Returns the published snapshot.
   util::StatusOr<std::shared_ptr<const KbSnapshot>> Publish(
-      std::shared_ptr<const KnowledgeBase> kb, std::string source);
+      std::shared_ptr<const KnowledgeBase> kb, std::string source)
+      AIDA_EXCLUDES(publish_mutex_);
 
   /// Publishes a snapshot wrapping an externally built NED system (test
   /// doubles, custom stacks). Skips KB validation — there is no KB.
   std::shared_ptr<const KbSnapshot> PublishSystem(
-      std::shared_ptr<const core::NedSystem> system, std::string source);
+      std::shared_ptr<const core::NedSystem> system, std::string source)
+      AIDA_EXCLUDES(publish_mutex_);
 
   /// Reload from a serialized KB file (SaveKnowledgeBase format).
   util::StatusOr<std::shared_ptr<const KbSnapshot>> ReloadFromFile(
-      const std::string& path);
+      const std::string& path) AIDA_EXCLUDES(publish_mutex_);
 
   /// Reload from an in-process builder callback (WorldGenerator regrowth,
   /// NED-EE harvest merge, ...). The callback runs outside the hot path
@@ -186,7 +190,7 @@ class SnapshotRegistry {
   util::StatusOr<std::shared_ptr<const KbSnapshot>> ReloadFromBuilder(
       const std::function<util::StatusOr<std::unique_ptr<KnowledgeBase>>()>&
           builder,
-      std::string source);
+      std::string source) AIDA_EXCLUDES(publish_mutex_);
 
   /// The currently published snapshot; null before the first publish.
   /// One atomic load — wait-free, safe from any thread.
@@ -194,29 +198,36 @@ class SnapshotRegistry {
     return current_.load(std::memory_order_acquire);
   }
 
-  SnapshotRegistryStats Stats() const;
+  SnapshotRegistryStats Stats() const AIDA_EXCLUDES(publish_mutex_);
 
  private:
+  /// Builds, validates, and swaps in a snapshot; the caller holds the
+  /// publish lock for the whole build-validate-swap sequence (the
+  /// requirement the old pass-the-unique_lock parameter expressed by
+  /// convention is now compile-time checked).
   util::StatusOr<std::shared_ptr<const KbSnapshot>> PublishLocked(
       std::shared_ptr<const KnowledgeBase> kb, std::string source,
-      double build_seconds_so_far, std::unique_lock<std::mutex> lock);
+      double build_seconds_so_far) AIDA_REQUIRES(publish_mutex_);
 
   /// Drops history entries whose snapshots have fully died.
-  void CompactHistoryLocked();
+  void CompactHistoryLocked() AIDA_REQUIRES(publish_mutex_);
 
   SnapshotOptions options_;
   std::atomic<std::shared_ptr<const KbSnapshot>> current_{nullptr};
 
-  mutable std::mutex publish_mutex_;
-  uint64_t next_generation_ = 1;            // guarded by publish_mutex_
-  uint64_t publishes_ = 0;                  // guarded by publish_mutex_
-  uint64_t reload_failures_ = 0;            // guarded by publish_mutex_
-  double last_reload_seconds_ = 0.0;        // guarded by publish_mutex_
-  double total_reload_seconds_ = 0.0;       // guarded by publish_mutex_
+  /// Serializes publishes/reloads; readers never take it (Current() is
+  /// one atomic load). Ranked after the service stop lock so a service
+  /// owner may reload while stopping, never the reverse.
+  mutable util::Mutex publish_mutex_{util::lock_rank::kSnapshotPublish};
+  uint64_t next_generation_ AIDA_GUARDED_BY(publish_mutex_) = 1;
+  uint64_t publishes_ AIDA_GUARDED_BY(publish_mutex_) = 0;
+  uint64_t reload_failures_ AIDA_GUARDED_BY(publish_mutex_) = 0;
+  double last_reload_seconds_ AIDA_GUARDED_BY(publish_mutex_) = 0.0;
+  double total_reload_seconds_ AIDA_GUARDED_BY(publish_mutex_) = 0.0;
   /// Weak handles to every generation ever published, compacted as they
   /// die; used to report retiring generations still pinned by requests.
   std::vector<std::pair<uint64_t, std::weak_ptr<const KbSnapshot>>>
-      history_;                             // guarded by publish_mutex_
+      history_ AIDA_GUARDED_BY(publish_mutex_);
 };
 
 }  // namespace aida::kb

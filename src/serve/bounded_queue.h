@@ -1,15 +1,16 @@
 #ifndef AIDA_SERVE_BOUNDED_QUEUE_H_
 #define AIDA_SERVE_BOUNDED_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace aida::serve {
 
@@ -41,22 +42,22 @@ class BoundedQueue {
 
   /// Admits `item` unless the queue is full or closed; never blocks.
   /// On refusal the item is left untouched in the caller's hands.
-  std::optional<AdmissionError> TryPush(T& item) {
+  std::optional<AdmissionError> TryPush(T& item) AIDA_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(&mutex_);
       if (closed_) return AdmissionError::kClosed;
       if (items_.size() >= capacity_) return AdmissionError::kQueueFull;
       items_.push_back(std::move(item));
     }
-    ready_.notify_one();
+    ready_.NotifyOne();
     return std::nullopt;
   }
 
   /// Blocks until an item is available (returns it) or the queue is both
   /// closed and empty (returns nullopt — the consumer's exit signal).
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  std::optional<T> Pop() AIDA_EXCLUDES(mutex_) {
+    util::MutexLock lock(&mutex_);
+    while (!closed_ && items_.empty()) ready_.Wait(mutex_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -64,20 +65,20 @@ class BoundedQueue {
   }
 
   /// Stops admission; queued items remain for consumers to drain.
-  void CloseAdmission() {
+  void CloseAdmission() AIDA_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(&mutex_);
       closed_ = true;
     }
-    ready_.notify_all();
+    ready_.NotifyAll();
   }
 
   /// Stops admission and removes everything still queued, returning it so
   /// the caller can complete each item with a cancellation status.
-  std::vector<T> CloseAndFlush() {
+  std::vector<T> CloseAndFlush() AIDA_EXCLUDES(mutex_) {
     std::vector<T> flushed;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(&mutex_);
       closed_ = true;
       flushed.reserve(items_.size());
       while (!items_.empty()) {
@@ -85,29 +86,29 @@ class BoundedQueue {
         items_.pop_front();
       }
     }
-    ready_.notify_all();
+    ready_.NotifyAll();
     return flushed;
   }
 
   /// Queued (not in-flight) items right now — the service's depth gauge.
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t size() const AIDA_EXCLUDES(mutex_) {
+    util::MutexLock lock(&mutex_);
     return items_.size();
   }
 
   size_t capacity() const { return capacity_; }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool closed() const AIDA_EXCLUDES(mutex_) {
+    util::MutexLock lock(&mutex_);
     return closed_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable util::Mutex mutex_{util::lock_rank::kBoundedQueue};
+  util::CondVar ready_;
+  std::deque<T> items_ AIDA_GUARDED_BY(mutex_);
+  bool closed_ AIDA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace aida::serve

@@ -105,7 +105,7 @@ ServiceMetricsSnapshot ServiceMetrics::Snapshot(size_t queue_depth) const {
   snapshot.service_time = service_time_.Snapshot();
   snapshot.total_latency = total_latency_.Snapshot();
   {
-    std::lock_guard<std::mutex> lock(generations_mutex_);
+    util::MutexLock lock(&generations_mutex_);
     snapshot.generations.reserve(generations_.size());
     for (const auto& [generation, outcomes] : generations_) {
       snapshot.generations.push_back(outcomes);

@@ -6,10 +6,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 
 namespace aida::serve {
 
@@ -161,7 +163,8 @@ class ServiceMetrics {
 
   /// `queue_depth` is the owning service's current bounded-queue size —
   /// the one gauge the registry cannot observe on its own.
-  ServiceMetricsSnapshot Snapshot(size_t queue_depth) const;
+  ServiceMetricsSnapshot Snapshot(size_t queue_depth) const
+      AIDA_EXCLUDES(generations_mutex_);
 
  private:
   static void Add(std::atomic<uint64_t>& counter) {
@@ -175,9 +178,10 @@ class ServiceMetrics {
   /// unbounded-generations case without lock-free gymnastics. The
   /// snapshot-acquisition hot path never touches this lock.
   void BumpGeneration(uint64_t generation,
-                      uint64_t GenerationOutcomes::* counter) {
+                      uint64_t GenerationOutcomes::* counter)
+      AIDA_EXCLUDES(generations_mutex_) {
     if (generation == 0) return;
-    std::lock_guard<std::mutex> lock(generations_mutex_);
+    util::MutexLock lock(&generations_mutex_);
     GenerationOutcomes& outcomes = generations_[generation];
     outcomes.generation = generation;
     ++(outcomes.*counter);
@@ -197,8 +201,9 @@ class ServiceMetrics {
   LatencyHistogram service_time_;
   LatencyHistogram total_latency_;
   util::Stopwatch uptime_;
-  mutable std::mutex generations_mutex_;
-  std::map<uint64_t, GenerationOutcomes> generations_;
+  mutable util::Mutex generations_mutex_{util::lock_rank::kServiceMetrics};
+  std::map<uint64_t, GenerationOutcomes> generations_
+      AIDA_GUARDED_BY(generations_mutex_);
 };
 
 }  // namespace aida::serve

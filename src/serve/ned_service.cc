@@ -211,7 +211,7 @@ void NedService::Process(Request request) {
 }
 
 void NedService::Stop(bool flush_queued) {
-  std::lock_guard<std::mutex> lock(stop_mutex_);
+  util::MutexLock lock(&stop_mutex_);
   if (flush_queued) {
     std::vector<Request> flushed = queue_.CloseAndFlush();
     for (Request& request : flushed) {

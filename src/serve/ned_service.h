@@ -4,7 +4,6 @@
 #include <cstddef>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/ned_system.h"
@@ -12,7 +11,10 @@
 #include "kb/snapshot_registry.h"
 #include "serve/bounded_queue.h"
 #include "serve/metrics.h"
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/worker_pool.h"
 
 namespace aida::serve {
@@ -214,7 +216,7 @@ class NedService {
   void WorkerLoop();
   /// Runs (or expires) one request and satisfies its promise.
   void Process(Request request);
-  void Stop(bool flush_queued);
+  void Stop(bool flush_queued) AIDA_EXCLUDES(stop_mutex_);
 
   /// Exactly one of the two is set, fixed at construction.
   std::shared_ptr<const kb::KbSnapshot> fixed_snapshot_;
@@ -223,10 +225,12 @@ class NedService {
   size_t num_threads_;
   ServiceMetrics metrics_;
   BoundedQueue<Request> queue_;
+  /// Serializes Drain/Shutdown; ranked before the queue and pool locks
+  /// because Stop closes the queue and joins the pool while holding it.
+  util::Mutex stop_mutex_{util::lock_rank::kServiceStop};
   // Declared after queue_ so it is destroyed first: the pool joins worker
   // loops, which only exit once the queue is closed.
-  std::unique_ptr<util::WorkerPool> pool_;
-  std::mutex stop_mutex_;
+  std::unique_ptr<util::WorkerPool> pool_ AIDA_GUARDED_BY(stop_mutex_);
 };
 
 /// Sums the DisambiguationStats of the completed (status OK) results,

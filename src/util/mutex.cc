@@ -1,0 +1,113 @@
+#include "util/mutex.h"
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aida::util {
+
+namespace {
+
+void DefaultViolationHandler(const LockRankViolation& violation) {
+  std::fprintf(stderr,
+               "lock-rank inversion: acquiring rank %d while holding rank %d "
+               "(ranks must strictly increase in acquisition order; see "
+               "util/lock_ranks.h)\n",
+               violation.acquiring_rank, violation.held_rank);
+  std::abort();
+}
+
+std::atomic<LockRankViolationHandler> g_violation_handler{
+    &DefaultViolationHandler};
+
+std::atomic<bool> g_rank_checking{
+#ifdef NDEBUG
+    false
+#else
+    true
+#endif
+};
+
+/// Ranks of the ranked mutexes the current thread holds, in acquisition
+/// order. Unranked mutexes never enter the stack, so the common
+/// release-build path (checking off) touches it not at all and a ranked
+/// debug-build acquisition costs one push/pop on a thread-local vector.
+std::vector<int>& HeldRanks() {
+  thread_local std::vector<int> held;
+  return held;
+}
+
+}  // namespace
+
+LockRankViolationHandler SetLockRankViolationHandler(
+    LockRankViolationHandler handler) {
+  if (handler == nullptr) handler = &DefaultViolationHandler;
+  return g_violation_handler.exchange(handler);
+}
+
+void EnableLockRankChecking(bool enabled) {
+  g_rank_checking.store(enabled, std::memory_order_relaxed);
+}
+
+bool LockRankCheckingEnabled() {
+  return g_rank_checking.load(std::memory_order_relaxed);
+}
+
+void Mutex::MarkAcquired() {
+  holder_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  if (rank_ == kNoLockRank || !LockRankCheckingEnabled()) return;
+  std::vector<int>& held = HeldRanks();
+  if (!held.empty() && held.back() >= rank_) {
+    LockRankViolation violation;
+    violation.held_rank = held.back();
+    violation.acquiring_rank = rank_;
+    g_violation_handler.load()(violation);
+  }
+  held.push_back(rank_);
+}
+
+void Mutex::MarkReleased() {
+  holder_.store(std::thread::id(), std::memory_order_relaxed);
+  if (rank_ == kNoLockRank || !LockRankCheckingEnabled()) return;
+  std::vector<int>& held = HeldRanks();
+  // Search from the back: locks release in reverse acquisition order in
+  // practice, and tolerating an absent entry keeps a mid-run
+  // EnableLockRankChecking toggle harmless.
+  for (size_t i = held.size(); i > 0; --i) {
+    if (held[i - 1] == rank_) {
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+}
+
+void Mutex::AssertHeld() const {
+  AIDA_DCHECK(holder_.load(std::memory_order_relaxed) ==
+              std::this_thread::get_id());
+}
+
+void CondVar::Wait(Mutex& mutex) {
+  mutex.MarkReleased();
+  // Adopt the already-held std::mutex so the wait uses the native
+  // condition_variable fast path, then hand ownership back to the
+  // wrapper's bookkeeping on wakeup.
+  std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+  mutex.MarkAcquired();
+}
+
+bool CondVar::WaitUntil(Mutex& mutex,
+                        std::chrono::steady_clock::time_point deadline) {
+  mutex.MarkReleased();
+  std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+  const std::cv_status status = cv_.wait_until(lock, deadline);
+  lock.release();
+  mutex.MarkAcquired();
+  return status == std::cv_status::no_timeout;
+}
+
+}  // namespace aida::util

@@ -1,0 +1,176 @@
+#ifndef AIDA_UTIL_MUTEX_H_
+#define AIDA_UTIL_MUTEX_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "util/thread_annotations.h"
+
+namespace aida::util {
+
+/// Rank of a mutex that opted out of lock-order checking.
+inline constexpr int kNoLockRank = -1;
+
+/// One detected lock-order inversion: a thread tried to acquire a mutex
+/// whose rank does not exceed the highest-ranked mutex it already holds
+/// (ranks must strictly increase in acquisition order; see
+/// util/lock_ranks.h for the stack's order).
+struct LockRankViolation {
+  int held_rank = kNoLockRank;       // highest rank already held
+  int acquiring_rank = kNoLockRank;  // rank of the offending acquisition
+};
+
+using LockRankViolationHandler = void (*)(const LockRankViolation&);
+
+/// Installs `handler` for subsequent violations and returns the previous
+/// handler. The default handler prints both ranks to stderr and aborts;
+/// tests install a recording handler to observe violations in-process.
+/// Passing nullptr restores the default.
+LockRankViolationHandler SetLockRankViolationHandler(
+    LockRankViolationHandler handler);
+
+/// Turns the runtime lock-rank checker on or off process-wide. Defaults
+/// to on in debug builds (!NDEBUG) and off in release builds, where the
+/// only per-acquisition cost is one relaxed atomic load. Toggle before
+/// concurrent traffic starts: flipping it while ranked locks are held
+/// cannot corrupt anything, but inversions in that window may go
+/// unreported.
+void EnableLockRankChecking(bool enabled);
+bool LockRankCheckingEnabled();
+
+/// A std::mutex wrapper carrying Clang thread-safety capability
+/// annotations, an AssertHeld() debug assertion, and an optional
+/// lock-rank for the debug-build lock-order checker. This is THE mutex of
+/// the codebase: core/, serve/, kb/, and util/ hold no raw std::mutex
+/// (tools/run_static_analysis.sh enforces the annotations on every Clang
+/// build), so any future guarded-field access outside its lock fails to
+/// compile rather than waiting for a TSan interleaving.
+class AIDA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  /// A ranked mutex participates in lock-order checking: acquiring it
+  /// while holding any ranked mutex with rank >= `rank` reports an
+  /// inversion (util/lock_ranks.h defines the stack's order).
+  explicit Mutex(int rank) : rank_(rank) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() AIDA_ACQUIRE() {
+    mutex_.lock();
+    MarkAcquired();
+  }
+
+  void Unlock() AIDA_RELEASE() {
+    MarkReleased();
+    mutex_.unlock();
+  }
+
+  /// Returns true (with the lock held) on success; never blocks.
+  bool TryLock() AIDA_TRY_ACQUIRE(true) {
+    if (!mutex_.try_lock()) return false;
+    MarkAcquired();
+    return true;
+  }
+
+  /// Aborts (in debug builds) unless the calling thread holds this mutex;
+  /// also tells the static analysis to assume it held from here on. The
+  /// runtime check compiles out under NDEBUG, the annotation never does.
+  void AssertHeld() const AIDA_ASSERT_CAPABILITY(this);
+
+  int rank() const { return rank_; }
+
+ private:
+  friend class CondVar;
+
+  /// Rank bookkeeping + holder stamp after the underlying lock is taken.
+  void MarkAcquired();
+  /// Inverse of MarkAcquired, called before the underlying unlock.
+  void MarkReleased();
+
+  std::mutex mutex_;
+  const int rank_ = kNoLockRank;
+  /// Thread that currently holds the mutex (default id when free). Only
+  /// written by the holder under the lock, so relaxed ordering suffices;
+  /// AssertHeld's read either sees its own thread's stamp or some other
+  /// value, both of which it classifies correctly.
+  std::atomic<std::thread::id> holder_{};
+};
+
+/// Debug assertion macro mirroring the capability annotation; reads as a
+/// statement of the locking contract at the top of lock-requiring code.
+#define AIDA_ASSERT_HELD(mutex) (mutex).AssertHeld()
+
+/// RAII scoped lock over util::Mutex, annotated as a scoped capability so
+/// the static analysis tracks the critical section's extent.
+class AIDA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mutex) AIDA_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_->Lock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  ~MutexLock() AIDA_RELEASE() { mutex_->Unlock(); }
+
+ private:
+  Mutex* const mutex_;
+};
+
+/// Condition variable paired with util::Mutex. Wait releases the caller's
+/// mutex (updating the rank/holder bookkeeping) and reacquires it before
+/// returning, exactly like std::condition_variable — the annotations make
+/// the "must hold the mutex" precondition compile-time checked.
+///
+/// Prefer explicit `while (!condition) cv.Wait(mutex);` loops over the
+/// predicate overload in annotated code: the loop body is analyzed in the
+/// caller's locked scope, whereas a predicate lambda is a separate
+/// function the analysis sees without the lock held unless the lambda
+/// itself is annotated.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex` and blocks until notified (or
+  /// spuriously woken); `mutex` is held again on return.
+  void Wait(Mutex& mutex) AIDA_REQUIRES(mutex);
+
+  /// Waits until `predicate()` holds. The predicate runs with `mutex`
+  /// held; annotate lambdas touching guarded state with AIDA_REQUIRES.
+  template <typename Predicate>
+  void Wait(Mutex& mutex, Predicate predicate) AIDA_REQUIRES(mutex) {
+    while (!predicate()) Wait(mutex);
+  }
+
+  /// Waits up to `timeout`; returns false if the timeout elapsed without
+  /// a notification. `mutex` is held again on return either way.
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mutex, std::chrono::duration<Rep, Period> timeout)
+      AIDA_REQUIRES(mutex) {
+    return WaitUntil(mutex, std::chrono::steady_clock::now() +
+                                std::chrono::duration_cast<
+                                    std::chrono::steady_clock::duration>(
+                                    timeout));
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  /// Returns false when `deadline` passed without a notification.
+  bool WaitUntil(Mutex& mutex, std::chrono::steady_clock::time_point deadline)
+      AIDA_REQUIRES(mutex);
+
+  std::condition_variable cv_;
+};
+
+}  // namespace aida::util
+
+#endif  // AIDA_UTIL_MUTEX_H_

@@ -1,0 +1,97 @@
+#ifndef AIDA_UTIL_THREAD_ANNOTATIONS_H_
+#define AIDA_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations.
+///
+/// These macros attach locking contracts to types, fields, and functions
+/// so that a Clang build with `-Wthread-safety` (tools/run_static_analysis.sh
+/// turns it into `-Werror`) proves at compile time that every access to a
+/// guarded field happens under its mutex and that lock acquisition order
+/// never inverts the declared ranks. On compilers without the attribute
+/// (GCC, MSVC) every macro expands to nothing, so annotated code builds
+/// everywhere and the contracts cost nothing at runtime.
+///
+/// Conventions (DESIGN.md §6 "Correctness tooling"):
+///  * fields guarded by a mutex carry AIDA_GUARDED_BY(mutex_);
+///  * private helpers that expect the caller to hold a lock carry
+///    AIDA_REQUIRES(mutex_) instead of re-locking;
+///  * public entry points that take a lock internally carry
+///    AIDA_EXCLUDES(mutex_) so the analysis rejects re-entrant deadlocks;
+///  * escapes via AIDA_NO_THREAD_SAFETY_ANALYSIS are a last resort and
+///    each use must carry a one-line justification comment.
+
+#if defined(__clang__)
+#define AIDA_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define AIDA_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op off Clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" names it in
+/// diagnostics).
+#define AIDA_CAPABILITY(x) \
+  AIDA_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor
+/// releases a capability.
+#define AIDA_SCOPED_CAPABILITY \
+  AIDA_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define AIDA_GUARDED_BY(x) AIDA_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer field: the pointed-to data (not the pointer itself) is guarded
+/// by `x`.
+#define AIDA_PT_GUARDED_BY(x) \
+  AIDA_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Declared lock-order edges, checked statically by Clang (the runtime
+/// rank checker in util/mutex.h covers non-Clang builds).
+#define AIDA_ACQUIRED_BEFORE(...) \
+  AIDA_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define AIDA_ACQUIRED_AFTER(...) \
+  AIDA_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Function requires the caller to already hold the capability.
+#define AIDA_REQUIRES(...) \
+  AIDA_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define AIDA_REQUIRES_SHARED(...) \
+  AIDA_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define AIDA_ACQUIRE(...) \
+  AIDA_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define AIDA_ACQUIRE_SHARED(...) \
+  AIDA_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability the caller holds.
+#define AIDA_RELEASE(...) \
+  AIDA_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define AIDA_RELEASE_SHARED(...) \
+  AIDA_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts acquisition; the first argument is the return value
+/// that signals success.
+#define AIDA_TRY_ACQUIRE(...) \
+  AIDA_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Function must be called WITHOUT the listed capabilities held (it will
+/// acquire them itself); catches self-deadlock at compile time.
+#define AIDA_EXCLUDES(...) \
+  AIDA_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held; tells the analysis to
+/// assume it from here on.
+#define AIDA_ASSERT_CAPABILITY(x) \
+  AIDA_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Function returns a reference to the capability guarding its result.
+#define AIDA_RETURN_CAPABILITY(x) \
+  AIDA_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use needs
+/// a one-line justification comment naming why the contract cannot be
+/// expressed (see DESIGN.md §6).
+#define AIDA_NO_THREAD_SAFETY_ANALYSIS \
+  AIDA_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // AIDA_UTIL_THREAD_ANNOTATIONS_H_

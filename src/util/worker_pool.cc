@@ -20,27 +20,27 @@ WorkerPool::WorkerPool(size_t num_threads) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stopping_ = true;
   }
-  ready_.notify_all();
+  ready_.NotifyAll();
   for (std::thread& thread : threads_) thread.join();
 }
 
 void WorkerPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     tasks_.push_back(std::move(task));
   }
-  ready_.notify_one();
+  ready_.NotifyOne();
 }
 
 void WorkerPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(&mutex_);
+      while (!stopping_ && tasks_.empty()) ready_.Wait(mutex_);
       // Drain-then-stop: queued tasks still run after the stop flag rises,
       // so a ParallelFor racing the destructor cannot lose indices.
       if (tasks_.empty()) return;
@@ -60,14 +60,19 @@ void WorkerPool::ParallelFor(size_t count,
   struct CallState {
     std::atomic<size_t> next{0};
     std::atomic<bool> failed{false};
-    std::exception_ptr error;
-    std::mutex mutex;
-    std::condition_variable done;
-    size_t active = 0;
+    Mutex mutex{lock_rank::kParallelForState};
+    std::exception_ptr error AIDA_GUARDED_BY(mutex);
+    CondVar done;
+    size_t active AIDA_GUARDED_BY(mutex) = 0;
   };
   auto state = std::make_shared<CallState>();
   const size_t runners = std::min(num_threads(), count);
-  state->active = runners;
+  {
+    // Construction is single-threaded, but the annotated field still
+    // wants its lock — runners may start before this scope exits.
+    MutexLock lock(&state->mutex);
+    state->active = runners;
+  }
 
   // `body` is captured by reference: the caller blocks below until every
   // runner finished, so the reference cannot dangle.
@@ -79,19 +84,19 @@ void WorkerPool::ParallelFor(size_t count,
       try {
         body(index);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state->mutex);
+        MutexLock lock(&state->mutex);
         if (!state->error) state->error = std::current_exception();
         state->failed.store(true, std::memory_order_relaxed);
         break;
       }
     }
-    std::lock_guard<std::mutex> lock(state->mutex);
-    if (--state->active == 0) state->done.notify_all();
+    MutexLock lock(&state->mutex);
+    if (--state->active == 0) state->done.NotifyAll();
   };
 
   for (size_t r = 0; r < runners; ++r) Submit(runner);
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->done.wait(lock, [&] { return state->active == 0; });
+  MutexLock lock(&state->mutex);
+  while (state->active != 0) state->done.Wait(state->mutex);
   if (state->error) std::rethrow_exception(state->error);
 }
 

@@ -1,13 +1,15 @@
 #ifndef AIDA_UTIL_WORKER_POOL_H_
 #define AIDA_UTIL_WORKER_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aida::util {
 
@@ -40,7 +42,7 @@ class WorkerPool {
   /// is unbounded (bounded admission belongs to the layer above, see
   /// serve::BoundedQueue). Tasks must not throw — a task that needs
   /// exception transport wraps its own try/catch, as ParallelFor does.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) AIDA_EXCLUDES(mutex_);
 
   /// Runs body(0) .. body(count - 1) across up to min(num_threads, count)
   /// workers with dynamic dispatch (an atomic index, so skewed per-index
@@ -48,15 +50,17 @@ class WorkerPool {
   /// body throws, dispatch of further indices stops, in-flight bodies
   /// finish, and the first captured exception is rethrown here. Safe to
   /// call concurrently from several threads sharing one pool.
-  void ParallelFor(size_t count, const std::function<void(size_t)>& body);
+  void ParallelFor(size_t count, const std::function<void(size_t)>& body)
+      AIDA_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() AIDA_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable ready_;
-  std::deque<std::function<void()>> tasks_;
-  bool stopping_ = false;
+  Mutex mutex_{lock_rank::kWorkerPool};
+  CondVar ready_;
+  std::deque<std::function<void()>> tasks_ AIDA_GUARDED_BY(mutex_);
+  bool stopping_ AIDA_GUARDED_BY(mutex_) = false;
+  /// Written only at construction, joined at destruction; never guarded.
   std::vector<std::thread> threads_;
 };
 

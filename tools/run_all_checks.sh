@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# The one-command CI gate: tier-1 build + full ctest suite, then the
-# ASan/UBSan and TSan passes over the concurrency- and lifetime-sensitive
-# tests (batch runner, serving layer, snapshot registry, KB
-# serialization). Everything a PR must keep green, runnable locally
-# exactly as the GitHub Actions workflow runs it.
+# The one-command CI gate: tier-1 build + full ctest suite, the static
+# analysis pass (Clang thread-safety as errors + clang-tidy; skipped
+# with a warning when Clang is absent locally), then the ASan/UBSan and
+# TSan passes over the concurrency- and lifetime-sensitive tests (batch
+# runner, serving layer, snapshot registry, KB serialization).
+# Everything a PR must keep green, runnable locally exactly as the
+# GitHub Actions workflow runs it.
 #
 # Usage: tools/run_all_checks.sh [--skip-sanitizers]
 #   BUILD_DIR=build       override the tier-1 build directory
@@ -22,6 +24,12 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 
 echo "==> tier-1: ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "==> static analysis (thread-safety + clang-tidy)"
+# Uses its own build tree (build-tsa); self-skips with a warning when no
+# clang++ is installed. CI runs it as a separate job with
+# AIDA_REQUIRE_STATIC_ANALYSIS=1 so the skip can never hide there.
+"$REPO_ROOT/tools/run_static_analysis.sh"
 
 if [[ "$SKIP_SANITIZERS" == "1" ]]; then
   echo "==> sanitizers skipped (--skip-sanitizers)"

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Builds the test suite with -DAIDA_SANITIZE=thread and runs the
-# concurrency-sensitive tests (batch runner, relatedness cache, per-call
-# stats, and the aida::serve worker pool / queue / metrics) under
-# ThreadSanitizer. Any data race fails the run.
+# concurrency-sensitive tests (the annotated mutex/condvar primitives,
+# batch runner, relatedness cache, per-call stats, and the aida::serve
+# worker pool / queue / metrics) under ThreadSanitizer. Any data race
+# fails the run.
 #
 # Usage: tools/run_tsan_tests.sh [extra gtest filter]
 #   BUILD_DIR=build-tsan  override the build directory
@@ -14,16 +15,19 @@ BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-tsan}"
 BATCH_FILTER="${1:-BatchTest.*}"
 SERVE_FILTER="${1:-*}"
 SNAPSHOT_FILTER="${1:-*}"
+MUTEX_FILTER="${1:-*}"
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAIDA_SANITIZE=thread
-cmake --build "$BUILD_DIR" -j --target batch_test serve_test snapshot_test kb_serialization_test
+cmake --build "$BUILD_DIR" -j --target mutex_test batch_test serve_test snapshot_test kb_serialization_test
 
 # halt_on_error makes the first race fail fast with a non-zero exit.
 # tools/tsan.supp silences the known libstdc++ _Sp_atomic false positive
 # (std::atomic<std::shared_ptr> lock-bit protocol lacks TSan annotations).
 DEFAULT_TSAN_OPTIONS="halt_on_error=1:suppressions=$REPO_ROOT/tools/tsan.supp"
+TSAN_OPTIONS="${TSAN_OPTIONS:-$DEFAULT_TSAN_OPTIONS}" \
+  "$BUILD_DIR/tests/mutex_test" --gtest_filter="$MUTEX_FILTER"
 TSAN_OPTIONS="${TSAN_OPTIONS:-$DEFAULT_TSAN_OPTIONS}" \
   "$BUILD_DIR/tests/batch_test" --gtest_filter="$BATCH_FILTER"
 TSAN_OPTIONS="${TSAN_OPTIONS:-$DEFAULT_TSAN_OPTIONS}" \
@@ -31,4 +35,4 @@ TSAN_OPTIONS="${TSAN_OPTIONS:-$DEFAULT_TSAN_OPTIONS}" \
 TSAN_OPTIONS="${TSAN_OPTIONS:-$DEFAULT_TSAN_OPTIONS}" \
   "$BUILD_DIR/tests/snapshot_test" --gtest_filter="$SNAPSHOT_FILTER"
 
-echo "TSan batch/cache/serve/snapshot tests passed: no data races reported."
+echo "TSan mutex/batch/cache/serve/snapshot tests passed: no data races reported."

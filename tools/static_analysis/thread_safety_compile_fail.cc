@@ -1,0 +1,38 @@
+// NEGATIVE CONTROL for tools/run_static_analysis.sh — this translation
+// unit must FAIL to compile under `-Werror=thread-safety`. It reads and
+// writes a guarded field without holding its mutex; if a toolchain or
+// flag regression ever lets it compile, the gate itself is broken (the
+// annotations would be decoration, not enforcement), so the script
+// treats "this file compiled" as a hard failure.
+//
+// Not part of any CMake target: only the analysis script touches it.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    // BUG (deliberate): `value_` is AIDA_GUARDED_BY(mutex_) but no lock
+    // is held -> clang must reject with -Werror=thread-safety.
+    ++value_;
+  }
+
+  long Get() const {
+    return value_;  // BUG (deliberate): unguarded read.
+  }
+
+ private:
+  mutable aida::util::Mutex mutex_;
+  long value_ AIDA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return static_cast<int>(counter.Get());
+}

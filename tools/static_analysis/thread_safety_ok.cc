@@ -1,0 +1,40 @@
+// POSITIVE CONTROL for tools/run_static_analysis.sh — this translation
+// unit must compile cleanly under `-Werror=thread-safety`. It exercises
+// the same shapes the negative control breaks (guarded field, scoped
+// lock, lock-requiring helper), so a pass here plus a failure of
+// thread_safety_compile_fail.cc proves the analysis is both enabled and
+// discriminating.
+//
+// Not part of any CMake target: only the analysis script touches it.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() AIDA_EXCLUDES(mutex_) {
+    aida::util::MutexLock lock(&mutex_);
+    IncrementLocked();
+  }
+
+  long Get() const AIDA_EXCLUDES(mutex_) {
+    aida::util::MutexLock lock(&mutex_);
+    return value_;
+  }
+
+ private:
+  void IncrementLocked() AIDA_REQUIRES(mutex_) { ++value_; }
+
+  mutable aida::util::Mutex mutex_;
+  long value_ AIDA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return static_cast<int>(counter.Get());
+}
