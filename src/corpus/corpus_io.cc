@@ -27,6 +27,27 @@ util::StatusOr<uint32_t> ParseId(const std::string& field,
   return static_cast<uint32_t>(value);
 }
 
+// Checked replacements for the bare strtol-and-hope parses: every numeric
+// field of this format is untrusted, so a non-numeric field is a parse
+// error, not a silent zero.
+util::StatusOr<long long> ParseI64(const std::string& field) {
+  char* end = nullptr;
+  long long value = std::strtoll(field.c_str(), &end, 10);
+  if (end == field.c_str() || *end != '\0') {
+    return util::Status::InvalidArgument("bad integer field: " + field);
+  }
+  return value;
+}
+
+util::StatusOr<unsigned long long> ParseU64(const std::string& field) {
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(field.c_str(), &end, 10);
+  if (end == field.c_str() || *end != '\0') {
+    return util::Status::InvalidArgument("bad count field: " + field);
+  }
+  return value;
+}
+
 }  // namespace
 
 std::string SerializeCorpus(const Corpus& corpus) {
@@ -64,9 +85,12 @@ util::StatusOr<Corpus> DeserializeCorpus(std::string_view data) {
     }
     Document doc;
     doc.id = fields[0];
-    doc.day = std::strtoll(fields[1].c_str(), nullptr, 10);
-    doc.topic = static_cast<uint32_t>(
-        std::strtoul(fields[2].c_str(), nullptr, 10));
+    util::StatusOr<long long> day = ParseI64(fields[1]);
+    if (!day.ok()) return day.status();
+    doc.day = *day;
+    util::StatusOr<unsigned long long> topic = ParseU64(fields[2]);
+    if (!topic.ok()) return topic.status();
+    doc.topic = static_cast<uint32_t>(*topic);
     ++i;
 
     if (i >= lines.size() || lines[i] != "#TOKENS") {
@@ -76,8 +100,16 @@ util::StatusOr<Corpus> DeserializeCorpus(std::string_view data) {
     if (i >= lines.size()) {
       return util::Status::InvalidArgument("missing token line");
     }
-    doc.tokens = util::Split(lines[i], ' ');
-    ++i;
+    // A document with no tokens serializes as a blank line, which the
+    // line-splitter drops — so the next line is already #MENTIONS. Treat
+    // that as an empty token list instead of misparsing the section marker
+    // as text (which broke serialize→parse round-tripping).
+    if (lines[i] == "#MENTIONS") {
+      doc.tokens.clear();
+    } else {
+      doc.tokens = util::Split(lines[i], ' ');
+      ++i;
+    }
 
     if (i >= lines.size() || lines[i] != "#MENTIONS") {
       return util::Status::InvalidArgument("expected #MENTIONS");
@@ -90,8 +122,12 @@ util::StatusOr<Corpus> DeserializeCorpus(std::string_view data) {
                                              lines[i]);
       }
       GoldMention mention;
-      mention.begin_token = std::strtoul(parts[0].c_str(), nullptr, 10);
-      mention.end_token = std::strtoul(parts[1].c_str(), nullptr, 10);
+      util::StatusOr<unsigned long long> begin = ParseU64(parts[0]);
+      if (!begin.ok()) return begin.status();
+      mention.begin_token = static_cast<size_t>(*begin);
+      util::StatusOr<unsigned long long> end = ParseU64(parts[1]);
+      if (!end.ok()) return end.status();
+      mention.end_token = static_cast<size_t>(*end);
       util::StatusOr<uint32_t> entity = ParseId(parts[2], kb::kNoEntity);
       if (!entity.ok()) return entity.status();
       mention.gold_entity = *entity;

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <limits>
 
-#include "util/status.h"
+#include "util/check.h"
 
 namespace aida::graph {
 
@@ -30,7 +30,9 @@ DenseSubgraphResult ConstrainedDenseSubgraph(
     const WeightedGraph& graph, const std::vector<bool>& removable,
     const std::vector<std::vector<NodeId>>& groups) {
   const size_t n = graph.node_count();
-  AIDA_CHECK(removable.size() == n);
+  AIDA_CHECK(removable.size() == n,
+             "removable mask (%zu) must match node count (%zu)",
+             removable.size(), n);
 
   std::vector<bool> alive(n, true);
   std::vector<double> degree(n, 0.0);
@@ -42,7 +44,8 @@ DenseSubgraphResult ConstrainedDenseSubgraph(
   std::vector<std::vector<uint32_t>> node_groups(n);
   for (uint32_t g = 0; g < groups.size(); ++g) {
     for (NodeId u : groups[g]) {
-      AIDA_CHECK(u < n && removable[u]);
+      AIDA_CHECK(u < n && removable[u],
+                 "min-degree heap returned node %u that is not removable", u);
       ++group_alive[g];
       node_groups[u].push_back(g);
     }

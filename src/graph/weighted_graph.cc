@@ -1,6 +1,6 @@
 #include "graph/weighted_graph.h"
 
-#include "util/status.h"
+#include "util/check.h"
 
 namespace aida::graph {
 

@@ -2,7 +2,7 @@
 
 #include <limits>
 
-#include "util/status.h"
+#include "util/check.h"
 
 namespace aida::hashing {
 
@@ -14,7 +14,7 @@ uint64_t MixHash(uint64_t x, uint64_t seed) {
 }
 
 MinHasher::MinHasher(size_t num_hashes, uint64_t seed) {
-  AIDA_CHECK(num_hashes > 0);
+  AIDA_CHECK(num_hashes > 0, "MinHasher needs at least one hash function");
   seeds_.reserve(num_hashes);
   uint64_t s = seed;
   for (size_t i = 0; i < num_hashes; ++i) {
@@ -38,7 +38,9 @@ std::vector<uint64_t> MinHasher::Sketch(
 
 double EstimateJaccard(const std::vector<uint64_t>& a,
                        const std::vector<uint64_t>& b) {
-  AIDA_CHECK(a.size() == b.size() && !a.empty());
+  AIDA_CHECK(a.size() == b.size() && !a.empty(),
+             "sketches must be equal-length and non-empty: %zu vs %zu",
+             a.size(), b.size());
   size_t agree = 0;
   for (size_t i = 0; i < a.size(); ++i) {
     if (a[i] == b[i]) ++agree;

@@ -4,7 +4,7 @@
 
 #include "hashing/lsh_index.h"
 #include "hashing/minhash.h"
-#include "util/status.h"
+#include "util/check.h"
 
 namespace aida::hashing {
 
@@ -25,7 +25,8 @@ TwoStageConfig LshFastConfig() {
 TwoStageHasher::TwoStageHasher(const kb::KeyphraseStore& store,
                                TwoStageConfig config)
     : config_(config) {
-  AIDA_CHECK(store.finalized());
+  AIDA_CHECK(store.finalized(),
+             "two-stage hashing needs a finalized KeyphraseStore");
   // Stage one: sketch and band every phrase once.
   MinHasher phrase_hasher(config_.phrase_hashes, config_.seed);
   LshIndex phrase_bander(config_.phrase_bands, config_.phrase_rows);

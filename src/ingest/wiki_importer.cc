@@ -141,7 +141,11 @@ std::unique_ptr<kb::KnowledgeBase> WikiImporter::Build() && {
 
   // ---- Taxonomy from categories ----------------------------------------------
   kb::TypeId root = builder.AddType("entity");
-  std::unordered_map<std::string, kb::TypeId> types;
+  // Seed the interning map with the root so a page declaring the literal
+  // category "entity" maps onto it instead of tripping the taxonomy's
+  // duplicate-name invariant — page text is untrusted input and must not
+  // be able to reach an AIDA_CHECK.
+  std::unordered_map<std::string, kb::TypeId> types{{"entity", root}};
   auto type_of = [&](const std::string& name) {
     auto [it, inserted] = types.emplace(name, kb::kNoType);
     if (inserted) it->second = builder.AddType(name, root);

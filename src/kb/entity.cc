@@ -1,11 +1,12 @@
 #include "kb/entity.h"
 
-#include "util/status.h"
+#include "util/check.h"
 
 namespace aida::kb {
 
 EntityId EntityRepository::Add(std::string canonical_name) {
-  AIDA_CHECK(by_name_.find(canonical_name) == by_name_.end());
+  AIDA_CHECK(by_name_.find(canonical_name) == by_name_.end(),
+             "duplicate canonical entity name '%s'", canonical_name.c_str());
   EntityId id = static_cast<EntityId>(entities_.size());
   Entity e;
   e.id = id;
@@ -16,12 +17,14 @@ EntityId EntityRepository::Add(std::string canonical_name) {
 }
 
 const Entity& EntityRepository::Get(EntityId id) const {
-  AIDA_DCHECK(id < entities_.size());
+  AIDA_DCHECK(id < entities_.size(), "entity id %u out of range (%zu)", id,
+              entities_.size());
   return entities_[id];
 }
 
 Entity& EntityRepository::GetMutable(EntityId id) {
-  AIDA_DCHECK(id < entities_.size());
+  AIDA_DCHECK(id < entities_.size(), "entity id %u out of range (%zu)", id,
+              entities_.size());
   return entities_[id];
 }
 

@@ -1,5 +1,6 @@
 #include "kb/kb_serialization.h"
 
+#include <unordered_set>
 #include <vector>
 
 #include "kb/kb_builder.h"
@@ -11,6 +12,18 @@ namespace {
 
 constexpr uint32_t kMagic = 0xA1DA4B42;
 constexpr uint32_t kVersion = 1;
+
+// KbBuilder enforces its preconditions with AIDA_CHECK (process abort), so
+// everything read from the untrusted buffer must be validated *before* it
+// reaches the builder — a corrupt snapshot must come back as an error
+// Status, never as a check failure. The fuzz_kb_serialization harness
+// hammers exactly this boundary.
+bool HasVisibleWord(std::string_view phrase) {
+  for (char c : phrase) {
+    if (c != ' ') return true;
+  }
+  return false;
+}
 
 }  // namespace
 
@@ -98,6 +111,7 @@ util::StatusOr<std::unique_ptr<KnowledgeBase>> DeserializeKnowledgeBase(
   uint64_t type_count = 0;
   st = reader.ReadU64(&type_count);
   if (!st.ok()) return st;
+  std::unordered_set<std::string> seen_type_names;
   for (uint64_t t = 0; t < type_count; ++t) {
     std::string name;
     uint32_t parent = kNoType;
@@ -108,6 +122,9 @@ util::StatusOr<std::unique_ptr<KnowledgeBase>> DeserializeKnowledgeBase(
     if (parent != kNoType && parent >= t) {
       return util::Status::InvalidArgument("taxonomy parent out of order");
     }
+    if (!seen_type_names.insert(name).second) {
+      return util::Status::InvalidArgument("duplicate type name: " + name);
+    }
     builder.AddType(std::move(name), parent);
   }
 
@@ -115,6 +132,7 @@ util::StatusOr<std::unique_ptr<KnowledgeBase>> DeserializeKnowledgeBase(
   uint64_t entity_count = 0;
   st = reader.ReadU64(&entity_count);
   if (!st.ok()) return st;
+  std::unordered_set<std::string> seen_entity_names;
   for (uint64_t e = 0; e < entity_count; ++e) {
     std::string name;
     std::vector<TypeId> types;
@@ -122,6 +140,9 @@ util::StatusOr<std::unique_ptr<KnowledgeBase>> DeserializeKnowledgeBase(
     if (!st.ok()) return st;
     st = reader.ReadVector(&types);
     if (!st.ok()) return st;
+    if (!seen_entity_names.insert(name).second) {
+      return util::Status::InvalidArgument("duplicate entity name: " + name);
+    }
     EntityId id = builder.AddEntity(std::move(name));
     for (TypeId t : types) {
       if (t >= type_count) {
@@ -166,6 +187,11 @@ util::StatusOr<std::unique_ptr<KnowledgeBase>> DeserializeKnowledgeBase(
     std::string text;
     st = reader.ReadString(&text);
     if (!st.ok()) return st;
+    // KeyphraseStore interns on space-split words and checks the result is
+    // non-empty; an all-space phrase would trip that internal invariant.
+    if (!HasVisibleWord(text)) {
+      return util::Status::InvalidArgument("empty keyphrase text");
+    }
     phrase_texts.push_back(std::move(text));
   }
   uint64_t phrase_entities = 0;

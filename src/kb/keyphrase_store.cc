@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/status.h"
+#include "util/check.h"
 #include "util/string_util.h"
 
 namespace aida::kb {
@@ -34,7 +34,9 @@ WordId KeyphraseStore::InternWord(std::string_view word) {
 }
 
 PhraseId KeyphraseStore::InternPhrase(const std::vector<WordId>& words) {
-  AIDA_CHECK(!words.empty());
+  // Parsers must reject empty phrases before interning; see check.h for
+  // the untrusted-input-never-reaches-a-check policy.
+  AIDA_CHECK(!words.empty(), "keyphrase must contain at least one word");
   std::string key;
   key.reserve(words.size() * 4);
   for (WordId w : words) {
@@ -87,8 +89,9 @@ size_t KeyphraseStore::IndexOf(const std::vector<PhraseId>& v, PhraseId p) {
 }
 
 void KeyphraseStore::Finalize(const LinkGraph& links, size_t entity_count) {
-  AIDA_CHECK(!finalized_);
-  AIDA_CHECK(links.finalized());
+  AIDA_CHECK(!finalized_, "KeyphraseStore finalized twice");
+  AIDA_CHECK(links.finalized(),
+             "Finalize requires an already-finalized LinkGraph");
   if (entities_.size() < entity_count) entities_.resize(entity_count);
   collection_size_ = entity_count;
   const double n = static_cast<double>(std::max<size_t>(entity_count, 1));

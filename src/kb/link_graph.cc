@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "util/status.h"
+#include "util/check.h"
 
 namespace aida::kb {
 

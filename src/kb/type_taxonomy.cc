@@ -1,12 +1,15 @@
 #include "kb/type_taxonomy.h"
 
-#include "util/status.h"
+#include "util/check.h"
 
 namespace aida::kb {
 
 TypeId TypeTaxonomy::AddType(std::string name, TypeId parent) {
-  AIDA_CHECK(by_name_.find(name) == by_name_.end());
-  AIDA_CHECK(parent == kNoType || parent < names_.size());
+  AIDA_CHECK(by_name_.find(name) == by_name_.end(),
+             "duplicate type name '%s'", name.c_str());
+  AIDA_CHECK(parent == kNoType || parent < names_.size(),
+             "parent type %u out of range (%zu types)", parent,
+             names_.size());
   TypeId id = static_cast<TypeId>(names_.size());
   by_name_.emplace(name, id);
   names_.push_back(std::move(name));

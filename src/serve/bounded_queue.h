@@ -37,7 +37,7 @@ template <typename T>
 class BoundedQueue {
  public:
   explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
-    AIDA_CHECK(capacity_ > 0);
+    AIDA_CHECK(capacity_ > 0, "BoundedQueue capacity must be positive");
   }
 
   /// Admits `item` unless the queue is full or closed; never blocks.

@@ -41,11 +41,13 @@ NedService::NedService(std::shared_ptr<const kb::KbSnapshot> snapshot,
                        : std::max(1u, std::thread::hardware_concurrency())),
       queue_(std::max<size_t>(1, options.queue_capacity)),
       pool_(std::make_unique<util::WorkerPool>(num_threads_)) {
-  AIDA_CHECK((fixed_snapshot_ != nullptr) != (registry_ != nullptr));
+  AIDA_CHECK((fixed_snapshot_ != nullptr) != (registry_ != nullptr),
+             "NedService needs exactly one of snapshot or registry");
   // A registry-backed service needs a published generation before traffic
   // arrives: requests pin whatever AcquireSnapshot returns, and "nothing
   // published yet" is a configuration error, not a per-request condition.
-  AIDA_CHECK(AcquireSnapshot() != nullptr);
+  AIDA_CHECK(AcquireSnapshot() != nullptr,
+             "registry must publish a generation before serving starts");
   for (size_t t = 0; t < num_threads_; ++t) {
     pool_->Submit([this] { WorkerLoop(); });
   }

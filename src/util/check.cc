@@ -1,0 +1,52 @@
+#include "util/check.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace aida::util {
+
+namespace {
+
+std::atomic<CheckFailureHandler> g_handler{nullptr};
+
+}  // namespace
+
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+namespace internal_check {
+
+void CheckFail(const char* expr, const char* file, int line, const char* fmt,
+               ...) {
+  // Format into a fixed buffer: the process is about to die (or the
+  // handler is about to throw), so no allocation here — a check can fire
+  // under OOM or inside an allocator.
+  char message[512];
+  message[0] = '\0';
+  if (fmt != nullptr && fmt[0] != '\0') {
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(message, sizeof(message), fmt, args);
+    va_end(args);
+  }
+  CheckFailureHandler handler = g_handler.load(std::memory_order_acquire);
+  if (handler != nullptr) {
+    CheckFailureInfo info;
+    info.expression = expr;
+    info.file = file;
+    info.line = line;
+    info.message = message;
+    handler(info);
+    // A handler that returns declined to take over; fall through.
+  }
+  std::fprintf(stderr, "AIDA_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, message[0] != '\0' ? " — " : "", message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace aida::util

@@ -110,6 +110,9 @@ class BinaryReader {
  private:
   Status ReadRaw(void* out, size_t n) {
     if (n > Remaining()) return Truncated();
+    // memcpy declares its pointers nonnull even for n == 0, and an empty
+    // vector's data() may be null — skip the call instead of passing it.
+    if (n == 0) return Status::Ok();
     std::memcpy(out, data_.data() + pos_, n);
     pos_ += n;
     return Status::Ok();

@@ -1,8 +1,5 @@
 #include "util/status.h"
 
-#include <cstdio>
-#include <cstdlib>
-
 namespace aida::util {
 
 const char* StatusCodeName(StatusCode code) {
@@ -43,12 +40,4 @@ std::string Status::ToString() const {
   return result;
 }
 
-namespace internal_check {
-
-void CheckFail(const char* expr, const char* file, int line) {
-  std::fprintf(stderr, "AIDA_CHECK failed: %s at %s:%d\n", expr, file, line);
-  std::abort();
-}
-
-}  // namespace internal_check
 }  // namespace aida::util

@@ -1,9 +1,10 @@
 #ifndef AIDA_UTIL_STATUS_H_
 #define AIDA_UTIL_STATUS_H_
 
-#include <cassert>
 #include <string>
 #include <utility>
+
+#include "util/check.h"
 
 namespace aida::util {
 
@@ -90,8 +91,9 @@ inline bool operator==(const Status& a, const Status& b) {
 }
 
 /// Either a value of type `T` or an error `Status`. Accessing `value()` on
-/// an error result aborts in debug builds (undefined in release), so callers
-/// must check `ok()` first.
+/// an error result fails an AIDA_CHECK in every build type (a raw `assert`
+/// here would be silent undefined behavior in release), so callers must
+/// check `ok()` first.
 template <typename T>
 class StatusOr {
  public:
@@ -100,22 +102,22 @@ class StatusOr {
 
   /// Constructs from a non-OK status.
   StatusOr(Status status) : status_(std::move(status)) {
-    assert(!status_.ok() && "StatusOr constructed from OK status");
+    AIDA_CHECK(!status_.ok(), "StatusOr constructed from an OK Status");
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    CheckHoldsValue();
     return value_;
   }
   T& value() & {
-    assert(ok());
+    CheckHoldsValue();
     return value_;
   }
   T&& value() && {
-    assert(ok());
+    CheckHoldsValue();
     return std::move(value_);
   }
 
@@ -125,32 +127,15 @@ class StatusOr {
   T* operator->() { return &value(); }
 
  private:
+  void CheckHoldsValue() const {
+    AIDA_CHECK(ok(), "StatusOr accessed without a value: %s",
+               status_.ToString().c_str());
+  }
+
   Status status_;
   T value_{};
 };
 
 }  // namespace aida::util
-
-/// Aborts with a message if `condition` is false. Used for programmer
-/// errors (invariant violations), not recoverable conditions.
-#define AIDA_CHECK(condition)                                              \
-  do {                                                                     \
-    if (!(condition)) {                                                    \
-      ::aida::util::internal_check::CheckFail(#condition, __FILE__,        \
-                                              __LINE__);                   \
-    }                                                                      \
-  } while (0)
-
-#ifdef NDEBUG
-#define AIDA_DCHECK(condition) \
-  do {                         \
-  } while (0)
-#else
-#define AIDA_DCHECK(condition) AIDA_CHECK(condition)
-#endif
-
-namespace aida::util::internal_check {
-[[noreturn]] void CheckFail(const char* expr, const char* file, int line);
-}  // namespace aida::util::internal_check
 
 #endif  // AIDA_UTIL_STATUS_H_

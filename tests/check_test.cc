@@ -1,0 +1,138 @@
+// Tests for the AIDA_CHECK contract macros (util/check.h) and for the
+// StatusOr accessor contracts that build on them. The death tests pin
+// down the failure-message format — "AIDA_CHECK failed: <expr> at
+// file:line — <message>" — because operator runbooks and the fuzz
+// tooling grep for that prefix.
+
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace aida {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  AIDA_CHECK(true);
+  AIDA_CHECK(1 + 1 == 2, "arithmetic held");
+  AIDA_CHECK_OK(util::Status::Ok());
+}
+
+TEST(CheckTest, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  AIDA_CHECK([&] {
+    ++calls;
+    return true;
+  }());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckTest, MessageArgumentsNotEvaluatedOnSuccess) {
+  int calls = 0;
+  AIDA_CHECK(true, "never formatted: %d", ++calls);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(CheckTest, CheckOkEvaluatesExpressionExactlyOnce) {
+  int calls = 0;
+  AIDA_CHECK_OK([&] {
+    ++calls;
+    return util::Status::Ok();
+  }());
+  EXPECT_EQ(calls, 1);
+}
+
+#ifdef NDEBUG
+TEST(CheckTest, DcheckCompiledOutInReleaseWithoutEvaluating) {
+  int calls = 0;
+  AIDA_DCHECK([&] {
+    ++calls;
+    return false;
+  }());
+  EXPECT_EQ(calls, 0);
+}
+#else
+TEST(CheckDeathTest, DcheckFatalInDebugBuilds) {
+  EXPECT_DEATH(AIDA_DCHECK(false, "debug invariant"), "AIDA_CHECK failed");
+}
+#endif
+
+TEST(CheckDeathTest, FailureLogsExpressionAndLocation) {
+  EXPECT_DEATH(AIDA_CHECK(2 + 2 == 5),
+               "AIDA_CHECK failed: 2 \\+ 2 == 5 at .*check_test\\.cc:");
+}
+
+TEST(CheckDeathTest, FailureLogsFormattedMessage) {
+  int got = 41;
+  EXPECT_DEATH(AIDA_CHECK(got == 42, "expected 42, got %d", got),
+               "expected 42, got 41");
+}
+
+TEST(CheckDeathTest, CheckOkLogsStatusText) {
+  EXPECT_DEATH(AIDA_CHECK_OK(util::Status::InvalidArgument("bad flux")),
+               "non-OK status: .*bad flux");
+}
+
+TEST(CheckDeathTest, UnreachableAborts) {
+  EXPECT_DEATH(AIDA_UNREACHABLE("enum value %d fell through", 7),
+               "reached unreachable code.*enum value 7 fell through");
+}
+
+// StatusOr's accessor contracts moved from assert() (silent UB in release)
+// to AIDA_CHECK, so they must fire in every build type — including the
+// RelWithDebInfo default this test suite runs under.
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  util::StatusOr<int> result(util::Status::NotFound("no dice"));
+  EXPECT_DEATH((void)result.value(),
+               "StatusOr accessed without a value: .*no dice");
+}
+
+TEST(StatusOrDeathTest, DereferenceOnErrorAborts) {
+  util::StatusOr<std::string> result(util::Status::Internal("boom"));
+  EXPECT_DEATH((void)*result, "StatusOr accessed without a value: .*boom");
+}
+
+TEST(StatusOrDeathTest, ConstructingFromOkStatusAborts) {
+  EXPECT_DEATH(util::StatusOr<int>{util::Status::Ok()},
+               "StatusOr constructed from an OK Status");
+}
+
+// The failure handler hook lets embedders (and this test) observe a check
+// failure without the process dying. A handler that throws never returns
+// to CheckFail, so std::abort() is not reached.
+std::string g_seen_expression;   // NOLINT(runtime/string)
+std::string g_seen_message;      // NOLINT(runtime/string)
+int g_seen_line = 0;
+
+void ThrowingHandler(const util::CheckFailureInfo& info) {
+  g_seen_expression = info.expression;
+  g_seen_message = info.message;
+  g_seen_line = info.line;
+  throw std::runtime_error("intercepted");
+}
+
+TEST(CheckTest, FailureHandlerInterceptsAbort) {
+  util::CheckFailureHandler previous =
+      util::SetCheckFailureHandler(&ThrowingHandler);
+  EXPECT_THROW(AIDA_CHECK(2 + 2 == 5, "math is %s", "broken"),
+               std::runtime_error);
+  util::SetCheckFailureHandler(previous);
+  EXPECT_EQ(g_seen_expression, "2 + 2 == 5");
+  EXPECT_EQ(g_seen_message, "math is broken");
+  EXPECT_GT(g_seen_line, 0);
+}
+
+TEST(CheckTest, HandlerThatReturnsFallsThroughToAbort) {
+  // Registering a handler must not swallow the failure: if it returns,
+  // CheckFail still logs and aborts.
+  util::CheckFailureHandler previous =
+      util::SetCheckFailureHandler(+[](const util::CheckFailureInfo&) {});
+  EXPECT_DEATH(AIDA_CHECK(false, "still fatal"), "still fatal");
+  util::SetCheckFailureHandler(previous);
+}
+
+}  // namespace
+}  // namespace aida

@@ -67,6 +67,40 @@ TEST(CorpusIoTest, RejectsMalformedInput) {
           .ok());  // missing #END
 }
 
+// Regression (tests/fuzz/corpus/corpus_io/crash-empty-tokens.txt): a
+// zero-token document serializes with a blank token line that the
+// line-splitter drops, so the parser used to misread #MENTIONS as the
+// token line and fail its own round-trip.
+TEST(CorpusIoTest, EmptyTokenDocumentRoundTrips) {
+  Corpus corpus(1);
+  corpus[0].id = "empty_doc";
+  std::string serialized = SerializeCorpus(corpus);
+  util::StatusOr<Corpus> loaded = DeserializeCorpus(serialized);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].id, "empty_doc");
+  EXPECT_TRUE((*loaded)[0].tokens.empty());
+  EXPECT_TRUE((*loaded)[0].mentions.empty());
+}
+
+TEST(CorpusIoTest, RejectsNonNumericFields) {
+  // Numeric fields go through checked strto* parsing; text where a
+  // number belongs must be a clean error, not a silent zero.
+  EXPECT_FALSE(
+      DeserializeCorpus("#DOC a day 0\n#TOKENS\nx\n#MENTIONS\n#END\n").ok());
+  EXPECT_FALSE(
+      DeserializeCorpus("#DOC a 1 topic\n#TOKENS\nx\n#MENTIONS\n#END\n").ok());
+  EXPECT_FALSE(
+      DeserializeCorpus("#DOC a 1 0\n#TOKENS\nx y\n#MENTIONS\nzero 1 - - x\n#END\n")
+          .ok());
+  EXPECT_FALSE(
+      DeserializeCorpus("#DOC a 1 0\n#TOKENS\nx y\n#MENTIONS\n0 one - - x\n#END\n")
+          .ok());
+  EXPECT_FALSE(
+      DeserializeCorpus("#DOC a 1 0\n#TOKENS\nx y\n#MENTIONS\n0 1x - - x\n#END\n")
+          .ok());  // trailing garbage after the number
+}
+
 TEST(CorpusIoTest, FileRoundTrip) {
   std::string path = ::testing::TempDir() + "/aida_corpus_test.txt";
   const Corpus& corpus = TestWorld::Get().corpus;

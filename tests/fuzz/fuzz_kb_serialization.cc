@@ -1,0 +1,36 @@
+// Fuzz target for the KB snapshot deserializer — the highest-stakes
+// untrusted surface in the system: kb::SnapshotRegistry hot-reloads these
+// bytes into a live service, so a malformed snapshot that crashes the
+// parser crashes production. Contract under test:
+//
+//   * arbitrary bytes either load or come back as an error Status —
+//     never a crash, check failure, overflow, or sanitizer report;
+//   * any accepted payload re-serializes into a buffer that loads again
+//     with the same entity/taxonomy shape (canonicalization round-trip).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "kb/kb_serialization.h"
+#include "util/check.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  auto loaded = aida::kb::DeserializeKnowledgeBase(input);
+  if (!loaded.ok()) return 0;  // clean rejection is the expected path
+
+  const aida::kb::KnowledgeBase& kb = **loaded;
+  std::string canonical = aida::kb::SerializeKnowledgeBase(kb);
+  auto reloaded = aida::kb::DeserializeKnowledgeBase(canonical);
+  AIDA_CHECK(reloaded.ok(), "accepted payload failed to round-trip: %s",
+             reloaded.status().ToString().c_str());
+  AIDA_CHECK((*reloaded)->entity_count() == kb.entity_count(),
+             "entity count diverged across round-trip: %zu vs %zu",
+             (*reloaded)->entity_count(), kb.entity_count());
+  AIDA_CHECK((*reloaded)->taxonomy().size() == kb.taxonomy().size(),
+             "taxonomy size diverged across round-trip: %zu vs %zu",
+             (*reloaded)->taxonomy().size(), kb.taxonomy().size());
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fuzz target for the tokenizer + sentence splitter — raw document text is
+// the most exposed input of all (every serving request carries some), and
+// the ASCII-oriented rules must at minimum stay memory-safe on arbitrary
+// bytes: UTF-8 multi-byte sequences, overlong encodings, lone
+// continuation bytes, BOMs, NULs. Contract under test:
+//
+//   * token offsets are in-bounds, non-overlapping, and monotonically
+//     increasing, and each token's text is exactly the input slice it
+//     claims to cover;
+//   * sentence spans partition the token range with no gaps or overlaps,
+//     and SentenceOf agrees with the span that contains each token.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+#include "util/check.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  aida::text::Tokenizer tokenizer;
+  aida::text::TokenSequence tokens = tokenizer.Tokenize(input);
+
+  size_t prev_end = 0;
+  for (const aida::text::Token& t : tokens) {
+    AIDA_CHECK(t.begin >= prev_end, "token at %zu overlaps previous end %zu",
+               t.begin, prev_end);
+    AIDA_CHECK(t.end > t.begin, "empty token span at %zu", t.begin);
+    AIDA_CHECK(t.end <= input.size(), "token end %zu past input size %zu",
+               t.end, input.size());
+    AIDA_CHECK(t.text == input.substr(t.begin, t.end - t.begin),
+               "token text does not match its claimed input slice");
+    prev_end = t.end;
+  }
+
+  aida::text::SentenceSplitter splitter;
+  std::vector<aida::text::SentenceSpan> sentences = splitter.Split(tokens);
+  if (tokens.empty()) {
+    AIDA_CHECK(sentences.empty(), "sentences without tokens");
+    return 0;
+  }
+  size_t expected_begin = 0;
+  for (const aida::text::SentenceSpan& s : sentences) {
+    AIDA_CHECK(s.begin == expected_begin,
+               "sentence begins at %zu, expected %zu", s.begin,
+               expected_begin);
+    AIDA_CHECK(s.end > s.begin, "empty sentence span at %zu", s.begin);
+    expected_begin = s.end;
+  }
+  AIDA_CHECK(expected_begin == tokens.size(),
+             "sentences cover %zu of %zu tokens", expected_begin,
+             tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    size_t s = aida::text::SentenceSplitter::SentenceOf(sentences, i);
+    AIDA_CHECK(s < sentences.size(), "SentenceOf out of range");
+    AIDA_CHECK(i >= sentences[s].begin && i < sentences[s].end,
+               "token %zu not inside its sentence [%zu, %zu)", i,
+               sentences[s].begin, sentences[s].end);
+  }
+  return 0;
+}

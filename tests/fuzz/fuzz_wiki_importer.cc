@@ -1,0 +1,40 @@
+// Fuzz target for ingest::WikiImporter — wiki-style article pages are the
+// paper's Section 2.3.3 extraction input and arrive from whatever dump the
+// operator points the importer at. Contract under test: any page text is
+// either accepted or rejected with a Status by AddPage, and Build() on
+// whatever subset was accepted always produces a knowledge base — no crash
+// and no internal check failure (e.g. a category colliding with the root
+// taxonomy type, which this harness caught as a crasher; see
+// corpus/wiki_importer/crash-category-entity.txt).
+//
+// NUL bytes split the input into multiple pages so the fuzzer can explore
+// cross-page interactions (red links, duplicate titles, shared anchors).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <utility>
+
+#include "ingest/wiki_importer.h"
+#include "util/check.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  aida::ingest::WikiImporter importer;
+  size_t start = 0;
+  while (start <= input.size()) {
+    size_t nul = input.find('\0', start);
+    std::string_view page =
+        nul == std::string_view::npos
+            ? input.substr(start)
+            : input.substr(start, nul - start);
+    // An error Status is a valid outcome for garbage; a crash is not.
+    (void)importer.AddPage(page);
+    if (nul == std::string_view::npos) break;
+    start = nul + 1;
+  }
+  std::unique_ptr<aida::kb::KnowledgeBase> kb = std::move(importer).Build();
+  AIDA_CHECK(kb != nullptr, "Build() must always produce a knowledge base");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Replay driver linked into the fuzz targets when they are built WITHOUT
+// -DAIDA_FUZZERS=ON (i.e. without libFuzzer, on any compiler). It feeds
+// every file under the given paths through LLVMFuzzerTestOneInput once, so
+// the checked-in corpora — including the regression inputs for fixed
+// crashers — run as ordinary ctest tests on toolchains that cannot build
+// the coverage-guided fuzzers.
+//
+// Arguments mirror a libFuzzer replay invocation: flags (anything starting
+// with '-', e.g. -runs=0) are ignored, files are replayed directly, and
+// directories are walked recursively. This lets CMake register ONE test
+// command that works in both build modes.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool ReplayFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  std::fprintf(stderr, "replay: %s (%zu bytes)\n", path.c_str(),
+               bytes.size());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t replayed = 0;
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') continue;  // libFuzzer-style flag
+    std::filesystem::path path(arg);
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(path)) {
+        if (!entry.is_regular_file()) continue;
+        ok = ReplayFile(entry.path()) && ok;
+        ++replayed;
+      }
+    } else {
+      ok = ReplayFile(path) && ok;
+      ++replayed;
+    }
+  }
+  std::fprintf(stderr, "replayed %zu corpus inputs without a check failure\n",
+               replayed);
+  return ok && replayed > 0 ? 0 : 1;
+}

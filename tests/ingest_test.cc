@@ -130,6 +130,70 @@ TEST(WikiImporterErrorsTest, RejectsMalformedPages) {
   EXPECT_EQ(importer.page_count(), 0u);
 }
 
+// Wiki pages are untrusted input (the fuzz_wiki_importer harness feeds
+// the importer arbitrary bytes), so malformed markup must come back as an
+// error Status or parse to something harmless — never abort.
+TEST(WikiImporterErrorsTest, MalformedHeaderAndMarkupVariants) {
+  WikiImporter importer;
+  EXPECT_FALSE(importer.AddPage("= T =\ntext [[unterminated link\n").ok());
+  EXPECT_FALSE(importer.AddPage("= =\nbody\n").ok());
+  EXPECT_FALSE(importer.AddPage("==\nbody\n").ok());
+  EXPECT_FALSE(importer.AddPage("body before any header\n").ok());
+  EXPECT_FALSE(importer.AddPage("= T =\nan [[|anchor only]] link\n").ok());
+  EXPECT_FALSE(importer.AddPage("").ok());
+  EXPECT_EQ(importer.page_count(), 0u);
+}
+
+TEST(WikiImporterErrorsTest, DuplicateTitleHeaderLastWins) {
+  WikiImporter importer;
+  ASSERT_TRUE(importer.AddPage("= First =\n= Second =\nbody text\n").ok());
+  auto kb = std::move(importer).Build();
+  EXPECT_EQ(kb->entities().FindByName("First"), kb::kNoEntity);
+  EXPECT_NE(kb->entities().FindByName("Second"), kb::kNoEntity);
+}
+
+TEST(WikiImporterErrorsTest, DuplicatePageTitlesShareOneEntity) {
+  WikiImporter importer;
+  ASSERT_TRUE(importer.AddPage("= Twin =\nNAME: A\n").ok());
+  ASSERT_TRUE(importer.AddPage("= Twin =\nNAME: B\n").ok());
+  auto kb = std::move(importer).Build();
+  EXPECT_EQ(kb->entity_count(), 1u);
+  EXPECT_TRUE(kb->dictionary().Contains("A"));
+  EXPECT_TRUE(kb->dictionary().Contains("B"));
+}
+
+TEST(WikiImporterErrorsTest, GarbageMetadataLinesAreHarmless) {
+  WikiImporter importer;
+  ASSERT_TRUE(importer
+                  .AddPage("= T =\n"
+                           "CATEGORY:\n"
+                           "CATEGORY: | | |\n"
+                           "NAME:|||\n"
+                           "REDIRECT-FROM:   \n"
+                           "CATEGORY: dup | dup\n")
+                  .ok());
+  auto kb = std::move(importer).Build();
+  EXPECT_EQ(kb->entity_count(), 1u);
+  // Only "entity" (root) and "dup" exist; empty list items were dropped.
+  EXPECT_EQ(kb->taxonomy().size(), 2u);
+}
+
+// Regression (tests/fuzz/corpus/wiki_importer/crash-category-entity.txt):
+// the literal category "entity" collides with the root type the importer
+// seeds the taxonomy with, and used to abort Build() on the taxonomy's
+// duplicate-name invariant. It must map onto the root instead.
+TEST(WikiImporterErrorsTest, CategoryNamedEntityMapsOntoRootType) {
+  WikiImporter importer;
+  ASSERT_TRUE(importer.AddPage("= Anything =\nCATEGORY: entity\nBody.\n").ok());
+  auto kb = std::move(importer).Build();
+  EXPECT_EQ(kb->taxonomy().size(), 1u);
+  kb::EntityId id = kb->entities().FindByName("Anything");
+  ASSERT_NE(id, kb::kNoEntity);
+  ASSERT_EQ(kb->entities().Get(id).types.size(), 1u);
+  EXPECT_EQ(kb->taxonomy().TypeName(kb->entities().Get(id).types[0]),
+            "entity");
+}
+
 TEST(WikiImporterErrorsTest, RenderRoundTrips) {
   std::string page = RenderWikiPage(
       "Some_Entity", {"person"}, {"Some", "S. Entity"},

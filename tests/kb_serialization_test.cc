@@ -1,7 +1,10 @@
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "kb/kb_serialization.h"
 #include "test_world.h"
+#include "util/serialize.h"
 
 namespace aida::kb {
 namespace {
@@ -166,6 +169,98 @@ TEST_F(KbSerializationTest, RejectsTrailingBytes) {
   std::string buffer = SerializeKnowledgeBase(kb());
   buffer += "junk";
   EXPECT_FALSE(DeserializeKnowledgeBase(buffer).ok());
+}
+
+TEST_F(KbSerializationTest, HeaderBitFlipSweepNeverCrashes) {
+  // Single-bit corruption of the leading bytes (magic, version, and the
+  // first section counts): every variant must either still parse or come
+  // back as a Status with a message — never abort or trip a sanitizer
+  // (the ASan configuration runs this same sweep).
+  const std::string pristine = SerializeKnowledgeBase(kb());
+  const size_t span = std::min(pristine.size(), size_t{64});
+  for (size_t byte = 0; byte < span; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = pristine;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      auto result = DeserializeKnowledgeBase(corrupt);
+      if (!result.ok()) {
+        EXPECT_FALSE(result.status().ToString().empty())
+            << "byte " << byte << " bit " << bit;
+      }
+    }
+  }
+}
+
+// The crash-*.kb regression inputs in tests/fuzz/corpus/kb_serialization/
+// hold these same byte layouts; the tests below keep the reader's reason
+// for rejecting them documented and independently reproducible.
+
+TEST_F(KbSerializationTest, RejectsDuplicateEntityNames) {
+  // Two entities named "X" used to abort in EntityRepository::Add's
+  // unique-canonical-name invariant instead of returning an error.
+  util::BinaryWriter w;
+  w.WriteU32(0xA1DA4B42);
+  w.WriteU32(1);
+  w.WriteU64(0);  // taxonomy
+  w.WriteU64(2);  // entities
+  w.WriteString("X");
+  w.WriteU64(0);
+  w.WriteString("X");
+  w.WriteU64(0);
+  w.WriteU64(0);  // anchors
+  w.WriteU64(0);  // phrases
+  w.WriteU64(2);  // per-entity phrase lists
+  w.WriteU64(0);
+  w.WriteU64(0);
+  w.WriteU64(0);  // links
+  auto result = DeserializeKnowledgeBase(std::move(w).TakeBuffer());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("duplicate entity name"),
+            std::string::npos);
+}
+
+TEST_F(KbSerializationTest, RejectsDuplicateTypeNames) {
+  util::BinaryWriter w;
+  w.WriteU32(0xA1DA4B42);
+  w.WriteU32(1);
+  w.WriteU64(2);  // taxonomy: two types named "t"
+  w.WriteString("t");
+  w.WriteU32(kNoType);
+  w.WriteString("t");
+  w.WriteU32(kNoType);
+  w.WriteU64(0);  // entities
+  w.WriteU64(0);  // anchors
+  w.WriteU64(0);  // phrases
+  w.WriteU64(0);  // per-entity phrase lists
+  w.WriteU64(0);  // links
+  auto result = DeserializeKnowledgeBase(std::move(w).TakeBuffer());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("duplicate type name"),
+            std::string::npos);
+}
+
+TEST_F(KbSerializationTest, RejectsEmptyKeyphraseText) {
+  // An all-space phrase splits into zero words, which used to abort on
+  // KeyphraseStore::InternPhrase's non-empty invariant.
+  util::BinaryWriter w;
+  w.WriteU32(0xA1DA4B42);
+  w.WriteU32(1);
+  w.WriteU64(0);  // taxonomy
+  w.WriteU64(1);  // one entity
+  w.WriteString("X");
+  w.WriteU64(0);
+  w.WriteU64(0);       // anchors
+  w.WriteU64(1);       // one phrase...
+  w.WriteString(" ");  // ...with no visible word
+  w.WriteU64(1);       // per-entity phrase lists
+  w.WriteU64(1);
+  w.WriteU32(0);
+  w.WriteU32(3);
+  w.WriteU64(0);  // links
+  auto result = DeserializeKnowledgeBase(std::move(w).TakeBuffer());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("empty keyphrase text"),
+            std::string::npos);
 }
 
 TEST_F(KbSerializationTest, FileRoundTrip) {

@@ -1,0 +1,206 @@
+// Regenerates the checked-in seed corpora under tests/fuzz/corpus/.
+//
+// Valid seeds are produced through the library's own serializers so they
+// track the current format; the crash-* regression inputs are crafted
+// byte-for-byte (via util::BinaryWriter or literal text) to reproduce
+// crashers that were found while fuzzing and have since been fixed — the
+// fuzz_replay_* ctest tests replay them forever.
+//
+// Usage: make_fuzz_seeds [corpus_root]   (default: tests/fuzz/corpus)
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "corpus/corpus_io.h"
+#include "ingest/wiki_importer.h"
+#include "kb/kb_serialization.h"
+#include "util/check.h"
+#include "util/serialize.h"
+
+namespace {
+
+void WriteSeed(const std::filesystem::path& dir, const std::string& name,
+               const std::string& bytes) {
+  std::filesystem::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary);
+  AIDA_CHECK(out.good(), "cannot open seed file for writing");
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  AIDA_CHECK(out.good(), "short write on seed file");
+  std::printf("wrote %s (%zu bytes)\n", (dir / name).c_str(), bytes.size());
+}
+
+std::string PageOne() {
+  return aida::ingest::RenderWikiPage(
+      "Jimmy_Page", {"person", "musician"}, {"Page", "Jimmy Page"},
+      {{"Led_Zeppelin", "the band"}, {"Gibson_Les_Paul", ""}},
+      "Jimmy Page is an english rock guitarist of [[Led_Zeppelin]] fame.\n"
+      "He played a [[Gibson_Les_Paul|gibson guitar]] on stage.\n");
+}
+
+std::string PageTwo() {
+  return aida::ingest::RenderWikiPage(
+      "Led_Zeppelin", {"band"}, {"Zeppelin"}, {{"Jimmy_Page", "Page"}},
+      "Led Zeppelin was founded by [[Jimmy_Page]] in 1968.\n");
+}
+
+// A snapshot that was accepted, then re-fed through the deserializer while
+// fuzzing: two entities with the same canonical name used to abort inside
+// EntityRepository::Add instead of returning an error Status.
+std::string DuplicateEntitySnapshot() {
+  aida::util::BinaryWriter w;
+  w.WriteU32(0xA1DA4B42);  // magic
+  w.WriteU32(1);           // version
+  w.WriteU64(0);           // taxonomy: no types
+  w.WriteU64(2);           // two entities...
+  w.WriteString("X");      // ...with the same name
+  w.WriteU64(0);           //    no types
+  w.WriteString("X");
+  w.WriteU64(0);
+  w.WriteU64(0);  // anchors
+  w.WriteU64(0);  // phrase vocabulary
+  w.WriteU64(2);  // per-entity phrase lists (must equal entity count)
+  w.WriteU64(0);
+  w.WriteU64(0);
+  w.WriteU64(0);  // links
+  return std::move(w).TakeBuffer();
+}
+
+// Same family: a duplicate type name used to abort in TypeTaxonomy::AddType.
+std::string DuplicateTypeSnapshot() {
+  aida::util::BinaryWriter w;
+  w.WriteU32(0xA1DA4B42);
+  w.WriteU32(1);
+  w.WriteU64(2);  // two types, same name
+  w.WriteString("t");
+  w.WriteU32(0xFFFFFFFFu);  // kNoType
+  w.WriteString("t");
+  w.WriteU32(0xFFFFFFFFu);
+  w.WriteU64(0);  // entities
+  w.WriteU64(0);  // anchors
+  w.WriteU64(0);  // phrases
+  w.WriteU64(0);  // per-entity phrase lists
+  w.WriteU64(0);  // links
+  return std::move(w).TakeBuffer();
+}
+
+// An all-space phrase text used to reach KeyphraseStore::InternPhrase's
+// non-empty-words invariant through AddKeyphrase.
+std::string EmptyPhraseSnapshot() {
+  aida::util::BinaryWriter w;
+  w.WriteU32(0xA1DA4B42);
+  w.WriteU32(1);
+  w.WriteU64(0);  // taxonomy
+  w.WriteU64(1);  // one entity
+  w.WriteString("X");
+  w.WriteU64(0);
+  w.WriteU64(0);      // anchors
+  w.WriteU64(1);      // one phrase...
+  w.WriteString(" "); // ...that splits into zero words
+  w.WriteU64(1);      // per-entity phrase lists
+  w.WriteU64(1);      // entity 0 references phrase 0
+  w.WriteU32(0);
+  w.WriteU32(3);
+  w.WriteU64(0);  // links
+  return std::move(w).TakeBuffer();
+}
+
+aida::corpus::Corpus SmallCorpus() {
+  aida::corpus::Corpus corpus;
+  aida::corpus::Document doc;
+  doc.id = "doc_0";
+  doc.day = 4;
+  doc.topic = 2;
+  doc.tokens = {"The", "Page", "concert", "sold", "out", "."};
+  aida::corpus::GoldMention m;
+  m.begin_token = 1;
+  m.end_token = 2;
+  m.gold_entity = 314;
+  m.surface = "Page";
+  doc.mentions.push_back(m);
+  corpus.push_back(doc);
+  return corpus;
+}
+
+aida::corpus::Corpus EmptyDocCorpus() {
+  aida::corpus::Corpus corpus;
+  aida::corpus::Document doc;
+  doc.id = "empty_doc";
+  doc.day = 0;
+  doc.topic = 0;
+  corpus.push_back(doc);
+  return corpus;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path root =
+      argc > 1 ? argv[1] : "tests/fuzz/corpus";
+
+  // ---- kb_serialization --------------------------------------------------
+  {
+    aida::ingest::WikiImporter importer;
+    AIDA_CHECK_OK(importer.AddPage(PageOne()));
+    AIDA_CHECK_OK(importer.AddPage(PageTwo()));
+    std::string kb_bytes =
+        aida::kb::SerializeKnowledgeBase(*std::move(importer).Build());
+    const auto dir = root / "kb_serialization";
+    WriteSeed(dir, "seed_small.kb", kb_bytes);
+    WriteSeed(dir, "seed_truncated.kb", kb_bytes.substr(0, kb_bytes.size() / 2));
+    WriteSeed(dir, "crash-dup-entity.kb", DuplicateEntitySnapshot());
+    WriteSeed(dir, "crash-dup-type.kb", DuplicateTypeSnapshot());
+    WriteSeed(dir, "crash-empty-phrase.kb", EmptyPhraseSnapshot());
+  }
+
+  // ---- wiki_importer -----------------------------------------------------
+  {
+    const auto dir = root / "wiki_importer";
+    WriteSeed(dir, "seed_page.txt", PageOne());
+    std::string multi = PageOne();
+    multi.push_back('\0');  // page separator understood by the harness
+    multi += PageTwo();
+    WriteSeed(dir, "seed_multi.bin", multi);
+    WriteSeed(dir, "seed_malformed.txt",
+              "= Broken =\nsome text with an [[unterminated link\n");
+    // Crasher: the literal category "entity" collided with the root
+    // taxonomy type inside Build() and aborted the process.
+    WriteSeed(dir, "crash-category-entity.txt",
+              "= Anything =\nCATEGORY: entity\nBody text.\n");
+  }
+
+  // ---- corpus_io ---------------------------------------------------------
+  {
+    const auto dir = root / "corpus_io";
+    WriteSeed(dir, "seed_doc.txt", aida::corpus::SerializeCorpus(SmallCorpus()));
+    // Regression: a zero-token document serializes with a blank token line
+    // that the line-splitter drops; the parser used to misread #MENTIONS
+    // as the token line and fail the round-trip.
+    WriteSeed(dir, "crash-empty-tokens.txt",
+              aida::corpus::SerializeCorpus(EmptyDocCorpus()));
+    WriteSeed(dir, "seed_malformed.txt",
+              "#DOC d 1 1\n#TOKENS\na b c\n#MENTIONS\n0 9 - - a\n#END\n");
+  }
+
+  // ---- tokenizer ---------------------------------------------------------
+  {
+    const auto dir = root / "tokenizer";
+    WriteSeed(dir, "seed_ascii.txt",
+              "Dylan's long-tail guitar broke! Was it Page's? No.\n");
+    std::string utf8;
+    utf8 += "\xEF\xBB\xBF";          // BOM
+    utf8 += "caf\xC3\xA9 ";          // 2-byte sequence
+    utf8 += "\xE2\x82\xAC" "100 ";   // 3-byte euro sign
+    utf8 += "\xF0\x9F\x98\x80 ";     // 4-byte emoji
+    utf8 += "\x80\xBF ";             // lone continuation bytes
+    utf8 += "\xC0\xAF ";             // overlong encoding
+    utf8 += "\xE2\x82";              // truncated sequence at end
+    utf8.push_back('\0');            // embedded NUL
+    utf8 += " tail.";
+    WriteSeed(dir, "seed_utf8.bin", utf8);
+  }
+
+  std::printf("seed corpora written under %s\n", root.c_str());
+  return 0;
+}

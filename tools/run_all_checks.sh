@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # The one-command CI gate: tier-1 build + full ctest suite, the static
-# analysis pass (Clang thread-safety as errors + clang-tidy; skipped
-# with a warning when Clang is absent locally), then the ASan/UBSan and
-# TSan passes over the concurrency- and lifetime-sensitive tests (batch
-# runner, serving layer, snapshot registry, KB serialization).
+# analysis pass (Clang thread-safety + static analyzer + clang-tidy;
+# skipped with a warning when Clang is absent locally), the libFuzzer
+# smoke run over the untrusted-input parsers (also Clang-gated), then
+# the ASan/UBSan and TSan passes over the concurrency- and
+# lifetime-sensitive tests (batch runner, serving layer, snapshot
+# registry, KB serialization, fuzz corpus replay).
 # Everything a PR must keep green, runnable locally exactly as the
 # GitHub Actions workflow runs it.
 #
@@ -25,11 +27,17 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "==> tier-1: ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "==> static analysis (thread-safety + clang-tidy)"
+echo "==> static analysis (thread-safety + analyzer + clang-tidy)"
 # Uses its own build tree (build-tsa); self-skips with a warning when no
 # clang++ is installed. CI runs it as a separate job with
 # AIDA_REQUIRE_STATIC_ANALYSIS=1 so the skip can never hide there.
 "$REPO_ROOT/tools/run_static_analysis.sh"
+
+echo "==> fuzz smoke (libFuzzer over the untrusted-input parsers)"
+# Same Clang-gating pattern (build-fuzz tree); the corpus replay part of
+# the coverage already ran above as the fuzz_replay_* ctest tests. CI
+# runs this as its own job with AIDA_REQUIRE_FUZZ=1.
+"$REPO_ROOT/tools/run_fuzz_smoke.sh"
 
 if [[ "$SKIP_SANITIZERS" == "1" ]]; then
   echo "==> sanitizers skipped (--skip-sanitizers)"

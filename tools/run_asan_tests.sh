@@ -3,6 +3,9 @@
 # CMakeLists expands to ASan + UBSan) and runs the concurrency-sensitive
 # tests: the batch runner and the aida::serve service, whose promise/future
 # handoffs and drain/shutdown paths are where lifetime bugs would live.
+# Also replays the tests/fuzz/corpus/ seed corpora (including every fixed
+# crasher) through the sanitized harness binaries, so corpus coverage gets
+# ASan/UBSan eyes even on machines without Clang/libFuzzer.
 # Any heap error or UB report fails the run.
 #
 # Usage: tools/run_asan_tests.sh [extra gtest filter]
@@ -19,7 +22,9 @@ SNAPSHOT_FILTER="${1:-*}"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAIDA_SANITIZE=address
-cmake --build "$BUILD_DIR" -j --target batch_test serve_test snapshot_test kb_serialization_test
+cmake --build "$BUILD_DIR" -j --target batch_test serve_test snapshot_test \
+  kb_serialization_test \
+  fuzz_kb_serialization fuzz_wiki_importer fuzz_corpus_io fuzz_tokenizer
 
 # halt_on_error fails fast; detect_leaks guards the promise/future and
 # flushed-request paths in the serving layer.
@@ -30,4 +35,9 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 "$BUILD_DIR/tests/snapshot_test" --gtest_filter="$SNAPSHOT_FILTER"
 "$BUILD_DIR/tests/kb_serialization_test" --gtest_filter="$SNAPSHOT_FILTER"
 
-echo "ASan/UBSan batch/serve/snapshot/serialization tests passed: no memory errors reported."
+# Sanitized corpus replay (standalone driver; no Clang needed).
+for surface in kb_serialization wiki_importer corpus_io tokenizer; do
+  "$BUILD_DIR/tests/fuzz/fuzz_$surface" "$REPO_ROOT/tests/fuzz/corpus/$surface"
+done
+
+echo "ASan/UBSan batch/serve/snapshot/serialization tests and fuzz corpus replay passed: no memory errors reported."

@@ -1,24 +1,34 @@
 #!/usr/bin/env bash
-# Compile-time concurrency gate: Clang Thread Safety Analysis as errors
-# over src/, a curated clang-tidy pass, and a raw-primitive sweep.
+# Compile-time correctness gate: Clang Thread Safety Analysis as errors
+# over src/, the Clang Static Analyzer, a curated clang-tidy pass, and
+# toolchain-free source sweeps.
 #
-# Four phases:
+# Six phases:
 #   1. raw-primitive sweep (no toolchain needed): no std::mutex /
 #      std::lock_guard / std::condition_variable may appear in src/
 #      outside util/mutex.* — every lock must be an annotated util::Mutex
 #      or the analysis has a blind spot;
-#   2. smoke controls: the positive control TU must compile under
+#   2. contract-macro sweep (no toolchain needed): no raw assert() in
+#      src/ — release builds compile assert away, turning violated
+#      invariants into silent UB; util/check.h's AIDA_CHECK / AIDA_DCHECK
+#      are the only sanctioned contract macros (static_assert stays fine);
+#   3. smoke controls: the positive control TU must compile under
 #      -Werror=thread-safety and the negative control TU must NOT — this
 #      proves the analysis is enabled AND discriminating before we trust
 #      a "no warnings" result;
-#   3. full Clang build of the src/ libraries with
+#   4. full Clang build of the src/ libraries with
 #      -Werror=thread-safety -Werror=thread-safety-beta
 #      (AIDA_THREAD_SAFETY_ANALYSIS=ON);
-#   4. clang-tidy (.clang-tidy at the repo root: bugprone-*,
-#      concurrency-*, performance-*, ... with the concurrency core as
-#      WarningsAsErrors) over every src/ translation unit.
+#   5. Clang Static Analyzer (--analyze, -analyzer-werror) over every
+#      src/ translation unit: core, cplusplus, unix and
+#      security.insecureAPI checker groups as errors
+#      (deadcode.DeadStores is excluded — it flags defensive
+#      clear-after-move patterns and has no soundness payoff);
+#   6. clang-tidy (.clang-tidy at the repo root: bugprone-*,
+#      concurrency-*, performance-*, cert-*, ... with the concurrency
+#      core as WarningsAsErrors) over every src/ translation unit.
 #
-# Phases 2-4 need Clang. When no clang++ is on PATH the script SKIPS
+# Phases 3-6 need Clang. When no clang++ is on PATH the script SKIPS
 # them with a loud warning and exits 0 so developer machines without
 # Clang stay usable; CI exports AIDA_REQUIRE_STATIC_ANALYSIS=1, which
 # turns a missing toolchain into a hard failure — the gate can be
@@ -51,7 +61,7 @@ find_tool() {
 }
 
 # ---------------------------------------------------------------------------
-echo "==> [1/4] raw-primitive sweep over src/"
+echo "==> [1/6] raw-primitive sweep over src/"
 # util/mutex.* wraps the one std::mutex / std::condition_variable the
 # codebase is allowed; everything else must use the annotated types so
 # the thread-safety analysis sees every lock.
@@ -68,14 +78,36 @@ fi
 echo "    OK: no raw locking primitives outside util/mutex.*"
 
 # ---------------------------------------------------------------------------
+echo "==> [2/6] contract-macro sweep over src/ (no raw assert)"
+# assert() disappears under NDEBUG — the default RelWithDebInfo build —
+# so a raw assert is a contract that silently stops being checked in
+# production. util/check.h is the replacement: AIDA_CHECK stays active in
+# every build type, AIDA_DCHECK is the explicit opt-in for debug-only
+# cost. static_assert is compile-time and remains allowed; the pattern
+# requires a non-identifier character before the word so it never
+# matches.
+ASSERT_HITS="$(grep -rnE '(^|[^_[:alnum:]])assert[[:space:]]*\(' \
+  "$REPO_ROOT/src" \
+  --include='*.h' --include='*.cc' \
+  | grep -v 'static_assert' || true)"
+if [[ -n "$ASSERT_HITS" ]]; then
+  echo "error: raw assert() in src/ (use AIDA_CHECK / AIDA_DCHECK from"
+  echo "util/check.h — assert compiles away under NDEBUG):"
+  echo "$ASSERT_HITS"
+  exit 1
+fi
+echo "    OK: no raw assert() outside static_assert"
+
+# ---------------------------------------------------------------------------
 CLANGXX="${CLANGXX:-$(find_tool clang++ || true)}"
 if [[ -z "$CLANGXX" ]]; then
   if [[ "$REQUIRE" == "1" ]]; then
     echo "error: clang++ not found and AIDA_REQUIRE_STATIC_ANALYSIS=1" >&2
     exit 2
   fi
-  echo "WARNING: clang++ not found; SKIPPING the thread-safety build and"
-  echo "clang-tidy phases (the raw-primitive sweep above still ran)."
+  echo "WARNING: clang++ not found; SKIPPING the thread-safety build,"
+  echo "static-analyzer and clang-tidy phases (the source sweeps above"
+  echo "still ran)."
   echo "Install clang + clang-tidy to run the full gate locally; CI runs"
   echo "it unconditionally."
   exit 0
@@ -86,7 +118,7 @@ TSA_FLAGS=(-std=c++20 -Wthread-safety -Wthread-safety-beta
            -Werror=thread-safety -Werror=thread-safety-beta
            -I"$REPO_ROOT/src")
 
-echo "==> [2/4] smoke controls (analysis enabled AND discriminating)"
+echo "==> [3/6] smoke controls (analysis enabled AND discriminating)"
 "$CLANGXX" "${TSA_FLAGS[@]}" -fsyntax-only \
   "$REPO_ROOT/tools/static_analysis/thread_safety_ok.cc"
 echo "    OK: positive control compiles clean"
@@ -100,7 +132,7 @@ if "$CLANGXX" "${TSA_FLAGS[@]}" -fsyntax-only \
 fi
 echo "    OK: negative control rejected (unguarded access fails the build)"
 
-echo "==> [3/4] Clang build of src/ with -Werror=thread-safety[-beta]"
+echo "==> [4/6] Clang build of src/ with -Werror=thread-safety[-beta]"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_COMPILER="$CLANGXX" \
@@ -114,7 +146,22 @@ cmake --build "$BUILD_DIR" -j "$JOBS" --target \
   aida_snapshot aida_serve aida_apps
 echo "    OK: thread-safety-clean Clang build"
 
-echo "==> [4/4] clang-tidy over src/"
+echo "==> [5/6] Clang Static Analyzer over src/ (-analyzer-werror)"
+# Path-sensitive symbolic execution per TU: null derefs, use-after-move
+# along error paths, uninitialized reads, insecure libc calls. Findings
+# are errors (-analyzer-werror), so a regression fails the gate.
+# deadcode.DeadStores is left out deliberately: it fires on defensive
+# clear-after-move writes and finds no memory-safety bugs.
+find "$REPO_ROOT/src" -name '*.cc' -print0 \
+  | xargs -0 -n 1 -P "$JOBS" "$CLANGXX" --analyze -std=c++20 \
+      -I"$REPO_ROOT/src" -o /dev/null \
+      -Xclang -analyzer-werror \
+      -Xclang -analyzer-checker="core,cplusplus,unix,security.insecureAPI" \
+      -Xclang -analyzer-disable-checker -Xclang deadcode.DeadStores \
+      -Xclang -analyzer-output=text
+echo "    OK: static analyzer reported zero findings"
+
+echo "==> [6/6] clang-tidy over src/"
 CLANG_TIDY="${CLANG_TIDY:-$(find_tool clang-tidy || true)}"
 if [[ -z "$CLANG_TIDY" ]]; then
   if [[ "$REQUIRE" == "1" ]]; then
