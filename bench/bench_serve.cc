@@ -13,11 +13,22 @@
 // byte-identical to a serial run against the generation it carries, and a
 // p99 within 2x of the identical run without the reload.
 //
-// Results are also written to BENCH_serve.json for machine consumption.
+// Results are also written to BENCH_serve.json at the repo root for
+// machine consumption. The worker-sweep configurations double as a
+// QPS-vs-workers scaling curve ("scaling" in the JSON): per-worker
+// snapshot pinning, per-worker metrics slots and the sharded relatedness
+// cache are exactly the changes that turned this curve from negative
+// (more workers, less QPS) into the expected monotone one.
+//
+// BENCH_SERVE_SMOKE=1 selects the CI smoke shape: a smaller corpus, two
+// sweep points ({1, hardware} workers), no reload scenario, and a
+// nonzero exit when multi-worker QPS regresses below 0.7x single-worker
+// (skipped on single-core machines, where there is nothing to scale).
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -39,12 +50,15 @@ using namespace aida;
 namespace {
 
 struct RunConfig {
-  const char* label;
+  std::string label;
   size_t workers;
   size_t queue;
   size_t clients;
   double deadline_seconds;  // 0 = none
   double duration_seconds;
+  /// Part of the QPS-vs-workers sweep (same queue/pressure shape, only
+  /// the worker count varies) — these rows feed the "scaling" JSON curve.
+  bool in_scaling_curve = false;
 };
 
 struct RunOutcome {
@@ -247,12 +261,34 @@ double Qps(size_t completed, double elapsed) {
   return elapsed > 0.0 ? completed / elapsed : 0.0;
 }
 
+/// One point of the QPS-vs-workers curve.
+struct ScalingPoint {
+  size_t workers = 0;
+  double qps = 0.0;
+  double speedup = 0.0;  // vs the 1-worker point of the same sweep
+};
+
+/// BENCH_serve.json lands at the repo root (compile-time source dir) so
+/// CI and humans find one canonical copy no matter the launch cwd; falls
+/// back to the cwd if the bench was built out of tree.
+std::string JsonOutputPath() {
+#ifdef AIDA_BENCH_OUTPUT_DIR
+  return std::string(AIDA_BENCH_OUTPUT_DIR) + "/BENCH_serve.json";
+#else
+  return "BENCH_serve.json";
+#endif
+}
+
+/// `steady`/`reload` may be null (smoke mode skips the reload scenario);
+/// the JSON then carries "reload_under_load": null.
 void WriteJson(const std::vector<std::pair<RunConfig, RunOutcome>>& runs,
-               const RunConfig& reload_config, const ReloadOutcome& steady,
-               const ReloadOutcome& reload) {
-  std::FILE* out = std::fopen("BENCH_serve.json", "w");
+               const std::vector<ScalingPoint>& scaling,
+               const RunConfig* reload_config, const ReloadOutcome* steady,
+               const ReloadOutcome* reload) {
+  const std::string path = JsonOutputPath();
+  std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
-    std::fprintf(stderr, "could not open BENCH_serve.json for writing\n");
+    std::fprintf(stderr, "could not open %s for writing\n", path.c_str());
     return;
   }
   std::fprintf(out, "{\n  \"scenarios\": [\n");
@@ -262,22 +298,46 @@ void WriteJson(const std::vector<std::pair<RunConfig, RunOutcome>>& runs,
     const serve::ServiceMetricsSnapshot& m = outcome.snapshot.metrics;
     std::fprintf(
         out,
-        "    {\"label\": \"%s\", \"qps\": %.1f, \"p50_ms\": %.3f, "
-        "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"shed\": %zu, "
-        "\"expired\": %zu, \"mismatches\": %zu}%s\n",
-        config.label, Qps(outcome.completed, outcome.elapsed_seconds),
+        "    {\"label\": \"%s\", \"workers\": %zu, \"qps\": %.1f, "
+        "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"shed\": %zu, \"expired\": %zu, \"mismatches\": %zu}%s\n",
+        config.label.c_str(), config.workers,
+        Qps(outcome.completed, outcome.elapsed_seconds),
         1000 * m.total_latency.p50_seconds, 1000 * m.total_latency.p95_seconds,
         1000 * m.total_latency.p99_seconds, outcome.shed, outcome.expired,
         outcome.mismatches, i + 1 < runs.size() ? "," : "");
   }
-  const serve::ServiceMetricsSnapshot& sm = steady.snapshot.metrics;
-  const serve::ServiceMetricsSnapshot& rm = reload.snapshot.metrics;
+  std::fprintf(out, "  ],\n  \"scaling\": [\n");
+  for (size_t i = 0; i < scaling.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"workers\": %zu, \"qps\": %.1f, \"speedup\": %.3f}%s\n",
+                 scaling[i].workers, scaling[i].qps, scaling[i].speedup,
+                 i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  if (!scaling.empty()) {
+    const ScalingPoint& last = scaling.back();
+    std::fprintf(out,
+                 "  \"scaling_summary\": {\"max_workers\": %zu, "
+                 "\"speedup_at_max\": %.3f},\n",
+                 last.workers, last.speedup);
+  }
+  if (reload_config == nullptr || steady == nullptr || reload == nullptr) {
+    std::fprintf(out, "  \"reload_under_load\": null\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+    return;
+  }
+  const serve::ServiceMetricsSnapshot& sm = steady->snapshot.metrics;
+  const serve::ServiceMetricsSnapshot& rm = reload->snapshot.metrics;
   const double steady_p99 = 1000 * sm.total_latency.p99_seconds;
   const double reload_p99 = 1000 * rm.total_latency.p99_seconds;
-  std::fprintf(out, "  ],\n  \"reload_under_load\": {\n");
-  std::fprintf(out, "    \"label\": \"%s\",\n", reload_config.label);
+  std::fprintf(out, "  \"reload_under_load\": {\n");
+  std::fprintf(out, "    \"label\": \"%s\",\n", reload_config->label.c_str());
   std::fprintf(out, "    \"qps\": %.1f,\n",
-               Qps(reload.completed, reload.elapsed_seconds));
+               Qps(reload->completed, reload->elapsed_seconds));
   std::fprintf(out,
                "    \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f,\n",
                1000 * rm.total_latency.p50_seconds,
@@ -286,26 +346,29 @@ void WriteJson(const std::vector<std::pair<RunConfig, RunOutcome>>& runs,
   std::fprintf(out, "    \"p99_ratio_vs_steady\": %.3f,\n",
                steady_p99 > 0.0 ? reload_p99 / steady_p99 : 0.0);
   std::fprintf(out, "    \"reload_pause_seconds\": %.6f,\n",
-               reload.reload_pause_seconds);
+               reload->reload_pause_seconds);
   std::fprintf(out, "    \"shed\": %zu, \"failed\": %zu, \"expired\": %zu,\n",
-               reload.shed, reload.failed, reload.expired);
-  std::fprintf(out, "    \"mismatches\": %zu,\n", reload.mismatches);
+               reload->shed, reload->failed, reload->expired);
+  std::fprintf(out, "    \"mismatches\": %zu,\n", reload->mismatches);
   std::fprintf(out, "    \"completed_by_generation\": {");
   size_t emitted = 0;
-  for (const auto& [generation, count] : reload.completed_by_generation) {
+  for (const auto& [generation, count] : reload->completed_by_generation) {
     std::fprintf(out, "%s\"%llu\": %zu", emitted++ > 0 ? ", " : "",
                  static_cast<unsigned long long>(generation), count);
   }
   std::fprintf(out, "}\n  }\n}\n");
   std::fclose(out);
-  std::printf("wrote BENCH_serve.json\n");
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace
 
 int main() {
+  const bool smoke = std::getenv("BENCH_SERVE_SMOKE") != nullptr;
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+
   synth::CorpusPreset preset = synth::GigawordEePreset();
-  preset.corpus.num_documents = 160;
+  preset.corpus.num_documents = smoke ? 64 : 160;
   synth::World world = synth::WorldGenerator(preset.world).Generate();
   corpus::Corpus docs =
       synth::CorpusGenerator(&world, preset.corpus).Generate();
@@ -343,17 +406,37 @@ int main() {
               docs.size(), 1000 * serial_seconds / docs.size(),
               docs.size() / serial_seconds);
 
-  const std::vector<RunConfig> configs = {
-      {"1w/64q/4c", 1, 64, 4, 0.0, 1.2},
-      {"2w/64q/8c", 2, 64, 8, 0.0, 1.2},
-      {"4w/64q/16c", 4, 64, 16, 0.0, 1.2},
-      {"8w/64q/32c", 8, 64, 32, 0.0, 1.2},
-      // Undersized queue: 16 clients contend for 2 workers + 4 slots, so
-      // admission control must shed instead of parking callers.
-      {"2w/4q/16c (undersized)", 2, 4, 16, 0.0, 1.2},
-      // Tight deadline: requests expire in queue or cancel mid-flight.
-      {"2w/64q/16c + 5ms deadline", 2, 64, 16, 0.005, 1.2},
+  // The worker sweep holds the traffic shape fixed (queue 64, four
+  // closed-loop clients per worker) and varies only the worker count —
+  // the QPS-vs-workers scaling curve. Smoke mode keeps just its two
+  // endpoints, {1, hardware} workers, so CI can gate on the ratio.
+  auto sweep_point = [&](size_t workers, double duration) {
+    RunConfig config;
+    config.label = std::to_string(workers) + "w/64q/" +
+                   std::to_string(4 * workers) + "c";
+    config.workers = workers;
+    config.queue = 64;
+    config.clients = 4 * workers;
+    config.deadline_seconds = 0.0;
+    config.duration_seconds = duration;
+    config.in_scaling_curve = true;
+    return config;
   };
+
+  std::vector<RunConfig> configs;
+  if (smoke) {
+    configs.push_back(sweep_point(1, 0.5));
+    if (hw > 1) configs.push_back(sweep_point(hw, 0.5));
+  } else {
+    for (size_t workers : {1, 2, 4, 8}) {
+      configs.push_back(sweep_point(workers, 1.2));
+    }
+    // Undersized queue: 16 clients contend for 2 workers + 4 slots, so
+    // admission control must shed instead of parking callers.
+    configs.push_back({"2w/4q/16c (undersized)", 2, 4, 16, 0.0, 1.2});
+    // Tight deadline: requests expire in queue or cancel mid-flight.
+    configs.push_back({"2w/64q/16c + 5ms deadline", 2, 64, 16, 0.005, 1.2});
+  }
 
   std::printf("%-26s %8s %8s %8s %8s %8s %8s\n", "config", "QPS", "p50ms",
               "p95ms", "p99ms", "shed", "expired");
@@ -363,7 +446,8 @@ int main() {
   for (const RunConfig& config : configs) {
     RunOutcome outcome = RunClosedLoop(aida, &cache, work, gold, config);
     const serve::ServiceMetricsSnapshot& m = outcome.snapshot.metrics;
-    std::printf("%-26s %8.0f %8.2f %8.2f %8.2f %8zu %8zu\n", config.label,
+    std::printf("%-26s %8.0f %8.2f %8.2f %8.2f %8zu %8zu\n",
+                config.label.c_str(),
                 Qps(outcome.completed, outcome.elapsed_seconds),
                 1000 * m.total_latency.p50_seconds,
                 1000 * m.total_latency.p95_seconds,
@@ -387,6 +471,44 @@ int main() {
               100.0 * cache_stats.HitRate(),
               static_cast<unsigned long long>(cache_stats.hits),
               static_cast<unsigned long long>(cache_stats.misses));
+
+  // --- QPS-vs-workers scaling curve ------------------------------------
+  std::vector<ScalingPoint> scaling;
+  for (const auto& [config, outcome] : runs) {
+    if (!config.in_scaling_curve) continue;
+    ScalingPoint point;
+    point.workers = config.workers;
+    point.qps = Qps(outcome.completed, outcome.elapsed_seconds);
+    scaling.push_back(point);
+  }
+  const double base_qps = scaling.empty() ? 0.0 : scaling.front().qps;
+  bench::PrintHeader("aida::serve — QPS vs workers");
+  for (ScalingPoint& point : scaling) {
+    point.speedup = base_qps > 0.0 ? point.qps / base_qps : 0.0;
+    std::printf("  %2zu workers: %8.0f QPS  (%.2fx vs 1 worker)\n",
+                point.workers, point.qps, point.speedup);
+  }
+  std::printf("  (machine has %zu hardware threads)\n\n", hw);
+
+  bool scaling_healthy = true;
+  if (scaling.size() >= 2 && hw > 1) {
+    // The bug this bench guards against: ADDING workers LOSING throughput.
+    // Modest sub-linearity is fine (the curve reports it); dropping below
+    // 0.7x single-worker QPS at the top of the sweep is the regression.
+    const ScalingPoint& top = scaling.back();
+    if (top.qps < 0.7 * base_qps) {
+      std::printf("  !! negative scaling: %zu workers deliver %.0f QPS "
+                  "< 0.7x the 1-worker %.0f QPS\n",
+                  top.workers, top.qps, base_qps);
+      scaling_healthy = false;
+    }
+  }
+
+  if (smoke) {
+    // Smoke mode stops here: no reload scenario, gate on scaling health.
+    WriteJson(runs, scaling, nullptr, nullptr, nullptr);
+    return (total_mismatches == 0 && scaling_healthy) ? 0 : 1;
+  }
 
   // --- Hot reload under load -------------------------------------------
   bench::PrintHeader("aida::serve — KB hot reload under load");
@@ -462,6 +584,6 @@ int main() {
   std::printf("served generations byte-identical to their serial gold: %s\n",
               reload.mismatches == 0 ? "yes" : "NO");
 
-  WriteJson(runs, reload_config, steady, reload);
-  return (total_mismatches == 0 && reload_healthy) ? 0 : 1;
+  WriteJson(runs, scaling, &reload_config, &steady, &reload);
+  return (total_mismatches == 0 && reload_healthy && scaling_healthy) ? 0 : 1;
 }

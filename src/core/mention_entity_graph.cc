@@ -15,6 +15,32 @@ struct PendingEdge {
   double weight = 0.0;
 };
 
+// Reusable per-thread build scratch. Graph construction runs per request
+// on the serving hot path; allocating the dedup map and edge vectors
+// fresh each time made every request a malloc storm that serialized
+// workers on the allocator's shared arenas. Each worker thread instead
+// reuses one scratch block sized by the largest document it has seen
+// (clear() keeps capacity). Safe because a build never recurses and the
+// scratch never escapes the call.
+struct BuildScratch {
+  std::unordered_map<kb::EntityId, size_t> entity_index;
+  std::vector<PendingEdge> me_edges;
+  std::vector<PendingEdge> ee_edges;
+  std::vector<const Candidate*> all_candidates;
+
+  void Reset() {
+    entity_index.clear();
+    me_edges.clear();
+    ee_edges.clear();
+    all_candidates.clear();
+  }
+};
+
+BuildScratch& ThisThreadScratch() {
+  static thread_local BuildScratch scratch;
+  return scratch;
+}
+
 }  // namespace
 
 MentionEntityGraph BuildMentionEntityGraph(
@@ -22,8 +48,12 @@ MentionEntityGraph BuildMentionEntityGraph(
   MentionEntityGraph meg;
   meg.num_mentions = input.mentions.size();
 
+  BuildScratch& scratch = ThisThreadScratch();
+  scratch.Reset();
+
   // ---- Assign entity nodes (deduplicating in-KB entities) -----------------
-  std::unordered_map<kb::EntityId, size_t> entity_index;
+  std::unordered_map<kb::EntityId, size_t>& entity_index =
+      scratch.entity_index;
   meg.mention_candidate_nodes.resize(meg.num_mentions);
   for (uint32_t m = 0; m < input.mentions.size(); ++m) {
     const auto& entry = input.mentions[m];
@@ -54,7 +84,7 @@ MentionEntityGraph BuildMentionEntityGraph(
   const size_t total_nodes = meg.num_mentions + meg.entity_candidates.size();
 
   // ---- Collect mention-entity edges ---------------------------------------
-  std::vector<PendingEdge> me_edges;
+  std::vector<PendingEdge>& me_edges = scratch.me_edges;
   double me_max = 0.0;
   for (uint32_t m = 0; m < input.mentions.size(); ++m) {
     const auto& entry = input.mentions[m];
@@ -80,7 +110,7 @@ MentionEntityGraph BuildMentionEntityGraph(
     return false;
   };
 
-  std::vector<PendingEdge> ee_edges;
+  std::vector<PendingEdge>& ee_edges = scratch.ee_edges;
   double ee_max = 0.0;
   const size_t ec = meg.entity_candidates.size();
   auto add_ee = [&](size_t i, size_t j) {
@@ -102,8 +132,8 @@ MentionEntityGraph BuildMentionEntityGraph(
   };
 
   if (relatedness.has_pair_filter()) {
-    std::vector<const Candidate*> all(meg.entity_candidates.begin(),
-                                      meg.entity_candidates.end());
+    std::vector<const Candidate*>& all = scratch.all_candidates;
+    all.assign(meg.entity_candidates.begin(), meg.entity_candidates.end());
     for (const auto& [i, j] : relatedness.FilterPairs(all)) {
       add_ee(i, j);
     }

@@ -1,7 +1,9 @@
 #include "core/relatedness_cache.h"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
+#include <thread>
 
 #include "util/status.h"
 
@@ -24,7 +26,8 @@ uint64_t PairKey(kb::EntityId a, kb::EntityId b) {
 }
 
 // splitmix64 finalizer: spreads the structured pair key over all 64 bits
-// so shard selection (low bits) and home slot (high bits) decorrelate.
+// so shard selection (low bits), home slot (high bits) and the L1 index
+// decorrelate.
 uint64_t MixKey(uint64_t key) {
   key += 0x9e3779b97f4a7c15ull;
   key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
@@ -38,10 +41,65 @@ size_t RoundUpPowerOfTwo(size_t value) {
   return result;
 }
 
+// ---- Per-thread L1 front ----------------------------------------------
+//
+// One direct-mapped block per thread (~8 KB), shared across cache
+// instances over the thread's lifetime and re-tagged whenever the thread
+// switches caches or the owning cache is cleared. The tag is the cache's
+// process-unique instance id plus its clear epoch: ids are never reused
+// (unlike addresses), so a block can never leak values from a destroyed
+// cache into a new one that happens to live at the same address.
+//
+// Correctness does not depend on eviction coherence with the shards: a
+// cached value is a pure function of the entity-id pair for the cache's
+// lifetime, so an L1 entry that outlives its shard copy still serves the
+// right value. Clear() advances the epoch; each thread notices on its
+// next access and resets its block lazily.
+
+constexpr size_t kL1Slots = 512;  // 512 * 16 B = 8 KB per thread
+
+struct L1Entry {
+  uint64_t key;
+  double value;
+};
+
+struct L1Block {
+  uint64_t owner = 0;  // RelatednessCache instance id, 0 = untagged
+  uint64_t epoch = 0;  // owner's clear epoch at the last reset
+  L1Entry entries[kL1Slots];
+};
+
+L1Block& ThisThreadL1() {
+  static thread_local L1Block block;
+  return block;
+}
+
+// Ensures `block` is tagged for (owner, epoch), resetting it when the
+// thread last used a different cache or a pre-Clear() view of this one.
+// Returns true when the existing contents are valid.
+bool RetagL1(L1Block& block, uint64_t owner, uint64_t epoch) {
+  if (block.owner == owner && block.epoch == epoch) return true;
+  block.owner = owner;
+  block.epoch = epoch;
+  for (L1Entry& entry : block.entries) entry.key = kEmptyKey;
+  return false;
+}
+
+std::atomic<uint64_t> next_instance_id{1};
+
 }  // namespace
 
-RelatednessCache::RelatednessCache(RelatednessCacheOptions options) {
-  const size_t num_shards = RoundUpPowerOfTwo(std::max<size_t>(1, options.num_shards));
+RelatednessCache::RelatednessCache(RelatednessCacheOptions options)
+    : l1_enabled_(options.enable_thread_local_l1),
+      instance_id_(next_instance_id.fetch_add(1, std::memory_order_relaxed)) {
+  size_t requested_shards = options.num_shards;
+  if (requested_shards == 0) {
+    // Auto-size to the machine: enough stripes that even a pool of one
+    // worker per core keeps the expected lock collision rate low.
+    const size_t cores = std::max(1u, std::thread::hardware_concurrency());
+    requested_shards = std::max<size_t>(64, 4 * cores);
+  }
+  const size_t num_shards = RoundUpPowerOfTwo(requested_shards);
   slots_per_shard_ = RoundUpPowerOfTwo(std::max(
       kProbeWindow, (std::max<size_t>(1, options.capacity) + num_shards - 1) /
                         num_shards));
@@ -51,8 +109,18 @@ RelatednessCache::RelatednessCache(RelatednessCacheOptions options) {
   }
 }
 
+RelatednessCache::~RelatednessCache() = default;
+
 const RelatednessCache::Shard& RelatednessCache::ShardFor(uint64_t key) const {
   return shards_[MixKey(key) & (shards_.size() - 1)];
+}
+
+RelatednessCache::StatStripe& RelatednessCache::StripeForThisThread() const {
+  // Hash the thread id once per thread; all of a thread's counter bumps
+  // then land on one cache-line-aligned block.
+  static thread_local const size_t stripe =
+      std::hash<std::thread::id>()(std::this_thread::get_id());
+  return stripes_[stripe & (kStatStripes - 1)];
 }
 
 bool RelatednessCache::Lookup(kb::EntityId a, kb::EntityId b,
@@ -60,6 +128,22 @@ bool RelatednessCache::Lookup(kb::EntityId a, kb::EntityId b,
   AIDA_DCHECK(value != nullptr);
   const uint64_t key = PairKey(a, b);
   const uint64_t hash = MixKey(key);
+  StatStripe& stripe = StripeForThisThread();
+
+  L1Block* l1 = nullptr;
+  if (l1_enabled_) {
+    l1 = &ThisThreadL1();
+    if (RetagL1(*l1, instance_id_,
+                clear_epoch_.load(std::memory_order_acquire))) {
+      const L1Entry& entry = l1->entries[hash & (kL1Slots - 1)];
+      if (entry.key == key) {
+        *value = entry.value;
+        stripe.hits.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+
   const Shard& shard = ShardFor(key);
   const size_t mask = slots_per_shard_ - 1;
   const size_t home = (hash >> 32) & mask;
@@ -70,12 +154,15 @@ bool RelatednessCache::Lookup(kb::EntityId a, kb::EntityId b,
       if (slot.key == key) {
         slot.stamp = ++shard.tick;
         *value = slot.value;
-        hits_.fetch_add(1, std::memory_order_relaxed);
+        stripe.hits.fetch_add(1, std::memory_order_relaxed);
+        if (l1 != nullptr) {
+          l1->entries[hash & (kL1Slots - 1)] = L1Entry{key, slot.value};
+        }
         return true;
       }
     }
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  stripe.misses.fetch_add(1, std::memory_order_relaxed);
   return false;
 }
 
@@ -115,16 +202,26 @@ void RelatednessCache::Insert(kb::EntityId a, kb::EntityId b, double value) {
     target->value = value;
     target->stamp = ++shard.tick;
   }
-  inserts_.fetch_add(1, std::memory_order_relaxed);
-  if (evicted) evictions_.fetch_add(1, std::memory_order_relaxed);
+  StatStripe& stripe = StripeForThisThread();
+  stripe.inserts.fetch_add(1, std::memory_order_relaxed);
+  if (evicted) stripe.evictions.fetch_add(1, std::memory_order_relaxed);
+  if (l1_enabled_) {
+    // Inserts follow a same-thread Lookup miss, so the block is usually
+    // tagged already; retag defensively for direct Insert callers.
+    L1Block& l1 = ThisThreadL1();
+    RetagL1(l1, instance_id_, clear_epoch_.load(std::memory_order_acquire));
+    l1.entries[hash & (kL1Slots - 1)] = L1Entry{key, value};
+  }
 }
 
 RelatednessCacheStats RelatednessCache::Snapshot() const {
   RelatednessCacheStats stats;
-  stats.hits = hits_.load(std::memory_order_relaxed);
-  stats.misses = misses_.load(std::memory_order_relaxed);
-  stats.inserts = inserts_.load(std::memory_order_relaxed);
-  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const StatStripe& stripe : stripes_) {
+    stats.hits += stripe.hits.load(std::memory_order_relaxed);
+    stats.misses += stripe.misses.load(std::memory_order_relaxed);
+    stats.inserts += stripe.inserts.load(std::memory_order_relaxed);
+    stats.evictions += stripe.evictions.load(std::memory_order_relaxed);
+  }
   for (const Shard& shard : shards_) {
     util::MutexLock lock(&shard.mutex);
     stats.entries += shard.live;
@@ -133,16 +230,22 @@ RelatednessCacheStats RelatednessCache::Snapshot() const {
 }
 
 void RelatednessCache::Clear() {
+  // Bump the epoch FIRST: a thread that still sees pre-Clear L1 contents
+  // after this line can only serve values the measure would recompute
+  // identically, and its next access observes the new epoch and resets.
+  clear_epoch_.fetch_add(1, std::memory_order_acq_rel);
   for (Shard& shard : shards_) {
     util::MutexLock lock(&shard.mutex);
     shard.slots.assign(slots_per_shard_, Slot{kEmptyKey, 0.0, 0});
     shard.tick = 0;
     shard.live = 0;
   }
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
-  inserts_.store(0, std::memory_order_relaxed);
-  evictions_.store(0, std::memory_order_relaxed);
+  for (StatStripe& stripe : stripes_) {
+    stripe.hits.store(0, std::memory_order_relaxed);
+    stripe.misses.store(0, std::memory_order_relaxed);
+    stripe.inserts.store(0, std::memory_order_relaxed);
+    stripe.evictions.store(0, std::memory_order_relaxed);
+  }
 }
 
 CachedRelatednessMeasure::CachedRelatednessMeasure(

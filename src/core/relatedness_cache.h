@@ -1,6 +1,7 @@
 #ifndef AIDA_CORE_RELATEDNESS_CACHE_H_
 #define AIDA_CORE_RELATEDNESS_CACHE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "core/relatedness.h"
+#include "util/cacheline.h"
 #include "util/lock_ranks.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -22,7 +24,8 @@ struct RelatednessCacheStats {
   uint64_t misses = 0;
   uint64_t inserts = 0;
   uint64_t evictions = 0;
-  /// Live entries at snapshot time.
+  /// Live entries at snapshot time (shared shards only; the per-thread L1
+  /// fronts hold duplicates of shard entries, never unique values).
   uint64_t entries = 0;
 
   double HitRate() const {
@@ -37,9 +40,20 @@ struct RelatednessCacheOptions {
   /// holds a power-of-two slot count; a long batch can never grow the
   /// cache beyond this footprint (~16 bytes per slot).
   size_t capacity = size_t{1} << 20;
-  /// Mutex stripes; rounded up to a power of two. More shards reduce lock
-  /// contention between worker threads at a small fixed memory cost.
-  size_t num_shards = 16;
+  /// Mutex stripes; rounded up to a power of two. 0 (the default) sizes
+  /// the shard count to the machine — max(64, 4x hardware concurrency) —
+  /// so adding workers keeps the expected load per shard lock constant
+  /// instead of letting hot shards serialize a bigger pool.
+  size_t num_shards = 0;
+  /// Fronts the shared shards with a small direct-mapped per-thread L1
+  /// (thread-local, ~8 KB per serving thread). An L1 hit costs a few
+  /// loads and no lock at all — on skewed workloads, where a handful of
+  /// hot entity pairs dominate, this is the difference between workers
+  /// scaling and workers convoying on the hot pair's shard mutex. Safe
+  /// because cached values are immutable for the cache's lifetime
+  /// (deterministic measure, stable entity ids); Clear() invalidates
+  /// every thread's L1 via a generation stamp.
+  bool enable_thread_local_l1 = true;
 };
 
 /// Sharded, bounded, thread-safe memoization table for symmetric
@@ -52,12 +66,19 @@ struct RelatednessCacheOptions {
 /// evicted (LRU-ish, O(window) and allocation-free), so a corpus-scale
 /// batch cannot grow the cache without limit.
 ///
-/// Shared across all documents of a BatchDisambiguator::Run: one lock per
-/// probe, striped over shards, keeps contention negligible next to the
-/// cost of a single KORE evaluation.
+/// Contention design (the serving-layer scaling fix):
+///  * each Shard is aligned to the destructive-interference size, so two
+///    shards' mutexes and tick counters never share a cache line;
+///  * the shard count scales with the machine's core count by default;
+///  * hit/miss/insert statistics stripe over cache-line-aligned counter
+///    blocks by thread (the old single hits_/misses_ atomics were a
+///    per-evaluation all-core rendezvous);
+///  * an optional per-thread L1 (see RelatednessCacheOptions) serves hot
+///    pairs without touching any shared line at all.
 class RelatednessCache {
  public:
   explicit RelatednessCache(RelatednessCacheOptions options = {});
+  ~RelatednessCache();
 
   /// Returns true and sets `*value` when the pair is cached; refreshes the
   /// entry's recency stamp. Counts one hit or one miss.
@@ -71,11 +92,16 @@ class RelatednessCache {
   /// Cumulative counters plus the current live-entry count.
   RelatednessCacheStats Snapshot() const;
 
-  /// Drops all entries and zeroes the counters.
+  /// Drops all entries and zeroes the counters. Entries held in
+  /// per-thread L1 fronts are invalidated lazily on each thread's next
+  /// lookup.
   void Clear();
 
   /// Total slot budget across shards (>= the requested capacity).
   size_t capacity() const { return shards_.size() * slots_per_shard_; }
+
+  /// Shard count after rounding/auto-sizing (test & introspection hook).
+  size_t num_shards() const { return shards_.size(); }
 
  private:
   struct Slot {
@@ -83,21 +109,37 @@ class RelatednessCache {
     double value;
     uint64_t stamp;  // shard tick at last touch; smallest == stalest
   };
-  struct Shard {
+  /// Aligned so that one worker hammering shard i never invalidates the
+  /// line holding shard j's mutex state for a worker on another core.
+  struct alignas(util::kCacheLineSize) Shard {
     mutable util::Mutex mutex{util::lock_rank::kRelatednessShard};
     mutable std::vector<Slot> slots AIDA_GUARDED_BY(mutex);
     mutable uint64_t tick AIDA_GUARDED_BY(mutex) = 0;
     mutable size_t live AIDA_GUARDED_BY(mutex) = 0;
   };
+  /// Statistics stripe: each thread hashes to one block, so counter
+  /// updates stay core-local instead of serializing on two global
+  /// atomics. Snapshot() sums the stripes.
+  struct alignas(util::kCacheLineSize) StatStripe {
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> inserts{0};
+    std::atomic<uint64_t> evictions{0};
+  };
+  static constexpr size_t kStatStripes = 8;
 
   const Shard& ShardFor(uint64_t key) const;
+  StatStripe& StripeForThisThread() const;
 
   size_t slots_per_shard_ = 0;
+  bool l1_enabled_ = false;
+  /// Process-unique id + clear generation: together they tag per-thread
+  /// L1 blocks so a block never serves entries from a destroyed or
+  /// cleared cache (ids are never reused, unlike addresses).
+  uint64_t instance_id_ = 0;
+  std::atomic<uint64_t> clear_epoch_{0};
   std::vector<Shard> shards_;
-  mutable std::atomic<uint64_t> hits_{0};
-  mutable std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> inserts_{0};
-  std::atomic<uint64_t> evictions_{0};
+  mutable std::array<StatStripe, kStatStripes> stripes_;
 };
 
 /// Decorator that serves RelatednessMeasure values through a shared

@@ -100,6 +100,8 @@ std::shared_ptr<const KbSnapshot> SnapshotRegistry::PublishSystem(
   history_.emplace_back(snapshot->generation(), snapshot);
   CompactHistoryLocked();
   current_.store(snapshot, std::memory_order_release);
+  current_generation_.store(snapshot->generation(),
+                            std::memory_order_release);
   return snapshot;
 }
 
@@ -158,8 +160,13 @@ SnapshotRegistry::PublishLocked(std::shared_ptr<const KnowledgeBase> kb,
   history_.emplace_back(snapshot->generation(), snapshot);
   CompactHistoryLocked();
   // The swap readers race against: one release store. Requests already
-  // holding the old snapshot keep it alive until they finish.
+  // holding the old snapshot keep it alive until they finish. The
+  // generation counter is published second: a worker that sees the new
+  // counter value is guaranteed to find (at least) this snapshot behind
+  // Current().
   current_.store(snapshot, std::memory_order_release);
+  current_generation_.store(snapshot->generation(),
+                            std::memory_order_release);
   return snapshot;
 }
 

@@ -198,6 +198,19 @@ class SnapshotRegistry {
     return current_.load(std::memory_order_acquire);
   }
 
+  /// Generation number of the currently published snapshot (0 before the
+  /// first publish) as one relaxed uint64 load — the cheap "did anything
+  /// change?" probe of the serving hot path. Unlike Current(), this never
+  /// touches the shared_ptr control block, so workers polling it on every
+  /// dequeue do not ping-pong a refcount cache line between cores; they
+  /// call Current() (and pay the acquire + refcount) only when the value
+  /// moved. The counter is stored after current_, so a reader that
+  /// observes generation G is guaranteed to get generation >= G from
+  /// Current().
+  uint64_t current_generation() const {
+    return current_generation_.load(std::memory_order_relaxed);
+  }
+
   SnapshotRegistryStats Stats() const AIDA_EXCLUDES(publish_mutex_);
 
  private:
@@ -214,6 +227,8 @@ class SnapshotRegistry {
 
   SnapshotOptions options_;
   std::atomic<std::shared_ptr<const KbSnapshot>> current_{nullptr};
+  /// Mirrors current_->generation(); see current_generation().
+  std::atomic<uint64_t> current_generation_{0};
 
   /// Serializes publishes/reloads; readers never take it (Current() is
   /// one atomic load). Ranked after the service stop lock so a service

@@ -33,6 +33,16 @@ enum class AdmissionError {
 ///    everything already queued;
 ///  * CloseAndFlush()  — shutdown: refuse new items AND hand back the
 ///    items still queued so the caller can fail them explicitly.
+///
+/// Wakeup discipline: a notify is issued only when a consumer is actually
+/// parked in Pop (tracked by a waiter count under the lock). The naive
+/// notify-per-push/notify-all-per-close pattern scales badly — at high
+/// worker counts most notifies hit consumers that are busy processing,
+/// each one a wasted futex syscall, and every close was a thundering
+/// herd. Lost-wakeup safety is preserved because the waiter count and the
+/// item/closed state change under the same mutex: a producer that sees
+/// waiters_ == 0 knows every consumer will observe its item (or the
+/// closed flag) before deciding to wait.
 template <typename T>
 class BoundedQueue {
  public:
@@ -43,13 +53,15 @@ class BoundedQueue {
   /// Admits `item` unless the queue is full or closed; never blocks.
   /// On refusal the item is left untouched in the caller's hands.
   std::optional<AdmissionError> TryPush(T& item) AIDA_EXCLUDES(mutex_) {
+    bool wake = false;
     {
       util::MutexLock lock(&mutex_);
       if (closed_) return AdmissionError::kClosed;
       if (items_.size() >= capacity_) return AdmissionError::kQueueFull;
       items_.push_back(std::move(item));
+      wake = waiters_ > 0;
     }
-    ready_.NotifyOne();
+    if (wake) ready_.NotifyOne();
     return std::nullopt;
   }
 
@@ -57,7 +69,11 @@ class BoundedQueue {
   /// closed and empty (returns nullopt — the consumer's exit signal).
   std::optional<T> Pop() AIDA_EXCLUDES(mutex_) {
     util::MutexLock lock(&mutex_);
-    while (!closed_ && items_.empty()) ready_.Wait(mutex_);
+    while (!closed_ && items_.empty()) {
+      ++waiters_;
+      ready_.Wait(mutex_);
+      --waiters_;
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -66,17 +82,22 @@ class BoundedQueue {
 
   /// Stops admission; queued items remain for consumers to drain.
   void CloseAdmission() AIDA_EXCLUDES(mutex_) {
+    bool wake = false;
     {
       util::MutexLock lock(&mutex_);
       closed_ = true;
+      wake = waiters_ > 0;
     }
-    ready_.NotifyAll();
+    // Close must wake EVERY parked consumer (each needs to observe the
+    // exit signal), but only when someone is parked at all.
+    if (wake) ready_.NotifyAll();
   }
 
   /// Stops admission and removes everything still queued, returning it so
   /// the caller can complete each item with a cancellation status.
   std::vector<T> CloseAndFlush() AIDA_EXCLUDES(mutex_) {
     std::vector<T> flushed;
+    bool wake = false;
     {
       util::MutexLock lock(&mutex_);
       closed_ = true;
@@ -85,8 +106,9 @@ class BoundedQueue {
         flushed.push_back(std::move(items_.front()));
         items_.pop_front();
       }
+      wake = waiters_ > 0;
     }
-    ready_.NotifyAll();
+    if (wake) ready_.NotifyAll();
     return flushed;
   }
 
@@ -109,6 +131,9 @@ class BoundedQueue {
   util::CondVar ready_;
   std::deque<T> items_ AIDA_GUARDED_BY(mutex_);
   bool closed_ AIDA_GUARDED_BY(mutex_) = false;
+  /// Consumers currently parked inside Pop's wait loop; the gate that
+  /// turns notifies into no-ops when nobody is listening.
+  size_t waiters_ AIDA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace aida::serve

@@ -1,6 +1,11 @@
 #include "serve/metrics.h"
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
+#include <thread>
+
+#include "util/cacheline.h"
 
 namespace aida::serve {
 
@@ -16,7 +21,10 @@ void LatencyHistogram::Clear() {
 }
 
 size_t LatencyHistogram::BucketIndex(double seconds) {
-  if (!(seconds > kMinSeconds)) return 0;  // also catches NaN
+  // !(x > kMin) is deliberately inverted: it catches zero, negatives, AND
+  // NaN (all comparisons with NaN are false), so a clock hiccup can only
+  // ever land in bucket 0, never index out of range.
+  if (!(seconds > kMinSeconds)) return 0;
   const double decades = std::log10(seconds / kMinSeconds);
   const size_t index =
       static_cast<size_t>(decades * static_cast<double>(kBucketsPerDecade));
@@ -32,32 +40,43 @@ double LatencyHistogram::BucketValue(size_t index) {
 }
 
 void LatencyHistogram::Record(double seconds) {
-  if (seconds < 0.0) seconds = 0.0;
+  // Sanitize before every use of the value: NaN or negative durations
+  // (clock steps backwards) become 0 so neither the sum nor the max can
+  // be poisoned.
+  if (!(seconds > 0.0)) seconds = 0.0;
   buckets_[BucketIndex(seconds)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
-  sum_seconds_.fetch_add(seconds, std::memory_order_relaxed);
-  double observed = max_seconds_.load(std::memory_order_relaxed);
-  while (seconds > observed &&
-         !max_seconds_.compare_exchange_weak(observed, seconds,
-                                             std::memory_order_relaxed)) {
-  }
+  util::AtomicAddDouble(sum_seconds_, seconds);
+  util::AtomicMaxDouble(max_seconds_, seconds);
 }
 
 LatencySnapshot LatencyHistogram::Snapshot() const {
-  std::array<uint64_t, kNumBuckets> counts;
+  const LatencyHistogram* self = this;
+  return MergeSnapshot(&self, 1);
+}
+
+LatencySnapshot LatencyHistogram::MergeSnapshot(
+    const LatencyHistogram* const* parts, size_t count) {
+  std::array<uint64_t, kNumBuckets> counts{};
   uint64_t total = 0;
-  for (size_t i = 0; i < kNumBuckets; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += counts[i];
+  double sum = 0.0;
+  double max = 0.0;
+  for (size_t part = 0; part < count; ++part) {
+    const LatencyHistogram& h = *parts[part];
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      const uint64_t c = h.buckets_[i].load(std::memory_order_relaxed);
+      counts[i] += c;
+      total += c;
+    }
+    sum += h.sum_seconds_.load(std::memory_order_relaxed);
+    max = std::max(max, h.max_seconds_.load(std::memory_order_relaxed));
   }
 
   LatencySnapshot snapshot;
   snapshot.count = total;
   if (total == 0) return snapshot;
-  snapshot.mean_seconds =
-      sum_seconds_.load(std::memory_order_relaxed) /
-      static_cast<double>(total);
-  snapshot.max_seconds = max_seconds_.load(std::memory_order_relaxed);
+  snapshot.mean_seconds = sum / static_cast<double>(total);
+  snapshot.max_seconds = max;
 
   // Walk the cumulative distribution once for all three quantiles. The
   // bucket totals (not count_) define the distribution so a Record racing
@@ -79,37 +98,72 @@ LatencySnapshot LatencyHistogram::Snapshot() const {
   return snapshot;
 }
 
+ServiceMetrics::ServiceMetrics(size_t worker_slots)
+    : slots_(std::max<size_t>(1, worker_slots)) {}
+
+void ServiceMetrics::Bump(std::atomic<uint64_t> SubmitStripe::* counter) {
+  // One hash per thread, computed lazily on its first submit-side event;
+  // the stripe count is a power of two so selection is a mask.
+  static thread_local const size_t stripe =
+      std::hash<std::thread::id>()(std::this_thread::get_id()) &
+      (kSubmitStripes - 1);
+  (submit_stripes_[stripe].*counter).fetch_add(1, std::memory_order_relaxed);
+}
+
 ServiceMetricsSnapshot ServiceMetrics::Snapshot(size_t queue_depth) const {
   ServiceMetricsSnapshot snapshot;
-  snapshot.submitted = submitted_.load(std::memory_order_relaxed);
-  snapshot.admitted = admitted_.load(std::memory_order_relaxed);
-  snapshot.completed = completed_.load(std::memory_order_relaxed);
-  snapshot.failed = failed_.load(std::memory_order_relaxed);
-  snapshot.rejected_queue_full =
-      rejected_queue_full_.load(std::memory_order_relaxed);
-  snapshot.rejected_closed = rejected_closed_.load(std::memory_order_relaxed);
-  snapshot.expired_in_queue =
-      expired_in_queue_.load(std::memory_order_relaxed);
-  snapshot.cancelled_in_flight =
-      cancelled_in_flight_.load(std::memory_order_relaxed);
-  snapshot.cancelled_queued =
-      cancelled_queued_.load(std::memory_order_relaxed);
+  for (const SubmitStripe& stripe : submit_stripes_) {
+    snapshot.submitted += stripe.submitted.load(std::memory_order_relaxed);
+    snapshot.admitted += stripe.admitted.load(std::memory_order_relaxed);
+    snapshot.rejected_queue_full +=
+        stripe.rejected_queue_full.load(std::memory_order_relaxed);
+    snapshot.rejected_closed +=
+        stripe.rejected_closed.load(std::memory_order_relaxed);
+    snapshot.cancelled_queued +=
+        stripe.cancelled_queued.load(std::memory_order_relaxed);
+  }
+
+  std::vector<const LatencyHistogram*> queue_waits, service_times, totals;
+  queue_waits.reserve(slots_.size());
+  service_times.reserve(slots_.size());
+  totals.reserve(slots_.size());
+  std::map<uint64_t, GenerationOutcomes> merged_generations;
+  for (const WorkerSlot& slot : slots_) {
+    snapshot.completed += slot.completed.load(std::memory_order_relaxed);
+    snapshot.failed += slot.failed.load(std::memory_order_relaxed);
+    snapshot.expired_in_queue +=
+        slot.expired_in_queue.load(std::memory_order_relaxed);
+    snapshot.cancelled_in_flight +=
+        slot.cancelled_in_flight.load(std::memory_order_relaxed);
+    snapshot.in_flight += slot.in_flight.load(std::memory_order_relaxed);
+    queue_waits.push_back(&slot.queue_wait);
+    service_times.push_back(&slot.service_time);
+    totals.push_back(&slot.total_latency);
+    util::MutexLock lock(&slot.generations_mutex);
+    for (const auto& [generation, outcomes] : slot.generations) {
+      GenerationOutcomes& merged = merged_generations[generation];
+      merged.generation = generation;
+      merged.completed += outcomes.completed;
+      merged.failed += outcomes.failed;
+      merged.cancelled_in_flight += outcomes.cancelled_in_flight;
+    }
+  }
+
   snapshot.queue_depth = queue_depth;
-  snapshot.in_flight = in_flight_.load(std::memory_order_relaxed);
   snapshot.uptime_seconds = uptime_.ElapsedSeconds();
   snapshot.completed_per_second =
       snapshot.uptime_seconds > 0.0
           ? static_cast<double>(snapshot.completed) / snapshot.uptime_seconds
           : 0.0;
-  snapshot.queue_wait = queue_wait_.Snapshot();
-  snapshot.service_time = service_time_.Snapshot();
-  snapshot.total_latency = total_latency_.Snapshot();
-  {
-    util::MutexLock lock(&generations_mutex_);
-    snapshot.generations.reserve(generations_.size());
-    for (const auto& [generation, outcomes] : generations_) {
-      snapshot.generations.push_back(outcomes);
-    }
+  snapshot.queue_wait =
+      LatencyHistogram::MergeSnapshot(queue_waits.data(), queue_waits.size());
+  snapshot.service_time = LatencyHistogram::MergeSnapshot(
+      service_times.data(), service_times.size());
+  snapshot.total_latency =
+      LatencyHistogram::MergeSnapshot(totals.data(), totals.size());
+  snapshot.generations.reserve(merged_generations.size());
+  for (const auto& [generation, outcomes] : merged_generations) {
+    snapshot.generations.push_back(outcomes);
   }
   return snapshot;
 }

@@ -8,6 +8,8 @@
 #include <map>
 #include <vector>
 
+#include "util/cacheline.h"
+#include "util/check.h"
 #include "util/lock_ranks.h"
 #include "util/mutex.h"
 #include "util/stopwatch.h"
@@ -32,16 +34,31 @@ struct LatencySnapshot {
 /// the load generator and the metrics registry report. Bucket resolution
 /// bounds the quantile error at ~12% (one bucket width), plenty for tail
 /// monitoring.
+///
+/// In the serving layer each worker owns a private histogram (one slot of
+/// ServiceMetrics), so Record never contends; MergeSnapshot folds the
+/// per-worker histograms into one distribution lazily at snapshot time.
 class LatencyHistogram {
  public:
   LatencyHistogram();
 
-  /// Records one observation. Thread-safe, wait-free on x86.
+  /// Records one observation. Thread-safe, wait-free on x86. NaN and
+  /// non-positive durations (clock hiccups) clamp to the zero bucket and
+  /// contribute 0 to the running sum, so a bad clock sample can neither
+  /// corrupt the quantiles nor poison the mean.
   void Record(double seconds);
 
   /// Summarizes everything recorded so far. Safe to call concurrently
   /// with Record; a racing observation is either in or out atomically.
   LatencySnapshot Snapshot() const;
+
+  /// Summarizes the union of `count` histograms as one distribution —
+  /// how the per-worker slots of ServiceMetrics aggregate. Quantiles are
+  /// computed over the summed buckets, not averaged per worker, so a
+  /// single slow worker moves the merged p99 exactly as it moves the
+  /// service's real tail.
+  static LatencySnapshot MergeSnapshot(const LatencyHistogram* const* parts,
+                                       size_t count);
 
   /// Zeroes all buckets and summary counters.
   void Clear();
@@ -53,11 +70,17 @@ class LatencyHistogram {
   static constexpr size_t kNumBuckets = kBucketsPerDecade * kDecades + 1;
   static constexpr double kMinSeconds = 1e-6;
 
+  /// Maps a duration to its bucket. Zero, negative, and NaN durations all
+  /// land in bucket 0 — the guard that keeps a clock hiccup from indexing
+  /// out of range.
   static size_t BucketIndex(double seconds);
   static double BucketValue(size_t index);
 
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
   std::atomic<uint64_t> count_{0};
+  /// Updated via util::AtomicAddDouble / AtomicMaxDouble CAS loops:
+  /// std::atomic<double>::fetch_add is C++20-library-only and the max
+  /// needs a reload-on-failure CAS to never lose a racing larger value.
   std::atomic<double> sum_seconds_{0.0};
   std::atomic<double> max_seconds_{0.0};
 };
@@ -114,96 +137,147 @@ struct ServiceMetricsSnapshot {
 
 /// The metrics registry one NedService owns: throughput and shed
 /// counters, queue/in-flight gauges, and the three latency histograms.
+///
+/// Layout is the whole point. The registry used to be one block of
+/// globally shared atomics plus three shared 91-bucket histograms; at 8
+/// workers every Record/fetch_add bounced the same cache lines between
+/// cores, one visible slice of the negative worker scaling in
+/// BENCH_serve.json. Now:
+///
+///  * worker-side events (started / completed / failed / expired /
+///    cancelled, and all three histograms) go to a per-worker,
+///    cache-line-aligned WorkerSlot indexed by the worker's slot id —
+///    exactly one writer per line, zero cross-worker traffic;
+///  * submit-side events (submitted / admitted / rejected / flushed),
+///    which arrive on arbitrary client threads, stripe over a small set
+///    of aligned counter blocks by thread hash;
+///  * Snapshot() aggregates lazily: it sums the slots and merges the
+///    per-worker histograms into one distribution, paying the cost once
+///    per monitoring read instead of once per request.
+///
 /// All mutators are thread-safe and O(1); Snapshot is safe while workers
 /// keep serving (counters may be mutually off by the few requests that
 /// transition during the read — fine for monitoring).
 class ServiceMetrics {
  public:
-  ServiceMetrics() = default;
+  /// `worker_slots` sizes the per-worker half of the registry; pass the
+  /// service's worker count. Worker-side mutators take a `slot` in
+  /// [0, worker_slots); each worker must use its own slot (that
+  /// exclusivity is what removes the contention).
+  explicit ServiceMetrics(size_t worker_slots = 1);
 
-  void OnSubmitted() { Add(submitted_); }
-  void OnAdmitted() { Add(admitted_); }
-  void OnRejectedQueueFull() { Add(rejected_queue_full_); }
-  void OnRejectedClosed() { Add(rejected_closed_); }
-  void OnCancelledQueued() { Add(cancelled_queued_); }
+  // ---- submit-side events (any thread; striped by thread hash) ----
+  void OnSubmitted() { Bump(&SubmitStripe::submitted); }
+  void OnAdmitted() { Bump(&SubmitStripe::admitted); }
+  void OnRejectedQueueFull() { Bump(&SubmitStripe::rejected_queue_full); }
+  void OnRejectedClosed() { Bump(&SubmitStripe::rejected_closed); }
+  void OnCancelledQueued() { Bump(&SubmitStripe::cancelled_queued); }
 
-  void OnExpiredInQueue(double queue_seconds) {
-    Add(expired_in_queue_);
-    queue_wait_.Record(queue_seconds);
+  // ---- worker-side events (one dedicated slot per worker) ----
+  void OnExpiredInQueue(size_t slot, double queue_seconds) {
+    WorkerSlot& s = Slot(slot);
+    s.expired_in_queue.fetch_add(1, std::memory_order_relaxed);
+    s.queue_wait.Record(queue_seconds);
   }
 
   /// A worker picked the request up and is about to disambiguate.
-  void OnStarted(double queue_seconds) {
-    in_flight_.fetch_add(1, std::memory_order_relaxed);
-    queue_wait_.Record(queue_seconds);
+  void OnStarted(size_t slot, double queue_seconds) {
+    WorkerSlot& s = Slot(slot);
+    s.in_flight.fetch_add(1, std::memory_order_relaxed);
+    s.queue_wait.Record(queue_seconds);
   }
 
   /// `generation` tags the outcome with the KB snapshot the request ran
   /// against (0 when the caller has no snapshot concept).
-  void OnCompleted(uint64_t generation, double service_seconds,
+  void OnCompleted(size_t slot, uint64_t generation, double service_seconds,
                    double total_seconds) {
-    Add(completed_);
-    in_flight_.fetch_sub(1, std::memory_order_relaxed);
-    service_time_.Record(service_seconds);
-    total_latency_.Record(total_seconds);
-    BumpGeneration(generation, &GenerationOutcomes::completed);
+    WorkerSlot& s = Slot(slot);
+    s.completed.fetch_add(1, std::memory_order_relaxed);
+    s.in_flight.fetch_sub(1, std::memory_order_relaxed);
+    s.service_time.Record(service_seconds);
+    s.total_latency.Record(total_seconds);
+    BumpGeneration(s, generation, &GenerationOutcomes::completed);
   }
 
-  void OnCancelledInFlight(uint64_t generation) {
-    Add(cancelled_in_flight_);
-    in_flight_.fetch_sub(1, std::memory_order_relaxed);
-    BumpGeneration(generation, &GenerationOutcomes::cancelled_in_flight);
+  void OnCancelledInFlight(size_t slot, uint64_t generation) {
+    WorkerSlot& s = Slot(slot);
+    s.cancelled_in_flight.fetch_add(1, std::memory_order_relaxed);
+    s.in_flight.fetch_sub(1, std::memory_order_relaxed);
+    BumpGeneration(s, generation, &GenerationOutcomes::cancelled_in_flight);
   }
 
-  void OnFailed(uint64_t generation) {
-    Add(failed_);
-    in_flight_.fetch_sub(1, std::memory_order_relaxed);
-    BumpGeneration(generation, &GenerationOutcomes::failed);
+  void OnFailed(size_t slot, uint64_t generation) {
+    WorkerSlot& s = Slot(slot);
+    s.failed.fetch_add(1, std::memory_order_relaxed);
+    s.in_flight.fetch_sub(1, std::memory_order_relaxed);
+    BumpGeneration(s, generation, &GenerationOutcomes::failed);
   }
 
   /// `queue_depth` is the owning service's current bounded-queue size —
   /// the one gauge the registry cannot observe on its own.
-  ServiceMetricsSnapshot Snapshot(size_t queue_depth) const
-      AIDA_EXCLUDES(generations_mutex_);
+  ServiceMetricsSnapshot Snapshot(size_t queue_depth) const;
+
+  size_t worker_slots() const { return slots_.size(); }
 
  private:
-  static void Add(std::atomic<uint64_t>& counter) {
-    counter.fetch_add(1, std::memory_order_relaxed);
+  /// One worker's private share of the registry. alignas keeps two
+  /// workers' slots off one cache line (util::kCacheLineSize is the
+  /// hardware destructive-interference size where the library exposes
+  /// it); each atomic has exactly one writer, so every fetch_add stays a
+  /// core-local RMW on an exclusive line.
+  struct alignas(util::kCacheLineSize) WorkerSlot {
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> failed{0};
+    std::atomic<uint64_t> expired_in_queue{0};
+    std::atomic<uint64_t> cancelled_in_flight{0};
+    /// Net started-minus-finished on this worker; never negative because
+    /// the same worker records both edges. Summed into the gauge.
+    std::atomic<uint64_t> in_flight{0};
+    LatencyHistogram queue_wait;
+    LatencyHistogram service_time;
+    LatencyHistogram total_latency;
+    /// Per-slot generation outcomes: only this worker and Snapshot ever
+    /// take the lock, so it is uncontended on the hot path (the old
+    /// registry-global generations mutex serialized all workers once per
+    /// request). Same kServiceMetrics rank; slots are locked one at a
+    /// time, never nested.
+    mutable util::Mutex generations_mutex{util::lock_rank::kServiceMetrics};
+    std::map<uint64_t, GenerationOutcomes> generations
+        AIDA_GUARDED_BY(generations_mutex);
+  };
+
+  /// Submit-side counters arrive on arbitrary client threads, so they
+  /// stripe over a few aligned blocks by thread hash instead of sharing
+  /// one hot line. Power-of-two count keeps the index mask-cheap.
+  struct alignas(util::kCacheLineSize) SubmitStripe {
+    std::atomic<uint64_t> submitted{0};
+    std::atomic<uint64_t> admitted{0};
+    std::atomic<uint64_t> rejected_queue_full{0};
+    std::atomic<uint64_t> rejected_closed{0};
+    std::atomic<uint64_t> cancelled_queued{0};
+  };
+  static constexpr size_t kSubmitStripes = 8;
+
+  WorkerSlot& Slot(size_t slot) {
+    AIDA_DCHECK(slot < slots_.size());
+    return slots_[slot < slots_.size() ? slot : 0];
   }
 
-  /// Generation counters live behind a mutex rather than per-counter
-  /// atomics: outcomes are recorded once per request (micro- to
-  /// millisecond cadence), so one uncontended lock is noise next to the
-  /// disambiguation itself, and a map keyed by generation handles the
-  /// unbounded-generations case without lock-free gymnastics. The
-  /// snapshot-acquisition hot path never touches this lock.
-  void BumpGeneration(uint64_t generation,
+  void Bump(std::atomic<uint64_t> SubmitStripe::* counter);
+
+  void BumpGeneration(WorkerSlot& slot, uint64_t generation,
                       uint64_t GenerationOutcomes::* counter)
-      AIDA_EXCLUDES(generations_mutex_) {
+      AIDA_EXCLUDES(slot.generations_mutex) {
     if (generation == 0) return;
-    util::MutexLock lock(&generations_mutex_);
-    GenerationOutcomes& outcomes = generations_[generation];
+    util::MutexLock lock(&slot.generations_mutex);
+    GenerationOutcomes& outcomes = slot.generations[generation];
     outcomes.generation = generation;
     ++(outcomes.*counter);
   }
 
-  std::atomic<uint64_t> submitted_{0};
-  std::atomic<uint64_t> admitted_{0};
-  std::atomic<uint64_t> completed_{0};
-  std::atomic<uint64_t> failed_{0};
-  std::atomic<uint64_t> rejected_queue_full_{0};
-  std::atomic<uint64_t> rejected_closed_{0};
-  std::atomic<uint64_t> expired_in_queue_{0};
-  std::atomic<uint64_t> cancelled_in_flight_{0};
-  std::atomic<uint64_t> cancelled_queued_{0};
-  std::atomic<uint64_t> in_flight_{0};
-  LatencyHistogram queue_wait_;
-  LatencyHistogram service_time_;
-  LatencyHistogram total_latency_;
+  std::vector<WorkerSlot> slots_;
+  std::array<SubmitStripe, kSubmitStripes> submit_stripes_;
   util::Stopwatch uptime_;
-  mutable util::Mutex generations_mutex_{util::lock_rank::kServiceMetrics};
-  std::map<uint64_t, GenerationOutcomes> generations_
-      AIDA_GUARDED_BY(generations_mutex_);
 };
 
 }  // namespace aida::serve

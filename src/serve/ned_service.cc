@@ -39,6 +39,7 @@ NedService::NedService(std::shared_ptr<const kb::KbSnapshot> snapshot,
       num_threads_(options.num_threads != 0
                        ? options.num_threads
                        : std::max(1u, std::thread::hardware_concurrency())),
+      metrics_(num_threads_),
       queue_(std::max<size_t>(1, options.queue_capacity)),
       pool_(std::make_unique<util::WorkerPool>(num_threads_)) {
   AIDA_CHECK((fixed_snapshot_ != nullptr) != (registry_ != nullptr),
@@ -49,7 +50,7 @@ NedService::NedService(std::shared_ptr<const kb::KbSnapshot> snapshot,
   AIDA_CHECK(AcquireSnapshot() != nullptr,
              "registry must publish a generation before serving starts");
   for (size_t t = 0; t < num_threads_; ++t) {
-    pool_->Submit([this] { WorkerLoop(); });
+    pool_->Submit([this, t] { WorkerLoop(t); });
   }
 }
 
@@ -141,15 +142,27 @@ std::vector<ServeResult> NedService::DisambiguateAll(
   return results;
 }
 
-void NedService::WorkerLoop() {
+void NedService::WorkerLoop(size_t slot) {
+  // Pin the snapshot once per worker, not once per dequeue. The old
+  // per-dequeue AcquireSnapshot() was an atomic<shared_ptr> acquire —
+  // a locked refcount RMW on the control block that every worker hit for
+  // every request, ping-ponging one cache line across all cores. Now the
+  // per-dequeue cost is one relaxed uint64 generation-counter load; the
+  // refcount is touched only when a reload actually happened.
+  std::shared_ptr<const kb::KbSnapshot> pinned = AcquireSnapshot();
   for (;;) {
     std::optional<Request> request = queue_.Pop();
     if (!request) return;
-    Process(std::move(*request));
+    if (registry_ != nullptr &&
+        registry_->current_generation() != pinned->generation()) {
+      pinned = registry_->Current();
+    }
+    Process(slot, std::move(*request), pinned);
   }
 }
 
-void NedService::Process(Request request) {
+void NedService::Process(size_t slot, Request request,
+                         const std::shared_ptr<const kb::KbSnapshot>& snapshot) {
   const Clock::time_point start = Clock::now();
   const double queue_seconds = SecondsBetween(request.submit_time, start);
 
@@ -158,7 +171,7 @@ void NedService::Process(Request request) {
 
   // Deadline already gone: complete without paying for NED at all.
   if (start >= request.deadline) {
-    metrics_.OnExpiredInQueue(queue_seconds);
+    metrics_.OnExpiredInQueue(slot, queue_seconds);
     out.status =
         util::Status::DeadlineExceeded("deadline expired while queued");
     out.result.cancelled = true;
@@ -167,12 +180,10 @@ void NedService::Process(Request request) {
     return;
   }
 
-  metrics_.OnStarted(queue_seconds);
-  // Pin the current generation for the whole request: one atomic
-  // shared_ptr load, no lock, no drain. A reload published after this
-  // line is picked up by the NEXT dequeue; this request finishes on the
-  // stack it started with, which stays alive until `snapshot` drops.
-  const std::shared_ptr<const kb::KbSnapshot> snapshot = AcquireSnapshot();
+  metrics_.OnStarted(slot, queue_seconds);
+  // `snapshot` is the worker's pinned generation: it stays alive for the
+  // whole request (the worker holds the strong reference), and a reload
+  // published mid-request is picked up at the NEXT dequeue.
   out.generation = snapshot->generation();
   core::CancellationToken token(request.deadline);
   core::DisambiguateOptions ned_options;
@@ -186,11 +197,11 @@ void NedService::Process(Request request) {
     if (out.result.cancelled) {
       // The system observed the token between phases and bailed out; the
       // partial (local-only) result rides along for best-effort callers.
-      metrics_.OnCancelledInFlight(out.generation);
+      metrics_.OnCancelledInFlight(slot, out.generation);
       out.status = util::Status::DeadlineExceeded(
           "deadline expired during disambiguation");
     } else {
-      metrics_.OnCompleted(out.generation, out.service_seconds,
+      metrics_.OnCompleted(slot, out.generation, out.service_seconds,
                            out.total_seconds);
     }
   } catch (const std::exception& error) {
@@ -201,13 +212,13 @@ void NedService::Process(Request request) {
     out.result.cancelled = true;
     out.status = util::Status::Internal(std::string("NedSystem threw: ") +
                                         error.what());
-    metrics_.OnFailed(out.generation);
+    metrics_.OnFailed(slot, out.generation);
   } catch (...) {
     out.service_seconds = service_watch.ElapsedSeconds();
     out.total_seconds = SecondsBetween(request.submit_time, Clock::now());
     out.result.cancelled = true;
     out.status = util::Status::Internal("NedSystem threw a non-exception");
-    metrics_.OnFailed(out.generation);
+    metrics_.OnFailed(slot, out.generation);
   }
   request.promise.set_value(std::move(out));
 }

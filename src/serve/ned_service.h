@@ -115,11 +115,14 @@ struct NedServiceSnapshot {
 ///    immediately with a rejection status (explicit load shedding).
 ///  * Every admitted request's future is satisfied exactly once — by a
 ///    worker, by deadline expiry, or by Shutdown's queue flush.
-///  * Hot reload is invisible to requests: each dequeue pins the current
-///    snapshot with one atomic shared_ptr load (no drain, no lock on the
-///    hot path); in-flight requests finish on the generation they
-///    started, and a retiring generation's memory is freed when its last
-///    request completes.
+///  * Hot reload is invisible to requests: each worker pins the current
+///    snapshot ONCE and refreshes the pin only when the registry's
+///    generation counter moves — one relaxed uint64 load per dequeue, no
+///    shared_ptr refcount traffic, no drain, no lock on the hot path.
+///    In-flight requests finish on the generation they started; a
+///    retiring generation's memory is freed once its last request
+///    completes and every worker has re-pinned (at the latest when the
+///    service drains).
 ///  * Completed (OK) results are byte-identical to a serial
 ///    Disambiguate against the same generation's system: workers add no
 ///    nondeterminism, and the per-snapshot RelatednessCache stores exact
@@ -140,10 +143,10 @@ class NedService {
   explicit NedService(std::shared_ptr<const kb::KbSnapshot> snapshot,
                       NedServiceOptions options = {});
 
-  /// Serves whatever generation `registry` has published, re-reading the
-  /// current snapshot on every dequeue. The registry must already have a
-  /// published generation (Current() != nullptr) and the service keeps it
-  /// alive via shared ownership.
+  /// Serves whatever generation `registry` has published; each worker
+  /// tracks the registry's generation counter and re-pins on change. The
+  /// registry must already have a published generation (Current() !=
+  /// nullptr) and the service keeps it alive via shared ownership.
   explicit NedService(std::shared_ptr<const kb::SnapshotRegistry> registry,
                       NedServiceOptions options = {});
 
@@ -206,16 +209,23 @@ class NedService {
              std::shared_ptr<const kb::SnapshotRegistry> registry,
              NedServiceOptions options);
 
-  /// The hot-path snapshot acquisition: one atomic shared_ptr load when
-  /// registry-backed, a plain copy when fixed. Never null.
+  /// The slow-path snapshot acquisition: one atomic shared_ptr load when
+  /// registry-backed, a plain copy when fixed. Never null. Workers call
+  /// this once at startup and after a generation change (detected via the
+  /// registry's cheap generation counter); per-dequeue use would turn the
+  /// shared_ptr refcount into a cross-core ping-pong line.
   std::shared_ptr<const kb::KbSnapshot> AcquireSnapshot() const {
     return registry_ != nullptr ? registry_->Current() : fixed_snapshot_;
   }
 
-  /// One per pool thread: pop until the queue closes and empties.
-  void WorkerLoop();
-  /// Runs (or expires) one request and satisfies its promise.
-  void Process(Request request);
+  /// One per pool thread: pop until the queue closes and empties. `slot`
+  /// is the worker's private index into the per-worker metrics slots and
+  /// its pinned-snapshot identity.
+  void WorkerLoop(size_t slot);
+  /// Runs (or expires) one request against `snapshot` and satisfies its
+  /// promise.
+  void Process(size_t slot, Request request,
+               const std::shared_ptr<const kb::KbSnapshot>& snapshot);
   void Stop(bool flush_queued) AIDA_EXCLUDES(stop_mutex_);
 
   /// Exactly one of the two is set, fixed at construction.
@@ -223,6 +233,8 @@ class NedService {
   std::shared_ptr<const kb::SnapshotRegistry> registry_;
   NedServiceOptions options_;
   size_t num_threads_;
+  /// One cache-line-aligned slot per worker; constructed with
+  /// num_threads_ so every worker owns a private slot.
   ServiceMetrics metrics_;
   BoundedQueue<Request> queue_;
   /// Serializes Drain/Shutdown; ranked before the queue and pool locks

@@ -165,6 +165,61 @@ TEST(BoundedQueueTest, CloseAndFlushReturnsQueuedItems) {
   EXPECT_EQ(queue.size(), 0u);
 }
 
+TEST(BoundedQueueTest, StressManyProducersConsumersNoLostWakeup) {
+  // Regression guard for the waiter-counted wakeup discipline: producers
+  // notify only when a consumer is parked, so a lost-wakeup bug in that
+  // bookkeeping shows up here as a consumer sleeping forever next to a
+  // non-empty queue (the test then hangs deterministically instead of
+  // flaking). The periodic producer stalls drain the queue so consumers
+  // genuinely park and every wake path is exercised; the tiny capacity
+  // exercises the full-queue shed/retry path at the same time.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kItemsPerProducer = 2000;
+  BoundedQueue<int> queue(8);
+
+  std::atomic<int> consumed{0};
+  std::atomic<long long> sum{0};
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        std::optional<int> item = queue.Pop();  // parks when empty
+        if (!item.has_value()) return;          // closed + drained
+        consumed.fetch_add(1, std::memory_order_relaxed);
+        sum.fetch_add(*item, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kItemsPerProducer; ++i) {
+        int item = p * kItemsPerProducer + i;
+        while (queue.TryPush(item).has_value()) {
+          std::this_thread::yield();  // full: never blocks, so spin politely
+        }
+        if (i % 128 == 0) {
+          // Let consumers drain and park so the next push must wake one.
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : producers) thread.join();
+  queue.CloseAdmission();  // wakes every parked consumer to exit
+  for (std::thread& thread : consumers) thread.join();
+
+  // Exactly-once delivery: the item values partition [0, total), so the
+  // count and the sum together pin down the consumed multiset.
+  const long long total = kProducers * kItemsPerProducer;
+  EXPECT_EQ(consumed.load(), total);
+  EXPECT_EQ(sum.load(), total * (total - 1) / 2);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // LatencyHistogram
 
