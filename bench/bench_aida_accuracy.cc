@@ -2,6 +2,9 @@
 // feature ablations against the Cucerzan and Kulkarni baselines on the
 // held-out test split of the CoNLL-like corpus. The paper's split uses
 // documents 1163-1393 as test; we do the same on the synthetic corpus.
+//
+// Results are also written to BENCH_aida_accuracy.json at the repo root
+// for machine consumption.
 
 #include <cstdio>
 #include <memory>
@@ -151,5 +154,30 @@ int main() {
       "full AIDA > ablations > collective Kulkarni > prior > Cucerzan.\n"
       "'r-coh + rel-cache' must match full AIDA's accuracy exactly while\n"
       "evaluating fewer relatedness pairs (the rest are cache hits).\n");
+
+  const std::string json_path =
+      bench::JsonOutputPath("BENCH_aida_accuracy.json");
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "could not open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"test_docs\": %zu,\n  \"methods\": [\n",
+               test_last - test_first);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(out,
+                 "    {\"method\": \"%s\", \"macro\": %.2f, \"micro\": %.2f, "
+                 "\"seconds\": %.2f, \"relatedness_evals\": %llu, "
+                 "\"cache_hit_rate\": %.4f}%s\n",
+                 row.name.c_str(), row.macro, row.micro, row.seconds,
+                 static_cast<unsigned long long>(
+                     row.stats.relatedness_computations),
+                 row.stats.RelatednessCacheHitRate(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }

@@ -27,6 +27,18 @@ inline core::DisambiguationProblem ToProblem(const corpus::Document& doc) {
   return problem;
 }
 
+/// Resolves where a BENCH_*.json artifact lands: the repo root
+/// (compile-time source dir) so CI and humans find one canonical copy no
+/// matter the launch cwd; falls back to the cwd if the bench was built
+/// without the definition.
+inline std::string JsonOutputPath(const std::string& filename) {
+#ifdef AIDA_BENCH_OUTPUT_DIR
+  return std::string(AIDA_BENCH_OUTPUT_DIR) + "/" + filename;
+#else
+  return filename;
+#endif
+}
+
 /// Prints a horizontal rule sized to `width`.
 inline void PrintRule(int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar('-');

@@ -5,6 +5,9 @@
 // by candidate-entity count. A final section measures the batch-level
 // RelatednessCache: evaluations saved, hit rate, and speedup over a
 // multi-document batch, with parallel results checked against serial.
+//
+// Results are also written to BENCH_kore_efficiency.json at the repo
+// root for machine consumption.
 
 #include <algorithm>
 #include <cmath>
@@ -44,6 +47,17 @@ Stats Summarize(std::vector<double> values) {
   stats.q90 = values[static_cast<size_t>(0.9 * (values.size() - 1))];
   return stats;
 }
+
+/// One JSON row of the batch-memoization table.
+struct BatchRow {
+  std::string measure;
+  unsigned long long serial_evals = 0;
+  unsigned long long cached_evals = 0;
+  double hit_rate = 0.0;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  bool identical = false;
+};
 
 bool ResultsIdentical(const std::vector<core::DisambiguationResult>& a,
                       const std::vector<core::DisambiguationResult>& b) {
@@ -175,6 +189,7 @@ int main() {
     problems.push_back(bench::ToProblem(docs[d]));
   }
 
+  std::vector<BatchRow> batch_rows;
   bench::PrintHeader(
       "Batch memoization — shared RelatednessCache over a 120-doc batch");
   std::printf("%-12s %12s %12s %10s %10s %10s %9s %6s\n", "measure",
@@ -218,6 +233,15 @@ int main() {
                 100.0 * parallel_stats.RelatednessCacheHitRate(),
                 serial_ms, parallel_ms, serial_ms / parallel_ms,
                 identical ? "yes" : "NO");
+    BatchRow row;
+    row.measure = measures[mi].first;
+    row.serial_evals = serial_stats.relatedness_computations;
+    row.cached_evals = parallel_stats.relatedness_computations;
+    row.hit_rate = parallel_stats.RelatednessCacheHitRate();
+    row.serial_ms = serial_ms;
+    row.parallel_ms = parallel_ms;
+    row.identical = identical;
+    batch_rows.push_back(std::move(row));
   }
   bench::PrintRule(88);
   std::printf(
@@ -225,5 +249,43 @@ int main() {
       "uncached one (hit rate > 0): cross-document entity repetition is\n"
       "what the shared cache monetizes. 'same' checks the parallel cached\n"
       "results are identical to the serial uncached reference.\n");
+
+  const std::string json_path =
+      bench::JsonOutputPath("BENCH_kore_efficiency.json");
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "could not open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"documents\": %zu,\n  \"measures\": [\n",
+               docs.size());
+  for (size_t mi = 0; mi < measures.size(); ++mi) {
+    Stats cmp = Summarize(runs[mi].comparisons);
+    Stats ms = Summarize(runs[mi].millis);
+    std::fprintf(out,
+                 "    {\"measure\": \"%s\", \"cmp_mean\": %.1f, "
+                 "\"cmp_stddev\": %.1f, \"cmp_q90\": %.1f, "
+                 "\"ms_mean\": %.3f, \"ms_stddev\": %.3f, "
+                 "\"ms_q90\": %.3f}%s\n",
+                 measures[mi].first.c_str(), cmp.mean, cmp.stddev, cmp.q90,
+                 ms.mean, ms.stddev, ms.q90,
+                 mi + 1 < measures.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"batch_memoization\": [\n");
+  for (size_t i = 0; i < batch_rows.size(); ++i) {
+    const BatchRow& row = batch_rows[i];
+    std::fprintf(out,
+                 "    {\"measure\": \"%s\", \"serial_evals\": %llu, "
+                 "\"cached_evals\": %llu, \"hit_rate\": %.4f, "
+                 "\"serial_ms\": %.1f, \"parallel_ms\": %.1f, "
+                 "\"identical\": %s}%s\n",
+                 row.measure.c_str(), row.serial_evals, row.cached_evals,
+                 row.hit_rate, row.serial_ms, row.parallel_ms,
+                 row.identical ? "true" : "false",
+                 i + 1 < batch_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }

@@ -8,8 +8,10 @@
 
 #include "graph/dense_subgraph.h"
 #include "graph/shortest_paths.h"
+#include "task/parallel_for.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/stopwatch.h"
 
 namespace aida::core {
 
@@ -26,38 +28,66 @@ uint64_t EdgeKey(graph::NodeId u, graph::NodeId v) {
 }  // namespace
 
 GraphSolution SolveMentionEntityGraph(
-    const MentionEntityGraph& meg, const GraphDisambiguatorOptions& options) {
+    const MentionEntityGraph& meg, const GraphDisambiguatorOptions& options,
+    const GraphSolveContext& context) {
   const size_t num_mentions = meg.num_mentions;
   const size_t num_entities = meg.entity_node_count();
   const graph::WeightedGraph& full = *meg.graph;
+  const util::CancellationToken* cancel = context.cancel;
 
   GraphSolution solution;
   solution.chosen_candidate.assign(num_mentions, -1);
 
-  size_t mentions_with_candidates = 0;
-  for (const auto& nodes : meg.mention_candidate_nodes) {
-    if (!nodes.empty()) ++mentions_with_candidates;
+  std::vector<size_t> active_mentions;
+  for (size_t m = 0; m < num_mentions; ++m) {
+    if (!meg.mention_candidate_nodes[m].empty()) active_mentions.push_back(m);
   }
+  const size_t mentions_with_candidates = active_mentions.size();
   if (mentions_with_candidates == 0) return solution;
 
   // ---- Pre-pruning phase ---------------------------------------------------
   // Keep the entity nodes closest to the mention set, measured by the sum
   // of squared shortest-path distances; always retain each mention's
-  // heaviest candidate so every mention stays coverable.
+  // heaviest candidate so every mention stays coverable. One Dijkstra per
+  // mention — independent work, so each runs as its own task writing its
+  // own squared-distance vector; the vectors are folded serially in
+  // mention order, keeping the FP accumulation order of the serial loop.
   std::vector<bool> keep_entity(num_entities, true);
   const size_t budget =
       options.entities_per_mention_budget * mentions_with_candidates;
   if (num_entities > budget) {
+    std::vector<std::vector<double>> squared(mentions_with_candidates);
+    util::Stopwatch prune_watch;
+    const task::ParallelForStats prune_stats = task::ParallelChunks(
+        context.scheduler, mentions_with_candidates, context.max_tasks, cancel,
+        [&](size_t begin, size_t end) {
+          for (size_t k = begin; k < end; ++k) {
+            if (cancel != nullptr && cancel->cancelled()) return;
+            std::vector<double> dist = graph::ShortestPathDistances(
+                full, static_cast<graph::NodeId>(active_mentions[k]),
+                graph::InverseSimilarityCost);
+            std::vector<double>& out = squared[k];
+            out.resize(num_entities);
+            for (size_t e = 0; e < num_entities; ++e) {
+              double d = dist[meg.EntityNodeId(e)];
+              if (!std::isfinite(d)) d = kUnreachablePenalty;
+              out[e] = d * d;
+            }
+          }
+        });
+    if (context.scheduler != nullptr && context.max_tasks > 1) {
+      solution.parallel_seconds += prune_watch.ElapsedSeconds();
+      solution.parallel_tasks += prune_stats.tasks;
+      solution.parallel_steals += prune_stats.stolen;
+    }
+    if (prune_stats.cancelled || (cancel != nullptr && cancel->cancelled())) {
+      solution.aborted = true;
+      return solution;
+    }
     std::vector<double> distance_sum(num_entities, 0.0);
-    for (size_t m = 0; m < num_mentions; ++m) {
-      if (meg.mention_candidate_nodes[m].empty()) continue;
-      std::vector<double> dist = graph::ShortestPathDistances(
-          full, static_cast<graph::NodeId>(m), graph::InverseSimilarityCost);
-      for (size_t e = 0; e < num_entities; ++e) {
-        double d = dist[meg.EntityNodeId(e)];
-        if (!std::isfinite(d)) d = kUnreachablePenalty;
-        distance_sum[e] += d * d;
-      }
+    for (size_t k = 0; k < mentions_with_candidates; ++k) {
+      const std::vector<double>& out = squared[k];
+      for (size_t e = 0; e < num_entities; ++e) distance_sum[e] += out[e];
     }
     std::vector<size_t> order(num_entities);
     for (size_t e = 0; e < num_entities; ++e) order[e] = e;
@@ -140,10 +170,21 @@ GraphSolution SolveMentionEntityGraph(
   }
 
   // ---- Main greedy loop -----------------------------------------------------
+  graph::DenseSubgraphOptions dense_options;
+  dense_options.scheduler = context.scheduler;
+  dense_options.max_tasks = context.max_tasks;
+  dense_options.min_parallel_nodes = context.min_parallel_nodes;
+  dense_options.cancel = cancel;
   graph::DenseSubgraphResult dense =
-      graph::ConstrainedDenseSubgraph(pruned, removable, groups);
+      graph::ConstrainedDenseSubgraph(pruned, removable, groups, dense_options);
   solution.objective = dense.objective;
   solution.iterations += dense.iterations;
+  solution.parallel_tasks += dense.parallel_tasks;
+  solution.parallel_steals += dense.parallel_steals;
+  if (dense.aborted) {
+    solution.aborted = true;
+    return solution;
+  }
 
   // ---- Post-processing: resolve remaining per-mention choices ---------------
   // Alive candidates per mention.
@@ -200,11 +241,20 @@ GraphSolution SolveMentionEntityGraph(
   };
 
   if (!overflow) {
-    // Exhaustive enumeration with incremental scoring.
+    // Exhaustive enumeration with incremental scoring. Cancellation is
+    // polled every 256 evaluated leaves so a slow enumeration cannot
+    // outlive its request deadline.
     std::vector<uint32_t> current(active.size(), 0);
+    bool dfs_aborted = false;
     std::function<void(size_t, double)> dfs = [&](size_t depth, double acc) {
+      if (dfs_aborted) return;
       if (depth == active.size()) {
         ++solution.iterations;
+        if ((solution.iterations & 0xFF) == 0 && cancel != nullptr &&
+            cancel->cancelled()) {
+          dfs_aborted = true;
+          return;
+        }
         if (acc > best_total) {
           best_total = acc;
           best_pick = current;
@@ -219,9 +269,14 @@ GraphSolution SolveMentionEntityGraph(
           add += ee_weight(node, alive[active[j]][current[j]].first);
         }
         dfs(depth + 1, acc + add);
+        if (dfs_aborted) return;
       }
     };
     dfs(0, 0.0);
+    if (dfs_aborted) {
+      solution.aborted = true;
+      return solution;
+    }
   } else {
     // Randomized local search: start from the heaviest candidates, then
     // propose single-mention swaps with probability proportional to the
@@ -242,6 +297,10 @@ GraphSolution SolveMentionEntityGraph(
     double current_total = best_total;
     std::vector<double> degrees;
     for (size_t iter = 0; iter < options.local_search_iterations; ++iter) {
+      if ((iter & 0x3F) == 0 && cancel != nullptr && cancel->cancelled()) {
+        solution.aborted = true;
+        return solution;
+      }
       ++solution.iterations;
       size_t i = rng.UniformInt(active.size());
       const auto& cands = alive[active[i]];

@@ -10,6 +10,11 @@
 #include "core/candidates.h"
 #include "core/relatedness.h"
 #include "graph/weighted_graph.h"
+#include "util/cancellation.h"
+
+namespace aida::task {
+class Scheduler;
+}  // namespace aida::task
 
 namespace aida::core {
 
@@ -50,6 +55,15 @@ struct MentionEntityGraph {
   uint64_t relatedness_computations = 0;
   /// Entity-entity pair values served from a relatedness cache.
   uint64_t relatedness_cache_hits = 0;
+  /// True when the build observed its CancellationToken mid-batch and
+  /// stopped: the graph is partial and must be discarded (the caller
+  /// degrades to local-only results).
+  bool aborted = false;
+  /// Task accounting of the batched-relatedness region (0 when serial).
+  uint64_t parallel_tasks = 0;
+  uint64_t parallel_steals = 0;
+  /// Wall clock of the batched pair-evaluation region, seconds.
+  double parallel_seconds = 0.0;
 
   graph::NodeId EntityNodeId(size_t entity_index) const {
     return static_cast<graph::NodeId>(num_mentions + entity_index);
@@ -60,14 +74,38 @@ struct MentionEntityGraph {
   size_t entity_node_count() const { return entity_candidates.size(); }
 };
 
+/// Per-call execution context of one graph build: cooperative
+/// cancellation (polled inside the pair-evaluation batch, not just
+/// between phases) and optional task parallelism for that batch.
+struct GraphBuildContext {
+  /// Polled every few dozen pair evaluations; a tripped token aborts the
+  /// build (MentionEntityGraph::aborted). Not owned.
+  const util::CancellationToken* cancel = nullptr;
+  /// Fork the pair batch across this scheduler (null = serial).
+  task::Scheduler* scheduler = nullptr;
+  /// Maximum tasks for the pair batch (<= 1 = serial).
+  size_t max_tasks = 1;
+  /// Batches smaller than this stay serial even when a scheduler is set.
+  size_t min_batch_pairs = 64;
+};
+
 /// Builds the weighted mention-entity graph: mention-entity edges carry
 /// the blended local weights, entity-entity edges carry `relatedness`
 /// (restricted to the measure's pair filter when it has one, and to entity
 /// pairs serving at least two distinct mentions). Both edge families are
 /// normalized to [0,1], rescaled so their averages match (Section 3.4.1),
 /// then split by me_scale / ee_scale.
+///
+/// Relatedness is evaluated as one deduplicated batch: the qualifying
+/// pair list is collected first (entity nodes are already deduplicated,
+/// so each pair is evaluated exactly once per document), values are
+/// computed — in parallel chunks when `context` enables it, preserving
+/// the RelatednessCache's per-thread L1 and stat stripes — and edges are
+/// folded serially in pair order, so the parallel build is byte-identical
+/// to the serial one.
 MentionEntityGraph BuildMentionEntityGraph(
-    const GraphBuildInput& input, const RelatednessMeasure& relatedness);
+    const GraphBuildInput& input, const RelatednessMeasure& relatedness,
+    const GraphBuildContext& context = {});
 
 }  // namespace aida::core
 

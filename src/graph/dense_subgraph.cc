@@ -2,33 +2,77 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
+#include "task/scheduler.h"
 #include "util/check.h"
 
 namespace aida::graph {
 
 namespace {
 
-// Objective of the current subgraph: minimum weighted degree among alive
-// removable nodes divided by their count (paper: "A graph with fewer nodes
-// is preferred, so the minimum weighted degree is divided by the number of
-// nodes in the graph").
-double Objective(const std::vector<double>& degree,
-                 const std::vector<bool>& alive,
-                 const std::vector<bool>& removable, size_t alive_removable) {
-  if (alive_removable == 0) return 0.0;
-  double min_degree = std::numeric_limits<double>::infinity();
-  for (NodeId u = 0; u < degree.size(); ++u) {
-    if (alive[u] && removable[u]) min_degree = std::min(min_degree, degree[u]);
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Chunked first-strict-min scan over [0, n): returns the (degree,
+/// node) pair the serial left-to-right `degree[u] < min` loop would
+/// find. `eligible(u)` filters candidates; `degree` is read-only during
+/// the scan. With `chunks` == 1 this IS the serial loop; with more, each
+/// chunk scans its contiguous range and the chunk results are reduced
+/// left to right with the same strict less-than, so ties still resolve
+/// to the lowest node id — the victim sequence (and therefore every
+/// byte of the result) is independent of the chunking.
+template <typename Eligible>
+std::pair<double, NodeId> MinDegreeScan(
+    size_t n, size_t chunks, task::Scheduler* scheduler,
+    const std::vector<double>& degree, const Eligible& eligible,
+    DenseSubgraphResult* accounting) {
+  auto scan_range = [&](size_t begin, size_t end) -> std::pair<double, NodeId> {
+    double min_degree = kInf;
+    NodeId arg = static_cast<NodeId>(n);
+    for (size_t u = begin; u < end; ++u) {
+      if (!eligible(static_cast<NodeId>(u))) continue;
+      if (degree[u] < min_degree) {
+        min_degree = degree[u];
+        arg = static_cast<NodeId>(u);
+      }
+    }
+    return {min_degree, arg};
+  };
+  if (chunks <= 1 || n < 2 * chunks) {
+    return scan_range(0, n);
   }
-  return min_degree / static_cast<double>(alive_removable);
+  std::vector<std::pair<double, NodeId>> chunk_best(
+      chunks, {kInf, static_cast<NodeId>(n)});
+  task::TaskGroup group(scheduler, /*cancel=*/nullptr);
+  const size_t base = n / chunks;
+  const size_t remainder = n % chunks;
+  size_t begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t end = begin + base + (c < remainder ? 1 : 0);
+    group.Run([c, begin, end, &chunk_best, &scan_range] {
+      chunk_best[c] = scan_range(begin, end);
+    });
+    begin = end;
+  }
+  group.Wait();
+  if (accounting != nullptr) {
+    const task::TaskGroup::Stats& stats = group.stats();
+    accounting->parallel_tasks += stats.spawned + stats.inline_executed;
+    accounting->parallel_steals += stats.stolen;
+  }
+  std::pair<double, NodeId> best = {kInf, static_cast<NodeId>(n)};
+  for (const auto& candidate : chunk_best) {
+    if (candidate.first < best.first) best = candidate;
+  }
+  return best;
 }
 
 }  // namespace
 
 DenseSubgraphResult ConstrainedDenseSubgraph(
     const WeightedGraph& graph, const std::vector<bool>& removable,
-    const std::vector<std::vector<NodeId>>& groups) {
+    const std::vector<std::vector<NodeId>>& groups,
+    const DenseSubgraphOptions& options) {
   const size_t n = graph.node_count();
   AIDA_CHECK(removable.size() == n,
              "removable mask (%zu) must match node count (%zu)",
@@ -56,10 +100,32 @@ DenseSubgraphResult ConstrainedDenseSubgraph(
     if (removable[u]) ++alive_removable;
   }
 
+  // Per-iteration node scans fork only above the size gate: each scan is
+  // O(n), so tasks must amortize their spawn cost.
+  const size_t scan_chunks =
+      options.scheduler != nullptr && options.max_tasks > 1 &&
+              n >= options.min_parallel_nodes
+          ? std::min(options.max_tasks, n)
+          : 1;
+
   DenseSubgraphResult result;
+
+  // Objective of the current subgraph: minimum weighted degree among
+  // alive removable nodes divided by their count (paper: "A graph with
+  // fewer nodes is preferred, so the minimum weighted degree is divided
+  // by the number of nodes in the graph").
+  auto objective_now = [&]() {
+    if (alive_removable == 0) return 0.0;
+    const double min_degree =
+        MinDegreeScan(n, scan_chunks, options.scheduler, degree,
+                      [&](NodeId u) { return alive[u] && removable[u]; },
+                      &result)
+            .first;
+    return min_degree / static_cast<double>(alive_removable);
+  };
+
   result.alive = alive;
-  result.objective =
-      Objective(degree, alive, removable, alive_removable);
+  result.objective = objective_now();
 
   auto is_taboo = [&](NodeId u) {
     for (uint32_t g : node_groups[u]) {
@@ -69,16 +135,21 @@ DenseSubgraphResult ConstrainedDenseSubgraph(
   };
 
   for (;;) {
-    // Find the non-taboo alive removable node of minimum weighted degree.
-    NodeId victim = static_cast<NodeId>(n);
-    double min_degree = std::numeric_limits<double>::infinity();
-    for (NodeId u = 0; u < n; ++u) {
-      if (!alive[u] || !removable[u] || is_taboo(u)) continue;
-      if (degree[u] < min_degree) {
-        min_degree = degree[u];
-        victim = u;
-      }
+    // Cancellation is observed inside the solve phase, once per peel
+    // iteration: a partial peel is useless, so abort and let the caller
+    // degrade to local-only results.
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      result.aborted = true;
+      return result;
     }
+    // Find the non-taboo alive removable node of minimum weighted degree.
+    const NodeId victim =
+        MinDegreeScan(n, scan_chunks, options.scheduler, degree,
+                      [&](NodeId u) {
+                        return alive[u] && removable[u] && !is_taboo(u);
+                      },
+                      &result)
+            .second;
     if (victim == static_cast<NodeId>(n)) break;  // all remaining are taboo
 
     alive[victim] = false;
@@ -89,8 +160,7 @@ DenseSubgraphResult ConstrainedDenseSubgraph(
     }
     ++result.iterations;
 
-    double objective =
-        Objective(degree, alive, removable, alive_removable);
+    const double objective = objective_now();
     if (objective > result.objective) {
       result.objective = objective;
       result.alive = alive;

@@ -2,11 +2,36 @@
 #define AIDA_GRAPH_DENSE_SUBGRAPH_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "graph/weighted_graph.h"
+#include "util/cancellation.h"
+
+namespace aida::task {
+class Scheduler;
+}  // namespace aida::task
 
 namespace aida::graph {
+
+/// Execution knobs of the greedy reduction: cooperative cancellation
+/// (polled between peel iterations) and task parallelism for the
+/// per-iteration node scans (victim selection and objective
+/// recomputation). The scans are chunked deterministically and reduced
+/// in chunk order with the same strict-less tie-break as the serial
+/// loop, so the parallel peel removes the exact same victim sequence.
+struct DenseSubgraphOptions {
+  /// Not owned; null keeps every scan serial.
+  task::Scheduler* scheduler = nullptr;
+  /// Maximum tasks per scan (<= 1 = serial).
+  size_t max_tasks = 1;
+  /// Graphs smaller than this keep serial scans: a peel iteration's scan
+  /// is O(n), so forking only pays off for large candidate graphs.
+  size_t min_parallel_nodes = 2048;
+  /// Polled between peel iterations; a tripped token aborts the
+  /// reduction (DenseSubgraphResult::aborted). Not owned.
+  const util::CancellationToken* cancel = nullptr;
+};
 
 /// Result of the constrained greedy densest-subgraph reduction.
 struct DenseSubgraphResult {
@@ -17,6 +42,12 @@ struct DenseSubgraphResult {
   double objective = 0.0;
   /// Number of removal iterations executed.
   size_t iterations = 0;
+  /// True when the reduction observed a tripped CancellationToken and
+  /// stopped early: the result is partial and must be discarded.
+  bool aborted = false;
+  /// Task accounting of the parallel scans (0 when serial).
+  uint64_t parallel_tasks = 0;
+  uint64_t parallel_steals = 0;
 };
 
 /// Greedy approximation for the constrained densest-subgraph problem of
@@ -32,7 +63,8 @@ struct DenseSubgraphResult {
 /// alive member of any of them.
 DenseSubgraphResult ConstrainedDenseSubgraph(
     const WeightedGraph& graph, const std::vector<bool>& removable,
-    const std::vector<std::vector<NodeId>>& groups);
+    const std::vector<std::vector<NodeId>>& groups,
+    const DenseSubgraphOptions& options = {});
 
 }  // namespace aida::graph
 

@@ -1,0 +1,47 @@
+#include "task/parallel_for.h"
+
+#include <algorithm>
+
+#include "task/scheduler.h"
+
+namespace aida::task {
+
+ParallelForStats ParallelChunks(
+    Scheduler* scheduler, size_t count, size_t max_tasks,
+    const util::CancellationToken* cancel,
+    const std::function<void(size_t, size_t)>& body) {
+  ParallelForStats stats;
+  if (count == 0) {
+    stats.cancelled = cancel != nullptr && cancel->cancelled();
+    return stats;
+  }
+  if (scheduler == nullptr || max_tasks <= 1 || count <= 1) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      stats.cancelled = true;
+      return stats;
+    }
+    body(0, count);
+    stats.cancelled = cancel != nullptr && cancel->cancelled();
+    return stats;
+  }
+
+  const size_t chunks = std::min(max_tasks, count);
+  const size_t base = count / chunks;
+  const size_t remainder = count % chunks;
+  TaskGroup group(scheduler, cancel);
+  size_t begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t end = begin + base + (c < remainder ? 1 : 0);
+    group.Run([begin, end, &body] { body(begin, end); });
+    begin = end;
+  }
+  group.Wait();  // rethrows the first body exception
+
+  const TaskGroup::Stats& group_stats = group.stats();
+  stats.tasks = group_stats.spawned + group_stats.inline_executed;
+  stats.stolen = group_stats.stolen;
+  stats.cancelled = group.cancelled();
+  return stats;
+}
+
+}  // namespace aida::task

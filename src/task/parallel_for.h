@@ -1,0 +1,59 @@
+#ifndef AIDA_TASK_PARALLEL_FOR_H_
+#define AIDA_TASK_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "util/cancellation.h"
+
+namespace aida::task {
+
+class Scheduler;
+
+/// Outcome of one ParallelChunks region, for per-call statistics.
+struct ParallelForStats {
+  /// Chunk bodies executed (spawned tasks plus inline chunks). 0 when
+  /// the region ran the single-chunk serial path.
+  uint64_t tasks = 0;
+  /// Chunks executed by a slot other than the spawner's.
+  uint64_t stolen = 0;
+  /// The region observed a tripped CancellationToken: some chunks were
+  /// skipped or cut short, outputs are partial and must be discarded.
+  bool cancelled = false;
+
+  ParallelForStats& operator+=(const ParallelForStats& other) {
+    tasks += other.tasks;
+    stolen += other.stolen;
+    cancelled = cancelled || other.cancelled;
+    return *this;
+  }
+};
+
+/// Runs body(begin, end) over [0, count) split into at most `max_tasks`
+/// contiguous chunks, forked through `scheduler` and joined before
+/// returning. Falls back to one inline body(0, count) call when
+/// `scheduler` is null, `max_tasks` <= 1, or count <= 1 — the serial and
+/// parallel paths execute the same body code over the same index ranges.
+///
+/// Determinism contract: chunk boundaries depend only on (count,
+/// max_tasks); bodies must write only to disjoint, index-addressed
+/// outputs and must not accumulate across chunk boundaries. Any
+/// reduction happens in the caller afterwards, in index order — so a
+/// parallel region is byte-identical to its serial equivalent (no FP
+/// reassociation, no order-dependent tie-breaks).
+///
+/// Cancellation: checked before each chunk spawn; bodies poll the token
+/// at their own finer granularity. A cancelled region returns
+/// stats.cancelled = true and the caller discards the partial outputs.
+///
+/// Exceptions thrown by a body propagate out (first one wins) after all
+/// chunks finished.
+ParallelForStats ParallelChunks(
+    Scheduler* scheduler, size_t count, size_t max_tasks,
+    const util::CancellationToken* cancel,
+    const std::function<void(size_t, size_t)>& body);
+
+}  // namespace aida::task
+
+#endif  // AIDA_TASK_PARALLEL_FOR_H_

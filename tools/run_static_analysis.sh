@@ -141,7 +141,7 @@ cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
 # The gate covers the library code; tests/benches get the annotations'
 # benefit when the full suites build, but the acceptance bar is src/.
 cmake --build "$BUILD_DIR" -j "$JOBS" --target \
-  aida_util aida_text aida_nlp aida_kb aida_ingest aida_graph \
+  aida_util aida_text aida_nlp aida_kb aida_ingest aida_task aida_graph \
   aida_hashing aida_synth aida_core aida_kore aida_ee aida_eval \
   aida_snapshot aida_serve aida_apps
 echo "    OK: thread-safety-clean Clang build"
