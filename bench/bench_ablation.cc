@@ -26,7 +26,7 @@ double Evaluate(const core::CandidateModelStore& models,
   eval::NedEvaluator evaluator;
   for (size_t d = first; d < docs.size() && d < first + count; ++d) {
     core::DisambiguationProblem problem = bench::ToProblem(docs[d]);
-    evaluator.AddDocument(docs[d], aida.Disambiguate(problem));
+    evaluator.AddDocument(docs[d], aida.Disambiguate(problem, {}));
   }
   return 100.0 * evaluator.MicroAccuracy();
 }

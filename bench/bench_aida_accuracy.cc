@@ -38,7 +38,7 @@ Row Evaluate(const std::string& name, const core::NedSystem& system,
   Row row;
   for (size_t d = first; d < last && d < docs.size(); ++d) {
     core::DisambiguationProblem problem = bench::ToProblem(docs[d]);
-    core::DisambiguationResult result = system.Disambiguate(problem);
+    core::DisambiguationResult result = system.Disambiguate(problem, {});
     row.stats += result.stats;
     evaluator.AddDocument(docs[d], result);
   }

@@ -35,7 +35,7 @@ int main() {
   std::vector<std::vector<kb::EntityId>> annotations(docs.size());
   for (size_t d = 0; d < docs.size(); ++d) {
     core::DisambiguationProblem problem = bench::ToProblem(docs[d]);
-    core::DisambiguationResult result = aida.Disambiguate(problem);
+    core::DisambiguationResult result = aida.Disambiguate(problem, {});
     for (const core::MentionResult& m : result.mentions) {
       annotations[d].push_back(m.entity);
     }

@@ -49,9 +49,9 @@ int main() {
     const corpus::Document& doc = docs[d];
     core::DisambiguationProblem problem = bench::ToProblem(doc);
 
-    core::DisambiguationResult aida_result = aida.Disambiguate(problem);
-    core::DisambiguationResult prior_result = prior.Disambiguate(problem);
-    core::DisambiguationResult iw_result = iw.Disambiguate(problem);
+    core::DisambiguationResult aida_result = aida.Disambiguate(problem, {});
+    core::DisambiguationResult prior_result = prior.Disambiguate(problem, {});
+    core::DisambiguationResult iw_result = iw.Disambiguate(problem, {});
 
     std::vector<double> conf = estimator.Conf(problem, aida_result);
 

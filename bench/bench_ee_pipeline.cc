@@ -69,7 +69,7 @@ int main() {
         kept.push_back(m);
         sub.mentions.push_back(problem.mentions[m]);
       }
-      core::DisambiguationResult ned = exp.aida_coh->Disambiguate(sub);
+      core::DisambiguationResult ned = exp.aida_coh->Disambiguate(sub, {});
       core::DisambiguationResult merged = ee_result;
       for (size_t i = 0; i < kept.size(); ++i) {
         merged.mentions[kept[i]] = ned.mentions[i];

@@ -127,7 +127,7 @@ int main() {
     for (size_t d = 0; d < docs.size(); ++d) {
       core::DisambiguationProblem problem = bench::ToProblem(docs[d]);
       util::Stopwatch watch;
-      core::DisambiguationResult result = aida.Disambiguate(problem);
+      core::DisambiguationResult result = aida.Disambiguate(problem, {});
       runs[mi].millis[d] = watch.ElapsedMillis();
       runs[mi].comparisons[d] =
           static_cast<double>(result.stats.relatedness_computations);

@@ -53,7 +53,7 @@ int main() {
     core::Aida aida(&models, measure, options);
     for (const corpus::Document& doc : docs) {
       core::DisambiguationProblem problem = bench::ToProblem(doc);
-      core::DisambiguationResult result = aida.Disambiguate(problem);
+      core::DisambiguationResult result = aida.Disambiguate(problem, {});
       for (size_t m = 0; m < doc.mentions.size(); ++m) {
         const corpus::GoldMention& gm = doc.mentions[m];
         if (gm.out_of_kb()) continue;

@@ -93,7 +93,7 @@ int main() {
       std::map<size_t, std::pair<size_t, size_t>> by_links;  // total,correct
       for (size_t d = first; d < docs.size(); ++d) {
         core::DisambiguationProblem problem = bench::ToProblem(docs[d]);
-        core::DisambiguationResult result = aida.Disambiguate(problem);
+        core::DisambiguationResult result = aida.Disambiguate(problem, {});
         evaluator.AddDocument(docs[d], result);
         for (size_t m = 0; m < docs[d].mentions.size(); ++m) {
           const corpus::GoldMention& gm = docs[d].mentions[m];

@@ -164,7 +164,7 @@ void BM_AidaDocument(benchmark::State& state) {
     problem.mentions.push_back(std::move(pm));
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(aida.Disambiguate(problem));
+    benchmark::DoNotOptimize(aida.Disambiguate(problem, {}));
   }
 }
 BENCHMARK(BM_AidaDocument);

@@ -238,7 +238,7 @@ ReloadOutcome RunReloadUnderLoad(
     std::vector<core::DisambiguationResult>& results = gold[generation];
     results.reserve(work.size());
     for (const core::DisambiguationProblem& problem : work) {
-      results.push_back(snapshot->system().Disambiguate(problem));
+      results.push_back(snapshot->system().Disambiguate(problem, {}));
     }
   }
 
@@ -433,7 +433,7 @@ int main() {
   gold.reserve(work.size());
   util::Stopwatch serial_watch;
   for (const core::DisambiguationProblem& problem : work) {
-    gold.push_back(serial.Disambiguate(problem));
+    gold.push_back(serial.Disambiguate(problem, {}));
   }
   const double serial_seconds = serial_watch.ElapsedSeconds();
 
@@ -560,7 +560,7 @@ int main() {
   heavy_gold.reserve(heavy_work.size());
   util::Stopwatch heavy_watch;
   for (const core::DisambiguationProblem& problem : heavy_work) {
-    heavy_gold.push_back(serial.Disambiguate(problem));
+    heavy_gold.push_back(serial.Disambiguate(problem, {}));
   }
   const double heavy_serial_seconds = heavy_watch.ElapsedSeconds();
   std::printf("corpus: %zu documents, %.1f mentions/doc; serial Aida "

@@ -82,7 +82,7 @@ inline void EvaluateThresholdBaseline(
   }
   for (const corpus::Document* doc : docs) {
     core::DisambiguationProblem problem = ToProblem(*doc);
-    core::DisambiguationResult result = system.Disambiguate(problem);
+    core::DisambiguationResult result = system.Disambiguate(problem, {});
     std::vector<double> confidences =
         use_conf ? estimator->Conf(problem, result)
                  : ee::ConfidenceEstimator::NormalizedScores(result);

@@ -116,7 +116,7 @@ int main() {
       pm.end_token = gm.end_token;
       problem.mentions.push_back(std::move(pm));
     }
-    core::DisambiguationResult result = aida.Disambiguate(problem);
+    core::DisambiguationResult result = aida.Disambiguate(problem, {});
     std::printf("plain NED (no emerging-entity model):\n");
     for (size_t m = 0; m < test.mentions.size(); ++m) {
       std::printf("  %-12s -> %s\n", test.mentions[m].surface.c_str(),
@@ -158,7 +158,8 @@ int main() {
     for (kb::WordId w : phrase.words) {
       // Extension words live past the KB vocabulary; the discoverer's
       // vocabulary resolves both.
-      std::printf(" %s", discoverer.vocab().Text(w).c_str());
+      const std::string word(discoverer.vocab().Text(w));
+      std::printf(" %s", word.c_str());
     }
     std::printf("\n");
   }

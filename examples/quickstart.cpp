@@ -93,7 +93,7 @@ int main() {
     pm.end_token = span.end_token;
     problem.mentions.push_back(std::move(pm));
   }
-  core::DisambiguationResult result = aida.Disambiguate(problem);
+  core::DisambiguationResult result = aida.Disambiguate(problem, {});
 
   // ---- 4. Report ------------------------------------------------------------
   std::printf("input: %s\n\n", input);

@@ -52,7 +52,6 @@ class Aida : public NedSystem {
   Aida(const CandidateModelStore* models,
        const RelatednessMeasure* relatedness, AidaOptions options);
 
-  using NedSystem::Disambiguate;
   DisambiguationResult Disambiguate(
       const DisambiguationProblem& problem,
       const DisambiguateOptions& options) const override;

@@ -14,7 +14,6 @@ class PriorBaseline : public NedSystem {
  public:
   explicit PriorBaseline(const CandidateModelStore* models);
 
-  using NedSystem::Disambiguate;
   DisambiguationResult Disambiguate(
       const DisambiguationProblem& problem,
       const DisambiguateOptions& options) const override;
@@ -32,7 +31,6 @@ class CucerzanBaseline : public NedSystem {
  public:
   explicit CucerzanBaseline(const CandidateModelStore* models);
 
-  using NedSystem::Disambiguate;
   DisambiguationResult Disambiguate(
       const DisambiguationProblem& problem,
       const DisambiguateOptions& options) const override;
@@ -58,7 +56,6 @@ class KulkarniBaseline : public NedSystem {
   KulkarniBaseline(const CandidateModelStore* models,
                    const RelatednessMeasure* relatedness, Mode mode);
 
-  using NedSystem::Disambiguate;
   DisambiguationResult Disambiguate(
       const DisambiguationProblem& problem,
       const DisambiguateOptions& options) const override;
@@ -82,7 +79,6 @@ class TagMeBaseline : public NedSystem {
   TagMeBaseline(const CandidateModelStore* models,
                 const RelatednessMeasure* relatedness);
 
-  using NedSystem::Disambiguate;
   DisambiguationResult Disambiguate(
       const DisambiguationProblem& problem,
       const DisambiguateOptions& options) const override;

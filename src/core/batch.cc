@@ -21,7 +21,7 @@ std::vector<DisambiguationResult> BatchDisambiguator::Run(
   // at min(num_threads, problems) all live in the pool now; each index
   // writes only its own slot, so no synchronization beyond the pool's.
   pool_.ParallelFor(problems.size(), [&](size_t index) {
-    results[index] = system_->Disambiguate(problems[index]);
+    results[index] = system_->Disambiguate(problems[index], {});
   });
   return results;
 }

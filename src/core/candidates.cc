@@ -18,11 +18,12 @@ std::shared_ptr<const CandidateModel> CandidateModelStore::ModelFor(
   const kb::KeyphraseStore& store = kb_->keyphrases();
   auto model = std::make_shared<CandidateModel>();
   model->entity = entity;
-  const std::vector<kb::PhraseId>& phrases = store.EntityPhrases(entity);
+  const std::span<const kb::PhraseId> phrases = store.EntityPhrases(entity);
   model->phrases.reserve(phrases.size());
   for (kb::PhraseId p : phrases) {
     CandidatePhrase phrase;
-    phrase.words = store.PhraseWords(p);
+    const std::span<const kb::WordId> words = store.PhraseWords(p);
+    phrase.words.assign(words.begin(), words.end());
     phrase.phrase_weight = store.PhraseMi(entity, p);
     phrase.word_npmi.reserve(phrase.words.size());
     phrase.word_idf.reserve(phrase.words.size());
@@ -91,7 +92,7 @@ double ExtendedVocabulary::Idf(kb::WordId word) const {
   return extra_idf_[index];
 }
 
-const std::string& ExtendedVocabulary::Text(kb::WordId word) const {
+std::string_view ExtendedVocabulary::Text(kb::WordId word) const {
   if (word < store_->word_count()) return store_->WordText(word);
   size_t index = word - store_->word_count();
   AIDA_CHECK(index < extra_text_.size());

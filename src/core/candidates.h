@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -105,7 +106,7 @@ class ExtendedVocabulary {
   double Idf(kb::WordId word) const;
 
   /// Surface text of any known word id (KB or extension).
-  const std::string& Text(kb::WordId word) const;
+  std::string_view Text(kb::WordId word) const;
 
   size_t size() const;
   const kb::KeyphraseStore& store() const { return *store_; }

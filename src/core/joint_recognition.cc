@@ -81,7 +81,7 @@ std::vector<RecognizedMention> JointRecognizer::Annotate(
     pm.end_token = span.end_token;
     problem.mentions.push_back(std::move(pm));
   }
-  DisambiguationResult result = ned_->Disambiguate(problem);
+  DisambiguationResult result = ned_->Disambiguate(problem, {});
   for (size_t s = 0; s < spans.size(); ++s) {
     spans[s].entity = result.mentions[s].entity;
     spans[s].score = result.mentions[s].score;

@@ -184,18 +184,11 @@ class NedSystem {
 
   /// Disambiguates all mentions of `problem` jointly, honouring the
   /// per-call `options` (vocabulary override, cooperative cancellation).
+  /// Callers without special needs pass `{}`; the former single-argument
+  /// back-compat overload has been removed.
   virtual DisambiguationResult Disambiguate(
       const DisambiguationProblem& problem,
       const DisambiguateOptions& options) const = 0;
-
-  /// Back-compat overload with default options. Subclasses overriding the
-  /// two-argument form must re-expose it with `using
-  /// NedSystem::Disambiguate;` (C++ name hiding). Kept for one release;
-  /// new call sites should pass DisambiguateOptions explicitly.
-  DisambiguationResult Disambiguate(
-      const DisambiguationProblem& problem) const {
-    return Disambiguate(problem, DisambiguateOptions());
-  }
 
   /// Human-readable system name for reports.
   virtual std::string name() const = 0;

@@ -63,7 +63,7 @@ void EmergingEntityDiscoverer::HarvestExistingEntities(int64_t first_day,
       pm.end_token = gm.end_token;
       problem.mentions.push_back(std::move(pm));
     }
-    core::DisambiguationResult result = ned_->Disambiguate(problem);
+    core::DisambiguationResult result = ned_->Disambiguate(problem, {});
     std::vector<double> confidence =
         ConfidenceEstimator::NormalizedScores(result);
     for (size_t m = 0; m < result.mentions.size(); ++m) {

@@ -1,87 +1,161 @@
 #include "kb/dictionary.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "util/check.h"
 #include "util/string_util.h"
 
 namespace aida::kb {
 
 void Dictionary::AddAnchor(std::string_view name, EntityId entity,
                            uint64_t count) {
+  AIDA_DCHECK(!finalized_);
   std::string key(name);
-  exact_[key][entity] += count;
+  build_exact_[key][entity] += count;
   if (name.size() > 3) {
-    folded_[util::ToUpper(name)][entity] += count;
+    build_folded_[util::ToUpper(name)][entity] += count;
   }
 }
 
-std::vector<NameCandidate> Dictionary::Lookup(
+void Dictionary::FlattenTable(NameMap& build, OwnedTable& owned,
+                              TableView& view) {
+  std::vector<const NameMap::value_type*> entries;
+  entries.reserve(build.size());
+  for (const auto& entry : build) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+
+  owned.name_offsets.reserve(entries.size() + 1);
+  owned.name_offsets.push_back(0);
+  owned.candidate_offsets.reserve(entries.size() + 1);
+  owned.candidate_offsets.push_back(0);
+  for (const auto* entry : entries) {
+    owned.name_pool.append(entry->first);
+    owned.name_offsets.push_back(owned.name_pool.size());
+
+    const size_t first = owned.candidates.size();
+    uint64_t total = 0;
+    for (const auto& [entity, count] : entry->second) {
+      NameCandidate candidate;
+      candidate.entity = entity;
+      candidate.anchor_count = count;
+      owned.candidates.push_back(candidate);
+      total += count;
+    }
+    std::sort(owned.candidates.begin() + first, owned.candidates.end(),
+              [](const NameCandidate& a, const NameCandidate& b) {
+                if (a.anchor_count != b.anchor_count)
+                  return a.anchor_count > b.anchor_count;
+                return a.entity < b.entity;
+              });
+    for (size_t i = first; i < owned.candidates.size(); ++i) {
+      owned.candidates[i].prior =
+          total > 0 ? static_cast<double>(owned.candidates[i].anchor_count) /
+                          static_cast<double>(total)
+                    : 0.0;
+    }
+    owned.candidate_offsets.push_back(owned.candidates.size());
+  }
+
+  const size_t name_count = entries.size();
+  owned.slots = flat::BuildHashSlots(name_count, [&](uint64_t i) {
+    const uint64_t begin = owned.name_offsets[i];
+    return std::string_view(owned.name_pool.data() + begin,
+                            owned.name_offsets[i + 1] - begin);
+  });
+
+  view.name_offsets = owned.name_offsets.data();
+  view.name_pool = owned.name_pool.data();
+  view.candidate_offsets = owned.candidate_offsets.data();
+  view.candidates = owned.candidates.data();
+  view.hash = {owned.slots.data(), owned.slots.size()};
+  view.name_count = name_count;
+
+  NameMap().swap(build);
+}
+
+void Dictionary::Finalize() {
+  AIDA_CHECK(!finalized_, "Dictionary finalized twice");
+  FlattenTable(build_exact_, owned_exact_, view_.exact);
+  FlattenTable(build_folded_, owned_folded_, view_.folded);
+  finalized_ = true;
+}
+
+std::unique_ptr<Dictionary> Dictionary::FromFlat(const FlatView& view) {
+  auto dictionary = std::unique_ptr<Dictionary>(new Dictionary());
+  dictionary->view_ = view;
+  dictionary->finalized_ = true;
+  return dictionary;
+}
+
+const Dictionary::FlatView& Dictionary::flat_view() const {
+  AIDA_DCHECK(finalized_);
+  return view_;
+}
+
+std::span<const NameCandidate> Dictionary::TableLookup(
+    const TableView& table, std::string_view name) const {
+  const uint64_t index = table.hash.Find(
+      name, [&](uint64_t i) { return TableName(table, i); });
+  if (index == flat::kHashNotFound) return {};
+  const uint64_t begin = table.candidate_offsets[index];
+  return {table.candidates + begin,
+          static_cast<size_t>(table.candidate_offsets[index + 1] - begin)};
+}
+
+std::span<const NameCandidate> Dictionary::Lookup(
     std::string_view mention_text) const {
-  const CandidateMap* candidates = nullptr;
+  AIDA_DCHECK(finalized_);
   if (mention_text.size() <= 3) {
-    auto it = exact_.find(std::string(mention_text));
-    if (it != exact_.end()) candidates = &it->second;
-  } else {
-    auto it = folded_.find(util::ToUpper(mention_text));
-    if (it != folded_.end()) candidates = &it->second;
+    return TableLookup(view_.exact, mention_text);
   }
-  std::vector<NameCandidate> result;
-  if (candidates == nullptr) return result;
-  uint64_t total = 0;
-  result.reserve(candidates->size());
-  for (const auto& [entity, count] : *candidates) {
-    result.push_back({entity, count, 0.0});
-    total += count;
-  }
-  for (NameCandidate& c : result) {
-    c.prior = total > 0
-                  ? static_cast<double>(c.anchor_count) /
-                        static_cast<double>(total)
-                  : 0.0;
-  }
-  // Deterministic order: by descending prior, then entity id.
-  std::sort(result.begin(), result.end(),
-            [](const NameCandidate& a, const NameCandidate& b) {
-              if (a.anchor_count != b.anchor_count)
-                return a.anchor_count > b.anchor_count;
-              return a.entity < b.entity;
-            });
-  return result;
+  return TableLookup(view_.folded, util::ToUpper(mention_text));
 }
 
-bool Dictionary::Contains(std::string_view mention_text) const {
-  if (mention_text.size() <= 3)
-    return exact_.count(std::string(mention_text)) > 0;
-  return folded_.count(util::ToUpper(mention_text)) > 0;
+size_t Dictionary::NameCount() const {
+  return finalized_ ? static_cast<size_t>(view_.exact.name_count)
+                    : build_exact_.size();
 }
 
 double Dictionary::MeanAmbiguity() const {
-  if (exact_.empty()) return 0.0;
-  size_t total = 0;
-  for (const auto& [name, cands] : exact_) total += cands.size();
-  return static_cast<double>(total) / static_cast<double>(exact_.size());
+  AIDA_DCHECK(finalized_);
+  if (view_.exact.name_count == 0) return 0.0;
+  return static_cast<double>(
+             view_.exact.candidate_offsets[view_.exact.name_count]) /
+         static_cast<double>(view_.exact.name_count);
 }
 
 std::vector<Dictionary::AnchorRecord> Dictionary::ExportAnchors() const {
+  AIDA_DCHECK(finalized_);
   std::vector<AnchorRecord> records;
-  for (const auto& [name, candidates] : exact_) {
-    for (const auto& [entity, count] : candidates) {
-      records.push_back({name, entity, count});
+  records.reserve(view_.exact.candidate_offsets[view_.exact.name_count]);
+  for (uint64_t i = 0; i < view_.exact.name_count; ++i) {
+    const std::string name(TableName(view_.exact, i));
+    const size_t first = records.size();
+    for (uint64_t c = view_.exact.candidate_offsets[i];
+         c < view_.exact.candidate_offsets[i + 1]; ++c) {
+      records.push_back(
+          {name, view_.exact.candidates[c].entity,
+           view_.exact.candidates[c].anchor_count});
     }
+    // Candidates are stored by descending count; the export contract is
+    // (name, entity) order.
+    std::sort(records.begin() + first, records.end(),
+              [](const AnchorRecord& a, const AnchorRecord& b) {
+                return a.entity < b.entity;
+              });
   }
-  std::sort(records.begin(), records.end(),
-            [](const AnchorRecord& a, const AnchorRecord& b) {
-              if (a.name != b.name) return a.name < b.name;
-              return a.entity < b.entity;
-            });
   return records;
 }
 
 std::vector<std::string> Dictionary::AllNames() const {
+  AIDA_DCHECK(finalized_);
   std::vector<std::string> names;
-  names.reserve(exact_.size());
-  for (const auto& [name, cands] : exact_) names.push_back(name);
-  std::sort(names.begin(), names.end());
+  names.reserve(view_.exact.name_count);
+  for (uint64_t i = 0; i < view_.exact.name_count; ++i) {
+    names.emplace_back(TableName(view_.exact, i));
+  }
   return names;
 }
 

@@ -1,0 +1,87 @@
+#ifndef AIDA_KB_FLAT_FLAT_HASH_H_
+#define AIDA_KB_FLAT_FLAT_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/check.h"
+
+namespace aida::kb::flat {
+
+/// FNV-1a over the key bytes. Fixed (not seeded, not platform-dependent):
+/// the slot arrays are persisted inside flat snapshots, so the probe
+/// sequence must be identical for the process that wrote the table and
+/// every process that mmaps it later.
+inline uint64_t HashBytes(std::string_view key) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline constexpr uint64_t kHashNotFound = ~uint64_t{0};
+
+/// Capacity policy for the open-addressing tables: the smallest power of
+/// two holding `count` keys at <= 50% load. Power-of-two capacity keeps
+/// the probe step a mask; the slack keeps linear-shift chains short (the
+/// "fullness" idea of the SNIPPETS hash_kernel design).
+inline uint64_t HashCapacityFor(uint64_t count) {
+  AIDA_CHECK(count < (uint64_t{1} << 32), "flat hash table too large: %llu",
+             static_cast<unsigned long long>(count));
+  uint64_t capacity = 2;
+  while (capacity < count * 2) capacity <<= 1;
+  return capacity;
+}
+
+/// Read-only open-addressing hash table over externally stored keys.
+///
+/// The table itself is a bare slot array (one u32 per slot, value 0 =
+/// empty, v = key index + 1) that lives either in a heap vector (built by
+/// a store's Finalize) or directly inside an mmap'd snapshot section; the
+/// keys are never duplicated into the table — a probe compares against
+/// the key storage via the caller-supplied accessor. Collisions resolve
+/// by linear shifting (slot_handler + main_table scheme of SNIPPETS.md
+/// Snippet 3's hash_kernel); termination is guaranteed because builders
+/// cap the load factor at 1/2 and the loader verifies a free slot exists.
+struct StringHashView {
+  const uint32_t* slots = nullptr;
+  /// Power of two; 0 for an empty table.
+  uint64_t capacity = 0;
+
+  /// Returns the index of `key` among the stored keys, or kHashNotFound.
+  /// `key_at(i)` must return the string_view of key `i`.
+  template <typename KeyAt>
+  uint64_t Find(std::string_view key, KeyAt&& key_at) const {
+    if (capacity == 0) return kHashNotFound;
+    const uint64_t mask = capacity - 1;
+    for (uint64_t slot = HashBytes(key) & mask;; slot = (slot + 1) & mask) {
+      const uint32_t v = slots[slot];
+      if (v == 0) return kHashNotFound;
+      const uint64_t index = v - 1;
+      if (key_at(index) == key) return index;
+    }
+  }
+};
+
+/// Builds the slot array for `count` distinct keys. Deterministic: keys
+/// are inserted in index order, so identical key sets serialize to
+/// byte-identical tables.
+template <typename KeyAt>
+std::vector<uint32_t> BuildHashSlots(uint64_t count, KeyAt&& key_at) {
+  const uint64_t capacity = HashCapacityFor(count);
+  std::vector<uint32_t> slots(capacity, 0);
+  const uint64_t mask = capacity - 1;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t slot = HashBytes(key_at(i)) & mask;
+    while (slots[slot] != 0) slot = (slot + 1) & mask;
+    slots[slot] = static_cast<uint32_t>(i + 1);
+  }
+  return slots;
+}
+
+}  // namespace aida::kb::flat
+
+#endif  // AIDA_KB_FLAT_FLAT_HASH_H_

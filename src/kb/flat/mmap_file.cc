@@ -1,0 +1,91 @@
+#include "kb/flat/mmap_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define AIDA_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace aida::kb::flat {
+
+namespace {
+
+util::Status Errno(const std::string& what, const std::string& path) {
+  return util::Status::IoError(what + " '" + path +
+                               "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+util::StatusOr<std::shared_ptr<const MappedFile>> MappedFile::Open(
+    const std::string& path) {
+  auto file = std::shared_ptr<MappedFile>(new MappedFile());
+#if AIDA_HAVE_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("cannot open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    util::Status status = Errno("cannot stat", path);
+    ::close(fd);
+    return status;
+  }
+  file->size_ = static_cast<size_t>(st.st_size);
+  if (file->size_ == 0) {
+    // mmap of length 0 is an error; an empty file is simply an empty view.
+    ::close(fd);
+    file->data_ = nullptr;
+    file->mapped_ = true;
+    return std::shared_ptr<const MappedFile>(file);
+  }
+  void* mapping =
+      ::mmap(nullptr, file->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping stays valid after close; the kernel pins the inode.
+  ::close(fd);
+  if (mapping == MAP_FAILED) {
+    file->size_ = 0;
+    return Errno("cannot mmap", path);
+  }
+  file->data_ = static_cast<const char*>(mapping);
+  file->mapped_ = true;
+#else
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Errno("cannot open", path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return util::Status::IoError("cannot size '" + path + "'");
+  }
+  file->size_ = static_cast<size_t>(size);
+  // operator new[] aligns to the default new alignment (>= 8), which is
+  // all the section layout requires.
+  file->heap_buffer_ = std::make_unique<char[]>(file->size_ + 1);
+  if (file->size_ > 0 &&
+      std::fread(file->heap_buffer_.get(), 1, file->size_, f) !=
+          file->size_) {
+    std::fclose(f);
+    return util::Status::IoError("short read of '" + path + "'");
+  }
+  std::fclose(f);
+  file->data_ = file->heap_buffer_.get();
+  file->mapped_ = false;
+#endif
+  return std::shared_ptr<const MappedFile>(file);
+}
+
+MappedFile::~MappedFile() {
+#if AIDA_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+}
+
+}  // namespace aida::kb::flat

@@ -1,0 +1,47 @@
+#ifndef AIDA_KB_FLAT_MMAP_FILE_H_
+#define AIDA_KB_FLAT_MMAP_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace aida::kb::flat {
+
+/// Read-only view of a whole file, preferably established with mmap so
+/// loading is O(pages touched) and the page cache is shared between
+/// processes serving the same snapshot. On platforms without mmap the
+/// class degrades to reading the file into an aligned heap buffer — the
+/// flat loader works either way, only the zero-copy property is lost.
+///
+/// The mapping lives until the object is destroyed; a KnowledgeBase
+/// built over it keeps a shared_ptr, so RCU snapshot retirement (the
+/// last in-flight request dropping its pin) is what actually unmaps.
+class MappedFile {
+ public:
+  static util::StatusOr<std::shared_ptr<const MappedFile>> Open(
+      const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  /// False when the platform fallback (full read) was used.
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  MappedFile() = default;
+
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  /// Owns the fallback buffer when !mapped_.
+  std::unique_ptr<char[]> heap_buffer_;
+};
+
+}  // namespace aida::kb::flat
+
+#endif  // AIDA_KB_FLAT_MMAP_FILE_H_

@@ -52,6 +52,7 @@ std::unique_ptr<KnowledgeBase> KbBuilder::Build() && {
   }
   kb_->links_->Finalize();
   kb_->keyphrases_->Finalize(*kb_->links_, n);
+  kb_->dictionary_->Finalize();
   return std::move(kb_);
 }
 

@@ -1,8 +1,10 @@
 #include "kb/kb_serialization.h"
 
+#include <span>
 #include <unordered_set>
 #include <vector>
 
+#include "kb/flat/flat_snapshot.h"
 #include "kb/kb_builder.h"
 #include "util/serialize.h"
 
@@ -68,7 +70,7 @@ std::string SerializeKnowledgeBase(const KnowledgeBase& kb) {
   }
   writer.WriteU64(entities.size());
   for (EntityId e = 0; e < entities.size(); ++e) {
-    const std::vector<PhraseId>& phrases = store.EntityPhrases(e);
+    const std::span<const PhraseId> phrases = store.EntityPhrases(e);
     writer.WriteU64(phrases.size());
     for (PhraseId p : phrases) {
       writer.WriteU32(p);
@@ -91,6 +93,9 @@ std::string SerializeKnowledgeBase(const KnowledgeBase& kb) {
 
 util::StatusOr<std::unique_ptr<KnowledgeBase>> DeserializeKnowledgeBase(
     std::string_view data) {
+  if (flat::LooksLikeFlatSnapshot(data)) {
+    return flat::LoadFlatSnapshotFromString(data);
+  }
   util::BinaryReader reader(data);
   uint32_t magic = 0;
   uint32_t version = 0;
@@ -249,6 +254,12 @@ util::Status SaveKnowledgeBase(const KnowledgeBase& kb,
 
 util::StatusOr<std::unique_ptr<KnowledgeBase>> LoadKnowledgeBase(
     const std::string& path) {
+  // Sniff the magic so flat snapshots take the zero-copy mmap path instead
+  // of being read into a string and copied again.
+  {
+    flat::MagicProbe probe = flat::ProbeFileMagic(path);
+    if (probe == flat::MagicProbe::kFlat) return flat::LoadFlatSnapshot(path);
+  }
   util::StatusOr<std::string> data = util::ReadFile(path);
   if (!data.ok()) return data.status();
   return DeserializeKnowledgeBase(*data);

@@ -18,11 +18,17 @@ namespace aida::kb {
 std::string SerializeKnowledgeBase(const KnowledgeBase& kb);
 
 /// Reconstructs a knowledge base from a buffer produced by
-/// SerializeKnowledgeBase. Fails cleanly on truncated or corrupt input.
+/// SerializeKnowledgeBase — or, detected by magic prefix, from a flat
+/// snapshot (kb/flat/flat_snapshot.h), in which case the buffer is copied
+/// into aligned storage first. Fails cleanly on truncated or corrupt
+/// input.
 util::StatusOr<std::unique_ptr<KnowledgeBase>> DeserializeKnowledgeBase(
     std::string_view data);
 
-/// Convenience: serialize to / load from a file.
+/// Convenience: serialize to / load from a file. LoadKnowledgeBase
+/// dispatches on the magic prefix: flat snapshots are mmap'd and served
+/// zero-copy, v1 record streams are parsed and rebuilt. SnapshotRegistry
+/// reloads therefore publish either format transparently.
 util::Status SaveKnowledgeBase(const KnowledgeBase& kb,
                                const std::string& path);
 util::StatusOr<std::unique_ptr<KnowledgeBase>> LoadKnowledgeBase(

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/check.h"
 #include "util/string_util.h"
@@ -24,9 +25,12 @@ double BernoulliEntropy(double p) {
 // -x*log2(x) with the 0*log0 = 0 convention.
 double PLogP(double x) { return x <= 0.0 ? 0.0 : -x * std::log2(x); }
 
+constexpr size_t kNpos = static_cast<size_t>(-1);
+
 }  // namespace
 
 WordId KeyphraseStore::InternWord(std::string_view word) {
+  AIDA_DCHECK(!finalized_);
   auto [it, inserted] =
       word_ids_.emplace(std::string(word), static_cast<WordId>(words_.size()));
   if (inserted) words_.emplace_back(word);
@@ -34,6 +38,7 @@ WordId KeyphraseStore::InternWord(std::string_view word) {
 }
 
 PhraseId KeyphraseStore::InternPhrase(const std::vector<WordId>& words) {
+  AIDA_DCHECK(!finalized_);
   // Parsers must reject empty phrases before interning; see check.h for
   // the untrusted-input-never-reaches-a-check policy.
   AIDA_CHECK(!words.empty(), "keyphrase must contain at least one word");
@@ -62,7 +67,7 @@ void KeyphraseStore::AddEntityPhrase(EntityId entity, PhraseId phrase,
   AIDA_DCHECK(phrase < phrases_.size());
   EntityData& data = DataFor(entity);
   size_t idx = IndexOf(data.phrases, phrase);
-  if (idx == static_cast<size_t>(-1)) {
+  if (idx == kNpos) {
     data.phrases.push_back(phrase);
     data.phrase_counts.push_back(count);
   } else {
@@ -75,17 +80,11 @@ KeyphraseStore::EntityData& KeyphraseStore::DataFor(EntityId entity) {
   return entities_[entity];
 }
 
-const KeyphraseStore::EntityData* KeyphraseStore::DataOrNull(
-    EntityId entity) const {
-  if (entity >= entities_.size()) return nullptr;
-  return &entities_[entity];
-}
-
-size_t KeyphraseStore::IndexOf(const std::vector<PhraseId>& v, PhraseId p) {
+size_t KeyphraseStore::IndexOf(std::span<const PhraseId> v, PhraseId p) {
   for (size_t i = 0; i < v.size(); ++i) {
     if (v[i] == p) return i;
   }
-  return static_cast<size_t>(-1);
+  return kNpos;
 }
 
 void KeyphraseStore::Finalize(const LinkGraph& links, size_t entity_count) {
@@ -93,7 +92,6 @@ void KeyphraseStore::Finalize(const LinkGraph& links, size_t entity_count) {
   AIDA_CHECK(links.finalized(),
              "Finalize requires an already-finalized LinkGraph");
   if (entities_.size() < entity_count) entities_.resize(entity_count);
-  collection_size_ = entity_count;
   const double n = static_cast<double>(std::max<size_t>(entity_count, 1));
 
   // Distinct keyword sets per entity.
@@ -132,18 +130,18 @@ void KeyphraseStore::Finalize(const LinkGraph& links, size_t entity_count) {
     touched_words.clear();
     touched_phrases.clear();
     auto absorb = [&](EntityId member) {
-      const EntityData* md = DataOrNull(member);
-      if (md == nullptr) return;
-      for (WordId w : md->words) {
+      if (member >= entities_.size()) return;
+      const EntityData& md = entities_[member];
+      for (WordId w : md.words) {
         if (word_in_superdoc[w]++ == 0) touched_words.push_back(w);
       }
-      for (PhraseId p : md->phrases) {
+      for (PhraseId p : md.phrases) {
         if (phrase_in_superdoc[p]++ == 0) touched_phrases.push_back(p);
       }
     };
     absorb(e);
     if (e < links.entity_count()) {
-      const auto& in = links.InLinks(e);
+      const std::span<const EntityId> in = links.InLinks(e);
       size_t take = std::min(in.size(), kMaxSuperdocMembers);
       for (size_t i = 0; i < take; ++i) absorb(in[i]);
       superdoc_size += take;
@@ -192,17 +190,122 @@ void KeyphraseStore::Finalize(const LinkGraph& links, size_t entity_count) {
     for (WordId w : touched_words) word_in_superdoc[w] = 0;
     for (PhraseId p : touched_phrases) phrase_in_superdoc[p] = 0;
   }
+
+  view_.collection_size = entity_count;
+  FlattenIntoOwned();
   finalized_ = true;
 }
 
-const std::string& KeyphraseStore::WordText(WordId w) const {
-  AIDA_DCHECK(w < words_.size());
-  return words_[w];
+void KeyphraseStore::FlattenIntoOwned() {
+  // Word vocabulary -> offset-indexed pool + open-addressing lookup table.
+  owned_word_offsets_.reserve(words_.size() + 1);
+  owned_word_offsets_.push_back(0);
+  for (const std::string& w : words_) {
+    owned_word_pool_.append(w);
+    owned_word_offsets_.push_back(owned_word_pool_.size());
+  }
+  owned_word_slots_ = flat::BuildHashSlots(
+      words_.size(), [&](uint64_t i) { return std::string_view(words_[i]); });
+
+  // Phrase -> word-id sequences, CSR.
+  owned_phrase_word_offsets_.reserve(phrases_.size() + 1);
+  owned_phrase_word_offsets_.push_back(0);
+  size_t phrase_words_total = 0;
+  for (const auto& words : phrases_) {
+    phrase_words_total += words.size();
+    owned_phrase_word_offsets_.push_back(phrase_words_total);
+  }
+  owned_phrase_words_.reserve(phrase_words_total);
+  for (const auto& words : phrases_) {
+    owned_phrase_words_.insert(owned_phrase_words_.end(), words.begin(),
+                               words.end());
+  }
+
+  // Entity associations, struct-of-arrays.
+  owned_entity_phrase_offsets_.reserve(entities_.size() + 1);
+  owned_entity_phrase_offsets_.push_back(0);
+  owned_entity_word_offsets_.reserve(entities_.size() + 1);
+  owned_entity_word_offsets_.push_back(0);
+  size_t phrase_total = 0;
+  size_t word_total = 0;
+  for (const EntityData& data : entities_) {
+    phrase_total += data.phrases.size();
+    word_total += data.words.size();
+    owned_entity_phrase_offsets_.push_back(phrase_total);
+    owned_entity_word_offsets_.push_back(word_total);
+  }
+  owned_entity_phrase_ids_.reserve(phrase_total);
+  owned_entity_phrase_counts_.reserve(phrase_total);
+  owned_entity_phrase_mi_.reserve(phrase_total);
+  owned_entity_word_ids_.reserve(word_total);
+  owned_entity_word_npmi_.reserve(word_total);
+  for (const EntityData& data : entities_) {
+    owned_entity_phrase_ids_.insert(owned_entity_phrase_ids_.end(),
+                                    data.phrases.begin(), data.phrases.end());
+    owned_entity_phrase_counts_.insert(owned_entity_phrase_counts_.end(),
+                                       data.phrase_counts.begin(),
+                                       data.phrase_counts.end());
+    owned_entity_phrase_mi_.insert(owned_entity_phrase_mi_.end(),
+                                   data.phrase_mi.begin(),
+                                   data.phrase_mi.end());
+    owned_entity_word_ids_.insert(owned_entity_word_ids_.end(),
+                                  data.words.begin(), data.words.end());
+    owned_entity_word_npmi_.insert(owned_entity_word_npmi_.end(),
+                                   data.word_npmi.begin(),
+                                   data.word_npmi.end());
+  }
+
+  view_.word_offsets = owned_word_offsets_.data();
+  view_.word_pool = owned_word_pool_.data();
+  view_.word_hash = {owned_word_slots_.data(), owned_word_slots_.size()};
+  view_.phrase_word_offsets = owned_phrase_word_offsets_.data();
+  view_.phrase_words = owned_phrase_words_.data();
+  view_.entity_phrase_offsets = owned_entity_phrase_offsets_.data();
+  view_.entity_phrase_ids = owned_entity_phrase_ids_.data();
+  view_.entity_phrase_counts = owned_entity_phrase_counts_.data();
+  view_.entity_phrase_mi = owned_entity_phrase_mi_.data();
+  view_.entity_word_offsets = owned_entity_word_offsets_.data();
+  view_.entity_word_ids = owned_entity_word_ids_.data();
+  view_.entity_word_npmi = owned_entity_word_npmi_.data();
+  view_.phrase_df = phrase_df_.data();
+  view_.word_df = word_df_.data();
+  view_.word_count = words_.size();
+  view_.phrase_count = phrases_.size();
+  view_.entity_count = entities_.size();
+
+  // Drop the build-phase containers; every query now reads the views.
+  std::vector<std::string>().swap(words_);
+  std::unordered_map<std::string, WordId>().swap(word_ids_);
+  std::vector<std::vector<WordId>>().swap(phrases_);
+  std::unordered_map<std::string, PhraseId>().swap(phrase_keys_);
+  std::vector<EntityData>().swap(entities_);
 }
 
-const std::vector<WordId>& KeyphraseStore::PhraseWords(PhraseId p) const {
-  AIDA_DCHECK(p < phrases_.size());
-  return phrases_[p];
+std::unique_ptr<KeyphraseStore> KeyphraseStore::FromFlat(
+    const FlatView& view) {
+  auto store = std::unique_ptr<KeyphraseStore>(new KeyphraseStore());
+  store->view_ = view;
+  store->finalized_ = true;
+  return store;
+}
+
+const KeyphraseStore::FlatView& KeyphraseStore::flat_view() const {
+  AIDA_DCHECK(finalized_);
+  return view_;
+}
+
+std::string_view KeyphraseStore::WordText(WordId w) const {
+  AIDA_DCHECK(w < word_count());
+  if (!finalized_) return words_[w];
+  return WordInPool(w);
+}
+
+std::span<const WordId> KeyphraseStore::PhraseWords(PhraseId p) const {
+  AIDA_DCHECK(p < phrase_count());
+  if (!finalized_) return phrases_[p];
+  const uint64_t begin = view_.phrase_word_offsets[p];
+  return {view_.phrase_words + begin,
+          static_cast<size_t>(view_.phrase_word_offsets[p + 1] - begin)};
 }
 
 std::string KeyphraseStore::PhraseText(PhraseId p) const {
@@ -215,74 +318,94 @@ std::string KeyphraseStore::PhraseText(PhraseId p) const {
 }
 
 WordId KeyphraseStore::FindWord(std::string_view word) const {
-  auto it = word_ids_.find(std::string(word));
-  return it == word_ids_.end() ? kNoWord : it->second;
+  if (!finalized_) {
+    auto it = word_ids_.find(std::string(word));
+    return it == word_ids_.end() ? kNoWord : it->second;
+  }
+  const uint64_t index =
+      view_.word_hash.Find(word, [&](uint64_t i) { return WordInPool(i); });
+  return index == flat::kHashNotFound ? kNoWord
+                                      : static_cast<WordId>(index);
 }
 
-const std::vector<PhraseId>& KeyphraseStore::EntityPhrases(
+std::span<const PhraseId> KeyphraseStore::EntityPhrases(
     EntityId entity) const {
-  static const std::vector<PhraseId>& empty = *new std::vector<PhraseId>();
-  const EntityData* data = DataOrNull(entity);
-  return data == nullptr ? empty : data->phrases;
+  if (!finalized_) {
+    if (entity >= entities_.size()) return {};
+    return entities_[entity].phrases;
+  }
+  if (entity >= view_.entity_count) return {};
+  const uint64_t begin = view_.entity_phrase_offsets[entity];
+  return {view_.entity_phrase_ids + begin,
+          static_cast<size_t>(view_.entity_phrase_offsets[entity + 1] -
+                              begin)};
 }
 
-const std::vector<WordId>& KeyphraseStore::EntityWords(
-    EntityId entity) const {
-  static const std::vector<WordId>& empty = *new std::vector<WordId>();
-  const EntityData* data = DataOrNull(entity);
-  return data == nullptr ? empty : data->words;
+std::span<const WordId> KeyphraseStore::EntityWords(EntityId entity) const {
+  if (!finalized_) {
+    if (entity >= entities_.size()) return {};
+    return entities_[entity].words;
+  }
+  if (entity >= view_.entity_count) return {};
+  const uint64_t begin = view_.entity_word_offsets[entity];
+  return {view_.entity_word_ids + begin,
+          static_cast<size_t>(view_.entity_word_offsets[entity + 1] - begin)};
 }
 
 uint32_t KeyphraseStore::EntityPhraseCount(EntityId entity, PhraseId p) const {
-  const EntityData* data = DataOrNull(entity);
-  if (data == nullptr) return 0;
-  size_t idx = IndexOf(data->phrases, p);
-  if (idx == static_cast<size_t>(-1)) return 0;
-  return data->phrase_counts[idx];
+  if (!finalized_) {
+    if (entity >= entities_.size()) return 0;
+    const EntityData& data = entities_[entity];
+    size_t idx = IndexOf(data.phrases, p);
+    return idx == kNpos ? 0 : data.phrase_counts[idx];
+  }
+  const std::span<const PhraseId> phrases = EntityPhrases(entity);
+  size_t idx = IndexOf(phrases, p);
+  if (idx == kNpos) return 0;
+  return view_.entity_phrase_counts[view_.entity_phrase_offsets[entity] + idx];
 }
 
 uint32_t KeyphraseStore::PhraseDf(PhraseId p) const {
   AIDA_DCHECK(finalized_);
-  AIDA_DCHECK(p < phrase_df_.size());
-  return phrase_df_[p];
+  AIDA_DCHECK(p < view_.phrase_count);
+  return view_.phrase_df[p];
 }
 
 uint32_t KeyphraseStore::WordDf(WordId w) const {
   AIDA_DCHECK(finalized_);
-  AIDA_DCHECK(w < word_df_.size());
-  return word_df_[w];
+  AIDA_DCHECK(w < view_.word_count);
+  return view_.word_df[w];
 }
 
 double KeyphraseStore::WordIdf(WordId w) const {
   AIDA_DCHECK(finalized_);
-  if (w >= word_df_.size() || word_df_[w] == 0) return 0.0;
-  return std::log2(static_cast<double>(collection_size_) /
-                   static_cast<double>(word_df_[w]));
+  if (w >= view_.word_count || view_.word_df[w] == 0) return 0.0;
+  return std::log2(static_cast<double>(view_.collection_size) /
+                   static_cast<double>(view_.word_df[w]));
 }
 
 double KeyphraseStore::PhraseIdf(PhraseId p) const {
   AIDA_DCHECK(finalized_);
-  if (p >= phrase_df_.size() || phrase_df_[p] == 0) return 0.0;
-  return std::log2(static_cast<double>(collection_size_) /
-                   static_cast<double>(phrase_df_[p]));
+  if (p >= view_.phrase_count || view_.phrase_df[p] == 0) return 0.0;
+  return std::log2(static_cast<double>(view_.collection_size) /
+                   static_cast<double>(view_.phrase_df[p]));
 }
 
 double KeyphraseStore::KeywordNpmi(EntityId e, WordId w) const {
   AIDA_DCHECK(finalized_);
-  const EntityData* data = DataOrNull(e);
-  if (data == nullptr) return 0.0;
-  auto it = std::lower_bound(data->words.begin(), data->words.end(), w);
-  if (it == data->words.end() || *it != w) return 0.0;
-  return data->word_npmi[static_cast<size_t>(it - data->words.begin())];
+  const std::span<const WordId> words = EntityWords(e);
+  auto it = std::lower_bound(words.begin(), words.end(), w);
+  if (it == words.end() || *it != w) return 0.0;
+  return view_.entity_word_npmi[view_.entity_word_offsets[e] +
+                                static_cast<size_t>(it - words.begin())];
 }
 
 double KeyphraseStore::PhraseMi(EntityId e, PhraseId p) const {
   AIDA_DCHECK(finalized_);
-  const EntityData* data = DataOrNull(e);
-  if (data == nullptr) return 0.0;
-  size_t idx = IndexOf(data->phrases, p);
-  if (idx == static_cast<size_t>(-1)) return 0.0;
-  return data->phrase_mi[idx];
+  const std::span<const PhraseId> phrases = EntityPhrases(e);
+  size_t idx = IndexOf(phrases, p);
+  if (idx == kNpos) return 0.0;
+  return view_.entity_phrase_mi[view_.entity_phrase_offsets[e] + idx];
 }
 
 }  // namespace aida::kb

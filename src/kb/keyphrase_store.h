@@ -2,12 +2,16 @@
 #define AIDA_KB_KEYPHRASE_STORE_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "kb/entity.h"
+#include "kb/flat/flat_hash.h"
 #include "kb/link_graph.h"
 
 namespace aida::kb {
@@ -23,12 +27,22 @@ namespace aida::kb {
 ///
 /// Phrases are stored as sequences of word ids; equal word sequences share
 /// one PhraseId.
+///
+/// Two lifecycle phases: while building, facts accumulate in node-based
+/// containers; Finalize() computes all weights and flattens everything
+/// into struct-of-arrays storage (offset-indexed string pool, CSR phrase
+/// and entity associations, a flat open-addressing word table). Queries
+/// read through raw-pointer views that target either the owned arrays or
+/// an mmap'd flat snapshot — the same query code serves both backends.
 class KeyphraseStore {
  public:
+  KeyphraseStore() = default;
+
   /// Interns a word; repeated calls with the same text return the same id.
+  /// Build phase only.
   WordId InternWord(std::string_view word);
 
-  /// Interns a phrase given as word ids.
+  /// Interns a phrase given as word ids. Build phase only.
   PhraseId InternPhrase(const std::vector<WordId>& words);
 
   /// Convenience: interns a phrase given as space-separated text.
@@ -37,17 +51,23 @@ class KeyphraseStore {
   /// Associates `phrase` with `entity` (`count` co-occurrences).
   void AddEntityPhrase(EntityId entity, PhraseId phrase, uint32_t count = 1);
 
-  /// Computes document frequencies and all weights. `links` supplies the
-  /// in-link sets for superdocuments; `entity_count` fixes the collection
-  /// size N. Must be called before any weight query.
+  /// Computes document frequencies and all weights, then flattens the
+  /// store. `links` supplies the in-link sets for superdocuments;
+  /// `entity_count` fixes the collection size N. Must be called before
+  /// any weight query.
   void Finalize(const LinkGraph& links, size_t entity_count);
 
   // ---- Vocabulary access -------------------------------------------------
 
-  size_t word_count() const { return words_.size(); }
-  size_t phrase_count() const { return phrases_.size(); }
-  const std::string& WordText(WordId w) const;
-  const std::vector<WordId>& PhraseWords(PhraseId p) const;
+  size_t word_count() const {
+    return finalized_ ? static_cast<size_t>(view_.word_count) : words_.size();
+  }
+  size_t phrase_count() const {
+    return finalized_ ? static_cast<size_t>(view_.phrase_count)
+                      : phrases_.size();
+  }
+  std::string_view WordText(WordId w) const;
+  std::span<const WordId> PhraseWords(PhraseId p) const;
   /// Space-joined surface text of a phrase.
   std::string PhraseText(PhraseId p) const;
   /// Looks up an existing word; kNoWord when unknown.
@@ -56,10 +76,10 @@ class KeyphraseStore {
   // ---- Entity associations ----------------------------------------------
 
   /// Phrase ids associated with `entity` (order of insertion, deduped).
-  const std::vector<PhraseId>& EntityPhrases(EntityId entity) const;
+  std::span<const PhraseId> EntityPhrases(EntityId entity) const;
 
-  /// Distinct keyword ids appearing in any of `entity`'s phrases.
-  const std::vector<WordId>& EntityWords(EntityId entity) const;
+  /// Distinct keyword ids appearing in any of `entity`'s phrases (sorted).
+  std::span<const WordId> EntityWords(EntityId entity) const;
 
   /// Co-occurrence count of `p` with `entity` (0 when not associated).
   uint32_t EntityPhraseCount(EntityId entity, PhraseId p) const;
@@ -87,7 +107,42 @@ class KeyphraseStore {
   double PhraseMi(EntityId e, PhraseId p) const;
 
   bool finalized() const { return finalized_; }
-  size_t collection_size() const { return collection_size_; }
+  size_t collection_size() const {
+    return static_cast<size_t>(view_.collection_size);
+  }
+
+  // ---- Flat backing (internal, kb/flat) ----------------------------------
+
+  /// The struct-of-arrays storage behind every post-Finalize query. All
+  /// offsets arrays have count + 1 entries; `entity_count` rows cover the
+  /// entity association arrays.
+  struct FlatView {
+    const uint64_t* word_offsets = nullptr;
+    const char* word_pool = nullptr;
+    flat::StringHashView word_hash;
+    const uint64_t* phrase_word_offsets = nullptr;
+    const WordId* phrase_words = nullptr;
+    const uint64_t* entity_phrase_offsets = nullptr;
+    const PhraseId* entity_phrase_ids = nullptr;
+    const uint32_t* entity_phrase_counts = nullptr;
+    const double* entity_phrase_mi = nullptr;
+    const uint64_t* entity_word_offsets = nullptr;
+    const WordId* entity_word_ids = nullptr;
+    const double* entity_word_npmi = nullptr;
+    const uint32_t* phrase_df = nullptr;
+    const uint32_t* word_df = nullptr;
+    uint64_t word_count = 0;
+    uint64_t phrase_count = 0;
+    uint64_t entity_count = 0;
+    uint64_t collection_size = 0;
+  };
+
+  /// Adopts already-validated flat storage (typically an mmap'd snapshot)
+  /// without copying; the storage must outlive the store.
+  static std::unique_ptr<KeyphraseStore> FromFlat(const FlatView& view);
+
+  /// Valid after Finalize(); the snapshot writer serializes these arrays.
+  const FlatView& flat_view() const;
 
  private:
   struct EntityData {
@@ -100,20 +155,42 @@ class KeyphraseStore {
   };
 
   EntityData& DataFor(EntityId entity);
-  const EntityData* DataOrNull(EntityId entity) const;
-  /// Index of `p` in EntityPhrases(e), or npos.
-  static size_t IndexOf(const std::vector<PhraseId>& v, PhraseId p);
+  /// Index of `p` in the entity's phrase list, or npos.
+  static size_t IndexOf(std::span<const PhraseId> v, PhraseId p);
+  /// Moves the build-phase containers into the owned flat arrays and
+  /// points view_ at them.
+  void FlattenIntoOwned();
 
+  std::string_view WordInPool(uint64_t index) const {
+    const uint64_t begin = view_.word_offsets[index];
+    return {view_.word_pool + begin,
+            static_cast<size_t>(view_.word_offsets[index + 1] - begin)};
+  }
+
+  // ---- Build-phase storage (cleared by Finalize) --------------------------
   std::vector<std::string> words_;
   std::unordered_map<std::string, WordId> word_ids_;
   std::vector<std::vector<WordId>> phrases_;
   std::unordered_map<std::string, PhraseId> phrase_keys_;
-
   std::vector<EntityData> entities_;
 
+  // ---- Owned flat storage (heap-backed stores) ----------------------------
+  std::vector<uint64_t> owned_word_offsets_;
+  std::string owned_word_pool_;
+  std::vector<uint32_t> owned_word_slots_;
+  std::vector<uint64_t> owned_phrase_word_offsets_;
+  std::vector<WordId> owned_phrase_words_;
+  std::vector<uint64_t> owned_entity_phrase_offsets_;
+  std::vector<PhraseId> owned_entity_phrase_ids_;
+  std::vector<uint32_t> owned_entity_phrase_counts_;
+  std::vector<double> owned_entity_phrase_mi_;
+  std::vector<uint64_t> owned_entity_word_offsets_;
+  std::vector<WordId> owned_entity_word_ids_;
+  std::vector<double> owned_entity_word_npmi_;
   std::vector<uint32_t> phrase_df_;
   std::vector<uint32_t> word_df_;
-  size_t collection_size_ = 0;
+
+  FlatView view_;
   bool finalized_ = false;
 };
 

@@ -1,5 +1,18 @@
 #include "kb/knowledge_base.h"
 
-// KnowledgeBase is a plain aggregate; all behaviour lives in its parts and
-// in KbBuilder. This file exists so the target has a translation unit that
-// anchors the class (and any future out-of-line members).
+#include <utility>
+
+namespace aida::kb {
+
+std::unique_ptr<KnowledgeBase> KnowledgeBase::FromParts(Parts parts) {
+  auto kb = std::unique_ptr<KnowledgeBase>(new KnowledgeBase());
+  kb->entities_ = std::move(parts.entities);
+  kb->dictionary_ = std::move(parts.dictionary);
+  kb->keyphrases_ = std::move(parts.keyphrases);
+  kb->links_ = std::move(parts.links);
+  kb->taxonomy_ = std::move(parts.taxonomy);
+  kb->backing_ = std::move(parts.backing);
+  return kb;
+}
+
+}  // namespace aida::kb

@@ -17,7 +17,8 @@ namespace aida::kb {
 /// Immutable facade bundling all knowledge-base components (Figure 2.1 of
 /// the paper): the entity repository E, the name dictionary D, entity
 /// features F (keyphrases with weights), the link graph, and the type
-/// taxonomy. Construct via `KbBuilder`.
+/// taxonomy. Construct via `KbBuilder`, or adopt a zero-copy flat snapshot
+/// via `LoadFlatSnapshot` (kb/flat).
 class KnowledgeBase {
  public:
   const EntityRepository& entities() const { return *entities_; }
@@ -29,6 +30,27 @@ class KnowledgeBase {
   /// Number of entities (the collection size N in all weight formulas).
   size_t entity_count() const { return entities_->size(); }
 
+  /// True when the bulk stores (dictionary, keyphrases, links) read
+  /// directly out of a pinned flat snapshot instead of heap arrays.
+  bool flat_backed() const { return backing_ != nullptr; }
+
+  /// Internal (kb/flat): pre-built components plus the storage that their
+  /// raw-pointer views target. `backing` (typically a MappedFile) is pinned
+  /// for the lifetime of the knowledge base; RCU snapshot retirement drops
+  /// the last reference and unmaps the file.
+  struct Parts {
+    std::unique_ptr<EntityRepository> entities;
+    std::unique_ptr<Dictionary> dictionary;
+    std::unique_ptr<KeyphraseStore> keyphrases;
+    std::unique_ptr<LinkGraph> links;
+    std::unique_ptr<TypeTaxonomy> taxonomy;
+    std::shared_ptr<const void> backing;
+  };
+
+  /// Internal (kb/flat): assembles a knowledge base from already-validated
+  /// components.
+  static std::unique_ptr<KnowledgeBase> FromParts(Parts parts);
+
  private:
   friend class KbBuilder;
   KnowledgeBase() = default;
@@ -38,6 +60,8 @@ class KnowledgeBase {
   std::unique_ptr<KeyphraseStore> keyphrases_;
   std::unique_ptr<LinkGraph> links_;
   std::unique_ptr<TypeTaxonomy> taxonomy_;
+  // Keeps the mmap'd snapshot alive while any component view points into it.
+  std::shared_ptr<const void> backing_;
 };
 
 }  // namespace aida::kb

@@ -1,47 +1,71 @@
 #include "kb/link_graph.h"
 
 #include <algorithm>
-
-#include "util/check.h"
+#include <utility>
 
 namespace aida::kb {
 
+namespace {
+
+// Sort-dedup the per-entity build lists into one CSR pair.
+void FlattenCsr(std::vector<std::vector<EntityId>>& build,
+                std::vector<uint64_t>& offsets,
+                std::vector<EntityId>& targets) {
+  offsets.clear();
+  offsets.reserve(build.size() + 1);
+  offsets.push_back(0);
+  size_t total = 0;
+  for (auto& row : build) {
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    total += row.size();
+    offsets.push_back(total);
+  }
+  targets.clear();
+  targets.reserve(total);
+  for (const auto& row : build) {
+    targets.insert(targets.end(), row.begin(), row.end());
+  }
+}
+
+}  // namespace
+
 LinkGraph::LinkGraph(size_t entity_count)
-    : in_(entity_count), out_(entity_count) {}
+    : build_in_(entity_count), build_out_(entity_count) {}
 
 void LinkGraph::AddLink(EntityId source, EntityId target) {
   AIDA_DCHECK(!finalized_);
-  AIDA_DCHECK(source < out_.size() && target < in_.size());
+  AIDA_DCHECK(source < build_out_.size() && target < build_in_.size());
   if (source == target) return;
-  out_[source].push_back(target);
-  in_[target].push_back(source);
+  build_out_[source].push_back(target);
+  build_in_[target].push_back(source);
 }
 
 void LinkGraph::Finalize() {
-  auto dedup = [](std::vector<EntityId>& v) {
-    std::sort(v.begin(), v.end());
-    v.erase(std::unique(v.begin(), v.end()), v.end());
-  };
-  for (auto& v : in_) dedup(v);
-  for (auto& v : out_) dedup(v);
+  AIDA_CHECK(!finalized_, "LinkGraph finalized twice");
+  const size_t n = build_in_.size();
+  FlattenCsr(build_in_, owned_in_offsets_, owned_in_targets_);
+  FlattenCsr(build_out_, owned_out_offsets_, owned_out_targets_);
+  std::vector<std::vector<EntityId>>().swap(build_in_);
+  std::vector<std::vector<EntityId>>().swap(build_out_);
+  view_.in_offsets = owned_in_offsets_.data();
+  view_.in_targets = owned_in_targets_.data();
+  view_.out_offsets = owned_out_offsets_.data();
+  view_.out_targets = owned_out_targets_.data();
+  view_.entity_count = n;
   finalized_ = true;
 }
 
-const std::vector<EntityId>& LinkGraph::InLinks(EntityId entity) const {
-  AIDA_DCHECK(finalized_);
-  AIDA_DCHECK(entity < in_.size());
-  return in_[entity];
-}
-
-const std::vector<EntityId>& LinkGraph::OutLinks(EntityId entity) const {
-  AIDA_DCHECK(finalized_);
-  AIDA_DCHECK(entity < out_.size());
-  return out_[entity];
+std::unique_ptr<LinkGraph> LinkGraph::FromFlat(const FlatView& view) {
+  auto graph = std::unique_ptr<LinkGraph>(new LinkGraph());
+  graph->view_ = view;
+  graph->finalized_ = true;
+  return graph;
 }
 
 size_t LinkGraph::SharedInLinkCount(EntityId a, EntityId b) const {
-  const auto& va = InLinks(a);
-  const auto& vb = InLinks(b);
+  const std::span<const EntityId> va = InLinks(a);
+  const std::span<const EntityId> vb = InLinks(b);
   size_t i = 0;
   size_t j = 0;
   size_t shared = 0;
@@ -60,8 +84,11 @@ size_t LinkGraph::SharedInLinkCount(EntityId a, EntityId b) const {
 }
 
 size_t LinkGraph::link_count() const {
+  if (finalized_) {
+    return static_cast<size_t>(view_.out_offsets[view_.entity_count]);
+  }
   size_t total = 0;
-  for (const auto& v : out_) total += v.size();
+  for (const auto& v : build_out_) total += v.size();
   return total;
 }
 

@@ -2,15 +2,25 @@
 #define AIDA_KB_LINK_GRAPH_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "kb/entity.h"
+#include "util/check.h"
 
 namespace aida::kb {
 
 /// Directed entity-entity link structure, mirroring Wikipedia's article
 /// links. The Milne-Witten relatedness measure (Eq. 3.7) and the keyword
 /// superdocuments (Section 3.3.4) are both defined over in-link sets.
+///
+/// After Finalize() the adjacency lives in CSR form (one offsets array +
+/// one targets array per direction) and every query reads through raw
+/// pointer views. The views either point at heap arrays owned by this
+/// object or — for a graph adopted from a flat snapshot — straight into
+/// an mmap'd file; the query path is identical in both cases.
 class LinkGraph {
  public:
   /// Creates a graph over `entity_count` entities with no links.
@@ -20,15 +30,24 @@ class LinkGraph {
   /// are collapsed at Finalize().
   void AddLink(EntityId source, EntityId target);
 
-  /// Sorts and deduplicates adjacency lists. Must be called before any
-  /// query; additional AddLink calls after Finalize are a programmer error.
+  /// Sorts and deduplicates adjacency lists into CSR arrays. Must be
+  /// called before any query; additional AddLink calls after Finalize are
+  /// a programmer error.
   void Finalize();
 
   /// Entities whose pages link to `entity` (sorted, unique).
-  const std::vector<EntityId>& InLinks(EntityId entity) const;
+  std::span<const EntityId> InLinks(EntityId entity) const {
+    AIDA_DCHECK(finalized_);
+    AIDA_DCHECK(entity < view_.entity_count);
+    return Row(view_.in_offsets, view_.in_targets, entity);
+  }
 
   /// Entities that `entity`'s page links to (sorted, unique).
-  const std::vector<EntityId>& OutLinks(EntityId entity) const;
+  std::span<const EntityId> OutLinks(EntityId entity) const {
+    AIDA_DCHECK(finalized_);
+    AIDA_DCHECK(entity < view_.entity_count);
+    return Row(view_.out_offsets, view_.out_targets, entity);
+  }
 
   size_t InLinkCount(EntityId entity) const {
     return InLinks(entity).size();
@@ -37,16 +56,60 @@ class LinkGraph {
   /// |InLinks(a) ∩ InLinks(b)| via sorted-list intersection.
   size_t SharedInLinkCount(EntityId a, EntityId b) const;
 
-  size_t entity_count() const { return in_.size(); }
+  size_t entity_count() const {
+    return finalized_ ? static_cast<size_t>(view_.entity_count)
+                      : build_in_.size();
+  }
 
-  /// Total number of directed links.
+  /// Total number of directed links (deduplicated once finalized).
   size_t link_count() const;
 
   bool finalized() const { return finalized_; }
 
+  /// Internal (kb/flat): the raw CSR arrays behind the query API. Offsets
+  /// arrays hold entity_count + 1 entries.
+  struct FlatView {
+    const uint64_t* in_offsets = nullptr;
+    const EntityId* in_targets = nullptr;
+    const uint64_t* out_offsets = nullptr;
+    const EntityId* out_targets = nullptr;
+    uint64_t entity_count = 0;
+  };
+
+  /// Internal (kb/flat): adopts already-validated CSR arrays (typically
+  /// inside an mmap'd snapshot) without copying. The pointed-to storage
+  /// must outlive the graph; the flat loader pins the mapping on the
+  /// owning KnowledgeBase.
+  static std::unique_ptr<LinkGraph> FromFlat(const FlatView& view);
+
+  /// Internal (kb/flat): valid after Finalize(); the snapshot writer
+  /// serializes these arrays verbatim.
+  const FlatView& flat_view() const {
+    AIDA_DCHECK(finalized_);
+    return view_;
+  }
+
  private:
-  std::vector<std::vector<EntityId>> in_;
-  std::vector<std::vector<EntityId>> out_;
+  LinkGraph() = default;
+
+  static std::span<const EntityId> Row(const uint64_t* offsets,
+                                       const EntityId* targets,
+                                       EntityId entity) {
+    const uint64_t begin = offsets[entity];
+    return {targets + begin, static_cast<size_t>(offsets[entity + 1] - begin)};
+  }
+
+  // Build-time adjacency; cleared by Finalize().
+  std::vector<std::vector<EntityId>> build_in_;
+  std::vector<std::vector<EntityId>> build_out_;
+
+  // Owned CSR storage (heap-backed graphs); unused for flat-adopted ones.
+  std::vector<uint64_t> owned_in_offsets_;
+  std::vector<EntityId> owned_in_targets_;
+  std::vector<uint64_t> owned_out_offsets_;
+  std::vector<EntityId> owned_out_targets_;
+
+  FlatView view_;
   bool finalized_ = false;
 };
 

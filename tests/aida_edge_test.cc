@@ -30,7 +30,7 @@ TEST_F(AidaEdgeTest, EmptyProblem) {
   std::vector<std::string> tokens = {"nothing", "here"};
   DisambiguationProblem problem;
   problem.tokens = &tokens;
-  DisambiguationResult result = aida.Disambiguate(problem);
+  DisambiguationResult result = aida.Disambiguate(problem, {});
   EXPECT_TRUE(result.mentions.empty());
 }
 
@@ -44,7 +44,7 @@ TEST_F(AidaEdgeTest, MentionWithoutCandidates) {
   pm.begin_token = 0;
   pm.end_token = 1;
   problem.mentions.push_back(pm);
-  DisambiguationResult result = aida.Disambiguate(problem);
+  DisambiguationResult result = aida.Disambiguate(problem, {});
   ASSERT_EQ(result.mentions.size(), 1u);
   EXPECT_EQ(result.mentions[0].entity, kb::kNoEntity);
   EXPECT_FALSE(result.mentions[0].chose_placeholder);
@@ -70,7 +70,7 @@ TEST_F(AidaEdgeTest, ResolvedCandidatesAreRespected) {
   pm.candidates_resolved = true;
   problem.mentions.push_back(std::move(pm));
 
-  DisambiguationResult result = aida.Disambiguate(problem);
+  DisambiguationResult result = aida.Disambiguate(problem, {});
   EXPECT_EQ(result.mentions[0].entity, 3u);
 }
 
@@ -85,7 +85,7 @@ TEST_F(AidaEdgeTest, EmptyResolvedCandidatesMeanNoEntity) {
   pm.end_token = doc.mentions.front().end_token;
   pm.candidates_resolved = true;  // and empty: trivially out-of-KB
   problem.mentions.push_back(std::move(pm));
-  DisambiguationResult result = aida.Disambiguate(problem);
+  DisambiguationResult result = aida.Disambiguate(problem, {});
   EXPECT_EQ(result.mentions[0].entity, kb::kNoEntity);
 }
 
@@ -123,7 +123,7 @@ TEST_F(AidaEdgeTest, WeightScaleSuppressesCandidate) {
   pm.candidates_resolved = true;
   problem.mentions.push_back(std::move(pm));
 
-  DisambiguationResult result = aida.Disambiguate(problem);
+  DisambiguationResult result = aida.Disambiguate(problem, {});
   ASSERT_EQ(result.mentions[0].candidate_scores.size(), 2u);
   if (result.mentions[0].candidate_scores[1] > 0) {
     EXPECT_LT(result.mentions[0].candidate_scores[0],

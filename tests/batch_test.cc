@@ -159,7 +159,6 @@ TEST_F(BatchTest, StatsSumAcrossThreadsWithCache) {
 TEST_F(BatchTest, BatchRethrowsWorkerException) {
   class ThrowingSystem : public NedSystem {
    public:
-    using NedSystem::Disambiguate;
     DisambiguationResult Disambiguate(
         const DisambiguationProblem&,
         const DisambiguateOptions&) const override {
@@ -322,8 +321,8 @@ TEST_F(BatchTest, PerCallStatsReplaceLegacyCounter) {
   // per-call DisambiguationStats carry the same information race-free.
   Aida aida(&models_, &mw_, AidaOptions());
   const uint64_t before = mw_.comparisons();
-  DisambiguationResult first = aida.Disambiguate(problems_.front());
-  DisambiguationResult second = aida.Disambiguate(problems_.back());
+  DisambiguationResult first = aida.Disambiguate(problems_.front(), {});
+  DisambiguationResult second = aida.Disambiguate(problems_.back(), {});
   EXPECT_EQ(mw_.comparisons() - before,
             first.stats.relatedness_computations +
                 second.stats.relatedness_computations);

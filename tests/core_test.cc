@@ -344,8 +344,8 @@ TEST_F(CoreTest, AidaBeatsPriorBaseline) {
   size_t total = 0;
   for (const corpus::Document& doc : corpus_) {
     DisambiguationProblem problem = ToProblem(doc);
-    DisambiguationResult ar = aida.Disambiguate(problem);
-    DisambiguationResult pr = prior.Disambiguate(problem);
+    DisambiguationResult ar = aida.Disambiguate(problem, {});
+    DisambiguationResult pr = prior.Disambiguate(problem, {});
     for (size_t m = 0; m < doc.mentions.size(); ++m) {
       if (doc.mentions[m].out_of_kb()) continue;
       ++total;
@@ -367,7 +367,7 @@ TEST_F(CoreTest, AidaResultShapeIsSound) {
   Aida aida(&models_, &mw_, options);
   const corpus::Document& doc = corpus_.front();
   DisambiguationProblem problem = ToProblem(doc);
-  DisambiguationResult result = aida.Disambiguate(problem);
+  DisambiguationResult result = aida.Disambiguate(problem, {});
   ASSERT_EQ(result.mentions.size(), doc.mentions.size());
   for (const MentionResult& m : result.mentions) {
     EXPECT_EQ(m.candidate_entities.size(), m.candidate_scores.size());
@@ -400,7 +400,7 @@ TEST_F(CoreTest, BaselinesRunEndToEnd) {
   DisambiguationProblem problem = ToProblem(doc);
   for (NedSystem* system :
        std::initializer_list<NedSystem*>{&cuc, &kul_s, &kul_ci}) {
-    DisambiguationResult result = system->Disambiguate(problem);
+    DisambiguationResult result = system->Disambiguate(problem, {});
     EXPECT_EQ(result.mentions.size(), doc.mentions.size()) << system->name();
   }
 }

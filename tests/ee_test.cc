@@ -68,7 +68,7 @@ TEST_F(EeTest, ConfidencesInUnitInterval) {
   ConfidenceEstimator estimator(&models_, aida_.get(), options);
   const corpus::Document& doc = corpus_.front();
   core::DisambiguationProblem problem = ToProblem(doc);
-  core::DisambiguationResult base = aida_->Disambiguate(problem);
+  core::DisambiguationResult base = aida_->Disambiguate(problem, {});
 
   for (const std::vector<double>& conf :
        {estimator.MentionPerturbation(problem, base),
@@ -92,7 +92,7 @@ TEST_F(EeTest, ConfidenceRanksCorrectness) {
   for (size_t d = 0; d < 5; ++d) {
     const corpus::Document& doc = corpus_[d];
     core::DisambiguationProblem problem = ToProblem(doc);
-    core::DisambiguationResult base = aida_->Disambiguate(problem);
+    core::DisambiguationResult base = aida_->Disambiguate(problem, {});
     std::vector<double> conf = estimator.Conf(problem, base);
     for (size_t m = 0; m < doc.mentions.size(); ++m) {
       if (doc.mentions[m].out_of_kb()) continue;

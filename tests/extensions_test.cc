@@ -56,7 +56,7 @@ TEST_F(ExtensionsTest, BatchMatchesSequential) {
 
   ASSERT_EQ(parallel.size(), problems.size());
   for (size_t d = 0; d < problems.size(); ++d) {
-    core::DisambiguationResult sequential = aida.Disambiguate(problems[d]);
+    core::DisambiguationResult sequential = aida.Disambiguate(problems[d], {});
     ASSERT_EQ(parallel[d].mentions.size(), sequential.mentions.size());
     for (size_t m = 0; m < sequential.mentions.size(); ++m) {
       EXPECT_EQ(parallel[d].mentions[m].entity,
@@ -82,7 +82,7 @@ TEST_F(ExtensionsTest, TagMeRunsAndUsesVotes) {
   size_t total = 0;
   for (size_t d = 0; d < 10; ++d) {
     core::DisambiguationProblem problem = ToProblem(corpus_[d]);
-    core::DisambiguationResult result = tagme.Disambiguate(problem);
+    core::DisambiguationResult result = tagme.Disambiguate(problem, {});
     for (size_t m = 0; m < corpus_[d].mentions.size(); ++m) {
       if (corpus_[d].mentions[m].out_of_kb()) continue;
       ++total;

@@ -116,7 +116,7 @@ TEST_F(WikiImporterTest, ImportedKbDisambiguates) {
   pm.begin_token = 0;
   pm.end_token = 1;
   problem.mentions.push_back(pm);
-  core::DisambiguationResult result = aida.Disambiguate(problem);
+  core::DisambiguationResult result = aida.Disambiguate(problem, {});
   EXPECT_EQ(result.mentions[0].entity,
             kb_->entities().FindByName("Jimmy_Page"));
 }

@@ -40,7 +40,7 @@ class IntegrationTest : public ::testing::Test {
     eval::NedEvaluator evaluator;
     for (size_t d = 0; d < docs && d < corpus_.size(); ++d) {
       core::DisambiguationProblem problem = ToProblem(corpus_[d]);
-      evaluator.AddDocument(corpus_[d], system.Disambiguate(problem));
+      evaluator.AddDocument(corpus_[d], system.Disambiguate(problem, {}));
     }
     return evaluator.MicroAccuracy();
   }
@@ -119,7 +119,7 @@ TEST_F(IntegrationTest, RawTextPipeline) {
     pm.end_token = span.end_token;
     problem.mentions.push_back(std::move(pm));
   }
-  core::DisambiguationResult result = aida.Disambiguate(problem);
+  core::DisambiguationResult result = aida.Disambiguate(problem, {});
   size_t resolved = 0;
   for (const core::MentionResult& m : result.mentions) {
     if (m.entity != kb::kNoEntity) ++resolved;
@@ -137,7 +137,7 @@ TEST_F(IntegrationTest, NedFeedsEntitySearch) {
   std::vector<std::vector<kb::EntityId>> per_doc;
   for (size_t d = 0; d < 10; ++d) {
     core::DisambiguationProblem problem = ToProblem(corpus_[d]);
-    core::DisambiguationResult result = aida.Disambiguate(problem);
+    core::DisambiguationResult result = aida.Disambiguate(problem, {});
     std::vector<kb::EntityId> entities;
     for (const core::MentionResult& m : result.mentions) {
       entities.push_back(m.entity);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "kb/kb_builder.h"
 #include "kb/knowledge_base.h"
 
@@ -21,7 +23,8 @@ TEST(DictionaryTest, PriorsNormalize) {
   Dictionary dict;
   dict.AddAnchor("Page", 0, 90);
   dict.AddAnchor("Page", 1, 10);
-  std::vector<NameCandidate> candidates = dict.Lookup("Page");
+  dict.Finalize();
+  std::span<const NameCandidate> candidates = dict.Lookup("Page");
   ASSERT_EQ(candidates.size(), 2u);
   // Sorted by descending anchor count.
   EXPECT_EQ(candidates[0].entity, 0u);
@@ -32,6 +35,7 @@ TEST(DictionaryTest, PriorsNormalize) {
 TEST(DictionaryTest, ShortNamesAreCaseSensitive) {
   Dictionary dict;
   dict.AddAnchor("US", 0, 5);
+  dict.Finalize();
   EXPECT_TRUE(dict.Contains("US"));
   EXPECT_FALSE(dict.Contains("us"));
 }
@@ -39,17 +43,19 @@ TEST(DictionaryTest, ShortNamesAreCaseSensitive) {
 TEST(DictionaryTest, LongNamesFoldCase) {
   Dictionary dict;
   dict.AddAnchor("Apple", 0, 5);
+  dict.Finalize();
   // The all-upper-case acronym-style mention still retrieves the entity
   // (Section 3.3.2).
   EXPECT_TRUE(dict.Contains("APPLE"));
   EXPECT_TRUE(dict.Contains("apple"));
-  std::vector<NameCandidate> candidates = dict.Lookup("APPLE");
+  std::span<const NameCandidate> candidates = dict.Lookup("APPLE");
   ASSERT_EQ(candidates.size(), 1u);
   EXPECT_EQ(candidates[0].entity, 0u);
 }
 
 TEST(DictionaryTest, UnknownNameEmpty) {
   Dictionary dict;
+  dict.Finalize();
   EXPECT_TRUE(dict.Lookup("Ghost").empty());
   EXPECT_FALSE(dict.Contains("Ghost"));
 }
@@ -172,7 +178,7 @@ TEST_F(KeyphraseStoreTest, PhraseMiPositiveForOwnPhrases) {
 
 TEST_F(KeyphraseStoreTest, EntityWordsAreDistinctSorted) {
   const KeyphraseStore& store = kb_->keyphrases();
-  const std::vector<WordId>& words = store.EntityWords(page_);
+  const std::span<const WordId> words = store.EntityWords(page_);
   EXPECT_EQ(words.size(), 6u);  // hard rock led zeppelin gibson guitar
   for (size_t i = 1; i < words.size(); ++i) {
     EXPECT_LT(words[i - 1], words[i]);

@@ -85,9 +85,9 @@ TEST_F(MentionExpansionTest, ExpansionDoesNotHurtAccuracy) {
   eval::NedEvaluator with_expansion;
   for (size_t d = 0; d < 15; ++d) {
     DisambiguationProblem problem = ToProblem(corpus_[d]);
-    plain.AddDocument(corpus_[d], aida.Disambiguate(problem));
+    plain.AddDocument(corpus_[d], aida.Disambiguate(problem, {}));
     DisambiguationProblem expanded = expander_.Expand(problem);
-    with_expansion.AddDocument(corpus_[d], aida.Disambiguate(expanded));
+    with_expansion.AddDocument(corpus_[d], aida.Disambiguate(expanded, {}));
   }
   EXPECT_GE(with_expansion.MicroAccuracy(), plain.MicroAccuracy() - 0.01);
 }

@@ -38,7 +38,6 @@ class FixedCostSystem : public core::NedSystem {
   explicit FixedCostSystem(uint64_t spin_iterations)
       : spin_iterations_(spin_iterations) {}
 
-  using NedSystem::Disambiguate;
   core::DisambiguationResult Disambiguate(
       const core::DisambiguationProblem& problem,
       const core::DisambiguateOptions& /*options*/) const override {

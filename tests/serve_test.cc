@@ -63,7 +63,6 @@ void ExpectSameResults(const core::DisambiguationResult& x,
 /// across a drain or shutdown.
 class GatedSystem : public core::NedSystem {
  public:
-  using NedSystem::Disambiguate;
   core::DisambiguationResult Disambiguate(
       const core::DisambiguationProblem& problem,
       const core::DisambiguateOptions& /*options*/) const override {
@@ -104,7 +103,6 @@ class GatedSystem : public core::NedSystem {
 /// Only submit with a deadline, or it never returns.
 class CooperativeSystem : public core::NedSystem {
  public:
-  using NedSystem::Disambiguate;
   core::DisambiguationResult Disambiguate(
       const core::DisambiguationProblem& problem,
       const core::DisambiguateOptions& options) const override {
@@ -376,7 +374,7 @@ TEST(NedServiceTest, AidaHonorsCancellationTokenBetweenPhases) {
   open_options.cancel = &open_token;
   core::DisambiguationResult with_token =
       aida.Disambiguate(problem, open_options);
-  core::DisambiguationResult without = aida.Disambiguate(problem);
+  core::DisambiguationResult without = aida.Disambiguate(problem, {});
   EXPECT_FALSE(with_token.cancelled);
   ExpectSameResults(with_token, without);
 }
@@ -389,7 +387,7 @@ TEST(NedServiceTest, AggregateStatsSkipsShedAndCancelledResults) {
 
   core::DisambiguationProblem problem = ToProblem(tw.corpus.front());
   std::vector<core::DisambiguationResult> results;
-  results.push_back(aida.Disambiguate(problem));
+  results.push_back(aida.Disambiguate(problem, {}));
   // A shed request: never ran, default-initialized stats.
   core::DisambiguationResult shed;
   shed.cancelled = true;
@@ -543,7 +541,7 @@ TEST(NedServiceTest, ServedResultsByteIdenticalToSerial) {
   }
   std::vector<core::DisambiguationResult> reference;
   for (const core::DisambiguationProblem& problem : problems) {
-    reference.push_back(aida.Disambiguate(problem));
+    reference.push_back(aida.Disambiguate(problem, {}));
   }
 
   // Small queue on purpose: DisambiguateAll must apply backpressure, not
@@ -580,7 +578,7 @@ TEST(NedServiceTest, SharedRelatednessCacheServesConcurrentRequests) {
   }
   std::vector<core::DisambiguationResult> reference;
   for (const core::DisambiguationProblem& problem : problems) {
-    reference.push_back(plain.Disambiguate(problem));
+    reference.push_back(plain.Disambiguate(problem, {}));
   }
 
   core::RelatednessCache cache;
@@ -662,7 +660,6 @@ TEST(NedServiceTest, IngestCorpusSkipsExpiredDocuments) {
 TEST(NedServiceTest, ThrowingSystemYieldsInternalStatusAndServiceSurvives) {
   class ThrowingSystem : public core::NedSystem {
    public:
-    using NedSystem::Disambiguate;
     core::DisambiguationResult Disambiguate(
         const core::DisambiguationProblem& problem,
         const core::DisambiguateOptions& /*options*/) const override {

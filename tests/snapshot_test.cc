@@ -82,7 +82,7 @@ TEST(KbSnapshotTest, CreateBuildsFullServingStack) {
   // The bundled system is servable end to end.
   core::DisambiguationProblem problem =
       ToProblem(TestWorld::Get().corpus.front());
-  core::DisambiguationResult result = snap.system().Disambiguate(problem);
+  core::DisambiguationResult result = snap.system().Disambiguate(problem, {});
   EXPECT_EQ(result.mentions.size(), problem.mentions.size());
 }
 
@@ -264,7 +264,6 @@ class Gate {
 class GatedSystem : public core::NedSystem {
  public:
   explicit GatedSystem(Gate* gate) : gate_(gate) {}
-  using NedSystem::Disambiguate;
   core::DisambiguationResult Disambiguate(
       const core::DisambiguationProblem& problem,
       const core::DisambiguateOptions&) const override {

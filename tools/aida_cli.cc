@@ -139,7 +139,7 @@ int Annotate(int argc, char** argv) {
       pm.end_token = span.end_token;
       problem.mentions.push_back(std::move(pm));
     }
-    core::DisambiguationResult result = aida.Disambiguate(problem);
+    core::DisambiguationResult result = aida.Disambiguate(problem, {});
     for (size_t m = 0; m < mentions.size(); ++m) {
       std::printf("doc%zu\t%s\t%s\t%.4f\n", doc_id,
                   mentions[m].text.c_str(),

@@ -15,6 +15,7 @@
 
 #include "corpus/corpus_io.h"
 #include "ingest/wiki_importer.h"
+#include "kb/flat/flat_snapshot.h"
 #include "kb/kb_serialization.h"
 #include "util/check.h"
 #include "util/serialize.h"
@@ -152,6 +153,30 @@ int main(int argc, char** argv) {
     WriteSeed(dir, "crash-dup-entity.kb", DuplicateEntitySnapshot());
     WriteSeed(dir, "crash-dup-type.kb", DuplicateTypeSnapshot());
     WriteSeed(dir, "crash-empty-phrase.kb", EmptyPhraseSnapshot());
+  }
+
+  // ---- flat_kb -----------------------------------------------------------
+  {
+    aida::ingest::WikiImporter importer;
+    AIDA_CHECK_OK(importer.AddPage(PageOne()));
+    AIDA_CHECK_OK(importer.AddPage(PageTwo()));
+    std::string flat_bytes =
+        aida::kb::flat::SerializeFlatSnapshot(*std::move(importer).Build());
+    const auto dir = root / "flat_kb";
+    WriteSeed(dir, "seed_small.fkb", flat_bytes);
+    WriteSeed(dir, "seed_truncated.fkb",
+              flat_bytes.substr(0, flat_bytes.size() / 2));
+    // Header-only prefix: magic + version survive, the section table is
+    // cut off mid-entry.
+    WriteSeed(dir, "seed_header_only.fkb", flat_bytes.substr(0, 40));
+    // Valid layout with the meta entity count inflated: exercises the
+    // count/section-size cross-checks rather than the header checks.
+    std::string inflated = flat_bytes;
+    AIDA_CHECK(inflated.size() > 1000);
+    const size_t meta_offset =
+        32 /* FileHeader */ + 37 * 24 /* section table */;
+    for (size_t b = 0; b < 8; ++b) inflated[meta_offset + b] = '\x7F';
+    WriteSeed(dir, "seed_bad_meta.fkb", inflated);
   }
 
   // ---- wiki_importer -----------------------------------------------------
