@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "kb/knowledge_base.h"
+#include "util/lifetime.h"
 #include "util/lock_ranks.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -105,8 +106,11 @@ class ExtendedVocabulary {
   /// IDF of any known word id.
   double Idf(kb::WordId word) const;
 
-  /// Surface text of any known word id (KB or extension).
-  std::string_view Text(kb::WordId word) const;
+  /// Surface text of any known word id (KB or extension). The view
+  /// aliases either this vocabulary's extension pool or the underlying
+  /// (possibly mmap-backed) keyphrase store, so it must not outlive the
+  /// KB snapshot pin.
+  std::string_view Text(kb::WordId word) const AIDA_LIFETIME_BOUND;
 
   size_t size() const;
   const kb::KeyphraseStore& store() const { return *store_; }

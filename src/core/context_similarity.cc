@@ -12,12 +12,24 @@ DocumentContext::DocumentContext(const std::vector<std::string>& tokens,
                                  const ExtendedVocabulary& vocab)
     : token_count_(tokens.size()) {
   const text::StopwordList& stopwords = text::DefaultStopwords();
+  // (word, position) occurrences in document order.
+  std::vector<std::pair<kb::WordId, size_t>> occurrences;
   for (size_t i = 0; i < tokens.size(); ++i) {
     const std::string& token = tokens[i];
     if (token.size() <= 1 || stopwords.Contains(token)) continue;
     kb::WordId w = vocab.Find(util::ToLower(token));
     if (w == kb::kNoWord) continue;
-    positions_[w].push_back(i);
+    occurrences.emplace_back(w, i);
+  }
+  // Group into per-word position lists, sorted by word id. Sorting by
+  // (word, position) keeps each word's positions in ascending document
+  // order; (word, position) pairs are unique, so the order is total.
+  std::sort(occurrences.begin(), occurrences.end());
+  for (const auto& [word, pos] : occurrences) {
+    if (positions_.empty() || positions_.back().first != word) {
+      positions_.emplace_back(word, std::vector<size_t>());
+    }
+    positions_.back().second.push_back(pos);
   }
 }
 
@@ -33,8 +45,10 @@ std::vector<std::pair<kb::WordId, size_t>> DocumentContext::WordCounts()
 
 const std::vector<size_t>& DocumentContext::Positions(kb::WordId word) const {
   static const std::vector<size_t>& empty = *new std::vector<size_t>();
-  auto it = positions_.find(word);
-  return it == positions_.end() ? empty : it->second;
+  auto it = std::lower_bound(
+      positions_.begin(), positions_.end(), word,
+      [](const auto& row, kb::WordId w) { return row.first < w; });
+  return it == positions_.end() || it->first != word ? empty : it->second;
 }
 
 ContextSimilarity::ContextSimilarity(WordWeight weight_mode)

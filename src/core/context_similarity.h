@@ -6,12 +6,20 @@
 #include <vector>
 
 #include "core/candidates.h"
+#include "util/lifetime.h"
 
 namespace aida::core {
 
 /// Word-position index of one document, used to score candidate keyphrases
 /// against the text. Tokens are lowercased, stopwords dropped, and words
 /// unknown to the vocabulary ignored.
+///
+/// The index is a word-id-sorted array probed by binary search, NOT a
+/// hash map: consumers iterate it (WordCounts) and fold the results into
+/// floating-point sums, so iteration order must be deterministic across
+/// platforms and hash seeds (the parallel == serial byte-identical
+/// contract, DESIGN.md §5e; enforced by the unordered-iteration lint in
+/// tools/static_analysis/).
 class DocumentContext {
  public:
   /// Builds the index over `tokens` using `vocab` for word ids.
@@ -19,18 +27,20 @@ class DocumentContext {
                   const ExtendedVocabulary& vocab);
 
   /// Sorted positions of `word` in the document (empty if absent).
-  const std::vector<size_t>& Positions(kb::WordId word) const;
+  const std::vector<size_t>& Positions(kb::WordId word) const
+      AIDA_LIFETIME_BOUND;
 
-  /// All distinct indexed words with their occurrence counts (order
-  /// unspecified). Used by consumers that iterate the context rather than
-  /// probing it (e.g. the type classifier).
+  /// All distinct indexed words with their occurrence counts, in
+  /// ascending word-id order. Used by consumers that iterate the context
+  /// rather than probing it (e.g. the type classifier).
   std::vector<std::pair<kb::WordId, size_t>> WordCounts() const;
 
   size_t token_count() const { return token_count_; }
 
  private:
   size_t token_count_ = 0;
-  std::unordered_map<kb::WordId, std::vector<size_t>> positions_;
+  /// (word, positions) rows sorted by word id; positions ascending.
+  std::vector<std::pair<kb::WordId, std::vector<size_t>>> positions_;
 };
 
 /// Keyphrase-cover mention-entity similarity (Section 3.3.4). For each

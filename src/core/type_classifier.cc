@@ -17,7 +17,10 @@ TypeClassifier::TypeClassifier(const kb::KnowledgeBase* kb,
     Centroid centroid;
     centroid.type = type;
     // Aggregate IDF-weighted keyword mass over entities of the type
-    // (including subtypes).
+    // (including subtypes). Collected as (word, idf) pairs and merged
+    // after a sort so the accumulation order — and therefore every
+    // floating-point sum below — is a pure function of the KB content.
+    std::vector<std::pair<kb::WordId, double>> mass;
     for (kb::EntityId e = 0; e < kb_->entity_count(); ++e) {
       bool has_type = false;
       for (kb::TypeId t : kb_->entities().Get(e).types) {
@@ -28,8 +31,21 @@ TypeClassifier::TypeClassifier(const kb::KnowledgeBase* kb,
       }
       if (!has_type) continue;
       for (kb::WordId w : store.EntityWords(e)) {
-        centroid.weights[w] += store.WordIdf(w);
+        mass.emplace_back(w, store.WordIdf(w));
       }
+    }
+    // Entity ids ascend and EntityWords is sorted per entity, so a
+    // stable sort by word id keeps equal-word contributions in entity
+    // order; the merged sums are deterministic.
+    std::stable_sort(mass.begin(), mass.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    for (const auto& [word, idf] : mass) {
+      if (centroid.weights.empty() || centroid.weights.back().first != word) {
+        centroid.weights.emplace_back(word, 0.0);
+      }
+      centroid.weights.back().second += idf;
     }
     // L1-normalize so types with many member entities don't dominate.
     double total = 0.0;
@@ -39,6 +55,14 @@ TypeClassifier::TypeClassifier(const kb::KnowledgeBase* kb,
     }
     centroids_.push_back(std::move(centroid));
   }
+}
+
+double TypeClassifier::CentroidWeight(const Centroid& centroid,
+                                      kb::WordId word) {
+  auto it = std::lower_bound(
+      centroid.weights.begin(), centroid.weights.end(), word,
+      [](const auto& row, kb::WordId w) { return row.first < w; });
+  return it == centroid.weights.end() || it->first != word ? 0.0 : it->second;
 }
 
 std::vector<TypeClassifier::Prediction> TypeClassifier::Classify(
@@ -66,8 +90,7 @@ std::vector<TypeClassifier::Prediction> TypeClassifier::Classify(
   for (const Centroid& centroid : centroids_) {
     double score = 0.0;
     for (const auto& [word, weight] : weighted_context) {
-      auto it = centroid.weights.find(word);
-      if (it != centroid.weights.end()) score += weight * it->second;
+      score += weight * CentroidWeight(centroid, word);
     }
     if (score > 0.0) predictions.push_back({centroid.type, score});
   }

@@ -3,7 +3,7 @@
 
 #include <cstddef>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/candidates.h"
@@ -44,9 +44,16 @@ class TypeClassifier {
  private:
   struct Centroid {
     kb::TypeId type = kb::kNoType;
-    // word -> normalized weight.
-    std::unordered_map<kb::WordId, double> weights;
+    /// (word, normalized weight) sorted by word id, probed by binary
+    /// search. A sorted array instead of a hash map so the L1
+    /// normalization and scoring sums fold in a deterministic order —
+    /// hash-iteration order would make centroid weights (and thus
+    /// prediction scores) bitwise platform-dependent.
+    std::vector<std::pair<kb::WordId, double>> weights;
   };
+
+  /// Weight of `word` in the centroid; 0 when absent.
+  static double CentroidWeight(const Centroid& centroid, kb::WordId word);
 
   const kb::KnowledgeBase* kb_;
   std::vector<Centroid> centroids_;

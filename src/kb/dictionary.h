@@ -12,6 +12,7 @@
 
 #include "kb/entity.h"
 #include "kb/flat/flat_hash.h"
+#include "util/lifetime.h"
 
 namespace aida::kb {
 
@@ -44,7 +45,7 @@ static_assert(sizeof(NameCandidate) == 24 && alignof(NameCandidate) == 8,
 /// match tables out flat (offset-indexed name pool, per-name candidate
 /// ranges, open-addressing lookup slots). Lookup then returns a span into
 /// the precomputed candidate array — either heap-owned or mmap'd.
-class Dictionary {
+class AIDA_OWNER_TYPE Dictionary {
  public:
   Dictionary() = default;
 
@@ -59,7 +60,8 @@ class Dictionary {
   /// All candidates for `mention_text`, ordered by descending anchor count
   /// then entity id, with priors normalized over the candidate set. Empty
   /// when the name is unknown. Requires Finalize().
-  std::span<const NameCandidate> Lookup(std::string_view mention_text) const;
+  std::span<const NameCandidate> Lookup(std::string_view mention_text) const
+      AIDA_LIFETIME_BOUND;
 
   /// True if any entity is registered under `mention_text`.
   bool Contains(std::string_view mention_text) const {
@@ -93,7 +95,7 @@ class Dictionary {
   /// One flattened match table: `name_count` names sorted ascending in an
   /// offset-indexed pool, per-name candidate ranges into one candidate
   /// array, and open-addressing slots for O(1) name lookup.
-  struct TableView {
+  struct AIDA_VIEW_TYPE TableView {
     const uint64_t* name_offsets = nullptr;      // name_count + 1 entries
     const char* name_pool = nullptr;
     const uint64_t* candidate_offsets = nullptr;  // name_count + 1 entries
@@ -102,7 +104,7 @@ class Dictionary {
     uint64_t name_count = 0;
   };
 
-  struct FlatView {
+  struct AIDA_VIEW_TYPE FlatView {
     TableView exact;   // all names, matched case-sensitively
     TableView folded;  // upper-cased names longer than 3 characters
   };
@@ -112,7 +114,7 @@ class Dictionary {
   static std::unique_ptr<Dictionary> FromFlat(const FlatView& view);
 
   /// Valid after Finalize(); the snapshot writer serializes these arrays.
-  const FlatView& flat_view() const;
+  const FlatView& flat_view() const AIDA_LIFETIME_BOUND;
 
  private:
   using CandidateMap = std::unordered_map<EntityId, uint64_t>;
@@ -130,14 +132,15 @@ class Dictionary {
   static void FlattenTable(NameMap& build, OwnedTable& owned,
                            TableView& view);
 
-  std::string_view TableName(const TableView& table, uint64_t index) const {
+  std::string_view TableName(const TableView& table AIDA_LIFETIME_BOUND,
+                             uint64_t index) const {
     const uint64_t begin = table.name_offsets[index];
     return {table.name_pool + begin,
             static_cast<size_t>(table.name_offsets[index + 1] - begin)};
   }
 
-  std::span<const NameCandidate> TableLookup(const TableView& table,
-                                             std::string_view name) const;
+  std::span<const NameCandidate> TableLookup(
+      const TableView& table AIDA_LIFETIME_BOUND, std::string_view name) const;
 
   // Build-phase stores (cleared by Finalize).
   NameMap build_exact_;

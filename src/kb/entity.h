@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/lifetime.h"
+
 namespace aida::kb {
 
 /// Dense integer handle for an entity in the repository.
@@ -52,13 +54,15 @@ class EntityRepository {
   /// Number of registered entities.
   size_t size() const { return entities_.size(); }
 
-  const Entity& Get(EntityId id) const;
-  Entity& GetMutable(EntityId id);
+  const Entity& Get(EntityId id) const AIDA_LIFETIME_BOUND;
+  Entity& GetMutable(EntityId id) AIDA_LIFETIME_BOUND;
 
   /// Looks up by canonical name; returns kNoEntity when absent.
   EntityId FindByName(const std::string& canonical_name) const;
 
-  const std::vector<Entity>& entities() const { return entities_; }
+  const std::vector<Entity>& entities() const AIDA_LIFETIME_BOUND {
+    return entities_;
+  }
 
  private:
   std::vector<Entity> entities_;

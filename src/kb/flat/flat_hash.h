@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/lifetime.h"
 
 namespace aida::kb::flat {
 
@@ -46,7 +47,7 @@ inline uint64_t HashCapacityFor(uint64_t count) {
 /// by linear shifting (slot_handler + main_table scheme of SNIPPETS.md
 /// Snippet 3's hash_kernel); termination is guaranteed because builders
 /// cap the load factor at 1/2 and the loader verifies a free slot exists.
-struct StringHashView {
+struct AIDA_VIEW_TYPE StringHashView {
   const uint32_t* slots = nullptr;
   /// Power of two; 0 for an empty table.
   uint64_t capacity = 0;

@@ -12,6 +12,7 @@
 #include "kb/flat/flat_layout.h"
 #include "kb/flat/mmap_file.h"
 #include "util/check.h"
+#include "util/lifetime.h"
 #include "util/serialize.h"
 
 namespace aida::kb::flat {
@@ -243,7 +244,7 @@ MagicProbe ProbeFileMagic(const std::string& path) {
 
 namespace {
 
-struct SectionTable {
+struct AIDA_VIEW_TYPE SectionTable {
   std::string_view data;
   uint64_t offset[kMaxSectionId + 1] = {};
   uint64_t size[kMaxSectionId + 1] = {};

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "util/lifetime.h"
 #include "util/status.h"
 
 namespace aida::kb::flat {
@@ -18,7 +19,7 @@ namespace aida::kb::flat {
 /// The mapping lives until the object is destroyed; a KnowledgeBase
 /// built over it keeps a shared_ptr, so RCU snapshot retirement (the
 /// last in-flight request dropping its pin) is what actually unmaps.
-class MappedFile {
+class AIDA_OWNER_TYPE MappedFile {
  public:
   static util::StatusOr<std::shared_ptr<const MappedFile>> Open(
       const std::string& path);
@@ -27,7 +28,7 @@ class MappedFile {
   MappedFile(const MappedFile&) = delete;
   MappedFile& operator=(const MappedFile&) = delete;
 
-  const char* data() const { return data_; }
+  const char* data() const AIDA_LIFETIME_BOUND { return data_; }
   size_t size() const { return size_; }
   /// False when the platform fallback (full read) was used.
   bool is_mapped() const { return mapped_; }

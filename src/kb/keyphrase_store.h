@@ -13,6 +13,7 @@
 #include "kb/entity.h"
 #include "kb/flat/flat_hash.h"
 #include "kb/link_graph.h"
+#include "util/lifetime.h"
 
 namespace aida::kb {
 
@@ -34,7 +35,7 @@ namespace aida::kb {
 /// and entity associations, a flat open-addressing word table). Queries
 /// read through raw-pointer views that target either the owned arrays or
 /// an mmap'd flat snapshot — the same query code serves both backends.
-class KeyphraseStore {
+class AIDA_OWNER_TYPE KeyphraseStore {
  public:
   KeyphraseStore() = default;
 
@@ -66,8 +67,8 @@ class KeyphraseStore {
     return finalized_ ? static_cast<size_t>(view_.phrase_count)
                       : phrases_.size();
   }
-  std::string_view WordText(WordId w) const;
-  std::span<const WordId> PhraseWords(PhraseId p) const;
+  std::string_view WordText(WordId w) const AIDA_LIFETIME_BOUND;
+  std::span<const WordId> PhraseWords(PhraseId p) const AIDA_LIFETIME_BOUND;
   /// Space-joined surface text of a phrase.
   std::string PhraseText(PhraseId p) const;
   /// Looks up an existing word; kNoWord when unknown.
@@ -76,10 +77,12 @@ class KeyphraseStore {
   // ---- Entity associations ----------------------------------------------
 
   /// Phrase ids associated with `entity` (order of insertion, deduped).
-  std::span<const PhraseId> EntityPhrases(EntityId entity) const;
+  std::span<const PhraseId> EntityPhrases(EntityId entity) const
+      AIDA_LIFETIME_BOUND;
 
   /// Distinct keyword ids appearing in any of `entity`'s phrases (sorted).
-  std::span<const WordId> EntityWords(EntityId entity) const;
+  std::span<const WordId> EntityWords(EntityId entity) const
+      AIDA_LIFETIME_BOUND;
 
   /// Co-occurrence count of `p` with `entity` (0 when not associated).
   uint32_t EntityPhraseCount(EntityId entity, PhraseId p) const;
@@ -116,7 +119,7 @@ class KeyphraseStore {
   /// The struct-of-arrays storage behind every post-Finalize query. All
   /// offsets arrays have count + 1 entries; `entity_count` rows cover the
   /// entity association arrays.
-  struct FlatView {
+  struct AIDA_VIEW_TYPE FlatView {
     const uint64_t* word_offsets = nullptr;
     const char* word_pool = nullptr;
     flat::StringHashView word_hash;
@@ -142,7 +145,7 @@ class KeyphraseStore {
   static std::unique_ptr<KeyphraseStore> FromFlat(const FlatView& view);
 
   /// Valid after Finalize(); the snapshot writer serializes these arrays.
-  const FlatView& flat_view() const;
+  const FlatView& flat_view() const AIDA_LIFETIME_BOUND;
 
  private:
   struct EntityData {
@@ -161,7 +164,7 @@ class KeyphraseStore {
   /// points view_ at them.
   void FlattenIntoOwned();
 
-  std::string_view WordInPool(uint64_t index) const {
+  std::string_view WordInPool(uint64_t index) const AIDA_LIFETIME_BOUND {
     const uint64_t begin = view_.word_offsets[index];
     return {view_.word_pool + begin,
             static_cast<size_t>(view_.word_offsets[index + 1] - begin)};

@@ -10,6 +10,7 @@
 #include "kb/keyphrase_store.h"
 #include "kb/link_graph.h"
 #include "kb/type_taxonomy.h"
+#include "util/lifetime.h"
 #include "util/status.h"
 
 namespace aida::kb {
@@ -19,13 +20,21 @@ namespace aida::kb {
 /// features F (keyphrases with weights), the link graph, and the type
 /// taxonomy. Construct via `KbBuilder`, or adopt a zero-copy flat snapshot
 /// via `LoadFlatSnapshot` (kb/flat).
-class KnowledgeBase {
+class AIDA_OWNER_TYPE KnowledgeBase {
  public:
-  const EntityRepository& entities() const { return *entities_; }
-  const Dictionary& dictionary() const { return *dictionary_; }
-  const KeyphraseStore& keyphrases() const { return *keyphrases_; }
-  const LinkGraph& links() const { return *links_; }
-  const TypeTaxonomy& taxonomy() const { return *taxonomy_; }
+  const EntityRepository& entities() const AIDA_LIFETIME_BOUND {
+    return *entities_;
+  }
+  const Dictionary& dictionary() const AIDA_LIFETIME_BOUND {
+    return *dictionary_;
+  }
+  const KeyphraseStore& keyphrases() const AIDA_LIFETIME_BOUND {
+    return *keyphrases_;
+  }
+  const LinkGraph& links() const AIDA_LIFETIME_BOUND { return *links_; }
+  const TypeTaxonomy& taxonomy() const AIDA_LIFETIME_BOUND {
+    return *taxonomy_;
+  }
 
   /// Number of entities (the collection size N in all weight formulas).
   size_t entity_count() const { return entities_->size(); }

@@ -9,6 +9,7 @@
 
 #include "kb/entity.h"
 #include "util/check.h"
+#include "util/lifetime.h"
 
 namespace aida::kb {
 
@@ -21,7 +22,7 @@ namespace aida::kb {
 /// pointer views. The views either point at heap arrays owned by this
 /// object or — for a graph adopted from a flat snapshot — straight into
 /// an mmap'd file; the query path is identical in both cases.
-class LinkGraph {
+class AIDA_OWNER_TYPE LinkGraph {
  public:
   /// Creates a graph over `entity_count` entities with no links.
   explicit LinkGraph(size_t entity_count);
@@ -36,14 +37,15 @@ class LinkGraph {
   void Finalize();
 
   /// Entities whose pages link to `entity` (sorted, unique).
-  std::span<const EntityId> InLinks(EntityId entity) const {
+  std::span<const EntityId> InLinks(EntityId entity) const AIDA_LIFETIME_BOUND {
     AIDA_DCHECK(finalized_);
     AIDA_DCHECK(entity < view_.entity_count);
     return Row(view_.in_offsets, view_.in_targets, entity);
   }
 
   /// Entities that `entity`'s page links to (sorted, unique).
-  std::span<const EntityId> OutLinks(EntityId entity) const {
+  std::span<const EntityId> OutLinks(EntityId entity) const
+      AIDA_LIFETIME_BOUND {
     AIDA_DCHECK(finalized_);
     AIDA_DCHECK(entity < view_.entity_count);
     return Row(view_.out_offsets, view_.out_targets, entity);
@@ -68,7 +70,7 @@ class LinkGraph {
 
   /// Internal (kb/flat): the raw CSR arrays behind the query API. Offsets
   /// arrays hold entity_count + 1 entries.
-  struct FlatView {
+  struct AIDA_VIEW_TYPE FlatView {
     const uint64_t* in_offsets = nullptr;
     const EntityId* in_targets = nullptr;
     const uint64_t* out_offsets = nullptr;
@@ -84,7 +86,7 @@ class LinkGraph {
 
   /// Internal (kb/flat): valid after Finalize(); the snapshot writer
   /// serializes these arrays verbatim.
-  const FlatView& flat_view() const {
+  const FlatView& flat_view() const AIDA_LIFETIME_BOUND {
     AIDA_DCHECK(finalized_);
     return view_;
   }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "kb/entity.h"
+#include "util/lifetime.h"
 
 namespace aida::kb {
 
@@ -22,7 +23,7 @@ class TypeTaxonomy {
   /// Looks up a type by name; kNoType when absent.
   TypeId FindType(std::string_view name) const;
 
-  const std::string& TypeName(TypeId t) const;
+  const std::string& TypeName(TypeId t) const AIDA_LIFETIME_BOUND;
   TypeId Parent(TypeId t) const;
 
   /// `t` and all its ancestors up to the root, nearest first.

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "util/lifetime.h"
 #include "util/status.h"
 
 namespace aida::util {
@@ -38,7 +39,7 @@ class BinaryWriter {
     for (const auto& s : v) WriteString(s);
   }
 
-  const std::string& buffer() const { return buffer_; }
+  const std::string& buffer() const AIDA_LIFETIME_BOUND { return buffer_; }
   std::string&& TakeBuffer() { return std::move(buffer_); }
 
  private:
@@ -51,10 +52,12 @@ class BinaryWriter {
 
 /// Sequential decoder over a byte buffer produced by `BinaryWriter`.
 /// All reads return an error Status on truncated input instead of
-/// reading out of bounds.
-class BinaryReader {
+/// reading out of bounds. A view type: it aliases `data` without owning
+/// it, so the buffer must outlive the reader.
+class AIDA_VIEW_TYPE BinaryReader {
  public:
-  explicit BinaryReader(std::string_view data) : data_(data) {}
+  explicit BinaryReader(std::string_view data AIDA_LIFETIME_BOUND)
+      : data_(data) {}
 
   Status ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
   Status ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }

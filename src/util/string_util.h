@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/lifetime.h"
+
 namespace aida::util {
 
 /// ASCII-lowercases `s` (the library's synthetic text is ASCII-only).
@@ -24,8 +26,9 @@ std::vector<std::string> Split(std::string_view s, char sep);
 std::string Join(const std::vector<std::string>& pieces,
                  std::string_view sep);
 
-/// Removes leading and trailing ASCII whitespace.
-std::string_view Trim(std::string_view s);
+/// Removes leading and trailing ASCII whitespace. The result aliases
+/// `s`'s storage.
+std::string_view Trim(std::string_view s AIDA_LIFETIME_BOUND);
 
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...)

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/aida.h"
 #include "core/baselines.h"
 #include "core/candidates.h"
@@ -173,6 +175,32 @@ TEST_F(CoreTest, MentionTokensExcluded) {
   EXPECT_EQ(similarity.Score(ctx, 0, 1, model), 0.0);
   // Outside the span -> match.
   EXPECT_GT(similarity.Score(ctx, 0, 0, model), 0.0);
+}
+
+TEST_F(CoreTest, DocumentContextWordCountsSortedByWordId) {
+  // Regression: WordCounts used to surface unordered_map iteration order,
+  // so downstream floating-point folds (type-classifier scores) depended
+  // on the hash seed / standard library. The index is now a sorted array
+  // and WordCounts is specified to ascend by word id.
+  ExtendedVocabulary vocab(&world_.knowledge_base->keyphrases());
+  for (size_t d = 0; d < std::min<size_t>(5, corpus_.size()); ++d) {
+    DocumentContext context(corpus_[d].tokens, vocab);
+    auto counts = context.WordCounts();
+    ASSERT_FALSE(counts.empty());
+    size_t total = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) EXPECT_LT(counts[i - 1].first, counts[i].first);
+      // Each row must agree with the probe path.
+      const std::vector<size_t>& positions =
+          context.Positions(counts[i].first);
+      EXPECT_EQ(positions.size(), counts[i].second);
+      EXPECT_TRUE(std::is_sorted(positions.begin(), positions.end()));
+      total += counts[i].second;
+    }
+    EXPECT_LE(total, context.token_count());
+    // Probing an unknown word still yields the shared empty row.
+    EXPECT_TRUE(context.Positions(kb::kNoWord - 1).empty());
+  }
 }
 
 // ---- Milne-Witten -----------------------------------------------------------

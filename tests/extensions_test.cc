@@ -217,5 +217,39 @@ TEST_F(ExtensionsTest, TypeClassifierPrefersTopicType) {
   EXPECT_GT(static_cast<double>(hits) / total, 0.5);
 }
 
+TEST_F(ExtensionsTest, TypeClassifierScoresAreDeterministic) {
+  // Regression: centroids used to accumulate IDF mass in unordered_map
+  // iteration order, so prediction scores were a function of the hash
+  // seed. Two classifiers built from the same KB must now agree bitwise.
+  const kb::TypeTaxonomy& taxonomy = world_.knowledge_base->taxonomy();
+  std::vector<kb::TypeId> topic_types;
+  for (size_t t = 0; t < world_.num_topics(); ++t) {
+    kb::TypeId type = taxonomy.FindType(util::StrFormat("topic_%zu", t));
+    ASSERT_NE(type, kb::kNoType);
+    topic_types.push_back(type);
+  }
+  core::TypeClassifier first(world_.knowledge_base.get(), topic_types);
+  core::TypeClassifier second(world_.knowledge_base.get(), topic_types);
+  core::ExtendedVocabulary vocab(&world_.knowledge_base->keyphrases());
+
+  size_t compared = 0;
+  for (size_t d = 0; d < 5; ++d) {
+    core::DocumentContext context(corpus_[d].tokens, vocab);
+    for (const corpus::GoldMention& gm : corpus_[d].mentions) {
+      auto a = first.Classify(context, gm.begin_token, gm.end_token);
+      auto b = second.Classify(context, gm.begin_token, gm.end_token);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].type, b[i].type);
+        // Bitwise, not approximate: the determinism contract promises
+        // identical floating-point folds, not merely close ones.
+        EXPECT_EQ(a[i].score, b[i].score);
+      }
+      compared += a.size();
+    }
+  }
+  ASSERT_GT(compared, 0u);
+}
+
 }  // namespace
 }  // namespace aida

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # The one-command CI gate: tier-1 build + full ctest suite, the static
-# analysis pass (Clang thread-safety + static analyzer + clang-tidy;
+# analysis pass (Clang thread-safety + view-lifetime errors + static
+# analyzer + clang-tidy + clang-query lints + format check;
 # skipped with a warning when Clang is absent locally), the libFuzzer
 # smoke run over the untrusted-input parsers (also Clang-gated), then
 # the ASan/UBSan and TSan passes over the concurrency- and
@@ -27,7 +28,7 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "==> tier-1: ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "==> static analysis (thread-safety + analyzer + clang-tidy)"
+echo "==> static analysis (thread-safety + lifetime + analyzer + tidy + lints)"
 # Uses its own build tree (build-tsa); self-skips with a warning when no
 # clang++ is installed. CI runs it as a separate job with
 # AIDA_REQUIRE_STATIC_ANALYSIS=1 so the skip can never hide there.

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# ctest adapter for the static-analysis smoke controls: checks ONE
+# control expectation and exits 0 iff it holds. Registered by
+# tools/CMakeLists.txt as static_controls.* tests whenever clang++ (and,
+# for the query lints, clang-query) is found at configure time, so the
+# regular test suite also proves the gate's controls discriminate —
+# a broken control otherwise only surfaces in the CI static job.
+#
+# Usage: check_controls.sh <clang++|clang-query path> <mode>
+#   modes (compile controls; tool = clang++):
+#     ts_ok                         must compile under -Werror=thread-safety
+#     ts_fail                       must NOT compile under the same flags
+#     lifetime_ok                   must compile under the lifetime errors
+#     lifetime_fail_lifetimebound   must be rejected (dangling family)
+#     lifetime_fail_dangling_gsl    must be rejected (dangling family)
+#     lifetime_fail_return_stack    must be rejected (stack family)
+#   modes (query controls; tool = clang-query):
+#     query_view_storage            *_fail.cc matches, *_ok.cc clean
+#     query_unordered_iteration     likewise
+#     query_raw_thread              likewise
+set -uo pipefail
+
+TOOL="$1"
+MODE="$2"
+SCRIPT_DIR="$(cd "$(dirname "$0")" && pwd)"
+REPO_ROOT="$(cd "$SCRIPT_DIR/../.." && pwd)"
+
+TS_FLAGS=(-std=c++20 -Wthread-safety -Wthread-safety-beta
+          -Werror=thread-safety -Werror=thread-safety-beta
+          -I"$REPO_ROOT/src")
+LT_FLAGS=(-std=c++20 -Werror=dangling -Werror=dangling-gsl
+          -Werror=return-stack-address -I"$REPO_ROOT/src")
+
+must_compile() {
+  "$TOOL" "$@" || { echo "error: expected-clean control failed"; exit 1; }
+}
+
+must_reject() {
+  local pattern="$1"
+  shift
+  local out
+  if out="$("$TOOL" "$@" 2>&1)"; then
+    echo "error: deliberately-broken control COMPILED; the gate is blind"
+    exit 1
+  fi
+  if ! grep -qiE "$pattern" <<<"$out"; then
+    echo "error: control rejected, but not by the expected '$pattern'"
+    echo "diagnostic family; compiler output was:"
+    echo "$out"
+    exit 1
+  fi
+}
+
+query_pair() {
+  local name="$1"
+  local out
+  out="$("$TOOL" -f "$SCRIPT_DIR/lint_$name.query" \
+      "$SCRIPT_DIR/${name}_fail.cc" -- -std=c++20 -I"$REPO_ROOT/src" 2>&1)"
+  grep -q 'binds here' <<<"$out" || {
+    echo "error: lint_$name.query missed ${name}_fail.cc — matcher blind"
+    echo "$out" | tail -5
+    exit 1
+  }
+  out="$("$TOOL" -f "$SCRIPT_DIR/lint_$name.query" \
+      "$SCRIPT_DIR/${name}_ok.cc" -- -std=c++20 -I"$REPO_ROOT/src" 2>&1)"
+  if grep -q 'binds here' <<<"$out"; then
+    echo "error: lint_$name.query matched ${name}_ok.cc — over-broad:"
+    grep 'binds here' <<<"$out"
+    exit 1
+  fi
+}
+
+case "$MODE" in
+  ts_ok)
+    must_compile "${TS_FLAGS[@]}" -fsyntax-only \
+      "$SCRIPT_DIR/thread_safety_ok.cc"
+    ;;
+  ts_fail)
+    must_reject 'thread-safety' "${TS_FLAGS[@]}" -fsyntax-only \
+      "$SCRIPT_DIR/thread_safety_compile_fail.cc"
+    ;;
+  lifetime_ok)
+    must_compile "${LT_FLAGS[@]}" -fsyntax-only \
+      "$SCRIPT_DIR/lifetime_ok.cc"
+    ;;
+  lifetime_fail_lifetimebound)
+    must_reject 'dangling' "${LT_FLAGS[@]}" -fsyntax-only \
+      "$SCRIPT_DIR/lifetime_fail_lifetimebound.cc"
+    ;;
+  lifetime_fail_dangling_gsl)
+    must_reject 'dangling' "${LT_FLAGS[@]}" -fsyntax-only \
+      "$SCRIPT_DIR/lifetime_fail_dangling_gsl.cc"
+    ;;
+  lifetime_fail_return_stack)
+    must_reject 'stack' "${LT_FLAGS[@]}" -fsyntax-only \
+      "$SCRIPT_DIR/lifetime_fail_return_stack.cc"
+    ;;
+  query_view_storage)
+    query_pair view_storage
+    ;;
+  query_unordered_iteration)
+    query_pair unordered_iteration
+    ;;
+  query_raw_thread)
+    query_pair raw_thread
+    ;;
+  *)
+    echo "error: unknown mode '$MODE'" >&2
+    exit 2
+    ;;
+esac
+echo "OK: $MODE behaves as expected"

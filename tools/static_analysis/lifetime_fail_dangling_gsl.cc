@@ -1,0 +1,37 @@
+// NEGATIVE CONTROL for tools/run_static_analysis.sh — this translation
+// unit must FAIL to compile under -Werror=dangling-gsl. It initializes
+// a [[gsl::Pointer]]-marked view type (AIDA_VIEW_TYPE) from a TEMPORARY
+// [[gsl::Owner]]-marked owner (AIDA_OWNER_TYPE) — the statement-local
+// shape Clang's -Wdangling-gsl analysis flags once the Owner/Pointer
+// attributes are present, and the reason every snapshot owner and view
+// struct in src/kb/ carries them. If this compiles, the gate is broken.
+//
+// Not part of any CMake target: only the analysis script touches it.
+
+#include <string>
+#include <string_view>
+
+#include "util/lifetime.h"
+
+namespace {
+
+class AIDA_OWNER_TYPE Buffer {
+ public:
+  explicit Buffer(std::string text) : storage_(std::move(text)) {}
+  std::string_view view() const AIDA_LIFETIME_BOUND { return storage_; }
+
+ private:
+  std::string storage_;
+};
+
+}  // namespace
+
+int main() {
+  // BUG (deliberate): std::string_view is a gsl Pointer type and the
+  // std::string temporary it aliases is a gsl Owner; the owner dies at
+  // the end of the statement. Clang must reject with -Werror=dangling-gsl.
+  std::string_view from_std = std::string(64, 'y');
+  // BUG (deliberate): same shape through our own annotated types.
+  std::string_view from_aida = Buffer(std::string(64, 'z')).view();
+  return static_cast<int>(from_std.size() + from_aida.size());
+}

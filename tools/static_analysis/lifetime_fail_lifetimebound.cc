@@ -1,0 +1,36 @@
+// NEGATIVE CONTROL for tools/run_static_analysis.sh — this translation
+// unit must FAIL to compile under -Werror=dangling. It binds a view
+// returned by an AIDA_LIFETIME_BOUND accessor to a TEMPORARY owner: the
+// owner dies at the end of the full-expression and the view dangles —
+// exactly the use-after-munmap shape the annotation exists to catch on
+// the span-based KB API. If a toolchain or flag regression ever lets
+// this compile, the lifetime gate is decoration, not enforcement, so
+// the script treats "this file compiled" as a hard failure.
+//
+// Not part of any CMake target: only the analysis script touches it.
+
+#include <string>
+#include <string_view>
+
+#include "util/lifetime.h"
+
+namespace {
+
+class AIDA_OWNER_TYPE Buffer {
+ public:
+  explicit Buffer(std::string text) : storage_(std::move(text)) {}
+  std::string_view view() const AIDA_LIFETIME_BOUND { return storage_; }
+
+ private:
+  std::string storage_;
+};
+
+}  // namespace
+
+int main() {
+  // BUG (deliberate): the Buffer temporary is destroyed at the end of
+  // this statement; `dangling` then points into freed storage. Clang
+  // must reject with -Werror=dangling via [[clang::lifetimebound]].
+  std::string_view dangling = Buffer(std::string(64, 'x')).view();
+  return static_cast<int>(dangling.size());
+}

@@ -1,0 +1,22 @@
+// NEGATIVE CONTROL for tools/run_static_analysis.sh — this translation
+// unit must FAIL to compile under -Werror=return-stack-address. It
+// returns a view into a function-local buffer: the buffer dies when the
+// function returns, so every use of the returned view is a read of dead
+// stack. If this compiles, the gate is broken.
+//
+// Not part of any CMake target: only the analysis script touches it.
+
+#include <string_view>
+
+namespace {
+
+std::string_view LeakLocal() {
+  char buffer[16] = "stack-local";
+  // BUG (deliberate): returns the address of `buffer`, which is about
+  // to be destroyed. Clang must reject with -Werror=return-stack-address.
+  return std::string_view(buffer, 11);
+}
+
+}  // namespace
+
+int main() { return static_cast<int>(LeakLocal().size()); }

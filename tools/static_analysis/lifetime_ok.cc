@@ -1,0 +1,51 @@
+// POSITIVE CONTROL for tools/run_static_analysis.sh — this translation
+// unit must compile cleanly under -Werror=dangling -Werror=dangling-gsl
+// -Werror=return-stack-address. It exercises the safe shapes of the
+// view-lifetime contract (util/lifetime.h, DESIGN.md §6): views taken
+// from lvalue owners and consumed while the owner lives. A pass here
+// plus failures of the three lifetime_fail_*.cc controls proves the
+// lifetime diagnostics are both enabled and discriminating.
+//
+// Not part of any CMake target: only the analysis script touches it.
+
+#include <string>
+#include <string_view>
+
+#include "util/lifetime.h"
+
+namespace {
+
+// The annotated-owner shape every KB component follows: the accessor
+// returns a view pinned to the owner's lifetime.
+class AIDA_OWNER_TYPE Buffer {
+ public:
+  explicit Buffer(std::string text) : storage_(std::move(text)) {}
+  std::string_view view() const AIDA_LIFETIME_BOUND { return storage_; }
+
+ private:
+  std::string storage_;
+};
+
+// A view aggregate, like kb::Dictionary::FlatView: holding a view is
+// fine when the record is marked AIDA_VIEW_TYPE and dies with its pin.
+struct AIDA_VIEW_TYPE Line {
+  std::string_view text;
+};
+
+std::size_t CountSpaces(std::string_view text AIDA_LIFETIME_BOUND) {
+  std::size_t spaces = 0;
+  for (char c : text) {
+    if (c == ' ') ++spaces;
+  }
+  return spaces;
+}
+
+}  // namespace
+
+int main() {
+  // Owner is an lvalue; the view dies first. Safe in every shape below.
+  Buffer buffer("one two three");
+  std::string_view view = buffer.view();
+  Line line{view};
+  return static_cast<int>(CountSpaces(line.text));
+}

@@ -1,0 +1,33 @@
+// POSITIVE CONTROL for lint_raw_thread.query — clang-query must report
+// ZERO matches in this translation unit. It exercises the sanctioned
+// uses of the std::thread TYPE that do not own a thread: the static
+// hardware_concurrency() accessor, thread-id values, and this_thread
+// utilities — all of which appear in src/serve/ and src/core/ today. A
+// false positive here means the lint over-matches and would reject
+// sizing heuristics and per-thread hashing in library code.
+//
+// Not part of any CMake target: only the analysis script touches it.
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+
+namespace {
+
+// Allowed: naming the type's statics sizes pools without owning threads.
+std::size_t DefaultShards() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+// Allowed: thread-id values (not thread objects) key per-thread state.
+std::size_t ShardOfCurrentThread(std::size_t shards) {
+  std::size_t h = std::hash<std::thread::id>()(std::this_thread::get_id());
+  return h % shards;
+}
+
+}  // namespace
+
+int main() {
+  return static_cast<int>(ShardOfCurrentThread(DefaultShards()));
+}

@@ -1,0 +1,39 @@
+// NEGATIVE CONTROL for lint_unordered_iteration.query — clang-query
+// must report at least one match in this translation unit. It folds a
+// floating-point sum in unordered_map iteration order — the exact shape
+// that made TypeClassifier centroids hash-seed-dependent before PR 9
+// restructured them onto sorted vectors. If the lint stops matching
+// this file, the gate is broken.
+//
+// Not part of any CMake target: only the analysis script touches it.
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace {
+
+double SumWeights(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  // BUG (deliberate): hash-order iteration feeding a float fold — the
+  // result depends on the hash seed and standard library.
+  for (const auto& [word, weight] : weights) {
+    total += weight;
+  }
+  return total;
+}
+
+int FirstSeen(const std::unordered_set<int>& ids) {
+  // BUG (deliberate): "first" element of a hash set is arbitrary.
+  for (int id : ids) {
+    return id;
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main() {
+  std::unordered_map<int, double> weights{{1, 0.5}, {2, 0.25}};
+  std::unordered_set<int> ids{3, 4};
+  return static_cast<int>(SumWeights(weights)) + FirstSeen(ids);
+}

@@ -1,0 +1,39 @@
+// POSITIVE CONTROL for lint_unordered_iteration.query — clang-query
+// must report ZERO matches in this translation unit. It exercises the
+// sanctioned uses: probing an unordered container (find / contains),
+// and iterating the deterministic replacement structure, a sorted
+// vector of (key, value) rows. A false positive here means the lint
+// over-matches and would reject legitimate probe-only hash-map use.
+//
+// Not part of any CMake target: only the analysis script touches it.
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace {
+
+// Allowed: probing is order-free; only ITERATION is the hazard.
+double Probe(const std::unordered_map<int, double>& weights, int word) {
+  auto it = weights.find(word);
+  return it == weights.end() ? 0.0 : it->second;
+}
+
+// Allowed: the deterministic structure — sorted rows, ordered fold.
+double SumSorted(const std::vector<std::pair<int, double>>& rows) {
+  double total = 0.0;
+  for (const auto& [word, weight] : rows) {
+    total += weight;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::unordered_map<int, double> weights{{1, 0.5}, {2, 0.25}};
+  std::vector<std::pair<int, double>> rows(weights.begin(), weights.end());
+  std::sort(rows.begin(), rows.end());
+  return static_cast<int>(Probe(weights, 1) + SumSorted(rows));
+}

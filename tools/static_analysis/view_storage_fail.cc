@@ -1,0 +1,36 @@
+// NEGATIVE CONTROL for lint_view_storage.query — clang-query must
+// report at least one match in this translation unit. It stores views
+// in exactly the places the lint forbids: an unannotated member and a
+// mutable global, both of which can outlive the snapshot pin backing
+// the view. If the lint stops matching this file, the gate is broken.
+//
+// Not part of any CMake target: only the analysis script touches it.
+
+#include <span>
+#include <string_view>
+
+namespace {
+
+// BUG (deliberate): plain record holding a view without AIDA_VIEW_TYPE.
+// Nothing ties `title`'s lifetime to the snapshot it aliases.
+struct CachedEntity {
+  long id = 0;
+  std::string_view title;
+};
+
+// BUG (deliberate): a second view-typed member, span flavored.
+struct CachedNeighbors {
+  std::span<const long> out_links;
+};
+
+// BUG (deliberate): mutable global view — outlives every snapshot pin.
+std::string_view g_last_mention;
+
+}  // namespace
+
+int main() {
+  CachedEntity entity;
+  CachedNeighbors neighbors;
+  g_last_mention = entity.title;
+  return static_cast<int>(neighbors.out_links.size());
+}

@@ -1,0 +1,41 @@
+// POSITIVE CONTROL for lint_view_storage.query — clang-query must
+// report ZERO matches in this translation unit. It exercises every
+// sanctioned way of handling views: stack-scoped locals, pass-through
+// parameters, constexpr globals (aliasing immortal literals), and a
+// record explicitly marked AIDA_VIEW_TYPE, whose members the lint
+// exempts because -Wdangling-gsl owns that case. A false positive here
+// means the lint over-matches and would reject legitimate KB code.
+//
+// Not part of any CMake target: only the analysis script touches it.
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+#include "util/lifetime.h"
+
+namespace {
+
+// Allowed: constexpr global view of a string literal — no snapshot pin
+// involved, the literal is immortal.
+constexpr std::string_view kDefaultLanguage = "en";
+
+// Allowed: a view aggregate marked AIDA_VIEW_TYPE, like the kb
+// FlatView structs; it documents that it dies with its pin.
+struct AIDA_VIEW_TYPE MentionView {
+  std::string_view surface;
+  std::span<const std::size_t> token_positions;
+};
+
+// Allowed: views as parameters and stack locals.
+std::size_t Measure(std::string_view text) {
+  std::string_view trimmed = text.substr(0, text.find(' '));
+  return trimmed.size();
+}
+
+}  // namespace
+
+int main() {
+  MentionView view{kDefaultLanguage, {}};
+  return static_cast<int>(Measure(view.surface));
+}
