@@ -45,6 +45,7 @@
 #include "serve/ned_service.h"
 #include "synth/corpus_generator.h"
 #include "synth/world_generator.h"
+#include "util/alloc_probe.h"
 
 using namespace aida;
 
@@ -269,6 +270,56 @@ double Qps(size_t completed, double elapsed) {
   return elapsed > 0.0 ? completed / elapsed : 0.0;
 }
 
+/// Steady-state allocator traffic of one warm cached request, measured
+/// with the global-new interposer (util/alloc_probe.h). The measuring
+/// thread runs exactly what a warmed service worker runs per dequeue —
+/// Disambiguate against a fully warmed relatedness cache — so the number
+/// is the residual malloc churn of the request path itself (result
+/// assembly, graph scratch), independent of client/queue plumbing.
+struct AllocProbeReport {
+  bool available = false;  // false under sanitizers / opt-out builds
+  size_t requests = 0;
+  double allocs_per_request = 0.0;
+  double frees_per_request = 0.0;
+  double bytes_per_request = 0.0;
+};
+
+/// The committed steady-state bound for the smoke gate, in allocations
+/// per warm cached request on the smoke corpus. The paired ctest
+/// regression (AllocProbeTest) pins the micro-paths (dictionary lookup,
+/// cache hit, histogram record, warm fork-join) at exactly zero; this
+/// end-to-end bound additionally covers per-request result assembly and
+/// per-document graph scratch, which scale with document size and so
+/// cannot be zero. Raising it requires a comment explaining which new
+/// allocation is justified.
+constexpr double kSmokeAllocsPerRequestBound = 6000.0;
+
+AllocProbeReport MeasureAllocsPerRequest(
+    const core::NedSystem& system,
+    const std::vector<core::DisambiguationProblem>& work) {
+  AllocProbeReport report;
+  report.available = util::AllocProbeAvailable();
+  if (!report.available || work.empty()) return report;
+  // Two warmup passes populate every lazily-built structure (relatedness
+  // cache entries for these exact documents, thread-local scratch) so the
+  // measured pass sees only steady-state traffic.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const core::DisambiguationProblem& problem : work) {
+      (void)system.Disambiguate(problem, {});
+    }
+  }
+  util::ScopedAllocationCount probe;
+  for (const core::DisambiguationProblem& problem : work) {
+    (void)system.Disambiguate(problem, {});
+  }
+  report.requests = work.size();
+  const double n = static_cast<double>(work.size());
+  report.allocs_per_request = static_cast<double>(probe.allocations()) / n;
+  report.frees_per_request = static_cast<double>(probe.deallocations()) / n;
+  report.bytes_per_request = static_cast<double>(probe.bytes_allocated()) / n;
+  return report;
+}
+
 /// One point of the QPS-vs-workers curve.
 struct ScalingPoint {
   size_t workers = 0;
@@ -297,6 +348,7 @@ std::string JsonOutputPath() { return bench::JsonOutputPath("BENCH_serve.json");
 void WriteJson(const std::vector<std::pair<RunConfig, RunOutcome>>& runs,
                const std::vector<ScalingPoint>& scaling,
                const std::vector<HeavyDocPoint>& heavy,
+               const AllocProbeReport& alloc,
                const RunConfig* reload_config, const ReloadOutcome* steady,
                const ReloadOutcome* reload) {
   const std::string path = JsonOutputPath();
@@ -342,6 +394,21 @@ void WriteJson(const std::vector<std::pair<RunConfig, RunOutcome>>& runs,
         i + 1 < heavy.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  // Steady-state allocator traffic of one warm cached request (see
+  // AllocProbeReport). "available" is false when global-new interposition
+  // is compiled out (sanitizer builds); the per-request numbers are then
+  // absent rather than misleading zeros.
+  if (alloc.available) {
+    std::fprintf(out,
+                 "  \"alloc_probe\": {\"available\": true, "
+                 "\"requests\": %zu, \"allocs_per_request\": %.1f, "
+                 "\"frees_per_request\": %.1f, "
+                 "\"bytes_per_request\": %.0f},\n",
+                 alloc.requests, alloc.allocs_per_request,
+                 alloc.frees_per_request, alloc.bytes_per_request);
+  } else {
+    std::fprintf(out, "  \"alloc_probe\": {\"available\": false},\n");
+  }
   std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
   if (!scaling.empty()) {
@@ -541,6 +608,31 @@ int main() {
     }
   }
 
+  // --- Steady-state allocations per warm cached request ----------------
+  // Measured after the worker sweep so the shared relatedness cache is in
+  // its steady serving state for this corpus.
+  bench::PrintHeader("aida::serve — allocations per warm cached request");
+  const AllocProbeReport alloc_report = MeasureAllocsPerRequest(aida, work);
+  bool alloc_healthy = true;
+  if (alloc_report.available) {
+    std::printf("  %.1f allocations / %.1f frees / %.0f bytes per request "
+                "(over %zu warm requests)\n",
+                alloc_report.allocs_per_request,
+                alloc_report.frees_per_request,
+                alloc_report.bytes_per_request, alloc_report.requests);
+    if (smoke &&
+        alloc_report.allocs_per_request > kSmokeAllocsPerRequestBound) {
+      std::printf("  !! steady-state allocation regression: %.1f allocations "
+                  "per request exceeds the committed bound of %.0f\n",
+                  alloc_report.allocs_per_request,
+                  kSmokeAllocsPerRequestBound);
+      alloc_healthy = false;
+    }
+  } else {
+    std::printf("  (alloc probe unavailable in this build — skipped)\n");
+  }
+  std::printf("\n");
+
   // --- Heavy documents: p99 vs max-tasks-per-request -------------------
   // Few clients, 50+ mention documents: the workload where one request is
   // too big for one core and intra-request task parallelism is the only
@@ -632,8 +724,12 @@ int main() {
   if (smoke) {
     // Smoke mode stops here: no reload scenario; gate on scaling and
     // heavy-doc health.
-    WriteJson(runs, scaling, heavy_points, nullptr, nullptr, nullptr);
-    return (total_mismatches == 0 && scaling_healthy && heavy_healthy) ? 0 : 1;
+    WriteJson(runs, scaling, heavy_points, alloc_report, nullptr, nullptr,
+              nullptr);
+    return (total_mismatches == 0 && scaling_healthy && heavy_healthy &&
+            alloc_healthy)
+               ? 0
+               : 1;
   }
 
   // --- Hot reload under load -------------------------------------------
@@ -710,9 +806,10 @@ int main() {
   std::printf("served generations byte-identical to their serial gold: %s\n",
               reload.mismatches == 0 ? "yes" : "NO");
 
-  WriteJson(runs, scaling, heavy_points, &reload_config, &steady, &reload);
+  WriteJson(runs, scaling, heavy_points, alloc_report, &reload_config, &steady,
+            &reload);
   return (total_mismatches == 0 && reload_healthy && scaling_healthy &&
-          heavy_healthy)
+          heavy_healthy && alloc_healthy)
              ? 0
              : 1;
 }

@@ -18,8 +18,8 @@ double MilneWittenRelatedness::Relatedness(const Candidate& a,
   return RelatednessById(a.entity, b.entity);
 }
 
-double MilneWittenRelatedness::RelatednessById(kb::EntityId a,
-                                               kb::EntityId b) const {
+double MilneWittenRelatedness::RelatednessById(
+    kb::EntityId a, kb::EntityId b) const AIDA_NONBLOCKING {
   if (a == kb::kNoEntity || b == kb::kNoEntity) return 0.0;
   if (a == b) return 1.0;
   const kb::LinkGraph& links = kb_->links();
@@ -33,6 +33,9 @@ double MilneWittenRelatedness::RelatednessById(kb::EntityId a,
   // every page), which would yield NaN or +/-inf. Such an entity shares
   // its whole in-link set with anything, so the distance collapses to
   // whether the larger set is fully shared too.
+  AIDA_EFFECT_ESCAPE_BEGIN(
+      "libm log is lock- and allocation-free but opaque to the effect "
+      "analysis")
   const double denominator =
       std::log(n) - std::log(std::min(size_a, size_b));
   if (denominator <= 0.0) {
@@ -41,6 +44,7 @@ double MilneWittenRelatedness::RelatednessById(kb::EntityId a,
   const double value =
       1.0 - (std::log(std::max(size_a, size_b)) - std::log(shared)) /
                 denominator;
+  AIDA_EFFECT_ESCAPE_END
   return std::clamp(value, 0.0, 1.0);
 }
 

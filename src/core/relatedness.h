@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/candidates.h"
+#include "util/function_effects.h"
 
 namespace aida::core {
 
@@ -76,7 +77,7 @@ class RelatednessMeasure {
 
  protected:
   /// Implementations call this once per Relatedness() evaluation.
-  void CountComparison() const {
+  void CountComparison() const AIDA_NONBLOCKING {
     comparisons_.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -100,7 +101,12 @@ class MilneWittenRelatedness : public RelatednessMeasure {
   double Relatedness(const Candidate& a, const Candidate& b) const override;
 
   /// Id-based form used by tests and by callers without Candidate wrappers.
-  double RelatednessById(kb::EntityId a, kb::EntityId b) const;
+  /// AIDA_NONBLOCKING: the concrete scoring kernel — in-link counts plus
+  /// pure float math — is where the effect discipline binds; the virtual
+  /// Relatedness interface above stays unannotated because user measures
+  /// may legitimately block.
+  double RelatednessById(kb::EntityId a, kb::EntityId b) const
+      AIDA_NONBLOCKING;
 
  private:
   const kb::KnowledgeBase* kb_;

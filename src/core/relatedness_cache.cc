@@ -69,8 +69,12 @@ struct L1Block {
   L1Entry entries[kL1Slots];
 };
 
-L1Block& ThisThreadL1() {
+L1Block& ThisThreadL1() AIDA_NONBLOCKING {
+  AIDA_EFFECT_ESCAPE_BEGIN(
+      "thread_local init guard: pays once per thread lifetime; every "
+      "later access is a plain TLS load")
   static thread_local L1Block block;
+  AIDA_EFFECT_ESCAPE_END
   return block;
 }
 
@@ -115,16 +119,21 @@ const RelatednessCache::Shard& RelatednessCache::ShardFor(uint64_t key) const {
   return shards_[MixKey(key) & (shards_.size() - 1)];
 }
 
-RelatednessCache::StatStripe& RelatednessCache::StripeForThisThread() const {
+RelatednessCache::StatStripe& RelatednessCache::StripeForThisThread() const
+    AIDA_NONBLOCKING {
   // Hash the thread id once per thread; all of a thread's counter bumps
   // then land on one cache-line-aligned block.
+  AIDA_EFFECT_ESCAPE_BEGIN(
+      "thread_local init guard + one-time thread-id hash: pays once per "
+      "thread lifetime; every later access is a plain TLS load")
   static thread_local const size_t stripe =
       std::hash<std::thread::id>()(std::this_thread::get_id());
+  AIDA_EFFECT_ESCAPE_END
   return stripes_[stripe & (kStatStripes - 1)];
 }
 
 bool RelatednessCache::Lookup(kb::EntityId a, kb::EntityId b,
-                              double* value) const {
+                              double* value) const AIDA_NONBLOCKING {
   AIDA_DCHECK(value != nullptr);
   const uint64_t key = PairKey(a, b);
   const uint64_t hash = MixKey(key);
@@ -147,6 +156,10 @@ bool RelatednessCache::Lookup(kb::EntityId a, kb::EntityId b,
   const Shard& shard = ShardFor(key);
   const size_t mask = slots_per_shard_ - 1;
   const size_t home = (hash >> 32) & mask;
+  AIDA_EFFECT_ESCAPE_BEGIN(
+      "shard mutex: bounded O(kProbeWindow) critical section over "
+      "preallocated slots, no allocation, no nested wait; contention is "
+      "diluted over >= max(64, 4x cores) shards")
   {
     util::MutexLock lock(&shard.mutex);
     for (size_t p = 0; p < kProbeWindow; ++p) {
@@ -162,11 +175,13 @@ bool RelatednessCache::Lookup(kb::EntityId a, kb::EntityId b,
       }
     }
   }
+  AIDA_EFFECT_ESCAPE_END
   stripe.misses.fetch_add(1, std::memory_order_relaxed);
   return false;
 }
 
-void RelatednessCache::Insert(kb::EntityId a, kb::EntityId b, double value) {
+void RelatednessCache::Insert(kb::EntityId a, kb::EntityId b,
+                              double value) AIDA_NONBLOCKING {
   const uint64_t key = PairKey(a, b);
   const uint64_t hash = MixKey(key);
   const Shard& shard = ShardFor(key);
@@ -174,6 +189,9 @@ void RelatednessCache::Insert(kb::EntityId a, kb::EntityId b, double value) {
   const size_t home = (hash >> 32) & mask;
   bool evicted = false;
   bool fresh = false;
+  AIDA_EFFECT_ESCAPE_BEGIN(
+      "shard mutex: bounded O(kProbeWindow) probe + in-place eviction "
+      "over preallocated slots — Insert never allocates")
   {
     util::MutexLock lock(&shard.mutex);
     Slot* target = nullptr;
@@ -202,6 +220,7 @@ void RelatednessCache::Insert(kb::EntityId a, kb::EntityId b, double value) {
     target->value = value;
     target->stamp = ++shard.tick;
   }
+  AIDA_EFFECT_ESCAPE_END
   StatStripe& stripe = StripeForThisThread();
   stripe.inserts.fetch_add(1, std::memory_order_relaxed);
   if (evicted) stripe.evictions.fetch_add(1, std::memory_order_relaxed);

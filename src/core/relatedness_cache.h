@@ -11,6 +11,7 @@
 
 #include "core/relatedness.h"
 #include "util/cacheline.h"
+#include "util/function_effects.h"
 #include "util/lock_ranks.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -82,12 +83,17 @@ class RelatednessCache {
 
   /// Returns true and sets `*value` when the pair is cached; refreshes the
   /// entry's recency stamp. Counts one hit or one miss.
-  bool Lookup(kb::EntityId a, kb::EntityId b, double* value) const;
+  /// AIDA_NONBLOCKING: the L1 path is lock-free and allocation-free; the
+  /// shard probe's O(kProbeWindow) critical section is the audited escape.
+  bool Lookup(kb::EntityId a, kb::EntityId b,
+              double* value) const AIDA_NONBLOCKING;
 
   /// Inserts (or refreshes) the pair, evicting the stalest entry of a full
   /// probe window. Concurrent inserts of the same pair are benign: the
   /// measure is deterministic, so both threads write the same value.
-  void Insert(kb::EntityId a, kb::EntityId b, double value);
+  /// AIDA_NONBLOCKING under the same audited-escape policy as Lookup —
+  /// eviction reuses slots in place, so Insert never allocates.
+  void Insert(kb::EntityId a, kb::EntityId b, double value) AIDA_NONBLOCKING;
 
   /// Cumulative counters plus the current live-entry count.
   RelatednessCacheStats Snapshot() const;
@@ -129,7 +135,7 @@ class RelatednessCache {
   static constexpr size_t kStatStripes = 8;
 
   const Shard& ShardFor(uint64_t key) const;
-  StatStripe& StripeForThisThread() const;
+  StatStripe& StripeForThisThread() const AIDA_NONBLOCKING;
 
   size_t slots_per_shard_ = 0;
   bool l1_enabled_ = false;

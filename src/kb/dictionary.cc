@@ -1,12 +1,40 @@
 #include "kb/dictionary.h"
 
 #include <algorithm>
+#include <cctype>
 #include <utility>
 
 #include "util/check.h"
 #include "util/string_util.h"
 
 namespace aida::kb {
+
+namespace {
+
+// Steady-state case fold for Lookup. The old spelling —
+// TableLookup(view_.folded, util::ToUpper(mention_text)) — built a fresh
+// std::string per folded lookup: one heap allocation on every candidate
+// probe for every mention longer than 3 characters, found by the
+// alloc-probe audit and pinned by a warm-lookup allocation assertion in
+// tests/alloc_probe_test.cc. Mentions up to kFoldBufferSize now fold
+// into a stack buffer; the fold must match util::ToUpper byte-for-byte
+// because AddAnchor built the folded table with it.
+constexpr size_t kFoldBufferSize = 256;
+
+void FoldToUpper(std::string_view text, char* buffer) AIDA_NONBLOCKING {
+  AIDA_EFFECT_ESCAPE_BEGIN(
+      "std::toupper is a ctype table lookup — lock- and allocation-free "
+      "but opaque to the effect analysis; kept (rather than an inline "
+      "ASCII fold) so lookup-time folding can never diverge from the "
+      "util::ToUpper the folded table was built with")
+  for (size_t i = 0; i < text.size(); ++i) {
+    buffer[i] =
+        static_cast<char>(std::toupper(static_cast<unsigned char>(text[i])));
+  }
+  AIDA_EFFECT_ESCAPE_END
+}
+
+}  // namespace
 
 void Dictionary::AddAnchor(std::string_view name, EntityId entity,
                            uint64_t count) {
@@ -95,7 +123,7 @@ const Dictionary::FlatView& Dictionary::flat_view() const {
 }
 
 std::span<const NameCandidate> Dictionary::TableLookup(
-    const TableView& table, std::string_view name) const {
+    const TableView& table, std::string_view name) const AIDA_NONBLOCKING {
   const uint64_t index = table.hash.Find(
       name, [&](uint64_t i) { return TableName(table, i); });
   if (index == flat::kHashNotFound) return {};
@@ -105,12 +133,24 @@ std::span<const NameCandidate> Dictionary::TableLookup(
 }
 
 std::span<const NameCandidate> Dictionary::Lookup(
-    std::string_view mention_text) const {
+    std::string_view mention_text) const AIDA_NONBLOCKING {
   AIDA_DCHECK(finalized_);
   if (mention_text.size() <= 3) {
     return TableLookup(view_.exact, mention_text);
   }
+  if (mention_text.size() <= kFoldBufferSize) {
+    char buffer[kFoldBufferSize];
+    FoldToUpper(mention_text, buffer);
+    return TableLookup(view_.folded,
+                       std::string_view(buffer, mention_text.size()));
+  }
+  // Mentions longer than the fold buffer are pathological (no real
+  // surface form is 256+ bytes) but must stay correct, not crash.
+  AIDA_EFFECT_ESCAPE_BEGIN(
+      "cold branch: heap case-fold for mentions longer than the stack "
+      "buffer; unreachable on real text, kept for correctness")
   return TableLookup(view_.folded, util::ToUpper(mention_text));
+  AIDA_EFFECT_ESCAPE_END
 }
 
 size_t Dictionary::NameCount() const {

@@ -12,6 +12,7 @@
 
 #include "kb/entity.h"
 #include "kb/flat/flat_hash.h"
+#include "util/function_effects.h"
 #include "util/lifetime.h"
 
 namespace aida::kb {
@@ -60,11 +61,16 @@ class AIDA_OWNER_TYPE Dictionary {
   /// All candidates for `mention_text`, ordered by descending anchor count
   /// then entity id, with priors normalized over the candidate set. Empty
   /// when the name is unknown. Requires Finalize().
+  /// AIDA_NONBLOCKING: the per-request candidate probe — hash + linear
+  /// shift over flat (possibly mmap'd) arrays; case folding for names
+  /// longer than 3 characters happens in a stack buffer, not a
+  /// std::string (mentions longer than the buffer take an audited
+  /// heap-fold cold branch).
   std::span<const NameCandidate> Lookup(std::string_view mention_text) const
-      AIDA_LIFETIME_BOUND;
+      AIDA_LIFETIME_BOUND AIDA_NONBLOCKING;
 
   /// True if any entity is registered under `mention_text`.
-  bool Contains(std::string_view mention_text) const {
+  bool Contains(std::string_view mention_text) const AIDA_NONBLOCKING {
     return !Lookup(mention_text).empty();
   }
 
@@ -133,14 +139,15 @@ class AIDA_OWNER_TYPE Dictionary {
                            TableView& view);
 
   std::string_view TableName(const TableView& table AIDA_LIFETIME_BOUND,
-                             uint64_t index) const {
+                             uint64_t index) const AIDA_NONBLOCKING {
     const uint64_t begin = table.name_offsets[index];
     return {table.name_pool + begin,
             static_cast<size_t>(table.name_offsets[index + 1] - begin)};
   }
 
   std::span<const NameCandidate> TableLookup(
-      const TableView& table AIDA_LIFETIME_BOUND, std::string_view name) const;
+      const TableView& table AIDA_LIFETIME_BOUND,
+      std::string_view name) const AIDA_NONBLOCKING;
 
   // Build-phase stores (cleared by Finalize).
   NameMap build_exact_;

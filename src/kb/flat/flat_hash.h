@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/function_effects.h"
 #include "util/lifetime.h"
 
 namespace aida::kb::flat {
@@ -14,7 +15,7 @@ namespace aida::kb::flat {
 /// the slot arrays are persisted inside flat snapshots, so the probe
 /// sequence must be identical for the process that wrote the table and
 /// every process that mmaps it later.
-inline uint64_t HashBytes(std::string_view key) {
+inline uint64_t HashBytes(std::string_view key) AIDA_NONBLOCKING {
   uint64_t h = 0xcbf29ce484222325ull;
   for (unsigned char c : key) {
     h ^= c;
@@ -54,8 +55,11 @@ struct AIDA_VIEW_TYPE StringHashView {
 
   /// Returns the index of `key` among the stored keys, or kHashNotFound.
   /// `key_at(i)` must return the string_view of key `i`.
+  /// AIDA_NONBLOCKING: the probe is loads + compares over the slot array;
+  /// the contract extends to `key_at`, which every store satisfies by
+  /// slicing a preexisting pool (verified per instantiation).
   template <typename KeyAt>
-  uint64_t Find(std::string_view key, KeyAt&& key_at) const {
+  uint64_t Find(std::string_view key, KeyAt&& key_at) const AIDA_NONBLOCKING {
     if (capacity == 0) return kHashNotFound;
     const uint64_t mask = capacity - 1;
     for (uint64_t slot = HashBytes(key) & mask;; slot = (slot + 1) & mask) {

@@ -300,7 +300,8 @@ std::string_view KeyphraseStore::WordText(WordId w) const {
   return WordInPool(w);
 }
 
-std::span<const WordId> KeyphraseStore::PhraseWords(PhraseId p) const {
+std::span<const WordId> KeyphraseStore::PhraseWords(
+    PhraseId p) const AIDA_NONBLOCKING {
   AIDA_DCHECK(p < phrase_count());
   if (!finalized_) return phrases_[p];
   const uint64_t begin = view_.phrase_word_offsets[p];
@@ -329,7 +330,7 @@ WordId KeyphraseStore::FindWord(std::string_view word) const {
 }
 
 std::span<const PhraseId> KeyphraseStore::EntityPhrases(
-    EntityId entity) const {
+    EntityId entity) const AIDA_NONBLOCKING {
   if (!finalized_) {
     if (entity >= entities_.size()) return {};
     return entities_[entity].phrases;
@@ -341,7 +342,8 @@ std::span<const PhraseId> KeyphraseStore::EntityPhrases(
                               begin)};
 }
 
-std::span<const WordId> KeyphraseStore::EntityWords(EntityId entity) const {
+std::span<const WordId> KeyphraseStore::EntityWords(
+    EntityId entity) const AIDA_NONBLOCKING {
   if (!finalized_) {
     if (entity >= entities_.size()) return {};
     return entities_[entity].words;

@@ -12,6 +12,7 @@
 
 #include "kb/entity.h"
 #include "kb/flat/flat_hash.h"
+#include "util/function_effects.h"
 #include "kb/link_graph.h"
 #include "util/lifetime.h"
 
@@ -68,7 +69,11 @@ class AIDA_OWNER_TYPE KeyphraseStore {
                       : phrases_.size();
   }
   std::string_view WordText(WordId w) const AIDA_LIFETIME_BOUND;
-  std::span<const WordId> PhraseWords(PhraseId p) const AIDA_LIFETIME_BOUND;
+  /// The span accessors below carry AIDA_NONBLOCKING: offset loads over
+  /// flat (possibly mmap'd) arrays, read per keyphrase-similarity
+  /// evaluation on the request path.
+  std::span<const WordId> PhraseWords(PhraseId p) const
+      AIDA_LIFETIME_BOUND AIDA_NONBLOCKING;
   /// Space-joined surface text of a phrase.
   std::string PhraseText(PhraseId p) const;
   /// Looks up an existing word; kNoWord when unknown.
@@ -78,11 +83,11 @@ class AIDA_OWNER_TYPE KeyphraseStore {
 
   /// Phrase ids associated with `entity` (order of insertion, deduped).
   std::span<const PhraseId> EntityPhrases(EntityId entity) const
-      AIDA_LIFETIME_BOUND;
+      AIDA_LIFETIME_BOUND AIDA_NONBLOCKING;
 
   /// Distinct keyword ids appearing in any of `entity`'s phrases (sorted).
   std::span<const WordId> EntityWords(EntityId entity) const
-      AIDA_LIFETIME_BOUND;
+      AIDA_LIFETIME_BOUND AIDA_NONBLOCKING;
 
   /// Co-occurrence count of `p` with `entity` (0 when not associated).
   uint32_t EntityPhraseCount(EntityId entity, PhraseId p) const;

@@ -63,7 +63,8 @@ std::unique_ptr<LinkGraph> LinkGraph::FromFlat(const FlatView& view) {
   return graph;
 }
 
-size_t LinkGraph::SharedInLinkCount(EntityId a, EntityId b) const {
+size_t LinkGraph::SharedInLinkCount(EntityId a,
+                                    EntityId b) const AIDA_NONBLOCKING {
   const std::span<const EntityId> va = InLinks(a);
   const std::span<const EntityId> vb = InLinks(b);
   size_t i = 0;

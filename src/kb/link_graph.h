@@ -9,6 +9,7 @@
 
 #include "kb/entity.h"
 #include "util/check.h"
+#include "util/function_effects.h"
 #include "util/lifetime.h"
 
 namespace aida::kb {
@@ -37,7 +38,12 @@ class AIDA_OWNER_TYPE LinkGraph {
   void Finalize();
 
   /// Entities whose pages link to `entity` (sorted, unique).
-  std::span<const EntityId> InLinks(EntityId entity) const AIDA_LIFETIME_BOUND {
+  /// The CSR read API carries AIDA_NONBLOCKING: two offset loads and a
+  /// span construction over flat (possibly mmap'd) arrays — the
+  /// relatedness kernels call these per candidate pair, so nothing here
+  /// may ever reach a lock or the allocator.
+  std::span<const EntityId> InLinks(EntityId entity) const
+      AIDA_LIFETIME_BOUND AIDA_NONBLOCKING {
     AIDA_DCHECK(finalized_);
     AIDA_DCHECK(entity < view_.entity_count);
     return Row(view_.in_offsets, view_.in_targets, entity);
@@ -45,18 +51,18 @@ class AIDA_OWNER_TYPE LinkGraph {
 
   /// Entities that `entity`'s page links to (sorted, unique).
   std::span<const EntityId> OutLinks(EntityId entity) const
-      AIDA_LIFETIME_BOUND {
+      AIDA_LIFETIME_BOUND AIDA_NONBLOCKING {
     AIDA_DCHECK(finalized_);
     AIDA_DCHECK(entity < view_.entity_count);
     return Row(view_.out_offsets, view_.out_targets, entity);
   }
 
-  size_t InLinkCount(EntityId entity) const {
+  size_t InLinkCount(EntityId entity) const AIDA_NONBLOCKING {
     return InLinks(entity).size();
   }
 
   /// |InLinks(a) ∩ InLinks(b)| via sorted-list intersection.
-  size_t SharedInLinkCount(EntityId a, EntityId b) const;
+  size_t SharedInLinkCount(EntityId a, EntityId b) const AIDA_NONBLOCKING;
 
   size_t entity_count() const {
     return finalized_ ? static_cast<size_t>(view_.entity_count)
@@ -96,7 +102,7 @@ class AIDA_OWNER_TYPE LinkGraph {
 
   static std::span<const EntityId> Row(const uint64_t* offsets,
                                        const EntityId* targets,
-                                       EntityId entity) {
+                                       EntityId entity) AIDA_NONBLOCKING {
     const uint64_t begin = offsets[entity];
     return {targets + begin, static_cast<size_t>(offsets[entity + 1] - begin)};
   }

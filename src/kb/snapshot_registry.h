@@ -13,6 +13,7 @@
 #include "core/ned_system.h"
 #include "core/relatedness_cache.h"
 #include "kb/knowledge_base.h"
+#include "util/function_effects.h"
 #include "util/lock_ranks.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -207,7 +208,7 @@ class SnapshotRegistry {
   /// moved. The counter is stored after current_, so a reader that
   /// observes generation G is guaranteed to get generation >= G from
   /// Current().
-  uint64_t current_generation() const {
+  uint64_t current_generation() const AIDA_NONBLOCKING {
     return current_generation_.load(std::memory_order_relaxed);
   }
 

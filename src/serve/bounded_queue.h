@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/function_effects.h"
 #include "util/lock_ranks.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -52,8 +53,18 @@ class BoundedQueue {
 
   /// Admits `item` unless the queue is full or closed; never blocks.
   /// On refusal the item is left untouched in the caller's hands.
-  std::optional<AdmissionError> TryPush(T& item) AIDA_EXCLUDES(mutex_) {
+  /// AIDA_NONBLOCKING states the "never parks" half of the admission
+  /// contract; the two audited escapes below are the deliberate bounded
+  /// effects (O(1) critical section, amortized deque chunk, futex wake).
+  std::optional<AdmissionError> TryPush(T& item)
+      AIDA_EXCLUDES(mutex_) AIDA_NONBLOCKING {
     bool wake = false;
+    AIDA_EFFECT_ESCAPE_BEGIN(
+        "bounded O(1) critical section (flag + size check + deque "
+        "push_back); producers contend only with other O(1) holders, "
+        "never with a parked consumer. The push_back allocates one deque "
+        "chunk per ~chunk-size admissions — amortized, bounded by "
+        "capacity, and T itself (ServiceRequest) is moved, not copied")
     {
       util::MutexLock lock(&mutex_);
       if (closed_) return AdmissionError::kClosed;
@@ -61,13 +72,22 @@ class BoundedQueue {
       items_.push_back(std::move(item));
       wake = waiters_ > 0;
     }
-    if (wake) ready_.NotifyOne();
+    AIDA_EFFECT_ESCAPE_END
+    if (wake) {
+      AIDA_EFFECT_ESCAPE_BEGIN(
+          "FUTEX_WAKE syscall: hands the CPU to a parked consumer without "
+          "ever parking the producer")
+      ready_.NotifyOne();
+      AIDA_EFFECT_ESCAPE_END
+    }
     return std::nullopt;
   }
 
   /// Blocks until an item is available (returns it) or the queue is both
   /// closed and empty (returns nullopt — the consumer's exit signal).
-  std::optional<T> Pop() AIDA_EXCLUDES(mutex_) {
+  /// AIDA_BLOCKING: parking here is the contract, and the marker keeps an
+  /// annotated hot-path caller from absorbing it silently.
+  std::optional<T> Pop() AIDA_EXCLUDES(mutex_) AIDA_BLOCKING {
     util::MutexLock lock(&mutex_);
     while (!closed_ && items_.empty()) {
       ++waiters_;

@@ -20,12 +20,16 @@ void LatencyHistogram::Clear() {
   max_seconds_.store(0.0, std::memory_order_relaxed);
 }
 
-size_t LatencyHistogram::BucketIndex(double seconds) {
+size_t LatencyHistogram::BucketIndex(double seconds) AIDA_NONBLOCKING {
   // !(x > kMin) is deliberately inverted: it catches zero, negatives, AND
   // NaN (all comparisons with NaN are false), so a clock hiccup can only
   // ever land in bucket 0, never index out of range.
   if (!(seconds > kMinSeconds)) return 0;
+  AIDA_EFFECT_ESCAPE_BEGIN(
+      "libm log10 is lock- and allocation-free but opaque to the effect "
+      "analysis (no visible body, no effect annotation in libm headers)")
   const double decades = std::log10(seconds / kMinSeconds);
+  AIDA_EFFECT_ESCAPE_END
   const size_t index =
       static_cast<size_t>(decades * static_cast<double>(kBucketsPerDecade));
   return index >= kNumBuckets ? kNumBuckets - 1 : index;
@@ -39,7 +43,7 @@ double LatencyHistogram::BucketValue(size_t index) {
   return kMinSeconds * std::pow(10.0, exponent);
 }
 
-void LatencyHistogram::Record(double seconds) {
+void LatencyHistogram::Record(double seconds) AIDA_NONBLOCKING {
   // Sanitize before every use of the value: NaN or negative durations
   // (clock steps backwards) become 0 so neither the sum nor the max can
   // be poisoned.

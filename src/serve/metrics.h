@@ -10,6 +10,7 @@
 
 #include "util/cacheline.h"
 #include "util/check.h"
+#include "util/function_effects.h"
 #include "util/lock_ranks.h"
 #include "util/mutex.h"
 #include "util/stopwatch.h"
@@ -46,7 +47,7 @@ class LatencyHistogram {
   /// non-positive durations (clock hiccups) clamp to the zero bucket and
   /// contribute 0 to the running sum, so a bad clock sample can neither
   /// corrupt the quantiles nor poison the mean.
-  void Record(double seconds);
+  void Record(double seconds) AIDA_NONBLOCKING;
 
   /// Summarizes everything recorded so far. Safe to call concurrently
   /// with Record; a racing observation is either in or out atomically.
@@ -73,7 +74,7 @@ class LatencyHistogram {
   /// Maps a duration to its bucket. Zero, negative, and NaN durations all
   /// land in bucket 0 — the guard that keeps a clock hiccup from indexing
   /// out of range.
-  static size_t BucketIndex(double seconds);
+  static size_t BucketIndex(double seconds) AIDA_NONBLOCKING;
   static double BucketValue(size_t index);
 
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
@@ -177,14 +178,18 @@ class ServiceMetrics {
   void OnCancelledQueued() { Bump(&SubmitStripe::cancelled_queued); }
 
   // ---- worker-side events (one dedicated slot per worker) ----
-  void OnExpiredInQueue(size_t slot, double queue_seconds) {
+  // All carry AIDA_NONBLOCKING: they run inside the warm worker's record
+  // path, where a stray lock or allocation is a tail-latency bug the
+  // effect analysis exists to catch. The one deliberate exception — the
+  // per-slot generation map — is audited inside BumpGeneration.
+  void OnExpiredInQueue(size_t slot, double queue_seconds) AIDA_NONBLOCKING {
     WorkerSlot& s = Slot(slot);
     s.expired_in_queue.fetch_add(1, std::memory_order_relaxed);
     s.queue_wait.Record(queue_seconds);
   }
 
   /// A worker picked the request up and is about to disambiguate.
-  void OnStarted(size_t slot, double queue_seconds) {
+  void OnStarted(size_t slot, double queue_seconds) AIDA_NONBLOCKING {
     WorkerSlot& s = Slot(slot);
     s.in_flight.fetch_add(1, std::memory_order_relaxed);
     s.queue_wait.Record(queue_seconds);
@@ -193,7 +198,7 @@ class ServiceMetrics {
   /// `generation` tags the outcome with the KB snapshot the request ran
   /// against (0 when the caller has no snapshot concept).
   void OnCompleted(size_t slot, uint64_t generation, double service_seconds,
-                   double total_seconds) {
+                   double total_seconds) AIDA_NONBLOCKING {
     WorkerSlot& s = Slot(slot);
     s.completed.fetch_add(1, std::memory_order_relaxed);
     s.in_flight.fetch_sub(1, std::memory_order_relaxed);
@@ -202,14 +207,14 @@ class ServiceMetrics {
     BumpGeneration(s, generation, &GenerationOutcomes::completed);
   }
 
-  void OnCancelledInFlight(size_t slot, uint64_t generation) {
+  void OnCancelledInFlight(size_t slot, uint64_t generation) AIDA_NONBLOCKING {
     WorkerSlot& s = Slot(slot);
     s.cancelled_in_flight.fetch_add(1, std::memory_order_relaxed);
     s.in_flight.fetch_sub(1, std::memory_order_relaxed);
     BumpGeneration(s, generation, &GenerationOutcomes::cancelled_in_flight);
   }
 
-  void OnFailed(size_t slot, uint64_t generation) {
+  void OnFailed(size_t slot, uint64_t generation) AIDA_NONBLOCKING {
     WorkerSlot& s = Slot(slot);
     s.failed.fetch_add(1, std::memory_order_relaxed);
     s.in_flight.fetch_sub(1, std::memory_order_relaxed);
@@ -219,7 +224,8 @@ class ServiceMetrics {
   /// Task-engine work one request performed (from its
   /// DisambiguationStats); no-op for serial requests so the common path
   /// stays free of extra RMWs.
-  void OnParallelWork(size_t slot, uint64_t tasks, uint64_t steals) {
+  void OnParallelWork(size_t slot, uint64_t tasks,
+                      uint64_t steals) AIDA_NONBLOCKING {
     if (tasks == 0 && steals == 0) return;
     WorkerSlot& s = Slot(slot);
     s.parallel_tasks.fetch_add(tasks, std::memory_order_relaxed);
@@ -283,12 +289,22 @@ class ServiceMetrics {
 
   void BumpGeneration(WorkerSlot& slot, uint64_t generation,
                       uint64_t GenerationOutcomes::* counter)
-      AIDA_EXCLUDES(slot.generations_mutex) {
+      AIDA_EXCLUDES(slot.generations_mutex) AIDA_NONBLOCKING {
     if (generation == 0) return;
-    util::MutexLock lock(&slot.generations_mutex);
-    GenerationOutcomes& outcomes = slot.generations[generation];
-    outcomes.generation = generation;
-    ++(outcomes.*counter);
+    // The inner braces keep the MutexLock destructor (the unlock) inside
+    // the escape region — diagnostics attach to the scope's closing brace.
+    AIDA_EFFECT_ESCAPE_BEGIN(
+        "per-slot mutex: only this worker and Snapshot ever take it, the "
+        "critical section is O(log generations) with ~2 live generations, "
+        "and the map allocates only on first sight of a new generation "
+        "(once per hot reload, not per request)")
+    {
+      util::MutexLock lock(&slot.generations_mutex);
+      GenerationOutcomes& outcomes = slot.generations[generation];
+      outcomes.generation = generation;
+      ++(outcomes.*counter);
+    }
+    AIDA_EFFECT_ESCAPE_END
   }
 
   std::vector<WorkerSlot> slots_;

@@ -28,6 +28,7 @@ Scheduler::Scheduler(const SchedulerOptions& options) {
     const unsigned hw = std::thread::hardware_concurrency();
     num_workers_ = hw == 0 ? 1 : hw;
   }
+  node_pool_capacity_ = options.deque_capacity;
   const size_t total = num_workers_ + options.max_participants;
   slots_.reserve(total);
   for (size_t i = 0; i < total; ++i) {
@@ -71,6 +72,17 @@ Scheduler::~Scheduler() {
     util::MutexLock lock(&inject_mutex_);
     while (loops_live_ > 0) loops_done_.Wait(inject_mutex_);
   }
+  // All executors are gone and outstanding_ was zero, so every pooled
+  // node's callable has already been destroyed — plain deletes remain.
+  for (std::unique_ptr<Slot>& slot : slots_) {
+    internal::TaskNode* node =
+        slot->free_nodes.exchange(nullptr, std::memory_order_acquire);
+    while (node != nullptr) {
+      internal::TaskNode* next = node->next_free;
+      delete node;
+      node = next;
+    }
+  }
 }
 
 SchedulerStats Scheduler::stats() const {
@@ -81,6 +93,44 @@ SchedulerStats Scheduler::stats() const {
   }
   stats.overflow_enqueued = overflow_enqueued_.load(std::memory_order_relaxed);
   return stats;
+}
+
+internal::TaskNode* Scheduler::AcquireNode(uint32_t slot_index) {
+  Slot& slot = *slots_[slot_index];
+  internal::TaskNode* head = slot.free_nodes.load(std::memory_order_acquire);
+  while (head != nullptr &&
+         !slot.free_nodes.compare_exchange_weak(head, head->next_free,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+  }
+  if (head != nullptr) {
+    slot.free_count.fetch_sub(1, std::memory_order_relaxed);
+    head->next_free = nullptr;
+    return head;
+  }
+  return new internal::TaskNode;
+}
+
+void Scheduler::RecycleNode(internal::TaskNode* node) {
+  Slot& slot = *slots_[node->origin_slot];
+  // Approximate cap: concurrent recyclers may overshoot by a node or
+  // two, which only means a marginally larger pool, never unbounded
+  // growth.
+  if (slot.free_count.load(std::memory_order_relaxed) >=
+      node_pool_capacity_) {
+    delete node;
+    return;
+  }
+  slot.free_count.fetch_add(1, std::memory_order_relaxed);
+  node->invoke = nullptr;
+  node->destroy = nullptr;
+  node->group = nullptr;
+  internal::TaskNode* head = slot.free_nodes.load(std::memory_order_relaxed);
+  do {
+    node->next_free = head;
+  } while (!slot.free_nodes.compare_exchange_weak(head, node,
+                                                  std::memory_order_release,
+                                                  std::memory_order_relaxed));
 }
 
 void Scheduler::Enqueue(internal::TaskNode* node, Slot* slot) {
@@ -130,7 +180,7 @@ internal::TaskNode* Scheduler::TryAcquireWork(uint32_t thief_index) {
 void Scheduler::Execute(internal::TaskNode* node, uint32_t executor_index) {
   std::exception_ptr error;
   try {
-    node->fn();
+    node->invoke(node);  // destroys the callable even on throw
   } catch (...) {
     error = std::current_exception();
   }
@@ -141,7 +191,7 @@ void Scheduler::Execute(internal::TaskNode* node, uint32_t executor_index) {
     if (stolen) slot.stolen.fetch_add(1, std::memory_order_relaxed);
   }
   TaskGroup* group = node->group;
-  delete node;
+  RecycleNode(node);
   outstanding_.fetch_sub(1, std::memory_order_release);
   // Last touch of the group: its Wait() cannot return before this call
   // released the group mutex (pending_ only reaches 0 in here).
@@ -245,34 +295,36 @@ TaskGroup::~TaskGroup() {
   }
 }
 
-void TaskGroup::Run(std::function<void()> fn) {
-  AIDA_DCHECK(!waited_, "TaskGroup::Run after Wait");
-  if (cancel_ != nullptr && cancel_->cancelled()) {
-    // Observed cancellation at the spawn boundary: stop launching work.
-    cancelled_seen_ = true;
-    return;
-  }
-  if (slot_ == nullptr) {
-    {
-      util::MutexLock lock(&mutex_);
-      if (error_) return;  // fail fast once a body threw
-    }
-    ++stats_.inline_executed;
-    try {
-      fn();
-    } catch (...) {
-      util::MutexLock lock(&mutex_);
-      if (!error_) error_ = std::current_exception();
-    }
-    return;
-  }
+bool TaskGroup::BeginInline() {
   {
     util::MutexLock lock(&mutex_);
-    if (error_) return;
-    ++pending_;
+    if (error_) return false;
+  }
+  ++stats_.inline_executed;
+  return true;
+}
+
+void TaskGroup::CaptureError(std::exception_ptr error) {
+  util::MutexLock lock(&mutex_);
+  if (!error_) error_ = std::move(error);
+}
+
+void TaskGroup::SpawnNode(internal::TaskNode* node) {
+  bool drop = false;
+  {
+    util::MutexLock lock(&mutex_);
+    if (error_) {
+      drop = true;  // fail fast once a body threw
+    } else {
+      ++pending_;
+    }
+  }
+  if (drop) {
+    node->destroy(node);
+    scheduler_->RecycleNode(node);
+    return;
   }
   ++stats_.spawned;
-  auto* node = new internal::TaskNode{std::move(fn), this, slot_index_};
   scheduler_->Enqueue(node, slot_);
 }
 

@@ -6,14 +6,18 @@
 #include <cstdint>
 #include <deque>
 #include <exception>
-#include <functional>
 #include <memory>
+#include <new>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "task/work_stealing_deque.h"
 #include "util/cacheline.h"
 #include "util/cancellation.h"
+#include "util/check.h"
+#include "util/function_effects.h"
 #include "util/lock_ranks.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -29,15 +33,81 @@ class TaskGroup;
 
 namespace internal {
 
-/// One spawned task. Allocated by TaskGroup::Run, consumed (executed and
-/// deleted) by exactly one thread: the owner popping its deque, a worker
-/// or waiter stealing it, or whoever drains the injection queue.
+/// Callables whose state fits this many bytes are stored inside the
+/// TaskNode itself; larger ones fall back to one boxed heap allocation.
+/// 64 bytes covers every fork-join lambda in the tree (ParallelChunks
+/// chunks capture two indices and a reference) with room to spare.
+inline constexpr size_t kInlineTaskBytes = 64;
+
+/// One spawned task. Obtained by TaskGroup::Run from the origin slot's
+/// free list (allocating only when the list is empty), consumed
+/// (executed and recycled) by exactly one thread: the owner popping its
+/// deque, a worker or waiter stealing it, or whoever drains the
+/// injection queue.
+///
+/// The callable lives in `storage` — NOT in a std::function — so a warm
+/// steady-state spawn touches the allocator zero times: the old
+/// `new TaskNode{std::function...}` pattern cost two heap round-trips
+/// per task (node + function target), which the alloc probe flagged as
+/// the dominant churn of parallel disambiguation
+/// (TaskGroupAllocTest.WarmForkJoinDoesNotAllocate pins the fix).
 struct TaskNode {
-  std::function<void()> fn;
+  /// Invokes the stored callable and destroys it (even on throw).
+  void (*invoke)(TaskNode* node) = nullptr;
+  /// Destroys the stored callable WITHOUT running it — the fail-fast
+  /// drop path when a sibling task already threw.
+  void (*destroy)(TaskNode* node) = nullptr;
   TaskGroup* group = nullptr;
   /// Slot the task was pushed from; an executor with a different slot
-  /// index counts the run as a steal.
+  /// index counts the run as a steal. Also selects the free list the
+  /// node returns to.
   uint32_t origin_slot = 0;
+  /// Free-list link, owned by the origin slot's recycle stack.
+  TaskNode* next_free = nullptr;
+  alignas(std::max_align_t) unsigned char storage[kInlineTaskBytes];
+
+  /// Moves `fn` into the node. Must be balanced by exactly one invoke()
+  /// or destroy() call before the node is recycled or reinstalled.
+  template <typename Fn>
+  void Install(Fn&& fn) {
+    using Callable = std::decay_t<Fn>;
+    if constexpr (sizeof(Callable) <= kInlineTaskBytes &&
+                  alignof(Callable) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Callable>) {
+      ::new (static_cast<void*>(storage)) Callable(std::forward<Fn>(fn));
+      invoke = [](TaskNode* node) {
+        Callable* callable =
+            std::launder(reinterpret_cast<Callable*>(node->storage));
+        // Move to the stack first so the callable's storage is released
+        // even when the body throws (the node recycles either way).
+        Callable local(std::move(*callable));
+        callable->~Callable();
+        local();
+      };
+      destroy = [](TaskNode* node) {
+        std::launder(reinterpret_cast<Callable*>(node->storage))->~Callable();
+      };
+    } else {
+      // Oversized or throwing-move callable: box it. One allocation per
+      // spawn, same as the old std::function path — acceptable because
+      // no hot-path lambda takes this branch (static capture sizes are
+      // all well under kInlineTaskBytes).
+      Callable* boxed = new Callable(std::forward<Fn>(fn));
+      ::new (static_cast<void*>(storage)) Callable*(boxed);
+      invoke = [](TaskNode* node) {
+        Callable* boxed =
+            *std::launder(reinterpret_cast<Callable**>(node->storage));
+        struct Deleter {
+          Callable* boxed;
+          ~Deleter() { delete boxed; }
+        } deleter{boxed};
+        (*boxed)();
+      };
+      destroy = [](TaskNode* node) {
+        delete *std::launder(reinterpret_cast<Callable**>(node->storage));
+      };
+    }
+  }
 };
 
 }  // namespace internal
@@ -108,7 +178,27 @@ class Scheduler {
     std::atomic<bool> claimed{false};
     std::atomic<uint64_t> executed{0};
     std::atomic<uint64_t> stolen{0};
+    /// Recycled TaskNodes, as a Treiber stack. Multi-producer (any
+    /// executor pushes a finished node back to its origin slot),
+    /// single-consumer (only the thread bound to this slot pops, in
+    /// TaskGroup::Run) — the single consumer is what makes the naive
+    /// CAS pop ABA-safe: no other thread ever removes the head, so the
+    /// head pointer cannot be recycled under a pop in progress.
+    std::atomic<internal::TaskNode*> free_nodes{nullptr};
+    /// Approximate size of free_nodes, bounding pooled memory.
+    std::atomic<size_t> free_count{0};
   };
+
+  /// Pops a recycled node from `slot_index`'s free list, allocating only
+  /// when the list is empty (cold: first requests after start or a
+  /// burst deeper than any before). Caller must be the thread bound to
+  /// the slot.
+  internal::TaskNode* AcquireNode(uint32_t slot_index);
+
+  /// Returns an executed (or dropped) node — callable already destroyed
+  /// — to its origin slot's free list; frees it instead once the pool
+  /// holds `deque_capacity` nodes.
+  void RecycleNode(internal::TaskNode* node);
 
   /// Publishes `node`: preferred slot's deque first, injection queue on
   /// overflow; wakes a sleeping worker either way. `node->group->pending_`
@@ -135,6 +225,8 @@ class Scheduler {
   static constexpr uint32_t kNoSlot = 0xffffffffu;
 
   size_t num_workers_ = 0;
+  /// Per-slot free-list cap (the construction-time deque capacity).
+  size_t node_pool_capacity_ = 0;
   /// Fixed at construction: [0, num_workers_) worker slots, the rest
   /// participant slots. unique_ptr keeps Slot addresses stable.
   std::vector<std::unique_ptr<Slot>> slots_;
@@ -201,10 +293,35 @@ class TaskGroup {
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
 
-  /// Spawns `fn`. Runs it inline when the group is slotless; skips it
-  /// entirely when the cancellation token tripped or a previous task
-  /// already failed.
-  void Run(std::function<void()> fn);
+  /// Spawns `fn` (any void() callable). Runs it inline when the group is
+  /// slotless; skips it entirely when the cancellation token tripped or
+  /// a previous task already failed. Steady-state spawns are
+  /// allocation-free: the callable moves into a recycled TaskNode's
+  /// inline storage (see internal::TaskNode) as long as its captures fit
+  /// internal::kInlineTaskBytes.
+  template <typename Fn>
+  void Run(Fn&& fn) {
+    AIDA_DCHECK(!waited_, "TaskGroup::Run after Wait");
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      // Observed cancellation at the spawn boundary: stop launching work.
+      cancelled_seen_ = true;
+      return;
+    }
+    if (slot_ == nullptr) {
+      if (!BeginInline()) return;  // fail fast once a body threw
+      try {
+        fn();
+      } catch (...) {
+        CaptureError(std::current_exception());
+      }
+      return;
+    }
+    internal::TaskNode* node = scheduler_->AcquireNode(slot_index_);
+    node->Install(std::forward<Fn>(fn));
+    node->group = this;
+    node->origin_slot = slot_index_;
+    SpawnNode(node);
+  }
 
   /// Blocks until every spawned task finished, executing and stealing
   /// work while it waits. Rethrows the first captured task exception.
@@ -230,6 +347,15 @@ class TaskGroup {
 
   /// Wait() body without the rethrow, for the destructor path.
   void Join();
+
+  /// Inline-execution bookkeeping for slotless groups: returns false
+  /// (skipping the body) once a previous body threw.
+  bool BeginInline() AIDA_EXCLUDES(mutex_);
+  /// Records the first exception thrown by an inline body.
+  void CaptureError(std::exception_ptr error) AIDA_EXCLUDES(mutex_);
+  /// Publishes an installed node to the scheduler (or drops it, callable
+  /// destroyed but unrun, when a sibling already failed).
+  void SpawnNode(internal::TaskNode* node) AIDA_EXCLUDES(mutex_);
 
   Scheduler* const scheduler_;
   const util::CancellationToken* const cancel_;

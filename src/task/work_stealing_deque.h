@@ -8,6 +8,7 @@
 
 #include "util/cacheline.h"
 #include "util/check.h"
+#include "util/function_effects.h"
 
 namespace aida::task {
 
@@ -42,7 +43,11 @@ class WorkStealingDeque {
   WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
 
   /// Owner only. False when the ring is full (caller spills elsewhere).
-  bool TryPush(T* item) {
+  /// AIDA_NONBLOCKING: pure atomics over a preallocated ring — the whole
+  /// point of the bounded deque is that the owner's fast path cannot
+  /// touch the allocator or a lock (the spill on false is the caller's
+  /// audited cold branch).
+  bool TryPush(T* item) AIDA_NONBLOCKING {
     AIDA_DCHECK(item != nullptr);
     const int64_t b = bottom_.load(std::memory_order_relaxed);
     const int64_t t = top_.load(std::memory_order_acquire);
@@ -57,7 +62,7 @@ class WorkStealingDeque {
   }
 
   /// Owner only. Null when empty. LIFO end.
-  T* TryPop() {
+  T* TryPop() AIDA_NONBLOCKING {
     const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     // seq_cst store: totally ordered against TrySteal's top/bottom loads,
     // standing in for the owner-side fence of the classic algorithm.
@@ -82,7 +87,7 @@ class WorkStealingDeque {
 
   /// Any thread. Null when empty or when the steal lost a race (callers
   /// treat both as "try another victim"). FIFO end.
-  T* TrySteal() {
+  T* TrySteal() AIDA_NONBLOCKING {
     int64_t t = top_.load(std::memory_order_seq_cst);
     const int64_t b = bottom_.load(std::memory_order_seq_cst);
     if (t >= b) return nullptr;
@@ -96,7 +101,7 @@ class WorkStealingDeque {
   }
 
   /// Racy size estimate for victim-selection heuristics only.
-  size_t ApproxSize() const {
+  size_t ApproxSize() const AIDA_NONBLOCKING {
     const int64_t b = bottom_.load(std::memory_order_relaxed);
     const int64_t t = top_.load(std::memory_order_relaxed);
     return b > t ? static_cast<size_t>(b - t) : 0;

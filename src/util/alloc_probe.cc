@@ -1,0 +1,155 @@
+#include "util/alloc_probe.h"
+
+#include <cstdlib>
+#include <new>
+
+// Sanitizer runtimes interpose malloc/operator new themselves; replacing
+// the global operators underneath them breaks their bookkeeping
+// (alloc-dealloc-mismatch, container annotations). Compile the probe out
+// there and report unavailable. AIDA_DISABLE_ALLOC_PROBE is the manual
+// override for exotic link environments.
+#if defined(AIDA_DISABLE_ALLOC_PROBE) || defined(__SANITIZE_ADDRESS__) || \
+    defined(__SANITIZE_THREAD__) || defined(__SANITIZE_MEMORY__)
+#define AIDA_ALLOC_PROBE_COMPILED_OUT 1
+#endif
+#if !defined(AIDA_ALLOC_PROBE_COMPILED_OUT) && defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define AIDA_ALLOC_PROBE_COMPILED_OUT 1
+#endif
+#endif
+
+namespace aida::util {
+namespace {
+
+// Trivially-constructed POD → constant-initialized TLS, no init guard on
+// the operator-new fast path (which may run before main, during static
+// construction).
+thread_local AllocProbeCounters tls_counts;
+
+}  // namespace
+
+bool AllocProbeAvailable() {
+#ifdef AIDA_ALLOC_PROBE_COMPILED_OUT
+  return false;
+#else
+  return true;
+#endif
+}
+
+AllocProbeCounters ThisThreadAllocCounts() { return tls_counts; }
+
+}  // namespace aida::util
+
+#ifndef AIDA_ALLOC_PROBE_COMPILED_OUT
+
+namespace {
+
+void* ProbeAllocate(std::size_t size) noexcept {
+  // malloc(0) may return nullptr legally; operator new must return a
+  // unique pointer even for zero bytes.
+  void* ptr = std::malloc(size != 0 ? size : 1);
+  if (ptr != nullptr) {
+    aida::util::tls_counts.allocations += 1;
+    aida::util::tls_counts.bytes_allocated += size;
+  }
+  return ptr;
+}
+
+void* ProbeAllocateAligned(std::size_t size, std::size_t alignment) noexcept {
+  // aligned_alloc requires size to be a multiple of alignment.
+  std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  void* ptr = std::aligned_alloc(alignment, rounded != 0 ? rounded : alignment);
+  if (ptr != nullptr) {
+    aida::util::tls_counts.allocations += 1;
+    aida::util::tls_counts.bytes_allocated += size;
+  }
+  return ptr;
+}
+
+void ProbeFree(void* ptr) noexcept {
+  if (ptr != nullptr) {
+    aida::util::tls_counts.deallocations += 1;
+    std::free(ptr);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Replacements for the replaceable global allocation functions
+// ([new.delete]): throwing, nothrow and aligned forms, plus the sized
+// deletes. All funnel into the three helpers above so the counting
+// contract in alloc_probe.h holds uniformly.
+// ---------------------------------------------------------------------------
+
+void* operator new(std::size_t size) {
+  void* ptr = ProbeAllocate(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size) {
+  void* ptr = ProbeAllocate(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return ProbeAllocate(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return ProbeAllocate(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  void* ptr = ProbeAllocateAligned(size, static_cast<std::size_t>(alignment));
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  void* ptr = ProbeAllocateAligned(size, static_cast<std::size_t>(alignment));
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  return ProbeAllocateAligned(size, static_cast<std::size_t>(alignment));
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  return ProbeAllocateAligned(size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* ptr) noexcept { ProbeFree(ptr); }
+void operator delete[](void* ptr) noexcept { ProbeFree(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { ProbeFree(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { ProbeFree(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  ProbeFree(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  ProbeFree(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept { ProbeFree(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept { ProbeFree(ptr); }
+void operator delete(void* ptr, std::align_val_t, std::size_t) noexcept {
+  ProbeFree(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t, std::size_t) noexcept {
+  ProbeFree(ptr);
+}
+void operator delete(void* ptr, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  ProbeFree(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  ProbeFree(ptr);
+}
+
+#endif  // !AIDA_ALLOC_PROBE_COMPILED_OUT

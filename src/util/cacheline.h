@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <new>
 
+#include "util/function_effects.h"
+
 namespace aida::util {
 
 /// Alignment that keeps two concurrently written objects off one cache
@@ -28,7 +30,8 @@ inline constexpr std::size_t kCacheLineSize = 64;
 /// spelling and compiles to the same contended-line behavior. Relaxed
 /// ordering: callers aggregate these values for monitoring, never for
 /// synchronization.
-inline void AtomicAddDouble(std::atomic<double>& target, double delta) {
+inline void AtomicAddDouble(std::atomic<double>& target,
+                            double delta) AIDA_NONBLOCKING {
   double observed = target.load(std::memory_order_relaxed);
   while (!target.compare_exchange_weak(observed, observed + delta,
                                        std::memory_order_relaxed)) {
@@ -38,7 +41,8 @@ inline void AtomicAddDouble(std::atomic<double>& target, double delta) {
 /// Atomically raises `target` to at least `value`. The CAS failure path
 /// reloads `observed`, so a racing larger maximum is never overwritten
 /// with a smaller one.
-inline void AtomicMaxDouble(std::atomic<double>& target, double value) {
+inline void AtomicMaxDouble(std::atomic<double>& target,
+                            double value) AIDA_NONBLOCKING {
   double observed = target.load(std::memory_order_relaxed);
   while (value > observed &&
          !target.compare_exchange_weak(observed, value,

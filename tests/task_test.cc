@@ -23,6 +23,7 @@
 #include "task/scheduler.h"
 #include "task/work_stealing_deque.h"
 #include "test_world.h"
+#include "util/alloc_probe.h"
 #include "util/cancellation.h"
 #include "util/stopwatch.h"
 #include "util/worker_pool.h"
@@ -285,6 +286,65 @@ TEST(SchedulerTest, CancelDuringSpawnStopsFurtherLaunches) {
   group.Wait();
   EXPECT_LE(ran.load(), 10);
   EXPECT_TRUE(group.cancelled());
+}
+
+TEST(TaskGroupAllocTest, WarmForkJoinDoesNotAllocate) {
+  // Pins the steady-state allocation discipline of the spawn/wait path:
+  // after a warmup region has stocked the slot's TaskNode free list,
+  // spawning tasks whose captures fit internal::kInlineTaskBytes, helping,
+  // parking, and joining must not touch the allocator at all on the
+  // spawning thread. (The old std::function-based TaskNode cost two heap
+  // round-trips per spawned task.)
+  if (!util::AllocProbeAvailable()) {
+    GTEST_SKIP() << "global operator new interposition unavailable";
+  }
+  SchedulerOptions options;
+  options.num_threads = 2;
+  Scheduler scheduler(options);
+  std::atomic<uint64_t> sum{0};
+  constexpr int kTasks = 16;  // below deque_capacity: no injection spill
+  auto region = [&] {
+    TaskGroup group(&scheduler, /*cancel=*/nullptr);
+    for (int i = 0; i < kTasks; ++i) {
+      group.Run(
+          [&sum, i] { sum.fetch_add(uint64_t(i) + 1, std::memory_order_relaxed); });
+    }
+    group.Wait();
+  };
+  // Two warm regions: stock the participant slot's node pool (nodes are
+  // recycled before Wait returns) and touch any lazy thread-local state.
+  region();
+  region();
+  util::ScopedAllocationCount probe;
+  region();
+  EXPECT_EQ(probe.allocations(), 0u)
+      << "warm fork-join spawn/wait must be allocation-free";
+  EXPECT_EQ(probe.deallocations(), 0u);
+  EXPECT_EQ(sum.load(), 3u * (kTasks * (kTasks + 1) / 2));
+}
+
+TEST(TaskGroupAllocTest, OversizedCapturesStillRunCorrectly) {
+  // Callables beyond the inline budget take the boxed fallback: one heap
+  // allocation per spawn, identical observable behavior.
+  SchedulerOptions options;
+  options.num_threads = 1;
+  Scheduler scheduler(options);
+  struct Big {
+    uint64_t payload[24];  // 192 bytes > kInlineTaskBytes
+  };
+  Big big{};
+  for (size_t i = 0; i < 24; ++i) big.payload[i] = i + 1;
+  std::atomic<uint64_t> sum{0};
+  TaskGroup group(&scheduler, /*cancel=*/nullptr);
+  for (int t = 0; t < 8; ++t) {
+    group.Run([big, &sum] {
+      uint64_t local = 0;
+      for (uint64_t v : big.payload) local += v;
+      sum.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(sum.load(), 8u * (24u * 25u / 2));
 }
 
 // ---- Disambiguation hot path on the engine ---------------------------------

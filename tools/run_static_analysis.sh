@@ -4,7 +4,7 @@
 # curated clang-tidy pass, clang-query AST lints, a formatting check and
 # toolchain-free source sweeps.
 #
-# Nine phases (each logged to $LOG_DIR and summarized at the end):
+# Ten phases (each logged to $LOG_DIR and summarized at the end):
 #   1. raw-primitive sweep (no toolchain needed): no std::mutex /
 #      std::lock_guard / std::condition_variable may appear in src/
 #      outside util/mutex.* — every lock must be an annotated util::Mutex
@@ -26,28 +26,40 @@
 #      and the three lifetime_fail_*.cc controls must each be rejected
 #      with the expected diagnostic family (util/lifetime.h annotations:
 #      AIDA_LIFETIME_BOUND, AIDA_VIEW_TYPE/AIDA_OWNER_TYPE);
-#   6. full Clang build of the src/ libraries plus the tools/, bench/
-#      and examples/ executables with -Werror=thread-safety[-beta] AND
-#      the lifetime errors (AIDA_THREAD_SAFETY_ANALYSIS=ON +
-#      AIDA_LIFETIME_ANALYSIS=ON). Tests stay out of the acceptance bar;
-#   7. Clang Static Analyzer (--analyze, -analyzer-werror) over every
+#   6. function-effect smoke controls (Clang >= 20 only): the annotated
+#      positive control must compile under -Werror=function-effects and
+#      the two negative controls — a blocking std::mutex acquisition and
+#      a std::vector growth inside an AIDA_NONBLOCKING function — must
+#      each be rejected by the function-effects diagnostic
+#      (util/function_effects.h annotations). WARNs, with the discovered
+#      Clang version, when the toolchain predates the analysis;
+#   7. full Clang build of the src/ libraries plus the tools/, bench/
+#      and examples/ executables with -Werror=thread-safety[-beta], the
+#      lifetime errors AND (on Clang >= 20) -Werror=function-effects
+#      (AIDA_THREAD_SAFETY_ANALYSIS=ON + AIDA_LIFETIME_ANALYSIS=ON +
+#      AIDA_FUNCTION_EFFECT_ANALYSIS=ON). Tests stay out of the
+#      acceptance bar;
+#   8. Clang Static Analyzer (--analyze, -analyzer-werror) over every
 #      translation unit in src/, tools/, bench/ and examples/ (the
 #      deliberately-broken control TUs under tools/static_analysis/ are
 #      excluded): core, cplusplus, unix and security.insecureAPI checker
 #      groups as errors (deadcode.DeadStores excluded — it flags
 #      defensive clear-after-move and has no soundness payoff);
-#   8. clang-tidy (.clang-tidy at the repo root) over the same TU set;
-#   9. clang-query AST lints (tools/static_analysis/*.query, driven by
+#   9. clang-tidy (.clang-tidy at the repo root) over the same TU set;
+#  10. clang-query AST lints (tools/static_analysis/*.query, driven by
 #      run_clang_query_lints.sh): views stored beyond their snapshot
 #      pin, hash-order iteration in determinism-critical code, raw
 #      std::thread ownership outside util/ + task/. Each lint is
 #      control-validated before it is trusted.
 #
-# Phases 3-9 need LLVM tooling. When a tool is missing the script SKIPS
+# Phases 3-10 need LLVM tooling. When a tool is missing the script SKIPS
 # that phase with a loud warning and stays green so developer machines
 # without Clang remain usable; CI exports AIDA_REQUIRE_STATIC_ANALYSIS=1,
 # which turns a missing toolchain into a hard failure — the gate can be
-# unavailable locally, never silently unavailable in CI.
+# unavailable locally, never silently unavailable in CI. SKIP/WARN lines
+# in the final summary carry the discovered Clang version, so a
+# silently-old toolchain (phase 6 needs Clang >= 20) stays visible in
+# the CI step summary.
 #
 # Usage: tools/run_static_analysis.sh
 #   BUILD_DIR=build-tsa             override the analysis build directory
@@ -90,6 +102,20 @@ gate_tus() {
   find "$REPO_ROOT/examples" -name '*.cpp'
 }
 
+# Compiler discovery happens up front (not between phases) so every
+# SKIP/WARN annotation in the summary can name the toolchain it is a
+# statement about. CLANG_MAJOR gates the Clang>=20-only function-effect
+# phase; CLANG_DESC is the human-readable form the summary prints.
+CLANGXX="${CLANGXX:-$(find_tool clang++ || true)}"
+CLANG_MAJOR=0
+CLANG_DESC="not found"
+if [[ -n "$CLANGXX" ]]; then
+  CLANG_VERSION="$("$CLANGXX" -dumpversion 2>/dev/null || echo unknown)"
+  CLANG_MAJOR="${CLANG_VERSION%%.*}"
+  [[ "$CLANG_MAJOR" =~ ^[0-9]+$ ]] || CLANG_MAJOR=0
+  CLANG_DESC="$CLANG_VERSION at $CLANGXX"
+fi
+
 # ---------------------------------------------------------------------------
 # Phase driver: each phase is a function returning 0 (pass), 77 (skip),
 # 78 (warn) or anything else (fail). Output is teed to $LOG_DIR/<slug>.log
@@ -100,7 +126,7 @@ SUMMARY=()
 run_phase() {
   local num="$1" slug="$2" title="$3" fn="$4"
   local log="$LOG_DIR/$slug.log"
-  echo "==> [$num/9] $title"
+  echo "==> [$num/10] $title"
   "$fn" 2>&1 | tee "$log"
   local rc="${PIPESTATUS[0]}"
   local status
@@ -110,7 +136,14 @@ run_phase() {
     78) status=WARN ;;
     *)  status=FAIL; OVERALL=1 ;;
   esac
-  SUMMARY+=("$status $slug")
+  local entry="$status $slug"
+  # A skipped phase is a statement about the toolchain — record which
+  # clang (if any) was discovered, so "SKIP" can never hide an
+  # unexpectedly old compiler from the CI step summary.
+  if [[ "$status" == SKIP || "$status" == WARN ]]; then
+    entry+=" (clang: ${CLANG_DESC:-not discovered})"
+  fi
+  SUMMARY+=("$entry")
 }
 
 # ---------------------------------------------------------------------------
@@ -242,14 +275,60 @@ phase_lifetime_controls() {
   done
 }
 
+phase_fe_controls() {
+  [[ -z "$CLANGXX" ]] && return 77
+  if [[ "$CLANG_MAJOR" -lt 20 ]]; then
+    if [[ "$REQUIRE" == "1" ]]; then
+      echo "error: the function-effect controls need Clang >= 20"
+      echo "([[clang::nonblocking]] verification); found clang $CLANG_DESC"
+      echo "and AIDA_REQUIRE_STATIC_ANALYSIS=1."
+      return 1
+    fi
+    echo "WARNING: -Wfunction-effects needs Clang >= 20; found clang"
+    echo "$CLANG_DESC — skipping the function-effect controls (the"
+    echo "annotations in src/ compile as no-ops on this toolchain)."
+    return 78
+  fi
+  local flags=(-std=c++20 -Wfunction-effects -Werror=function-effects
+               -I"$REPO_ROOT/src")
+  "$CLANGXX" "${flags[@]}" -fsyntax-only \
+    "$REPO_ROOT/tools/static_analysis/function_effects_ok.cc" || return 1
+  echo "    OK: positive control (annotations + audited escape) compiles clean"
+  # Each negative control must fail AND fail via -Wfunction-effects — a
+  # rejection caused by an unrelated error would vacuously "pass".
+  local tu out
+  for tu in function_effects_fail_blocking function_effects_fail_allocating; do
+    if out="$("$CLANGXX" "${flags[@]}" -fsyntax-only \
+        "$REPO_ROOT/tools/static_analysis/$tu.cc" 2>&1)"; then
+      echo "error: the deliberately-effectful negative control $tu.cc"
+      echo "COMPILED — -Werror=function-effects is not enforcing; the"
+      echo "gate is broken, refusing to report success."
+      return 1
+    fi
+    if ! grep -q 'function-effects' <<<"$out"; then
+      echo "error: $tu.cc was rejected, but not by the function-effects"
+      echo "diagnostic; compiler output was:"
+      echo "$out"
+      return 1
+    fi
+    echo "    OK: negative control $tu.cc rejected (function-effects)"
+  done
+}
+
 phase_clang_build() {
   [[ -z "$CLANGXX" ]] && return 77
+  # The function-effect verification needs Clang >= 20; on older
+  # toolchains the build still proves the thread-safety + lifetime
+  # contracts and phase 6 already WARNed about the missing analysis.
+  local fe=OFF
+  [[ "$CLANG_MAJOR" -ge 20 ]] && fe=ON
   cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_COMPILER="$CLANGXX" \
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
     -DAIDA_THREAD_SAFETY_ANALYSIS=ON \
-    -DAIDA_LIFETIME_ANALYSIS=ON || return 1
+    -DAIDA_LIFETIME_ANALYSIS=ON \
+    -DAIDA_FUNCTION_EFFECT_ANALYSIS="$fe" || return 1
   # The gate covers shipping code: the src/ libraries plus every tool,
   # bench and example executable. Tests get the annotations' benefit
   # when the full suites build, but the acceptance bar stops here.
@@ -264,7 +343,12 @@ phase_clang_build() {
     bench_confidence bench_ee_discovery bench_ee_pipeline bench_ee_days \
     bench_apps bench_serve bench_micro bench_kb_load bench_ablation \
     || return 1
-  echo "    OK: thread-safety + lifetime clean Clang build"
+  if [[ "$fe" == ON ]]; then
+    echo "    OK: thread-safety + lifetime + function-effect clean Clang build"
+  else
+    echo "    OK: thread-safety + lifetime clean Clang build"
+    echo "    (function-effect verification off: clang $CLANG_DESC < 20)"
+  fi
 }
 
 phase_analyzer() {
@@ -326,7 +410,6 @@ run_phase 2 raw-assert "contract-macro sweep over src/ (no raw assert)" \
 run_phase 3 format "clang-format check (enforced scope)" \
   phase_format
 
-CLANGXX="${CLANGXX:-$(find_tool clang++ || true)}"
 if [[ -z "$CLANGXX" ]]; then
   if [[ "$REQUIRE" == "1" ]]; then
     echo "error: clang++ not found and AIDA_REQUIRE_STATIC_ANALYSIS=1" >&2
@@ -338,21 +421,23 @@ if [[ -z "$CLANGXX" ]]; then
     echo "unconditionally."
   fi
 else
-  echo "==> using $CLANGXX"
+  echo "==> using clang $CLANG_DESC"
 fi
 
 run_phase 4 ts-controls "thread-safety smoke controls" \
   phase_ts_controls
 run_phase 5 lifetime-controls "lifetime smoke controls" \
   phase_lifetime_controls
-run_phase 6 clang-build \
-  "Clang build with -Werror=thread-safety[-beta] + lifetime errors" \
+run_phase 6 fe-controls "function-effect smoke controls (Clang >= 20)" \
+  phase_fe_controls
+run_phase 7 clang-build \
+  "Clang build: -Werror=thread-safety[-beta] + lifetime + function-effects" \
   phase_clang_build
-run_phase 7 analyzer "Clang Static Analyzer (src/ tools/ bench/ examples/)" \
+run_phase 8 analyzer "Clang Static Analyzer (src/ tools/ bench/ examples/)" \
   phase_analyzer
-run_phase 8 clang-tidy "clang-tidy (src/ tools/ bench/ examples/)" \
+run_phase 9 clang-tidy "clang-tidy (src/ tools/ bench/ examples/)" \
   phase_clang_tidy
-run_phase 9 clang-query "clang-query AST lints" \
+run_phase 10 clang-query "clang-query AST lints" \
   phase_clang_query
 
 # ---------------------------------------------------------------------------

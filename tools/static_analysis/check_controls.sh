@@ -14,6 +14,13 @@
 #     lifetime_fail_lifetimebound   must be rejected (dangling family)
 #     lifetime_fail_dangling_gsl    must be rejected (dangling family)
 #     lifetime_fail_return_stack    must be rejected (stack family)
+#     function_effects_ok           must compile under -Werror=function-effects
+#     function_effects_fail_blocking    must be rejected (function-effects)
+#     function_effects_fail_allocating  must be rejected (function-effects)
+#       (the three function_effects_* modes exit 77 — ctest SKIP — when
+#        the clang++ found at configure time predates the Clang 20
+#        effect analysis; the version is printed so an old toolchain
+#        stays visible)
 #   modes (query controls; tool = clang-query):
 #     query_view_storage            *_fail.cc matches, *_ok.cc clean
 #     query_unordered_iteration     likewise
@@ -30,6 +37,30 @@ TS_FLAGS=(-std=c++20 -Wthread-safety -Wthread-safety-beta
           -I"$REPO_ROOT/src")
 LT_FLAGS=(-std=c++20 -Werror=dangling -Werror=dangling-gsl
           -Werror=return-stack-address -I"$REPO_ROOT/src")
+FE_FLAGS=(-std=c++20 -Wfunction-effects -Werror=function-effects
+          -I"$REPO_ROOT/src")
+
+# The effect attributes ([[clang::nonblocking]]) and their verification
+# shipped in Clang 20; on older toolchains the util/function_effects.h
+# macros are no-ops, so the fail controls would "pass" vacuously. Probe
+# the actual feature rather than parsing a version string, and SKIP (77)
+# with the discovered version when absent.
+require_function_effects() {
+  if ! "$TOOL" -std=c++20 -fsyntax-only -x c++ - <<'EOF' >/dev/null 2>&1
+#if !defined(__clang__) || !defined(__has_cpp_attribute)
+#error function-effect analysis unavailable
+#elif !__has_cpp_attribute(clang::nonblocking)
+#error function-effect analysis unavailable
+#endif
+EOF
+  then
+    local version
+    version="$("$TOOL" --version 2>/dev/null | head -1)"
+    echo "SKIP: $MODE needs Clang >= 20 (clang::nonblocking); found:" \
+         "${version:-unknown}"
+    exit 77
+  fi
+}
 
 must_compile() {
   "$TOOL" "$@" || { echo "error: expected-clean control failed"; exit 1; }
@@ -94,6 +125,21 @@ case "$MODE" in
   lifetime_fail_return_stack)
     must_reject 'stack' "${LT_FLAGS[@]}" -fsyntax-only \
       "$SCRIPT_DIR/lifetime_fail_return_stack.cc"
+    ;;
+  function_effects_ok)
+    require_function_effects
+    must_compile "${FE_FLAGS[@]}" -fsyntax-only \
+      "$SCRIPT_DIR/function_effects_ok.cc"
+    ;;
+  function_effects_fail_blocking)
+    require_function_effects
+    must_reject 'function-effects' "${FE_FLAGS[@]}" -fsyntax-only \
+      "$SCRIPT_DIR/function_effects_fail_blocking.cc"
+    ;;
+  function_effects_fail_allocating)
+    require_function_effects
+    must_reject 'function-effects' "${FE_FLAGS[@]}" -fsyntax-only \
+      "$SCRIPT_DIR/function_effects_fail_allocating.cc"
     ;;
   query_view_storage)
     query_pair view_storage

@@ -1,0 +1,29 @@
+// NEGATIVE CONTROL for tools/run_static_analysis.sh — this translation
+// unit must be REJECTED under -Werror=function-effects on Clang >= 20:
+// it grows a std::vector (reaching operator new) inside an
+// AIDA_NONBLOCKING function, with no audited escape. This is the other
+// bug class the annotations exist to catch — per-request container churn
+// reintroduced into a path that was made allocation-free (nonblocking
+// implies nonallocating in Clang's effect lattice). If this file ever
+// compiles in the gate's function-effect phase, the phase is blind and
+// must itself fail.
+//
+// Not part of any CMake target: only the analysis script touches it.
+
+#include <vector>
+
+#include "util/function_effects.h"
+
+namespace {
+
+std::size_t GrowPerCall(std::vector<int>& scratch) AIDA_NONBLOCKING {
+  scratch.push_back(42);  // allocation in a nonblocking fn
+  return scratch.size();
+}
+
+}  // namespace
+
+int main() {
+  std::vector<int> scratch;
+  return static_cast<int>(GrowPerCall(scratch));
+}

@@ -1,0 +1,28 @@
+// NEGATIVE CONTROL for tools/run_static_analysis.sh — this translation
+// unit must be REJECTED under -Werror=function-effects on Clang >= 20:
+// it takes a std::mutex (an unbounded wait through an opaque libc call)
+// inside an AIDA_NONBLOCKING function, with no audited escape. This is
+// the exact bug class the serving annotations exist to catch — a
+// convenience lock sneaking into a warm worker's record path. If this
+// file ever compiles in the gate's function-effect phase, the phase is
+// blind and must itself fail.
+//
+// Not part of any CMake target: only the analysis script touches it.
+
+#include <mutex>
+
+#include "util/function_effects.h"
+
+namespace {
+
+std::mutex m;
+int shared_value = 0;
+
+int LockedRead() AIDA_NONBLOCKING {
+  std::lock_guard<std::mutex> lock(m);  // blocking call in a nonblocking fn
+  return shared_value;
+}
+
+}  // namespace
+
+int main() { return LockedRead(); }

@@ -1,0 +1,80 @@
+// POSITIVE CONTROL for tools/run_static_analysis.sh — this translation
+// unit must compile cleanly under -Werror=function-effects on Clang >= 20.
+// It exercises every shape the annotation sweep relies on
+// (util/function_effects.h, DESIGN.md §6):
+//  * AIDA_NONBLOCKING leaves: pure arithmetic, pointer walks, and
+//    lock-free atomics (the histogram / deque idiom) — if the effect
+//    analysis cannot verify a relaxed fetch_add, the whole sweep is
+//    unbuildable, so this control is the canary;
+//  * nonblocking-calls-nonblocking composition;
+//  * AIDA_EFFECT_ESCAPE_BEGIN/END around a deliberate allocation in a
+//    cold branch — proves the audited opt-out actually silences the
+//    diagnostic (a regression here would surface as spurious CI errors
+//    on every escape in src/);
+//  * AIDA_BLOCKING as the explicit negative marker on a function that
+//    parks, whose body faces no restrictions.
+//
+// A pass here plus failures of the two function_effects_fail_*.cc
+// controls proves the diagnostics are both enabled and discriminating.
+// Not part of any CMake target: only the analysis script touches it.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/function_effects.h"
+
+namespace {
+
+std::atomic<uint64_t> counter{0};
+
+// Lock-free atomic update — the LatencyHistogram::Record /
+// ServiceMetrics slot shape.
+uint64_t BumpCounter() AIDA_NONBLOCKING {
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Pure computation over caller-owned memory — the scoring-kernel shape.
+int64_t SumSpan(const int32_t* data, int count) AIDA_NONBLOCKING {
+  int64_t total = 0;
+  for (int i = 0; i < count; ++i) total += data[i];
+  return total;
+}
+
+// Nonblocking may call nonblocking: composition must verify without
+// re-deriving the callee's effects.
+int64_t SumTwice(const int32_t* data, int count) AIDA_NONBLOCKING {
+  BumpCounter();
+  return SumSpan(data, count) + SumSpan(data, count);
+}
+
+// The audited opt-out: a deliberate, bounded allocation inside an
+// annotated function must build once bracketed and justified.
+std::size_t EscapedColdGrowth(std::vector<int>& spill) AIDA_NONALLOCATING {
+  AIDA_EFFECT_ESCAPE_BEGIN("control: cold-branch spill, amortized O(1)")
+  spill.push_back(1);
+  AIDA_EFFECT_ESCAPE_END
+  return spill.size();
+}
+
+// The explicit negative marker: blocking is this function's contract,
+// so its body is unrestricted and callers cannot absorb it silently.
+std::mutex gate;
+int guarded_value = 0;
+int ParkAndRead() AIDA_BLOCKING {
+  std::lock_guard<std::mutex> lock(gate);
+  return guarded_value;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<int> spill;
+  int32_t data[4] = {1, 2, 3, 4};
+  return static_cast<int>(SumTwice(data, 4) + BumpCounter() +
+                          static_cast<int64_t>(EscapedColdGrowth(spill)) +
+                          ParkAndRead()) > 0
+             ? 0
+             : 1;
+}
